@@ -1,0 +1,127 @@
+// Ablation study: how much does each §4.1 constraint contribute?
+//
+// The constraint pipeline exists to filter unreliable IPmap claims. This
+// harness replays every (volunteer, server) observation from the full study
+// under pipeline variants with stages disabled, then scores each variant
+// against the generator's ground truth (which the pipeline itself never
+// sees):
+//   precision  — of the servers confirmed non-local, how many truly are
+//                (the paper reports 100% precision for foreign servers);
+//   loc-acc    — of the confirmed, how many have the *correct* country;
+//   recall     — how many of the truly-foreign candidates survive.
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common.h"
+#include "geoloc/pipeline.h"
+#include "probe/traceroute.h"
+
+using namespace gam;
+
+namespace {
+
+struct Observation {
+  geoloc::ServerObservation obs;
+  bool truly_nonlocal = false;
+  std::string true_country;
+};
+
+std::vector<Observation> collect(const worldgen::World& world,
+                                 const std::vector<core::VolunteerDataset>& datasets) {
+  std::vector<Observation> out;
+  for (const auto& ds : datasets) {
+    const world::CountryInfo& country = world::CountryDb::instance().at(ds.country);
+    geo::Coord coord = country.primary_city().coord;
+    std::set<net::IPv4> seen;
+    for (const auto& site : ds.sites) {
+      for (const auto& req : site.page.requests) {
+        if (req.background || !req.completed || req.ip == 0) continue;
+        if (!seen.insert(req.ip).second) continue;
+        Observation o;
+        o.obs.ip = req.ip;
+        o.obs.volunteer_country = ds.country;
+        o.obs.volunteer_city = ds.disclosed_city;
+        o.obs.volunteer_coord = coord;
+        if (auto it = ds.traces.find(req.ip); it != ds.traces.end()) {
+          o.obs.src_trace_attempted = it->second.attempted;
+          o.obs.src_trace_reached = it->second.reached;
+          o.obs.src_first_hop_ms = it->second.first_hop_ms;
+          o.obs.src_last_hop_ms = it->second.last_hop_ms;
+        }
+        if (auto it = site.rdns.find(req.ip); it != site.rdns.end()) o.obs.rdns = it->second;
+        if (auto truth = world.geodb.true_location(req.ip)) {
+          o.true_country = truth->country;
+          o.truly_nonlocal = truth->country != ds.country;
+        }
+        out.push_back(std::move(o));
+      }
+    }
+  }
+  return out;
+}
+
+struct Scores {
+  size_t confirmed = 0;
+  size_t correct_nonlocal = 0;   // confirmed and truly non-local
+  size_t correct_location = 0;   // confirmed and claimed country == truth
+  size_t truly_foreign_total = 0;
+};
+
+Scores evaluate(const worldgen::World& world, const std::vector<Observation>& observations,
+                geoloc::ConstraintConfig config) {
+  probe::TracerouteEngine engine(world.topology, *world.resolver);
+  geoloc::MultiConstraintGeolocator geolocator(world.geodb, world.reference, world.atlas,
+                                               engine, config);
+  util::Rng rng(99);
+  Scores s;
+  for (const auto& o : observations) {
+    if (o.truly_nonlocal) ++s.truly_foreign_total;
+    geoloc::GeoVerdict v = geolocator.classify(o.obs, rng);
+    if (!v.confirmed_nonlocal()) continue;
+    ++s.confirmed;
+    if (o.truly_nonlocal) ++s.correct_nonlocal;
+    if (!o.true_country.empty() && v.claim.country == o.true_country) ++s.correct_location;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::Study study = bench::run_full_study();
+  std::vector<Observation> observations = collect(*study.world, study.result.datasets);
+
+  struct Variant {
+    const char* name;
+    geoloc::ConstraintConfig config;
+  };
+  const std::vector<Variant> variants = {
+      {"ipmap only (no constraints)", geoloc::ConstraintConfig::none()},
+      {"+ source (SOL only)", {true, false, false, false}},
+      {"+ source (SOL + 80% rule)", {true, true, false, false}},
+      {"+ destination probe", {true, true, true, false}},
+      {"+ reverse DNS (full paper)", {true, true, true, true}},
+      {"rDNS alone", {false, false, false, true}},
+      {"destination alone", {false, false, true, false}},
+  };
+
+  bench::print_header("Ablation", "contribution of each §4.1 constraint");
+  std::printf("(%zu observations across 23 countries; ground truth from the generator)\n\n",
+              observations.size());
+  std::printf("%-30s %9s %10s %9s %8s\n", "pipeline variant", "confirmed", "precision",
+              "loc-acc", "recall");
+  for (const auto& variant : variants) {
+    Scores s = evaluate(*study.world, observations, variant.config);
+    double precision = s.confirmed ? 100.0 * s.correct_nonlocal / s.confirmed : 0.0;
+    double loc_acc = s.confirmed ? 100.0 * s.correct_location / s.confirmed : 0.0;
+    double recall =
+        s.truly_foreign_total ? 100.0 * s.correct_nonlocal / s.truly_foreign_total : 0.0;
+    std::printf("%-30s %9zu %9.1f%% %8.1f%% %7.1f%%\n", variant.name, s.confirmed,
+                precision, loc_acc, recall);
+  }
+  std::printf("\n(the paper's validated framework reports 100%% precision in identifying\n"
+              "foreign servers; each added constraint trades recall for location accuracy)\n");
+  return 0;
+}

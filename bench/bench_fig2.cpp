@@ -1,0 +1,35 @@
+// Figure 2: (a) T_reg / T_gov sizes per country; (b) % of T_web successfully
+// loaded — >86% typical, Japan 64%, Saudi Arabia 56%.
+#include <cstdio>
+
+#include "common.h"
+#include "paper_values.h"
+
+int main() {
+  using namespace gam;
+  bench::Study study = bench::run_full_study();
+
+  bench::print_header("Fig 2a", "target-list composition per country (after opt-out)");
+  std::printf("%-22s %8s %8s %8s\n", "Country", "T_reg", "T_gov", "T_web");
+  for (const auto& code : world::source_countries()) {
+    const core::TargetList& t = study.world->targets.at(code);
+    std::printf("%-22s %8zu %8zu %8zu\n", bench::country_name(code).c_str(),
+                t.regional.size(), t.government.size(), t.all().size());
+  }
+  std::printf("total targets offered: %zu (paper: 2005; 1987 after opt-out)\n\n",
+              study.world->targets_before_optout);
+
+  bench::print_header("Fig 2b", "% of T_web successfully loaded and recorded");
+  for (const auto& ds : study.result.datasets) {
+    double rate = 100.0 * ds.loaded_sites() / std::max<size_t>(1, ds.attempted_sites());
+    auto it = bench::fig2b_load_success().find(ds.country);
+    double paper = it == bench::fig2b_load_success().end() ? -1 : it->second;
+    if (paper >= 0) {
+      bench::print_row(bench::country_name(ds.country), rate, paper);
+    } else {
+      std::printf("%-28s %11.1f%% %12s\n", bench::country_name(ds.country).c_str(), rate,
+                  ">86 (typ.)");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 3: % of regional and government sites embedding >=1 non-local
+// tracker per country, plus the §6.1 aggregates (means, sigmas, Pearson).
+#include <cstdio>
+
+#include "analysis/prevalence.h"
+#include "common.h"
+#include "paper_values.h"
+
+int main() {
+  using namespace gam;
+  bench::Study study = bench::run_full_study();
+  analysis::PrevalenceReport prev = analysis::compute_prevalence(study.result.analyses);
+
+  bench::print_header("Fig 3", "% of sites with non-local trackers (reg / gov)");
+  std::printf("%-22s %8s %8s   %8s %8s\n", "Country", "reg", "gov", "paper-reg",
+              "paper-gov");
+  for (const auto& row : prev.rows) {
+    auto it = bench::fig3_prevalence().find(row.country);
+    if (it != bench::fig3_prevalence().end()) {
+      std::printf("%-22s %7.1f%% %7.1f%%   %8.0f %8.0f\n",
+                  bench::country_name(row.country).c_str(), row.pct_reg, row.pct_gov,
+                  it->second.first, it->second.second);
+    } else {
+      std::printf("%-22s %7.1f%% %7.1f%%   %8s %8s\n",
+                  bench::country_name(row.country).c_str(), row.pct_reg, row.pct_gov, "-",
+                  "-");
+    }
+  }
+  std::printf("\n");
+  bench::print_row("mean (T_reg)", prev.mean_reg, 46.16);
+  bench::print_row("stddev (T_reg)", prev.stddev_reg, 33.77);
+  bench::print_row("mean (T_gov)", prev.mean_gov, 40.21);
+  bench::print_row("stddev (T_gov)", prev.stddev_gov, 31.5);
+  bench::print_row("Pearson reg/gov", prev.pearson_reg_gov, 0.89, "");
+  return 0;
+}

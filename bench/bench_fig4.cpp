@@ -1,0 +1,38 @@
+// Figure 4: box statistics of per-website non-local tracker-domain counts
+// per country, with the §6.2 prose anchors (Jordan 15.7σ12, Egypt 12.1σ8.5,
+// Rwanda 13.3σ11.39; NZ normal; several countries in the 1-3 range).
+#include <cstdio>
+
+#include "analysis/per_site.h"
+#include "common.h"
+#include "paper_values.h"
+
+int main() {
+  using namespace gam;
+  bench::Study study = bench::run_full_study();
+  analysis::PerSiteReport report = analysis::compute_per_site(study.result.analyses);
+
+  bench::print_header("Fig 4", "non-local tracker domains per tracked website");
+  std::printf("%-14s %4s %5s %5s %5s %5s %6s %6s %5s | %-12s\n", "Country", "n", "min",
+              "q1", "med", "q3", "max", "mean", "sd", "paper mean(sd)");
+  for (const auto& row : report.rows) {
+    std::string paper = "-";
+    auto it = bench::fig4_means().find(row.country);
+    if (it != bench::fig4_means().end()) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1f (%.1f)", it->second.first, it->second.second);
+      paper = buf;
+    }
+    const util::BoxStats& b = row.combined;
+    std::printf("%-14s %4zu %5.0f %5.1f %5.1f %5.1f %6.0f %6.1f %5.1f | %-12s\n",
+                row.country.c_str(), b.n, b.min, b.q1, b.median, b.q3, b.max, b.mean,
+                b.stddev, paper.c_str());
+  }
+  std::printf("\nskewness (paper: positive everywhere except New Zealand):\n");
+  for (const auto& row : report.rows) {
+    if (row.combined.n < 5) continue;
+    std::printf("  %-4s %+5.2f%s\n", row.country.c_str(), row.skew_combined,
+                row.country == "NZ" ? "   <- NZ: closest to normal" : "");
+  }
+  return 0;
+}

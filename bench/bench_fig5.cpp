@@ -1,0 +1,57 @@
+// Figure 5: non-local tracking flows source country -> destination country.
+// Anchors: France 43%, UK 24%, Germany 23%, Australia 23% (11% without NZ),
+// Kenya 14%, Malaysia 7% (0.16% without Thailand), USA 5%; fan-ins
+// FR/US 15, DE 13, GB 12.
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+#include <vector>
+
+#include "analysis/flows.h"
+#include "common.h"
+#include "paper_values.h"
+
+int main() {
+  using namespace gam;
+  bench::Study study = bench::run_full_study();
+  analysis::FlowsReport flows = analysis::compute_flows(study.result.analyses);
+
+  bench::print_header("Fig 5", "destination share of sites with non-local trackers");
+  std::printf("(%zu sites with non-local trackers; paper: 575)\n\n",
+              flows.sites_with_nonlocal);
+  std::printf("%-14s %9s %9s %8s %8s\n", "Destination", "measured", "paper", "fan-in",
+              "paper");
+  auto ranked = flows.ranked_destinations();
+  for (size_t i = 0; i < ranked.size() && i < 14; ++i) {
+    const auto& [dest, pct] = ranked[i];
+    auto pit = bench::fig5_dest_pct().find(dest);
+    auto fit = bench::fig5_fanin().find(dest);
+    char paper_pct[16] = "-", paper_fan[16] = "-";
+    if (pit != bench::fig5_dest_pct().end())
+      std::snprintf(paper_pct, sizeof paper_pct, "%.0f%%", pit->second);
+    if (fit != bench::fig5_fanin().end())
+      std::snprintf(paper_fan, sizeof paper_fan, "%d", fit->second);
+    std::printf("%-14s %8.1f%% %9s %8zu %8s\n", bench::country_name(dest).c_str(), pct,
+                paper_pct, flows.dest_fanin.at(dest), paper_fan);
+  }
+
+  std::printf("\nsingle-source sensitivity (§6.3):\n");
+  std::printf("  Australia: %.1f%% -> %.1f%% without New Zealand (paper: 23%% -> 11%%)\n",
+              flows.dest_pct.count("AU") ? flows.dest_pct.at("AU") : 0.0,
+              flows.dest_pct_excluding("AU", "NZ"));
+  std::printf("  Malaysia:  %.1f%% -> %.2f%% without Thailand   (paper: 7%% -> 0.16%%)\n",
+              flows.dest_pct.count("MY") ? flows.dest_pct.at("MY") : 0.0,
+              flows.dest_pct_excluding("MY", "TH"));
+
+  std::printf("\nlargest source->destination flows (websites):\n");
+  std::vector<std::tuple<size_t, std::string, std::string>> all;
+  for (const auto& [src, dests] : flows.website_flows) {
+    for (const auto& [dest, n] : dests) all.push_back({n, src, dest});
+  }
+  std::sort(all.rbegin(), all.rend());
+  for (size_t i = 0; i < all.size() && i < 12; ++i) {
+    auto& [n, src, dest] = all[i];
+    std::printf("  %-4s -> %-4s %4zu\n", src.c_str(), dest.c_str(), n);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 6: non-local tracking flows across continents. §6.4 anchors:
+// Europe is the only continent with inward flows from all others; Africa
+// receives no inward flow; Oceania and South America stay mostly internal.
+#include <cstdio>
+
+#include "analysis/continent_flows.h"
+#include "common.h"
+
+int main() {
+  using namespace gam;
+  bench::Study study = bench::run_full_study();
+  analysis::ContinentFlowsReport report =
+      analysis::compute_continent_flows(study.result.analyses);
+
+  bench::print_header("Fig 6", "continent -> continent website flows");
+  const char* continents[] = {"Africa", "Asia", "Europe", "North America",
+                              "South America", "Oceania"};
+  std::printf("%-15s", "src \\ dest");
+  for (const char* dest : continents) std::printf(" %7.7s", dest);
+  std::printf("\n");
+  for (const char* src : continents) {
+    std::printf("%-15s", src);
+    for (const char* dest : continents) std::printf(" %7zu", report.flow(src, dest));
+    std::printf("\n");
+  }
+
+  std::printf("\nchecks against §6.4:\n");
+  auto into_europe = report.inward_sources("Europe");
+  std::printf("  Europe receives inward flow from %zu continents (paper: all others)\n",
+              into_europe.size());
+  auto into_africa = report.inward_sources("Africa");
+  std::printf("  Africa receives inward flow from %zu continents (paper: none)\n",
+              into_africa.size());
+  std::printf("  Oceania internal %zu vs Oceania->Europe %zu (paper: mostly internal)\n",
+              report.flow("Oceania", "Oceania"), report.flow("Oceania", "Europe"));
+  std::printf("  S.America internal %zu vs ->Europe %zu (paper: mostly internal)\n",
+              report.flow("South America", "South America"),
+              report.flow("South America", "Europe"));
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 7: distinct non-local tracking domains hosted per destination
+// country. Anchors: Kenya 210, Germany 172, France 92, Malaysia 89, USA
+// only 16; Belgium/Ghana/Turkey host a single domain each.
+#include <cstdio>
+
+#include "analysis/hosting.h"
+#include "common.h"
+#include "paper_values.h"
+
+int main() {
+  using namespace gam;
+  bench::Study study = bench::run_full_study();
+  analysis::HostingReport report = analysis::compute_hosting(study.result.analyses);
+
+  bench::print_header("Fig 7", "distinct non-local tracking domains per hosting country");
+  auto ranked = report.ranked();
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const auto& [dest, count] = ranked[i];
+    auto it = bench::fig7_hosted_domains().find(dest);
+    char paper[16] = "-";
+    if (it != bench::fig7_hosted_domains().end())
+      std::snprintf(paper, sizeof paper, "%d", it->second);
+    std::printf("%-22s %12zu %12s\n", bench::country_name(dest).c_str(), count, paper);
+  }
+
+  std::printf("\nper-source breakdown for the top hosts:\n");
+  for (size_t i = 0; i < ranked.size() && i < 4; ++i) {
+    const std::string& dest = ranked[i].first;
+    std::printf("  %s hosts domains used from:", dest.c_str());
+    for (const auto& [src, n] : report.breakdown.at(dest)) {
+      std::printf(" %s(%zu)", src.c_str(), n);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "common.h"
+
+#include <cstdio>
+
+#include "world/country.h"
+
+namespace gam::bench {
+
+Study run_full_study() {
+  Study s;
+  s.world = worldgen::generate_world({});
+  s.result = worldgen::run_study(*s.world);
+  return s;
+}
+
+void print_header(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+  std::printf("%-28s %12s %12s\n", "", "measured", "paper");
+}
+
+void print_row(const std::string& label, const std::string& measured,
+               const std::string& paper) {
+  std::printf("%-28s %12s %12s\n", label.c_str(), measured.c_str(), paper.c_str());
+}
+
+void print_row(const std::string& label, double measured, double paper, const char* unit) {
+  std::printf("%-28s %11.1f%s %11.1f%s\n", label.c_str(), measured, unit, paper, unit);
+}
+
+std::string country_name(const std::string& code) {
+  const world::CountryInfo* info = world::CountryDb::instance().find(code);
+  return info ? info->name : code;
+}
+
+}  // namespace gam::bench

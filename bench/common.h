@@ -1,0 +1,33 @@
+// Shared scaffolding for the per-figure reproduction benches: run the full
+// 23-country study once and print aligned paper-vs-measured rows.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+namespace gam::bench {
+
+struct Study {
+  std::unique_ptr<worldgen::World> world;
+  worldgen::StudyResult result;
+};
+
+/// Generate the world and run the complete study (deterministic).
+Study run_full_study();
+
+/// "Fig 5 — non-local tracking flows ..." style header.
+void print_header(const std::string& id, const std::string& title);
+
+/// One aligned row: label, measured value, paper value (as strings).
+void print_row(const std::string& label, const std::string& measured,
+               const std::string& paper);
+void print_row(const std::string& label, double measured, double paper,
+               const char* unit = "%");
+
+/// Country display name.
+std::string country_name(const std::string& code);
+
+}  // namespace gam::bench

@@ -1,0 +1,71 @@
+// The numbers the paper reports, transcribed for side-by-side comparison.
+// A value of -1 marks quantities the paper does not state for that entry.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gam::bench {
+
+// Table 1: % of T_web sites with non-local trackers, Table-1 order.
+inline const std::vector<std::pair<std::string, double>>& table1_nonlocal() {
+  static const std::vector<std::pair<std::string, double>> kValues = {
+      {"AZ", 74.39}, {"DZ", 49.39}, {"EG", 70.41}, {"RW", 62.30}, {"UG", 75.45},
+      {"AR", 61.48}, {"RU", 8.00},  {"LK", 9.43},  {"TH", 59.05}, {"AE", 33.50},
+      {"GB", 38.65}, {"AU", 7.06},  {"CA", 0.00},  {"IN", 1.06},  {"JP", 22.71},
+      {"JO", 54.37}, {"NZ", 83.50}, {"PK", 65.73}, {"QA", 73.19}, {"SA", 71.43},
+      {"TW", 7.63},  {"US", 0.00},  {"LB", 20.24},
+  };
+  return kValues;
+}
+
+// Figure 3: per-kind prevalence where the paper states it ({reg, gov}; -1 unknown).
+inline const std::map<std::string, std::pair<double, double>>& fig3_prevalence() {
+  static const std::map<std::string, std::pair<double, double>> kValues = {
+      {"RW", {93, 31}}, {"QA", {83, 62}}, {"AZ", {82, 65}}, {"NZ", {81, 85}},
+      {"UG", {67, 83}}, {"AU", {12, 1}},  {"RU", {16, 0}},  {"AE", {26, 40}},
+      {"TW", {5, 10}},  {"CA", {0, 0}},   {"US", {0, 0}},   {"IN", {0, 0}},
+  };
+  return kValues;
+}
+
+// Figure 4 / §6.2 prose: mean (and σ) tracking domains per tracked site.
+inline const std::map<std::string, std::pair<double, double>>& fig4_means() {
+  static const std::map<std::string, std::pair<double, double>> kValues = {
+      {"JO", {15.7, 12.0}}, {"EG", {12.1, 8.5}}, {"RW", {13.3, 11.39}},
+  };
+  return kValues;
+}
+
+// Figure 5 / §6.3: % of tracked sites using each destination, and fan-in.
+inline const std::map<std::string, double>& fig5_dest_pct() {
+  static const std::map<std::string, double> kValues = {
+      {"FR", 43}, {"GB", 24}, {"DE", 23}, {"AU", 23}, {"KE", 14}, {"MY", 7}, {"US", 5},
+  };
+  return kValues;
+}
+
+inline const std::map<std::string, int>& fig5_fanin() {
+  static const std::map<std::string, int> kValues = {
+      {"FR", 15}, {"US", 15}, {"DE", 13}, {"GB", 12},
+  };
+  return kValues;
+}
+
+// Figure 7 / §6.6: distinct non-local tracking domains hosted per country.
+inline const std::map<std::string, int>& fig7_hosted_domains() {
+  static const std::map<std::string, int> kValues = {
+      {"KE", 210}, {"DE", 172}, {"FR", 92}, {"MY", 89}, {"US", 16},
+      {"BE", 1},   {"GH", 1},   {"TR", 1},
+  };
+  return kValues;
+}
+
+// Figure 2b: load success where the paper highlights it.
+inline const std::map<std::string, double>& fig2b_load_success() {
+  static const std::map<std::string, double> kValues = {{"JP", 64}, {"SA", 56}};
+  return kValues;
+}
+
+}  // namespace gam::bench

@@ -1,0 +1,56 @@
+// Full multi-country study driver: run the complete 23-country measurement
+// campaign (or a subset given as arguments) and print the headline analyses.
+#include <cstdio>
+
+#include "analysis/flows.h"
+#include "analysis/org_flows.h"
+#include "analysis/prevalence.h"
+#include "analysis/study.h"
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+int main(int argc, char** argv) {
+  using namespace gam;
+  auto world = worldgen::generate_world({});
+  worldgen::StudyOptions options;
+  for (int i = 1; i < argc; ++i) options.countries.push_back(argv[i]);
+  worldgen::StudyResult study = worldgen::run_study(*world, options);
+
+  analysis::PrevalenceReport prev = analysis::compute_prevalence(study.analyses);
+  std::printf("country  reg%%    gov%%\n");
+  for (const auto& row : prev.rows) {
+    std::printf("%-7s %6.1f  %6.1f\n", row.country.c_str(), row.pct_reg, row.pct_gov);
+  }
+  std::printf("mean reg %.2f (sd %.2f)  mean gov %.2f (sd %.2f)  pearson %.2f\n",
+              prev.mean_reg, prev.stddev_reg, prev.mean_gov, prev.stddev_gov,
+              prev.pearson_reg_gov);
+
+  analysis::FlowsReport flows = analysis::compute_flows(study.analyses);
+  std::printf("\ntop destinations (%% of %zu sites with non-local trackers):\n",
+              flows.sites_with_nonlocal);
+  auto ranked = flows.ranked_destinations();
+  for (size_t i = 0; i < ranked.size() && i < 10; ++i) {
+    std::printf("  %-3s %5.1f%%  (fan-in %zu countries)\n", ranked[i].first.c_str(),
+                ranked[i].second, flows.dest_fanin.at(ranked[i].first));
+  }
+
+  analysis::OrgFlowsReport orgs = analysis::compute_org_flows(study.analyses);
+  std::printf("\ntop organizations:\n");
+  auto org_ranked = orgs.ranked();
+  for (size_t i = 0; i < org_ranked.size() && i < 10; ++i) {
+    std::printf("  %-16s %zu websites\n", org_ranked[i].first.c_str(), org_ranked[i].second);
+  }
+  std::printf("observed orgs %zu; HQ share US %.0f%% GB %.0f%% NL %.0f%% IL %.0f%%\n",
+              orgs.observed_orgs, orgs.hq_share("US"), orgs.hq_share("GB"),
+              orgs.hq_share("NL"), orgs.hq_share("IL"));
+
+  analysis::StudyStats stats = analysis::compute_study_stats(
+      study.datasets, study.analyses, study.targets_before_optout);
+  std::printf("\nfunnel: %zu domains -> %zu non-local -> %zu after SOL -> %zu after rDNS\n",
+              stats.domains_recorded, stats.nonlocal_candidates, stats.after_sol,
+              stats.after_rdns);
+  std::printf("tracker domains: %zu unique (%zu lists, %zu manual)\n",
+              stats.unique_tracker_domains, stats.identified_by_lists,
+              stats.identified_manually);
+  return 0;
+}

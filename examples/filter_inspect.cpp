@@ -1,0 +1,51 @@
+// Filter-list tool: match URLs against the bundled EasyList/EasyPrivacy and
+// the per-country identification pipeline, explaining each verdict.
+//
+//   example_filter_inspect https://ad.doubleclick.net/tag.js news.com.eg EG
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trackers/identify.h"
+#include "trackers/lists.h"
+#include "web/psl.h"
+#include "web/url.h"
+
+int main(int argc, char** argv) {
+  using namespace gam;
+  trackers::TrackerIdentifier identifier;
+  std::printf("easylist: %zu rules; easyprivacy: %zu rules\n",
+              identifier.easylist().rule_count(), identifier.easyprivacy().rule_count());
+
+  struct Probe {
+    std::string url, page, country;
+  };
+  std::vector<Probe> probes;
+  if (argc >= 3) {
+    probes.push_back({argv[1], argv[2], argc >= 4 ? argv[3] : "US"});
+  } else {
+    probes = {
+        {"https://ad.doubleclick.net/js/tag.js", "news-0.com.eg", "EG"},
+        {"https://www.google-analytics.com/collect?v=1&tid=UA-1", "daily-az.com", "AZ"},
+        {"https://static.theozone-project.com/sdk.js", "press-1.co.uk", "GB"},
+        {"https://cdn.jubnaadserve.com/ads.js", "news-jo.com", "JO"},
+        {"https://fonts-sim.net/css2?family=Inter", "shop-3.co.th", "TH"},
+        {"https://mc.yandex.ru/pixel.gif?id=42", "market-ru.com", "RU"},
+    };
+  }
+  for (const auto& p : probes) {
+    trackers::RequestContext ctx;
+    ctx.url = p.url;
+    ctx.host = web::host_of(p.url);
+    ctx.page_host = p.page;
+    ctx.third_party =
+        web::registrable_domain(ctx.host) != web::registrable_domain(ctx.page_host);
+    trackers::IdentifyResult r = identifier.identify(ctx, p.country);
+    std::printf("\n%s (on %s, from %s)\n", p.url.c_str(), p.page.c_str(), p.country.c_str());
+    std::printf("  tracker: %s  method: %s  org: %s\n", r.is_tracker ? "YES" : "no",
+                trackers::id_method_name(r.method).c_str(),
+                r.org.empty() ? "-" : r.org.c_str());
+    if (!r.evidence.empty()) std::printf("  evidence: %s\n", r.evidence.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Walk-through of the multi-constraint geolocation pipeline (§4.1) on the
+// paper's documented IPmap error cases: the pipeline must discard the
+// mislocated Google addresses via the reverse-DNS constraint, while
+// confirming correctly-located foreign servers.
+#include <cstdio>
+
+#include "geoloc/pipeline.h"
+#include "probe/traceroute.h"
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+int main() {
+  using namespace gam;
+  auto world = worldgen::generate_world({});
+
+  probe::TracerouteEngine engine(world->topology, *world->resolver);
+  geoloc::MultiConstraintGeolocator geolocator(world->geodb, world->reference,
+                                               world->atlas, engine);
+  util::Rng rng(99);
+
+  std::printf("IPmap database: %zu records, %zu injected errors\n\n",
+              world->geodb.size(), world->geodb.error_count());
+
+  // Audit every injected-error address as seen from Pakistan's volunteer.
+  const core::VolunteerProfile& vol = world->volunteer("PK");
+  const auto& vol_node = world->topology.node(vol.node);
+  size_t caught = 0, audited = 0;
+  for (net::IPv4 ip : world->geodb.injected_errors()) {
+    auto claim = world->geodb.lookup(ip);
+    auto truth = world->geodb.true_location(ip);
+    if (!claim || !truth) continue;
+    ++audited;
+
+    geoloc::ServerObservation obs;
+    obs.ip = ip;
+    obs.volunteer_country = vol.country;
+    obs.volunteer_city = vol.city;
+    obs.volunteer_coord = vol_node.coord;
+    probe::TracerouteOptions opts;
+    probe::TracerouteResult trace = engine.trace(vol.node, ip, opts, rng);
+    obs.src_trace_attempted = true;
+    obs.src_trace_reached = trace.reached;
+    obs.src_first_hop_ms = trace.first_hop_rtt_ms();
+    obs.src_last_hop_ms = trace.last_hop_rtt_ms();
+    if (auto rdns = world->resolver->reverse(ip)) obs.rdns = *rdns;
+
+    geoloc::GeoVerdict v = geolocator.classify(obs, rng);
+    bool discarded = v.discarded();
+    if (discarded) ++caught;
+    if (audited <= 12) {
+      std::printf("%-16s claimed %s/%s, truly %s/%s -> %s%s%s\n",
+                  net::ip_to_string(ip).c_str(), claim->country.c_str(),
+                  claim->city.c_str(), truth->country.c_str(), truth->city.c_str(),
+                  geoloc::geo_stage_name(v.stage).c_str(),
+                  v.reason.empty() ? "" : ": ", v.reason.c_str());
+    }
+  }
+  std::printf("\n%zu/%zu erroneous claims discarded by the constraint pipeline\n",
+              caught, audited);
+  std::printf("(claims the volunteer country cannot observe may legitimately pass:\n"
+              " the pipeline only audits what a vantage point actually measures)\n");
+  return 0;
+}

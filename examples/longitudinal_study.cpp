@@ -1,0 +1,61 @@
+// Longitudinal + regional-variation demo (§8 future work).
+//
+// Takes two study snapshots (different measurement seeds stand in for two
+// crawl dates — e.g. the paper's March 16, 2024 Jordan baseline vs a run
+// after the Jordanian Data Protection Law took effect) and diffs them;
+// then shows yahoo.com's per-country tracker portfolio, the conclusion's
+// regional-adaptation example.
+#include <cstdio>
+
+#include "analysis/longitudinal.h"
+#include "analysis/regional_variation.h"
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+int main() {
+  using namespace gam;
+  auto world = worldgen::generate_world({});
+
+  worldgen::StudyOptions before_opts;   // "March 16, 2024" baseline
+  before_opts.seed = 7;
+  worldgen::StudyOptions after_opts;    // follow-up crawl
+  after_opts.seed = 2025;
+  worldgen::StudyResult before = worldgen::run_study(*world, before_opts);
+  worldgen::StudyResult after = worldgen::run_study(*world, after_opts);
+
+  analysis::LongitudinalReport report =
+      analysis::compare_snapshots(before.analyses, after.analyses);
+  std::printf("== Longitudinal diff (two snapshots of the same world) ==\n\n");
+  std::printf("%-6s %9s %9s %8s  gained/lost destinations\n", "cc", "before", "after",
+              "change");
+  for (const auto& delta : report.deltas) {
+    std::printf("%-6s %8.1f%% %8.1f%% %+7.1f  +%zu/-%zu\n", delta.country.c_str(),
+                delta.prevalence_before, delta.prevalence_after, delta.prevalence_change(),
+                delta.destinations_gained.size(), delta.destinations_lost.size());
+  }
+  std::printf("\ncountries moving >10 points: %zu (same world, different crawl noise —\n"
+              "a real regulatory effect would have to clear this noise floor)\n",
+              report.significant(10.0).size());
+
+  const auto* jordan = report.find("JO");
+  if (jordan) {
+    std::printf("\nJordan (the paper's DPL baseline case): %.1f%% -> %.1f%%\n",
+                jordan->prevalence_before, jordan->prevalence_after);
+  }
+
+  std::printf("\n== Regional variation: yahoo.com (conclusion example) ==\n\n");
+  analysis::RegionalVariationReport yahoo =
+      analysis::compute_regional_variation(before.analyses, "yahoo.com");
+  for (const auto& view : yahoo.views) {
+    std::printf("%-4s %s, %zu tracker domains, orgs:", view.country.c_str(),
+                view.loaded ? "loaded" : "failed", view.tracker_domains);
+    for (const auto& org : view.orgs) std::printf(" %s", org.c_str());
+    std::printf("\n");
+  }
+  std::printf("\norgs common to every tracked country:");
+  for (const auto& org : yahoo.common_orgs()) std::printf(" %s", org.c_str());
+  std::printf("\norgs that vary by country:");
+  for (const auto& org : yahoo.variable_orgs()) std::printf(" %s", org.c_str());
+  std::printf("\n");
+  return 0;
+}

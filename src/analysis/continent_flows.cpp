@@ -1,0 +1,45 @@
+#include "analysis/continent_flows.h"
+
+#include <set>
+
+#include "world/country.h"
+
+namespace gam::analysis {
+
+ContinentFlowsReport compute_continent_flows(const std::vector<CountryAnalysis>& countries) {
+  ContinentFlowsReport report;
+  const auto& db = world::CountryDb::instance();
+  for (const auto& c : countries) {
+    std::string src_cont = geo::continent_name(db.at(c.country).continent);
+    for (const auto& s : c.sites) {
+      if (!s.loaded || s.trackers.empty()) continue;
+      std::set<std::string> dest_continents;
+      for (const auto& t : s.trackers) {
+        if (const world::CountryInfo* dest = db.find(t.dest_country)) {
+          dest_continents.insert(geo::continent_name(dest->continent));
+        }
+      }
+      for (const auto& dest : dest_continents) ++report.flows[src_cont][dest];
+    }
+  }
+  return report;
+}
+
+std::vector<std::string> ContinentFlowsReport::inward_sources(const std::string& dest) const {
+  std::vector<std::string> out;
+  for (const auto& [src, dests] : flows) {
+    if (src == dest) continue;
+    auto it = dests.find(dest);
+    if (it != dests.end() && it->second > 0) out.push_back(src);
+  }
+  return out;
+}
+
+size_t ContinentFlowsReport::flow(const std::string& from, const std::string& to) const {
+  auto it = flows.find(from);
+  if (it == flows.end()) return 0;
+  auto jt = it->second.find(to);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+}  // namespace gam::analysis

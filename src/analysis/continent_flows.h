@@ -1,0 +1,29 @@
+// Figure 6: non-local tracking flows between continents. The §6.4 claims
+// this report must support: Europe is the only continent receiving
+// significant inward flows from *all* other continents; Africa receives no
+// inward flow from any other region; Oceania's flow mostly stays within
+// Oceania (New Zealand -> Australia).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "geo/coord.h"
+
+namespace gam::analysis {
+
+struct ContinentFlowsReport {
+  /// source continent -> destination continent -> website count.
+  std::map<std::string, std::map<std::string, size_t>> flows;
+
+  /// Continents that send flow into `dest` (excluding itself).
+  std::vector<std::string> inward_sources(const std::string& dest) const;
+
+  size_t flow(const std::string& from, const std::string& to) const;
+};
+
+ContinentFlowsReport compute_continent_flows(const std::vector<CountryAnalysis>& countries);
+
+}  // namespace gam::analysis

@@ -1,0 +1,86 @@
+#include "analysis/flows.h"
+
+#include <algorithm>
+
+namespace gam::analysis {
+
+namespace {
+// Per-site destination sets, the unit everything else aggregates.
+struct SiteDest {
+  std::string source;
+  web::SiteKind kind;
+  std::set<std::string> dests;
+};
+
+std::vector<SiteDest> site_destinations(const std::vector<CountryAnalysis>& countries) {
+  std::vector<SiteDest> out;
+  for (const auto& c : countries) {
+    for (const auto& s : c.sites) {
+      if (!s.loaded || s.trackers.empty()) continue;
+      SiteDest sd;
+      sd.source = c.country;
+      sd.kind = s.kind;
+      for (const auto& t : s.trackers) sd.dests.insert(t.dest_country);
+      out.push_back(std::move(sd));
+    }
+  }
+  return out;
+}
+}  // namespace
+
+FlowsReport compute_flows(const std::vector<CountryAnalysis>& countries) {
+  FlowsReport report;
+  auto sites = site_destinations(countries);
+  report.sites_with_nonlocal = sites.size();
+
+  std::map<std::string, std::set<std::string>> fanin, fanin_reg, fanin_gov;
+  std::map<std::string, size_t> dest_site_count;
+  for (const auto& sd : sites) {
+    ++report.source_site_counts[sd.source];
+    for (const auto& dest : sd.dests) {
+      ++report.website_flows[sd.source][dest];
+      ++dest_site_count[dest];
+      fanin[dest].insert(sd.source);
+      (sd.kind == web::SiteKind::Regional ? fanin_reg : fanin_gov)[dest].insert(sd.source);
+    }
+  }
+  for (const auto& [dest, n] : dest_site_count) {
+    report.dest_pct[dest] =
+        report.sites_with_nonlocal == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(n) / report.sites_with_nonlocal;
+  }
+  for (const auto& [dest, sources] : fanin) report.dest_fanin[dest] = sources.size();
+  for (const auto& [dest, sources] : fanin_reg) report.dest_fanin_reg[dest] = sources.size();
+  for (const auto& [dest, sources] : fanin_gov) report.dest_fanin_gov[dest] = sources.size();
+  return report;
+}
+
+double FlowsReport::dest_pct_excluding(std::string_view dest,
+                                       std::string_view excluded_source) const {
+  size_t total = 0, with_dest = 0;
+  for (const auto& [source, dests] : website_flows) {
+    if (source == excluded_source) continue;
+    for (const auto& [d, n] : dests) {
+      if (d == dest) with_dest += n;
+    }
+  }
+  // Denominator: all sites with non-local trackers outside the excluded source.
+  size_t excluded_sites = 0;
+  if (auto it = source_site_counts.find(std::string(excluded_source));
+      it != source_site_counts.end()) {
+    excluded_sites = it->second;
+  }
+  total = sites_with_nonlocal - excluded_sites;
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(with_dest) / static_cast<double>(total);
+}
+
+std::vector<std::pair<std::string, double>> FlowsReport::ranked_destinations() const {
+  std::vector<std::pair<std::string, double>> out(dest_pct.begin(), dest_pct.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace gam::analysis

@@ -1,0 +1,50 @@
+// Figure 5 and the §6.3 prose: non-local tracking flows from source
+// (measurement) countries to destination (hosting) countries. Flow weight
+// is the number of websites in the source country that transmit data to at
+// least one tracker hosted in the destination — the figure's ribbon widths.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace gam::analysis {
+
+struct FlowsReport {
+  /// source -> destination -> number of websites with a tracker there.
+  std::map<std::string, std::map<std::string, size_t>> website_flows;
+
+  /// Total websites (across all countries) with >=1 non-local tracker — the
+  /// denominator for destination percentages (§6.3's "43% ... France").
+  size_t sites_with_nonlocal = 0;
+
+  /// source -> number of its websites with >=1 non-local tracker.
+  std::map<std::string, size_t> source_site_counts;
+
+  /// destination -> % of sites_with_nonlocal using a tracker hosted there.
+  std::map<std::string, double> dest_pct;
+
+  /// destination -> number of distinct source countries (fan-in; §6.3's
+  /// "France and the USA each receive flows from 15 source countries").
+  std::map<std::string, size_t> dest_fanin;
+
+  /// Same fan-in restricted to one site kind (the T_reg/T_gov contrast).
+  std::map<std::string, size_t> dest_fanin_reg;
+  std::map<std::string, size_t> dest_fanin_gov;
+
+  /// Destination percentage recomputed with one source country excluded —
+  /// the §6.3 single-source sensitivity analysis (Australia without New
+  /// Zealand, Malaysia without Thailand).
+  double dest_pct_excluding(std::string_view dest, std::string_view excluded_source) const;
+
+  /// Destinations ordered by descending percentage.
+  std::vector<std::pair<std::string, double>> ranked_destinations() const;
+};
+
+FlowsReport compute_flows(const std::vector<CountryAnalysis>& countries);
+
+}  // namespace gam::analysis

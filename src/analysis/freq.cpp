@@ -1,0 +1,19 @@
+#include "analysis/freq.h"
+
+#include "analysis/per_site.h"
+#include "util/stats.h"
+
+namespace gam::analysis {
+
+FreqReport compute_freq(const std::vector<CountryAnalysis>& countries) {
+  FreqReport report;
+  for (const auto& c : countries) {
+    FreqRow row;
+    row.country = c.country;
+    row.freq = util::frequency(tracker_counts(c));
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace gam::analysis

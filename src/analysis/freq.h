@@ -1,0 +1,24 @@
+// Figure 9 (appendix): frequency distribution of per-website non-local
+// tracking-domain counts, per country — the histogram view of Figure 4.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace gam::analysis {
+
+struct FreqRow {
+  std::string country;
+  std::map<long, size_t> freq;  // tracker-domain count -> websites
+};
+
+struct FreqReport {
+  std::vector<FreqRow> rows;
+};
+
+FreqReport compute_freq(const std::vector<CountryAnalysis>& countries);
+
+}  // namespace gam::analysis

@@ -1,0 +1,37 @@
+#include "analysis/hosting.h"
+
+#include <algorithm>
+
+namespace gam::analysis {
+
+HostingReport compute_hosting(const std::vector<CountryAnalysis>& countries) {
+  HostingReport report;
+  std::map<std::string, std::map<std::string, std::set<std::string>>> per_source;
+  for (const auto& c : countries) {
+    for (const auto& s : c.sites) {
+      for (const auto& t : s.trackers) {
+        // Count registrable domains: the unit of the paper's 505-domain
+        // inventory (§4.2), which Fig 7 distributes over hosting countries.
+        report.domains_by_dest[t.dest_country].insert(t.reg_domain);
+        per_source[t.dest_country][c.country].insert(t.reg_domain);
+      }
+    }
+  }
+  for (const auto& [dest, sources] : per_source) {
+    for (const auto& [src, domains] : sources) {
+      report.breakdown[dest][src] = domains.size();
+    }
+  }
+  return report;
+}
+
+std::vector<std::pair<std::string, size_t>> HostingReport::ranked() const {
+  std::vector<std::pair<std::string, size_t>> out;
+  for (const auto& [dest, domains] : domains_by_dest) out.push_back({dest, domains.size()});
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  return out;
+}
+
+}  // namespace gam::analysis

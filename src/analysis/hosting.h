@@ -1,0 +1,29 @@
+// Figure 7 and §6.6: how many distinct non-local tracking domains each
+// destination country hosts (Kenya 210, Germany 172, France 92, ... USA
+// only 16), with the per-measurement-country breakdown behind the stacked
+// figure.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace gam::analysis {
+
+struct HostingReport {
+  /// destination -> distinct non-local tracking domains hosted there.
+  std::map<std::string, std::set<std::string>> domains_by_dest;
+
+  /// destination -> source country -> distinct domains (stacked breakdown).
+  std::map<std::string, std::map<std::string, size_t>> breakdown;
+
+  /// Destinations ordered by descending domain count (the figure's x order).
+  std::vector<std::pair<std::string, size_t>> ranked() const;
+};
+
+HostingReport compute_hosting(const std::vector<CountryAnalysis>& countries);
+
+}  // namespace gam::analysis

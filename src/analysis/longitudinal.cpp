@@ -1,0 +1,84 @@
+#include "analysis/longitudinal.h"
+
+#include <algorithm>
+
+namespace gam::analysis {
+
+namespace {
+
+struct Snapshot {
+  double prevalence = 0.0;
+  std::set<std::string> destinations;
+  std::set<std::string> orgs;
+  bool present = false;
+};
+
+Snapshot summarize(const CountryAnalysis& c) {
+  Snapshot s;
+  s.present = true;
+  size_t loaded = 0, with = 0;
+  for (const auto& site : c.sites) {
+    if (!site.loaded) continue;
+    ++loaded;
+    if (site.has_nonlocal_tracker()) ++with;
+    for (const auto& t : site.trackers) {
+      s.destinations.insert(t.dest_country);
+      if (!t.org.empty()) s.orgs.insert(t.org);
+    }
+  }
+  s.prevalence = loaded == 0 ? 0.0 : 100.0 * static_cast<double>(with) / loaded;
+  return s;
+}
+
+std::set<std::string> minus(const std::set<std::string>& a, const std::set<std::string>& b) {
+  std::set<std::string> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::inserter(out, out.begin()));
+  return out;
+}
+
+}  // namespace
+
+LongitudinalReport compare_snapshots(const std::vector<CountryAnalysis>& before,
+                                     const std::vector<CountryAnalysis>& after) {
+  std::map<std::string, Snapshot> old_side, new_side;
+  for (const auto& c : before) old_side[c.country] = summarize(c);
+  for (const auto& c : after) new_side[c.country] = summarize(c);
+
+  std::set<std::string> countries;
+  for (const auto& [code, s] : old_side) countries.insert(code);
+  for (const auto& [code, s] : new_side) countries.insert(code);
+
+  LongitudinalReport report;
+  for (const auto& code : countries) {
+    Snapshot a = old_side.count(code) ? old_side[code] : Snapshot{};
+    Snapshot b = new_side.count(code) ? new_side[code] : Snapshot{};
+    CountryDelta delta;
+    delta.country = code;
+    delta.prevalence_before = a.prevalence;
+    delta.prevalence_after = b.prevalence;
+    delta.destinations_gained = minus(b.destinations, a.destinations);
+    delta.destinations_lost = minus(a.destinations, b.destinations);
+    delta.orgs_gained = minus(b.orgs, a.orgs);
+    delta.orgs_lost = minus(a.orgs, b.orgs);
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+const CountryDelta* LongitudinalReport::find(std::string_view country) const {
+  for (const auto& d : deltas) {
+    if (d.country == country) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<const CountryDelta*> LongitudinalReport::significant(double threshold) const {
+  std::vector<const CountryDelta*> out;
+  for (const auto& d : deltas) {
+    if (std::abs(d.prevalence_change()) > threshold) out.push_back(&d);
+  }
+  return out;
+}
+
+}  // namespace gam::analysis

@@ -1,0 +1,48 @@
+// Longitudinal comparison — §8: "The data also serves as a snapshot for
+// longitudinal studies, tracking behavioral changes and regulatory impacts.
+// For example, the Jordanian Data Protection Law ... allows our March 16,
+// 2024 recorded data to serve as a baseline for future analysis."
+//
+// Given two study snapshots (per-country analyses from two runs), this
+// module computes the per-country deltas a regulator or researcher would
+// track: prevalence movement, destination countries gained/lost, and
+// organizations gained/lost.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace gam::analysis {
+
+struct CountryDelta {
+  std::string country;
+  double prevalence_before = 0.0;  // % of loaded T_web with non-local trackers
+  double prevalence_after = 0.0;
+  double prevalence_change() const { return prevalence_after - prevalence_before; }
+
+  std::set<std::string> destinations_gained;
+  std::set<std::string> destinations_lost;
+  std::set<std::string> orgs_gained;
+  std::set<std::string> orgs_lost;
+};
+
+struct LongitudinalReport {
+  std::vector<CountryDelta> deltas;  // countries present in either snapshot
+
+  /// Delta for one country; nullptr when absent from both snapshots.
+  const CountryDelta* find(std::string_view country) const;
+
+  /// Countries whose prevalence moved by more than `threshold` points.
+  std::vector<const CountryDelta*> significant(double threshold = 10.0) const;
+};
+
+/// Diff two snapshots (same countries expected, but asymmetry is tolerated:
+/// a country missing from one side contributes a delta against zero).
+LongitudinalReport compare_snapshots(const std::vector<CountryAnalysis>& before,
+                                     const std::vector<CountryAnalysis>& after);
+
+}  // namespace gam::analysis

@@ -1,0 +1,59 @@
+#include "analysis/org_flows.h"
+
+#include <algorithm>
+
+#include "trackers/org_db.h"
+
+namespace gam::analysis {
+
+OrgFlowsReport compute_org_flows(const std::vector<CountryAnalysis>& countries) {
+  OrgFlowsReport report;
+  for (const auto& c : countries) {
+    for (const auto& s : c.sites) {
+      if (s.trackers.empty()) continue;
+      std::set<std::string> site_orgs;
+      for (const auto& t : s.trackers) {
+        if (!t.org.empty()) site_orgs.insert(t.org);
+      }
+      for (const auto& org : site_orgs) {
+        ++report.flows[c.country][org];
+        ++report.org_totals[org];
+        report.org_sources[org].insert(c.country);
+      }
+    }
+  }
+  report.observed_orgs = report.org_totals.size();
+  for (const auto& [org, total] : report.org_totals) {
+    if (const trackers::Organization* o = trackers::OrgDb::instance().find_org(org)) {
+      ++report.hq_histogram[o->hq_country];
+    } else {
+      ++report.hq_histogram["??"];
+    }
+  }
+  return report;
+}
+
+std::map<std::string, std::vector<std::string>> OrgFlowsReport::single_country_orgs() const {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const auto& [org, sources] : org_sources) {
+    if (sources.size() == 1) out[*sources.begin()].push_back(org);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, size_t>> OrgFlowsReport::ranked() const {
+  std::vector<std::pair<std::string, size_t>> out(org_totals.begin(), org_totals.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  return out;
+}
+
+double OrgFlowsReport::hq_share(const std::string& country) const {
+  if (observed_orgs == 0) return 0.0;
+  auto it = hq_histogram.find(country);
+  size_t n = it == hq_histogram.end() ? 0 : it->second;
+  return 100.0 * static_cast<double>(n) / static_cast<double>(observed_orgs);
+}
+
+}  // namespace gam::analysis

@@ -1,0 +1,44 @@
+// Figure 8 and §6.5: which organizations operate the observed non-local
+// trackers. Supports the paper's claims: Google dominates; the top five are
+// all US-based; ≈70 organizations total with HQ distribution ≈50% US / 10%
+// UK / 4% NL / 4% IL; some organizations appear in exactly one country's
+// data (Jubnaadserve/OneTag/optAd360 in Jordan, and others in Qatar, the
+// UK, Rwanda, Uganda, Sri Lanka).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace gam::analysis {
+
+struct OrgFlowsReport {
+  /// source country -> organization -> websites with a tracker of that org.
+  std::map<std::string, std::map<std::string, size_t>> flows;
+
+  /// organization -> total websites (all sources).
+  std::map<std::string, size_t> org_totals;
+
+  /// organization -> source countries where it was observed.
+  std::map<std::string, std::set<std::string>> org_sources;
+
+  /// HQ-country histogram over *observed* organizations.
+  std::map<std::string, size_t> hq_histogram;
+  size_t observed_orgs = 0;
+
+  /// Organizations observed in exactly one source country, keyed by country.
+  std::map<std::string, std::vector<std::string>> single_country_orgs() const;
+
+  /// Organizations by descending website totals.
+  std::vector<std::pair<std::string, size_t>> ranked() const;
+
+  /// HQ share (0-100) for a country code over observed orgs.
+  double hq_share(const std::string& country) const;
+};
+
+OrgFlowsReport compute_org_flows(const std::vector<CountryAnalysis>& countries);
+
+}  // namespace gam::analysis

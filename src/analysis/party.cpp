@@ -1,0 +1,36 @@
+#include "analysis/party.h"
+
+namespace gam::analysis {
+
+PartyReport compute_party(const std::vector<CountryAnalysis>& countries) {
+  PartyReport report;
+  for (const auto& c : countries) {
+    for (const auto& s : c.sites) {
+      if (s.trackers.empty()) continue;
+      ++report.sites_with_nonlocal;
+      bool any_first = false;
+      std::string first_org;
+      for (const auto& t : s.trackers) {
+        if (t.first_party) {
+          any_first = true;
+          if (first_org.empty()) first_org = t.org;
+        }
+      }
+      if (any_first) {
+        ++report.sites_with_first_party;
+        ++report.first_party_orgs[first_org.empty() ? "(unknown)" : first_org];
+        report.first_party_sites.push_back(s.site_domain);
+      }
+    }
+  }
+  return report;
+}
+
+double PartyReport::google_share() const {
+  if (sites_with_first_party == 0) return 0.0;
+  auto it = first_party_orgs.find("Google");
+  size_t n = it == first_party_orgs.end() ? 0 : it->second;
+  return static_cast<double>(n) / static_cast<double>(sites_with_first_party);
+}
+
+}  // namespace gam::analysis

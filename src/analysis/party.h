@@ -1,0 +1,28 @@
+// §6.7: first- vs third-party non-local trackers. The paper found 575
+// websites with non-local trackers of which only 23 embedded *first-party*
+// non-local trackers, about half of them Google properties under
+// country-specific TLDs (google.com.eg, google.co.th, ...).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace gam::analysis {
+
+struct PartyReport {
+  size_t sites_with_nonlocal = 0;
+  size_t sites_with_first_party = 0;  // >=1 first-party non-local tracker
+  /// organization -> sites with first-party non-local trackers of that org.
+  std::map<std::string, size_t> first_party_orgs;
+  /// The first-party site domains themselves (for the ccTLD observation).
+  std::vector<std::string> first_party_sites;
+
+  double google_share() const;  // fraction of first-party sites that are Google's
+};
+
+PartyReport compute_party(const std::vector<CountryAnalysis>& countries);
+
+}  // namespace gam::analysis

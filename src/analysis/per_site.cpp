@@ -1,0 +1,31 @@
+#include "analysis/per_site.h"
+
+namespace gam::analysis {
+
+std::vector<double> tracker_counts(const CountryAnalysis& country,
+                                   std::optional<web::SiteKind> kind) {
+  std::vector<double> out;
+  for (const auto& s : country.sites) {
+    if (kind && s.kind != *kind) continue;
+    if (!s.loaded || s.trackers.empty()) continue;
+    out.push_back(static_cast<double>(s.trackers.size()));
+  }
+  return out;
+}
+
+PerSiteReport compute_per_site(const std::vector<CountryAnalysis>& countries) {
+  PerSiteReport report;
+  for (const auto& c : countries) {
+    PerSiteRow row;
+    row.country = c.country;
+    row.reg = util::box_stats(tracker_counts(c, web::SiteKind::Regional));
+    row.gov = util::box_stats(tracker_counts(c, web::SiteKind::Government));
+    std::vector<double> all = tracker_counts(c);
+    row.combined = util::box_stats(all);
+    row.skew_combined = util::skewness(all);
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace gam::analysis

@@ -1,0 +1,33 @@
+// Figure 4 (and the §6.2 prose): per-website counts of distinct non-local
+// tracker domains, summarized as box-plot statistics per country and site
+// kind. Counts are over websites that embed at least one non-local tracker,
+// matching the figure's population.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "util/stats.h"
+
+namespace gam::analysis {
+
+struct PerSiteRow {
+  std::string country;
+  util::BoxStats reg;      // T_reg distribution
+  util::BoxStats gov;      // T_gov distribution
+  util::BoxStats combined; // T_web distribution (the §6.2 averages)
+  double skew_combined = 0.0;
+};
+
+struct PerSiteReport {
+  std::vector<PerSiteRow> rows;
+};
+
+PerSiteReport compute_per_site(const std::vector<CountryAnalysis>& countries);
+
+/// Raw per-website counts for one country (used by Figure 9's histogram).
+std::vector<double> tracker_counts(const CountryAnalysis& country,
+                                   std::optional<web::SiteKind> kind = std::nullopt);
+
+}  // namespace gam::analysis

@@ -1,0 +1,40 @@
+#include "analysis/policy.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace gam::analysis {
+
+PolicyReport compute_policy(const std::vector<CountryAnalysis>& countries) {
+  PolicyReport report;
+  std::vector<double> strictness, rate;
+  for (const auto& c : countries) {
+    const world::CountryInfo& info = world::CountryDb::instance().at(c.country);
+    PolicyRow row;
+    row.country = c.country;
+    row.policy = info.policy;
+    row.enacted = info.policy_enacted;
+    size_t loaded = 0, with = 0;
+    for (const auto& s : c.sites) {
+      if (!s.loaded) continue;
+      ++loaded;
+      if (s.has_nonlocal_tracker()) ++with;
+    }
+    row.nonlocal_pct = loaded == 0 ? 0.0 : 100.0 * static_cast<double>(with) / loaded;
+    strictness.push_back(world::policy_strictness(info.policy));
+    rate.push_back(row.nonlocal_pct);
+    report.rows.push_back(std::move(row));
+  }
+  report.spearman_strictness_vs_rate = util::spearman(strictness, rate);
+  std::stable_sort(report.rows.begin(), report.rows.end(),
+                   [](const PolicyRow& a, const PolicyRow& b) {
+                     int sa = world::policy_strictness(a.policy);
+                     int sb = world::policy_strictness(b.policy);
+                     if (sa != sb) return sa > sb;
+                     return a.country < b.country;
+                   });
+  return report;
+}
+
+}  // namespace gam::analysis

@@ -1,0 +1,34 @@
+// Table 1 and the §7 policy discussion: per-country data-localization policy
+// class vs the observed rate of non-local trackers, sorted by decreasing
+// regulatory strictness, with the correlation behind the paper's finding of
+// "no obvious impact of policy ... in fact a weak negative trend".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "world/country.h"
+
+namespace gam::analysis {
+
+struct PolicyRow {
+  std::string country;
+  world::PolicyType policy = world::PolicyType::Unknown;
+  bool enacted = false;
+  /// % of loaded T_web sites with >=1 non-local tracker (Table 1's last column).
+  double nonlocal_pct = 0.0;
+};
+
+struct PolicyReport {
+  std::vector<PolicyRow> rows;  // sorted by decreasing strictness, then country
+  /// Rank correlation between policy strictness and non-local rate. The
+  /// paper's "weak negative trend: more permissive countries have fewer
+  /// non-local trackers" corresponds to a *positive* strictness/rate
+  /// correlation of small magnitude.
+  double spearman_strictness_vs_rate = 0.0;
+};
+
+PolicyReport compute_policy(const std::vector<CountryAnalysis>& countries);
+
+}  // namespace gam::analysis

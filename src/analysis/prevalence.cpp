@@ -1,0 +1,44 @@
+#include "analysis/prevalence.h"
+
+#include "util/stats.h"
+
+namespace gam::analysis {
+
+namespace {
+std::pair<double, size_t> pct_with_tracker(const CountryAnalysis& c, web::SiteKind kind) {
+  size_t loaded = 0, with = 0;
+  for (const SiteAnalysis* s : c.sites_of(kind)) {
+    if (!s->loaded) continue;
+    ++loaded;
+    if (s->has_nonlocal_tracker()) ++with;
+  }
+  double pct = loaded == 0 ? 0.0 : 100.0 * static_cast<double>(with) / loaded;
+  return {pct, loaded};
+}
+}  // namespace
+
+PrevalenceReport compute_prevalence(const std::vector<CountryAnalysis>& countries) {
+  PrevalenceReport report;
+  std::vector<double> reg, gov;
+  for (const auto& c : countries) {
+    PrevalenceRow row;
+    row.country = c.country;
+    auto [pr, nr] = pct_with_tracker(c, web::SiteKind::Regional);
+    auto [pg, ng] = pct_with_tracker(c, web::SiteKind::Government);
+    row.pct_reg = pr;
+    row.n_reg = nr;
+    row.pct_gov = pg;
+    row.n_gov = ng;
+    reg.push_back(pr);
+    gov.push_back(pg);
+    report.rows.push_back(std::move(row));
+  }
+  report.mean_reg = util::mean(reg);
+  report.stddev_reg = util::stddev(reg);
+  report.mean_gov = util::mean(gov);
+  report.stddev_gov = util::stddev(gov);
+  report.pearson_reg_gov = util::pearson(reg, gov);
+  return report;
+}
+
+}  // namespace gam::analysis

@@ -1,0 +1,30 @@
+// Figure 3: percentage of regional and government websites embedding at
+// least one non-local tracker, per country, plus the aggregate statistics
+// the paper quotes (means 46.16%/40.21%, σ 33.77/31.5, Pearson 0.89).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace gam::analysis {
+
+struct PrevalenceRow {
+  std::string country;
+  double pct_reg = 0.0;  // % of loaded T_reg sites with >=1 non-local tracker
+  double pct_gov = 0.0;
+  size_t n_reg = 0;  // loaded T_reg sites (denominator)
+  size_t n_gov = 0;
+};
+
+struct PrevalenceReport {
+  std::vector<PrevalenceRow> rows;  // in input order (Table-1 country order)
+  double mean_reg = 0.0, stddev_reg = 0.0;
+  double mean_gov = 0.0, stddev_gov = 0.0;
+  double pearson_reg_gov = 0.0;
+};
+
+PrevalenceReport compute_prevalence(const std::vector<CountryAnalysis>& countries);
+
+}  // namespace gam::analysis

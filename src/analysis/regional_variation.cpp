@@ -1,0 +1,57 @@
+#include "analysis/regional_variation.h"
+
+namespace gam::analysis {
+
+RegionalVariationReport compute_regional_variation(
+    const std::vector<CountryAnalysis>& countries, std::string_view site_domain) {
+  RegionalVariationReport report;
+  report.site_domain = std::string(site_domain);
+  for (const auto& c : countries) {
+    for (const auto& s : c.sites) {
+      if (s.site_domain != site_domain) continue;
+      SiteCountryView view;
+      view.country = c.country;
+      view.measured = true;
+      view.loaded = s.loaded;
+      view.tracker_domains = s.trackers.size();
+      for (const auto& t : s.trackers) {
+        if (!t.org.empty()) view.orgs.insert(t.org);
+        view.destinations.insert(t.dest_country);
+      }
+      report.views.push_back(std::move(view));
+    }
+  }
+  return report;
+}
+
+std::set<std::string> RegionalVariationReport::common_orgs() const {
+  std::set<std::string> common;
+  bool first = true;
+  for (const auto& view : views) {
+    if (!view.loaded || view.orgs.empty()) continue;
+    if (first) {
+      common = view.orgs;
+      first = false;
+      continue;
+    }
+    std::set<std::string> next;
+    for (const auto& org : common) {
+      if (view.orgs.count(org)) next.insert(org);
+    }
+    common = std::move(next);
+  }
+  return common;
+}
+
+std::set<std::string> RegionalVariationReport::variable_orgs() const {
+  std::set<std::string> all;
+  for (const auto& view : views) all.insert(view.orgs.begin(), view.orgs.end());
+  std::set<std::string> common = common_orgs();
+  std::set<std::string> variable;
+  for (const auto& org : all) {
+    if (!common.count(org)) variable.insert(org);
+  }
+  return variable;
+}
+
+}  // namespace gam::analysis

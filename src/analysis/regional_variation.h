@@ -1,0 +1,43 @@
+// Cross-country behaviour of a single website — §8's closing example:
+// "Yahoo.com primarily embeds trackers from Yahoo and Google in India and
+// the UK; in contrast, in Australia, Qatar, and the UAE, Yahoo.com embeds
+// additional trackers from Demdex, Bluekai, and Taboola."
+//
+// Given the per-country analyses, this report shows, for one site domain,
+// which tracker organizations (and destinations) it exposed users to in
+// each measurement country.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace gam::analysis {
+
+struct SiteCountryView {
+  std::string country;      // measurement country
+  bool measured = false;    // site appeared in this country's T_web
+  bool loaded = false;
+  std::set<std::string> orgs;          // organizations of non-local trackers
+  std::set<std::string> destinations;  // hosting countries
+  size_t tracker_domains = 0;
+};
+
+struct RegionalVariationReport {
+  std::string site_domain;
+  std::vector<SiteCountryView> views;  // one per country that listed the site
+
+  /// Organizations seen in some countries but not others (the variation).
+  std::set<std::string> variable_orgs() const;
+  /// Organizations seen everywhere the site was tracked.
+  std::set<std::string> common_orgs() const;
+};
+
+RegionalVariationReport compute_regional_variation(
+    const std::vector<CountryAnalysis>& countries, std::string_view site_domain);
+
+}  // namespace gam::analysis

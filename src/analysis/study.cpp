@@ -1,0 +1,75 @@
+#include "analysis/study.h"
+
+#include "util/strings.h"
+
+namespace gam::analysis {
+
+StudyStats compute_study_stats(const std::vector<core::VolunteerDataset>& datasets,
+                               const std::vector<CountryAnalysis>& analyses,
+                               size_t targets_before_optout) {
+  StudyStats stats;
+  stats.target_sites = targets_before_optout;
+
+  std::set<std::string> unique_targets;
+  std::set<std::string> global_domains;
+  std::set<net::IPv4> global_ips;
+  for (const auto& ds : datasets) {
+    stats.attempted_sites += ds.sites.size();
+    stats.loaded_sites += ds.loaded_sites();
+    for (const auto& site : ds.sites) {
+      unique_targets.insert(site.page.site_domain);
+      for (const auto& req : site.page.requests) {
+        if (req.background || !req.completed || req.ip == 0) continue;
+        global_domains.insert(req.domain);
+        global_ips.insert(req.ip);
+      }
+    }
+    for (const auto& [ip, trace] : ds.traces) {
+      if (!trace.attempted) continue;
+      if (util::starts_with(trace.source, "atlas:")) {
+        ++stats.atlas_source_traceroutes;
+      } else {
+        ++stats.volunteer_traceroutes;
+      }
+    }
+  }
+  stats.unique_target_sites = unique_targets.size();
+  stats.unique_domains = global_domains.size();
+  stats.unique_ips = global_ips.size();
+  stats.load_success_pct =
+      stats.attempted_sites == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(stats.loaded_sites) / stats.attempted_sites;
+
+  std::set<std::string> tracker_domains_list, tracker_domains_manual;
+  for (const auto& a : analyses) {
+    stats.domains_recorded += a.unique_domains;
+    stats.nonlocal_candidates += a.funnel.nonlocal_candidates;
+    stats.after_sol += a.funnel.after_sol_constraints;
+    stats.after_rdns += a.funnel.after_rdns;
+    stats.dest_traceroutes += a.funnel.dest_traceroutes;
+    stats.dest_trace_countries.insert(a.dest_probe_countries.begin(),
+                                      a.dest_probe_countries.end());
+
+    std::set<std::string> country_tracker_domains;
+    for (const auto& s : a.sites) {
+      for (const auto& t : s.trackers) {
+        country_tracker_domains.insert(t.domain);
+        if (t.method == trackers::IdMethod::Manual) {
+          tracker_domains_manual.insert(t.reg_domain);
+        } else {
+          tracker_domains_list.insert(t.reg_domain);
+        }
+      }
+    }
+    stats.tracker_domains_instances += country_tracker_domains.size();
+  }
+  // A domain identified by a list anywhere counts as list-identified.
+  for (const auto& d : tracker_domains_list) tracker_domains_manual.erase(d);
+  stats.identified_by_lists = tracker_domains_list.size();
+  stats.identified_manually = tracker_domains_manual.size();
+  stats.unique_tracker_domains = stats.identified_by_lists + stats.identified_manually;
+  return stats;
+}
+
+}  // namespace gam::analysis

@@ -1,0 +1,61 @@
+// §5 study-level accounting: the data-collection funnel the paper reports.
+//
+// Paper values, for comparison in EXPERIMENTS.md:
+//   2005 target sites -> 1987 after opt-out (1522 unique);
+//   >86% load success in most countries (Japan 64%, Saudi Arabia 56%);
+//   ≈26K domains recorded (≈5K unique) resolving to ≈9K unique IPs;
+//   ≈27K source traceroutes (≈25K from volunteers + Atlas fallback);
+//   ≈3.4K destination traceroutes in >60 countries;
+//   ≈14K non-local domains -> ≈6.1K after SOL constraints -> ≈4.7K after
+//   reverse DNS; ≈2.7K of those associated with trackers;
+//   505 unique tracker domains identified (441 via lists, 64 manually).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "core/session.h"
+
+namespace gam::analysis {
+
+struct StudyStats {
+  // Targets and coverage.
+  size_t target_sites = 0;          // offered across all T_web (before opt-out)
+  size_t attempted_sites = 0;       // after opt-outs
+  size_t unique_target_sites = 0;   // distinct domains across all T_web
+  size_t loaded_sites = 0;
+  double load_success_pct = 0.0;
+
+  // Domains / addresses.
+  size_t domains_recorded = 0;      // sum of per-country unique domains
+  size_t unique_domains = 0;        // globally unique
+  size_t unique_ips = 0;
+
+  // Probing.
+  size_t volunteer_traceroutes = 0;
+  size_t atlas_source_traceroutes = 0;
+  size_t dest_traceroutes = 0;
+  std::set<std::string> dest_trace_countries;  // where dest probes sat
+
+  // The geolocation funnel (sums over countries).
+  size_t nonlocal_candidates = 0;
+  size_t after_sol = 0;
+  size_t after_rdns = 0;
+  size_t tracker_domains_instances = 0;  // per-country tracker domains (summed)
+
+  // Tracker identification (unique registrable domains, study-wide).
+  size_t unique_tracker_domains = 0;
+  size_t identified_by_lists = 0;
+  size_t identified_manually = 0;
+};
+
+/// Compute the study funnel from the raw datasets (pre-analysis numbers),
+/// the per-country analyses (funnel + trackers), and the original target
+/// count before opt-outs.
+StudyStats compute_study_stats(const std::vector<core::VolunteerDataset>& datasets,
+                               const std::vector<CountryAnalysis>& analyses,
+                               size_t targets_before_optout);
+
+}  // namespace gam::analysis

@@ -1,0 +1,79 @@
+#include "cdn/cdn.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "dns/rdns_hints.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace gam::cdn {
+
+void Catalog::add_provider(Provider p) {
+  if (find_provider(p.name)) {
+    util::log_error("cdn", "duplicate provider: " + p.name);
+    std::abort();
+  }
+  providers_.push_back(std::move(p));
+}
+
+const Provider* Catalog::find_provider(std::string_view name) const {
+  for (const auto& p : providers_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Deployment& Catalog::deploy(std::string_view provider, const world::CountryInfo& country,
+                            const world::City& city, PopKind kind, net::Topology& topo,
+                            net::AsRegistry& registry, dns::ZoneStore& zones,
+                            net::NodeId attach_router, bool with_rdns_hint) {
+  const Provider* p = find_provider(provider);
+  if (!p) {
+    util::log_error("cdn", "unknown provider: " + std::string(provider));
+    std::abort();
+  }
+  net::IPv4 ip = registry.allocate_address(p->asn);
+  std::string hostname = dns::server_hostname(
+      kind == PopKind::Edge ? "edge" : "server", ip, city, p->rdns_domain, with_rdns_hint);
+  net::NodeId node = topo.add_node(net::NodeKind::Server, hostname, country.code, city.name,
+                                   city.coord, p->asn, ip);
+  // Datacenter last hop: short, deterministic.
+  topo.add_link_latency(attach_router, node, 0.3);
+  zones.add_ptr(ip, hostname);
+
+  Deployment d;
+  d.provider = std::string(provider);
+  d.kind = kind;
+  d.country = country.code;
+  d.city = city.name;
+  d.node = node;
+  d.ip = ip;
+  deployments_.push_back(std::move(d));
+  return deployments_.back();
+}
+
+std::vector<const Deployment*> Catalog::deployments_of(std::string_view provider) const {
+  std::vector<const Deployment*> out;
+  for (const auto& d : deployments_) {
+    if (d.provider == provider) out.push_back(&d);
+  }
+  return out;
+}
+
+const Deployment* Catalog::nearest(std::string_view provider, const geo::Coord& coord,
+                                   const net::Topology& topo) const {
+  const Deployment* best = nullptr;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const auto& d : deployments_) {
+    if (!provider.empty() && d.provider != provider) continue;
+    double km = geo::haversine_km(coord, topo.node(d.node).coord);
+    if (km < best_km) {
+      best_km = km;
+      best = &d;
+    }
+  }
+  return best;
+}
+
+}  // namespace gam::cdn

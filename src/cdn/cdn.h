@@ -1,0 +1,78 @@
+// Hosting providers and their points of presence.
+//
+// Trackers in the paper are overwhelmingly served from cloud/CDN
+// infrastructure (§6.5: most tracking networks sit in AWS or Google Cloud,
+// including AWS-owned addresses at a Nairobi edge that predate any AWS
+// *region* in Kenya). This module models providers as ASes with deployments
+// (region or edge) in specific cities; each deployment is a Server node in
+// the topology with its own address and optional reverse DNS.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/zone.h"
+#include "net/asn.h"
+#include "net/topology.h"
+#include "world/country.h"
+
+namespace gam::cdn {
+
+enum class PopKind { Region, Edge };
+
+/// One point of presence: a server farm in a city, reachable at one address
+/// per hosted service (addresses are allocated per-service by `deploy`).
+struct Deployment {
+  std::string provider;  // provider name, e.g. "AWS-Sim"
+  PopKind kind = PopKind::Region;
+  std::string country;  // ISO code
+  std::string city;
+  net::NodeId node = net::kInvalidNode;
+  net::IPv4 ip = 0;
+};
+
+struct Provider {
+  std::string name;         // "AWS-Sim"
+  uint32_t asn = 0;         // provider AS
+  std::string org;          // "Amazon.com, Inc." — AS-level owner (§6.5 lookups)
+  std::string rdns_domain;  // "compute.aws-sim.net"
+  double rdns_hint_rate = 0.8;  // fraction of PoPs whose PTR embeds the city
+};
+
+/// Registry of providers and their deployments, plus the plumbing to stand a
+/// deployment up inside a topology (node, address, link, PTR record).
+class Catalog {
+ public:
+  /// Register a provider. The AS must already exist in `registry`.
+  void add_provider(Provider p);
+  const Provider* find_provider(std::string_view name) const;
+  const std::vector<Provider>& providers() const { return providers_; }
+
+  /// Create a PoP for `provider` in `city` of `country`: adds a Server node
+  /// linked to `attach_router` (datacenter-grade 0.3 ms one-way last hop),
+  /// allocates an address from the provider AS, and installs a PTR record
+  /// whose city hint is present iff `with_rdns_hint`.
+  Deployment& deploy(std::string_view provider, const world::CountryInfo& country,
+                     const world::City& city, PopKind kind, net::Topology& topo,
+                     net::AsRegistry& registry, dns::ZoneStore& zones,
+                     net::NodeId attach_router, bool with_rdns_hint);
+
+  const std::vector<Deployment>& deployments() const { return deployments_; }
+
+  /// Deployments of one provider (indices into deployments()).
+  std::vector<const Deployment*> deployments_of(std::string_view provider) const;
+
+  /// The provider deployment nearest to `coord` (any provider when
+  /// `provider` is empty). nullptr if none exist.
+  const Deployment* nearest(std::string_view provider, const geo::Coord& coord,
+                            const net::Topology& topo) const;
+
+ private:
+  std::vector<Provider> providers_;
+  std::vector<Deployment> deployments_;
+};
+
+}  // namespace gam::cdn

@@ -1,0 +1,23 @@
+#include "core/config.h"
+
+namespace gam::core {
+
+GammaConfig GammaConfig::study_defaults() {
+  GammaConfig cfg;
+  cfg.browser.browser = "chrome";
+  cfg.browser.render_wait_s = 20.0;
+  cfg.browser.hard_timeout_s = 180.0;
+  cfg.browser.webdriver_noise = true;
+  cfg.enable_network_info = true;
+  cfg.enable_probes = true;
+  cfg.concurrent_instances = 1;
+  return cfg;
+}
+
+bool GammaConfig::valid() const {
+  return browser.render_wait_s > 0 && browser.hard_timeout_s >= browser.render_wait_s &&
+         browser.max_expansion_depth >= 1 && concurrent_instances >= 1 &&
+         traceroute.max_ttl >= 1 && traceroute.queries_per_hop >= 1;
+}
+
+}  // namespace gam::core

@@ -1,0 +1,32 @@
+// Gamma's tuning surface (§3.1).
+//
+// The study configuration is the constructor default: an isolated Chrome
+// instance, single-threaded operation (volunteers may not have high-end
+// machines), a 20-second render wait, a 180-second hard timeout, and all
+// three components (C1 browser, C2 network information, C3 probes) enabled.
+// Every knob the paper describes is individually adjustable, because Gamma
+// is meant to be a general measurement tool, not a one-off script.
+#pragma once
+
+#include <string>
+
+#include "probe/traceroute.h"
+#include "web/browser.h"
+
+namespace gam::core {
+
+struct GammaConfig {
+  web::BrowserOptions browser;       // C1 settings
+  bool enable_network_info = true;   // C2: DNS + reverse DNS + annotation
+  bool enable_probes = true;         // C3: traceroutes
+  int concurrent_instances = 1;      // §3.1: single-thread mode by default
+  probe::TracerouteOptions traceroute;
+
+  /// The paper's study configuration (all defaults).
+  static GammaConfig study_defaults();
+
+  /// Sanity-check ranges (wait times positive, instances >= 1...).
+  bool valid() const;
+};
+
+}  // namespace gam::core

@@ -1,0 +1,35 @@
+// Serialization and data-handling for volunteer datasets — what Gamma ships
+// home and what the analysis pipeline (Figure 1, Box 2) ingests.
+//
+// Two cleaning steps from the paper live here because they operate on the
+// recorded data, not on live measurements:
+//   * scrub_webdriver_noise — §5: the Selenium chromedriver generates
+//     background requests to Google service endpoints; they must be removed
+//     before any analysis (they are not page content);
+//   * anonymize — §3.5: after analysis completes, volunteer IPs are replaced
+//     by an opaque token.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/session.h"
+#include "util/json.h"
+
+namespace gam::core {
+
+/// Full dataset -> JSON (round-trippable).
+util::Json dataset_to_json(const VolunteerDataset& dataset);
+
+/// JSON -> dataset. nullopt on schema violations.
+std::optional<VolunteerDataset> dataset_from_json(const util::Json& doc);
+
+/// Remove chromedriver background requests (and any requests to the known
+/// webdriver service domains) from every site record. Returns the number of
+/// requests removed.
+size_t scrub_webdriver_noise(VolunteerDataset& dataset);
+
+/// Replace the volunteer's IP with a stable opaque token ("anon-<hash>").
+void anonymize(VolunteerDataset& dataset);
+
+}  // namespace gam::core

@@ -1,0 +1,118 @@
+#include "core/target_selection.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+#include "web/psl.h"
+#include "world/country.h"
+
+namespace gam::core {
+
+const std::vector<std::string>* TopLists::find(std::string_view country) const {
+  auto it = by_country.find(std::string(country));
+  return it == by_country.end() ? nullptr : &it->second;
+}
+
+double overlap_fraction(const std::vector<std::string>& a, const std::vector<std::string>& b,
+                        size_t top_n) {
+  size_t na = std::min(a.size(), top_n);
+  size_t nb = std::min(b.size(), top_n);
+  if (na == 0) return 0.0;
+  std::set<std::string> bs(b.begin(), b.begin() + static_cast<long>(nb));
+  size_t hits = 0;
+  for (size_t i = 0; i < na; ++i) {
+    if (bs.count(a[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(na);
+}
+
+std::vector<std::string> TargetList::all() const {
+  std::vector<std::string> out = regional;
+  out.insert(out.end(), government.begin(), government.end());
+  return out;
+}
+
+TargetSelector::TargetSelector(TargetSelectionInputs inputs) : inputs_(std::move(inputs)) {}
+
+bool TargetSelector::excluded(std::string_view country, const std::string& domain) const {
+  // Adult sites are dropped outright (§3.2).
+  if (inputs_.universe) {
+    if (const web::Website* site = inputs_.universe->find(domain); site && site->adult) {
+      return true;
+    }
+  }
+  // Sites banned in this country are dropped.
+  auto it = inputs_.banned.find(std::string(country));
+  return it != inputs_.banned.end() && it->second.count(domain) > 0;
+}
+
+TargetList TargetSelector::select(std::string_view country, size_t n_reg,
+                                  size_t n_gov) const {
+  TargetList out;
+  out.country = std::string(country);
+
+  // ---- T_reg: similarweb first, semrush where similarweb has no list. ----
+  const std::vector<std::string>* ranking = inputs_.similarweb.find(country);
+  out.regional_source = "similarweb";
+  if (!ranking) {
+    ranking = inputs_.semrush.find(country);
+    out.regional_source = "semrush";
+  }
+  if (ranking) {
+    for (const std::string& domain : *ranking) {
+      if (out.regional.size() >= n_reg) break;
+      if (excluded(country, domain)) continue;
+      out.regional.push_back(domain);
+    }
+  } else {
+    out.regional_source = "none";
+  }
+
+  // ---- T_gov: Tranco filtered by the country's government TLDs. ----
+  const world::CountryInfo& info = world::CountryDb::instance().at(country);
+  auto is_gov_domain = [&](const std::string& domain) {
+    for (const std::string& tld : info.gov_tlds) {
+      if (web::host_within(domain, tld) && domain != tld) return true;
+    }
+    return false;
+  };
+  for (const std::string& domain : inputs_.tranco.domains) {
+    if (out.government.size() >= n_gov) break;
+    if (!is_gov_domain(domain) || excluded(country, domain)) continue;
+    out.government.push_back(domain);
+  }
+  // Top-up from a search-engine scrape: modeled as querying the universe
+  // directly for this country's government sites not surfaced by Tranco.
+  if (out.government.size() < n_gov && inputs_.universe) {
+    std::set<std::string> have(out.government.begin(), out.government.end());
+    for (const web::Website* site :
+         inputs_.universe->sites_of(country, web::SiteKind::Government)) {
+      if (out.government.size() >= n_gov) break;
+      if (have.count(site->domain) || excluded(country, site->domain)) continue;
+      if (!is_gov_domain(site->domain)) continue;
+      out.government.push_back(site->domain);
+    }
+  }
+  return out;
+}
+
+TargetSelector::OverlapStudy TargetSelector::run_overlap_study(size_t top_n) const {
+  OverlapStudy study;
+  double semrush_sum = 0.0;
+  double ahrefs_sum = 0.0;
+  for (const auto& [country, sw_list] : inputs_.similarweb.by_country) {
+    const auto* sr = inputs_.semrush.find(country);
+    const auto* ah = inputs_.ahrefs.find(country);
+    if (!sr || !ah) continue;  // the study only uses fully covered countries
+    semrush_sum += overlap_fraction(sw_list, *sr, top_n);
+    ahrefs_sum += overlap_fraction(sw_list, *ah, top_n);
+    ++study.countries_compared;
+  }
+  if (study.countries_compared > 0) {
+    study.semrush_vs_similarweb = semrush_sum / study.countries_compared;
+    study.ahrefs_vs_similarweb = ahrefs_sum / study.countries_compared;
+  }
+  return study;
+}
+
+}  // namespace gam::core

@@ -1,0 +1,87 @@
+// Target-website selection — §3.2 end to end.
+//
+// T_web for a country is T_reg (50 top regional sites) plus T_gov (50
+// official government sites):
+//   * T_reg comes from a similarweb-like ranking; where similarweb has no
+//     list for a country the paper validated semrush as the substitute by
+//     measuring top-50 overlap across countries covered by all three
+//     providers (semrush ≈65% vs ahrefs ≈48% against similarweb) — the
+//     overlap study is reproduced by run_overlap_study();
+//   * adult sites and sites banned in the country are removed;
+//   * T_gov filters a Tranco-like global ranking by the country's government
+//     TLDs (multiple TLDs per country where applicable, e.g. gob.ar and
+//     gov.ar), topping up from a search-engine scrape when Tranco yields
+//     fewer than 50.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "web/website.h"
+
+namespace gam::core {
+
+/// A ranked top-list provider (similarweb / semrush / ahrefs stand-in).
+struct TopLists {
+  std::string provider;
+  std::map<std::string, std::vector<std::string>> by_country;  // ranked domains
+
+  const std::vector<std::string>* find(std::string_view country) const;
+  bool covers(std::string_view country) const { return find(country) != nullptr; }
+};
+
+/// Fraction of `a`'s first `top_n` entries also present in `b`'s first
+/// `top_n` (the §3.2 overlap metric).
+double overlap_fraction(const std::vector<std::string>& a, const std::vector<std::string>& b,
+                        size_t top_n = 50);
+
+/// Tranco-like global ranking.
+struct TrancoList {
+  std::vector<std::string> domains;  // ranked, most popular first
+};
+
+struct TargetList {
+  std::string country;
+  std::vector<std::string> regional;    // T_reg
+  std::vector<std::string> government;  // T_gov
+  std::string regional_source;          // provider that supplied T_reg
+
+  std::vector<std::string> all() const;  // T_web = T_reg + T_gov
+};
+
+struct TargetSelectionInputs {
+  const web::WebUniverse* universe = nullptr;
+  TopLists similarweb;
+  TopLists semrush;
+  TopLists ahrefs;
+  TrancoList tranco;
+  /// Sites banned per country (never offered to volunteers).
+  std::map<std::string, std::set<std::string>> banned;
+};
+
+class TargetSelector {
+ public:
+  explicit TargetSelector(TargetSelectionInputs inputs);
+
+  /// Build T_web for `country`.
+  TargetList select(std::string_view country, size_t n_reg = 50, size_t n_gov = 50) const;
+
+  struct OverlapStudy {
+    double semrush_vs_similarweb = 0.0;  // mean overlap fraction
+    double ahrefs_vs_similarweb = 0.0;
+    size_t countries_compared = 0;  // countries covered by all three
+  };
+  /// The provider-validation experiment of §3.2.
+  OverlapStudy run_overlap_study(size_t top_n = 50) const;
+
+ private:
+  bool excluded(std::string_view country, const std::string& domain) const;
+
+  TargetSelectionInputs inputs_;
+};
+
+}  // namespace gam::core

@@ -1,0 +1,103 @@
+#include "dns/rdns_hints.h"
+
+#include <cctype>
+#include <map>
+#include <mutex>
+
+#include "net/ip.h"
+#include "util/strings.h"
+
+namespace gam::dns {
+
+namespace {
+
+struct HintVocabulary {
+  // token -> (country, city). Built once from the world DB.
+  std::map<std::string, std::pair<std::string, std::string>, std::less<>> tokens;
+};
+
+const HintVocabulary& vocabulary() {
+  static const HintVocabulary vocab = [] {
+    HintVocabulary v;
+    for (const auto& country : world::CountryDb::instance().all()) {
+      for (const auto& city : country.cities) {
+        v.tokens[util::to_lower(city.iata)] = {country.code, city.name};
+        v.tokens[city_slug(city.name)] = {country.code, city.name};
+      }
+    }
+    return v;
+  }();
+  return vocab;
+}
+
+std::vector<std::string> tokenize(std::string_view hostname) {
+  std::string lowered = util::to_lower(hostname);
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : lowered) {
+    if (c == '.' || c == '-' || c == '_') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// Strip a trailing digit run: operators number PoPs ("fra2", "nbo1").
+std::string strip_trailing_digits(const std::string& tok) {
+  size_t end = tok.size();
+  while (end > 0 && std::isdigit(static_cast<unsigned char>(tok[end - 1]))) --end;
+  return tok.substr(0, end);
+}
+
+}  // namespace
+
+std::string city_slug(std::string_view city_name) {
+  std::string out;
+  for (char c : city_name) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalpha(u)) out += static_cast<char>(std::tolower(u));
+  }
+  return out;
+}
+
+std::vector<GeoHint> extract_geo_hints(std::string_view hostname) {
+  std::vector<GeoHint> hints;
+  const auto& vocab = vocabulary();
+  for (const std::string& raw : tokenize(hostname)) {
+    std::string tok = strip_trailing_digits(raw);
+    if (tok.size() < 3) continue;  // "cr", "ae" etc. can't be location tokens
+    auto it = vocab.tokens.find(tok);
+    if (it == vocab.tokens.end()) continue;
+    // Skip duplicate country/city pairs from repeated tokens.
+    bool dup = false;
+    for (const auto& h : hints) {
+      if (h.country == it->second.first && h.city == it->second.second) dup = true;
+    }
+    if (!dup) hints.push_back({it->second.first, it->second.second, raw});
+  }
+  return hints;
+}
+
+std::string router_hostname(const world::City& city, int index, std::string_view domain) {
+  return util::format("ae-%d.cr%d.%s%d.%.*s", index % 8, index % 4 + 1,
+                      util::to_lower(city.iata).c_str(), index % 3 + 1,
+                      static_cast<int>(domain.size()), domain.data());
+}
+
+std::string server_hostname(std::string_view service, net::IPv4 ip, const world::City& city,
+                            std::string_view domain, bool include_hint) {
+  std::string dashed = util::replace_all(net::ip_to_string(ip), ".", "-");
+  if (include_hint) {
+    return util::format("%.*s-%s.%s.%.*s", static_cast<int>(service.size()), service.data(),
+                        dashed.c_str(), util::to_lower(city.iata).c_str(),
+                        static_cast<int>(domain.size()), domain.data());
+  }
+  return util::format("%.*s-%s.%.*s", static_cast<int>(service.size()), service.data(),
+                      dashed.c_str(), static_cast<int>(domain.size()), domain.data());
+}
+
+}  // namespace gam::dns

@@ -1,0 +1,44 @@
+// Reverse-DNS hostname fabrication and geographic-hint extraction.
+//
+// Operators embed location tokens in router and edge hostnames (IATA airport
+// codes, city slugs) — the signal the paper's reverse-DNS constraint (§4.1.3)
+// and the hostname-geolocation literature it cites (Luckie et al.) exploit.
+// World generation fabricates PTR names through the helpers here, and the
+// constraint extracts hints back out with the same vocabulary, so the
+// pipeline genuinely has to parse rather than cheat.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ip.h"
+#include "world/country.h"
+
+namespace gam::dns {
+
+/// A location suggested by a hostname token.
+struct GeoHint {
+  std::string country;  // ISO code
+  std::string city;     // city name from the world DB
+  std::string token;    // the raw token that matched
+};
+
+/// Extract all geo hints from a hostname. Tokens are matched against the
+/// world database's IATA codes and city-name slugs. Returns an empty vector
+/// when the hostname carries no recognizable location (the constraint then
+/// retains the server, per §4.1.3).
+std::vector<GeoHint> extract_geo_hints(std::string_view hostname);
+
+/// "ae-2.cr1.fra1.transit-one.net"-style router PTR name.
+std::string router_hostname(const world::City& city, int index, std::string_view domain);
+
+/// "edge-10-1-2-3.nbo.cdn-example.net"-style server PTR name. When
+/// `include_hint` is false the city token is omitted (no usable hint).
+std::string server_hostname(std::string_view service, net::IPv4 ip, const world::City& city,
+                            std::string_view domain, bool include_hint);
+
+/// Lowercased city slug ("São Paulo" -> "saopaulo"); exposed for tests.
+std::string city_slug(std::string_view city_name);
+
+}  // namespace gam::dns

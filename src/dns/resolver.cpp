@@ -1,0 +1,42 @@
+#include "dns/resolver.h"
+
+#include "util/rng.h"
+
+namespace gam::dns {
+
+Answer Resolver::resolve(std::string_view name, std::string_view client_country) const {
+  Answer ans;
+  ans.qname = std::string(name);
+  std::string current(name);
+  for (int depth = 0; depth <= kMaxCnameDepth; ++depth) {
+    if (const SteeredRecord* sr = zones_.find_steered(current)) {
+      auto it = sr->per_country.find(std::string(client_country));
+      const std::vector<net::IPv4>* pool =
+          (it != sr->per_country.end() && !it->second.empty()) ? &it->second
+                                                               : &sr->default_ips;
+      if (!pool->empty()) {
+        // Stable per-(name, country) deployment choice.
+        uint64_t h = util::fnv1a(current) ^ (util::fnv1a(client_country) * 0x9e3779b9ULL);
+        ans.ips.push_back((*pool)[h % pool->size()]);
+      }
+      return ans;
+    }
+    if (const std::vector<net::IPv4>* a = zones_.find_a(current)) {
+      ans.ips = *a;
+      return ans;
+    }
+    if (const std::string* cname = zones_.find_cname(current)) {
+      ans.chain.push_back(*cname);
+      current = *cname;
+      continue;
+    }
+    break;  // NXDOMAIN
+  }
+  return ans;
+}
+
+std::optional<std::string> Resolver::reverse(net::IPv4 ip) const {
+  return zones_.find_ptr(ip);
+}
+
+}  // namespace gam::dns

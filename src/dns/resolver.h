@@ -1,0 +1,48 @@
+// Recursive resolution over the authoritative ZoneStore.
+//
+// The resolver models the behaviour Gamma observes from a volunteer's
+// machine: queries carry the client's country (standing in for
+// EDNS-client-subnet / resolver location), CNAME chains are followed with a
+// loop bound, geo-steered names answer per-country, and when a steered name
+// has several candidate deployments for a country the choice is a stable
+// hash of (name, country) — the same client always sees the same server,
+// matching the determinism of per-PoP DNS mappings over a session.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/zone.h"
+
+namespace gam::dns {
+
+/// Result of a forward lookup.
+struct Answer {
+  std::string qname;                // what was asked
+  std::vector<std::string> chain;   // CNAME hops traversed (may be empty)
+  std::vector<net::IPv4> ips;       // final A answers (empty => NXDOMAIN)
+  bool nxdomain() const { return ips.empty(); }
+
+  /// First answer, the address a browser connects to. 0 if NXDOMAIN.
+  net::IPv4 primary() const { return ips.empty() ? 0 : ips.front(); }
+};
+
+class Resolver {
+ public:
+  explicit Resolver(const ZoneStore& zones) : zones_(zones) {}
+
+  /// Forward lookup as seen from `client_country` (ISO code).
+  Answer resolve(std::string_view name, std::string_view client_country) const;
+
+  /// Reverse lookup; nullopt when no PTR exists (common in the wild, and the
+  /// paper's rDNS constraint must tolerate exactly that).
+  std::optional<std::string> reverse(net::IPv4 ip) const;
+
+ private:
+  static constexpr int kMaxCnameDepth = 8;
+  const ZoneStore& zones_;
+};
+
+}  // namespace gam::dns

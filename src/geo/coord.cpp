@@ -1,0 +1,41 @@
+#include "geo/coord.h"
+
+#include <cmath>
+
+namespace gam::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double haversine_km(const Coord& a, const Coord& b) {
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlon = (b.lon - a.lon) * kDegToRad;
+  double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  if (h > 1.0) h = 1.0;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+double min_rtt_ms(double distance_km) { return distance_km / kSolKmPerRttMs; }
+
+bool violates_sol(double rtt_ms, double distance_km) {
+  return rtt_ms < min_rtt_ms(distance_km);
+}
+
+std::string continent_name(Continent c) {
+  switch (c) {
+    case Continent::Africa: return "Africa";
+    case Continent::Asia: return "Asia";
+    case Continent::Europe: return "Europe";
+    case Continent::NorthAmerica: return "North America";
+    case Continent::SouthAmerica: return "South America";
+    case Continent::Oceania: return "Oceania";
+  }
+  return "?";
+}
+
+}  // namespace gam::geo

@@ -1,0 +1,43 @@
+// Geographic primitives: coordinates, great-circle distance, and the
+// speed-of-light-in-fiber constants the paper's SOL constraint uses (§4.1).
+#pragma once
+
+#include <string>
+
+namespace gam::geo {
+
+/// WGS-84-ish point. Degrees; latitude in [-90, 90], longitude in [-180, 180].
+struct Coord {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  bool operator==(const Coord&) const = default;
+};
+
+/// Great-circle distance in kilometers (haversine, mean Earth radius).
+double haversine_km(const Coord& a, const Coord& b);
+
+/// Signal propagation in fiber travels at roughly 2c/3. The paper states the
+/// resulting bound as 133 km per millisecond of *round-trip* time — i.e. a
+/// round trip covers 2d km in d/133 ms is impossible. We keep the paper's
+/// constant verbatim so the constraint math matches.
+inline constexpr double kSolKmPerRttMs = 133.0;
+
+/// One-way propagation speed in fiber, km per ms (2/3 * 299792.458 km/s).
+inline constexpr double kFiberKmPerMs = 199.86;
+
+/// Minimum possible RTT in ms between two points distance_km apart,
+/// under the paper's 133 km/ms SOL constraint.
+double min_rtt_ms(double distance_km);
+
+/// True if an observed RTT to a point at `distance_km` violates the SOL
+/// bound (i.e. the packet would have had to travel faster than 2c/3).
+bool violates_sol(double rtt_ms, double distance_km);
+
+/// Continent identifiers (UN macro-regions, standard assignments).
+enum class Continent { Africa, Asia, Europe, NorthAmerica, SouthAmerica, Oceania };
+
+/// Human-readable continent name ("North America" etc.).
+std::string continent_name(Continent c);
+
+}  // namespace gam::geo

@@ -1,0 +1,59 @@
+#include "geoloc/constraints.h"
+
+#include "dns/rdns_hints.h"
+#include "util/strings.h"
+
+namespace gam::geoloc {
+
+double effective_latency_ms(double first_hop_ms, double last_hop_ms) {
+  if (first_hop_ms > 0.0 && first_hop_ms < last_hop_ms) {
+    return last_hop_ms - first_hop_ms;
+  }
+  return last_hop_ms;
+}
+
+CheckResult check_sol(const geo::Coord& from, const geo::Coord& claimed,
+                      double observed_rtt_ms) {
+  double dist_km = geo::haversine_km(from, claimed);
+  if (geo::violates_sol(observed_rtt_ms, dist_km)) {
+    return {false,
+            util::format("SOL violated: %.1f ms RTT cannot cover %.0f km (needs >= %.1f ms)",
+                         observed_rtt_ms, dist_km, geo::min_rtt_ms(dist_km))};
+  }
+  return {true, ""};
+}
+
+CheckResult check_reference(const ReferenceLatency& reference,
+                            std::string_view volunteer_country,
+                            std::string_view claimed_country, double observed_rtt_ms) {
+  auto entry = reference.lookup(volunteer_country, claimed_country);
+  if (!entry) {
+    // No published statistics at all: the conservative action is to keep the
+    // SOL verdict and not invent a threshold.
+    return {true, ""};
+  }
+  double threshold = kReferenceFraction * entry->rtt_ms;
+  if (observed_rtt_ms < threshold) {
+    return {false,
+            util::format("observed %.1f ms < %.0f%% of published %.1f ms (%s)",
+                         observed_rtt_ms, kReferenceFraction * 100.0, entry->rtt_ms,
+                         entry->source.c_str())};
+  }
+  return {true, ""};
+}
+
+CheckResult check_rdns(std::string_view rdns, std::string_view claimed_country) {
+  if (rdns.empty()) return {true, ""};  // no PTR: retain (§4.1.3)
+  auto hints = dns::extract_geo_hints(rdns);
+  if (hints.empty()) return {true, ""};  // no usable hint: retain
+  for (const auto& hint : hints) {
+    if (hint.country == claimed_country) return {true, ""};
+  }
+  return {false, util::format("rDNS '%.*s' hints at %s, not claimed %.*s",
+                              static_cast<int>(rdns.size()), rdns.data(),
+                              hints.front().country.c_str(),
+                              static_cast<int>(claimed_country.size()),
+                              claimed_country.data())};
+}
+
+}  // namespace gam::geoloc

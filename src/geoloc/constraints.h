@@ -1,0 +1,55 @@
+// The individual geolocation constraints of §4.1, as pure, testable checks.
+//
+// Terminology matches the paper:
+//  * "effective latency" — last-hop RTT minus first-hop RTT when the first
+//    hop is available and smaller (strips the volunteer's local loop);
+//  * SOL — observed transmission speed may not exceed 133 km per ms of RTT;
+//  * source constraint — SOL against the claimed location's distance from
+//    the volunteer, plus the conservative published-statistics rule:
+//    discard when observed latency < 80% of the published latency between
+//    the two locations;
+//  * destination constraint — a probe in the claimed country must reach the
+//    server, and the RTT must not violate SOL w.r.t. the claimed spot;
+//  * reverse-DNS constraint — a hostname whose location hints all contradict
+//    the claimed country disqualifies the claim; no hints means retain.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geo/coord.h"
+#include "geoloc/reference_latency.h"
+#include "ipmap/geodb.h"
+
+namespace gam::geoloc {
+
+/// Outcome of one constraint check.
+struct CheckResult {
+  bool pass = false;
+  std::string reason;  // populated on failure
+};
+
+/// §4.1.1's latency cleanup: subtract the first-hop RTT from the last-hop
+/// RTT when the former exists and is smaller; otherwise use the last hop.
+double effective_latency_ms(double first_hop_ms, double last_hop_ms);
+
+/// Hard physics: fails when `observed_rtt_ms` would require faster-than-
+/// 133 km/ms transmission to a server at `claimed` seen from `from`.
+CheckResult check_sol(const geo::Coord& from, const geo::Coord& claimed,
+                      double observed_rtt_ms);
+
+/// Conservative published-statistics rule: fails when the observed latency is
+/// below `kReferenceFraction` (80%) of the published RTT between the
+/// volunteer's country and the claimed country.
+CheckResult check_reference(const ReferenceLatency& reference,
+                            std::string_view volunteer_country,
+                            std::string_view claimed_country, double observed_rtt_ms);
+inline constexpr double kReferenceFraction = 0.8;
+
+/// Reverse-DNS constraint: `rdns` may be empty (no PTR). Fails only when the
+/// hostname yields at least one geographic hint and none of the hinted
+/// countries equals `claimed_country` (§4.1.3's manual-inspection rule).
+CheckResult check_rdns(std::string_view rdns, std::string_view claimed_country);
+
+}  // namespace gam::geoloc

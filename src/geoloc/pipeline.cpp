@@ -1,0 +1,121 @@
+#include "geoloc/pipeline.h"
+
+#include "world/country.h"
+
+namespace gam::geoloc {
+
+std::string geo_stage_name(GeoStage s) {
+  switch (s) {
+    case GeoStage::UnknownIp: return "unknown-ip";
+    case GeoStage::Local: return "local";
+    case GeoStage::SourceUnreached: return "source-unreached";
+    case GeoStage::SourceSol: return "source-sol";
+    case GeoStage::SourceReference: return "source-reference";
+    case GeoStage::DestUnreached: return "dest-unreached";
+    case GeoStage::DestSol: return "dest-sol";
+    case GeoStage::RdnsMismatch: return "rdns-mismatch";
+    case GeoStage::ConfirmedNonLocal: return "confirmed-nonlocal";
+  }
+  return "?";
+}
+
+MultiConstraintGeolocator::MultiConstraintGeolocator(const ipmap::GeoDatabase& geodb,
+                                                     const ReferenceLatency& reference,
+                                                     const probe::AtlasNetwork& atlas,
+                                                     const probe::TracerouteEngine& engine,
+                                                     ConstraintConfig config)
+    : geodb_(geodb), reference_(reference), atlas_(atlas), engine_(engine),
+      config_(config) {}
+
+GeoVerdict MultiConstraintGeolocator::classify(const ServerObservation& obs,
+                                               util::Rng& rng) const {
+  ++funnel_.total;
+  GeoVerdict v;
+
+  // --- Stage 0: IPmap lookup (§4.1). ---
+  auto claim = geodb_.lookup(obs.ip);
+  if (!claim) {
+    v.stage = GeoStage::UnknownIp;
+    v.reason = "no IPmap record";
+    ++funnel_.unknown_ip;
+    return v;
+  }
+  v.claim = *claim;
+  if (claim->country == obs.volunteer_country) {
+    v.stage = GeoStage::Local;
+    ++funnel_.local;
+    return v;
+  }
+  ++funnel_.nonlocal_candidates;
+
+  // --- Stage 1: source-based constraint (§4.1.1). ---
+  if (config_.source_constraint) {
+    if (!obs.src_trace_attempted || !obs.src_trace_reached) {
+      v.stage = GeoStage::SourceUnreached;
+      v.reason = obs.src_trace_attempted ? "source traceroute did not reach destination"
+                                         : "no source traceroute available";
+      return v;
+    }
+    v.effective_rtt_ms = effective_latency_ms(obs.src_first_hop_ms, obs.src_last_hop_ms);
+    if (CheckResult sol = check_sol(obs.volunteer_coord, claim->coord, v.effective_rtt_ms);
+        !sol.pass) {
+      v.stage = GeoStage::SourceSol;
+      v.reason = sol.reason;
+      return v;
+    }
+    if (CheckResult ref = check_reference(reference_, obs.volunteer_country, claim->country,
+                                          v.effective_rtt_ms);
+        config_.reference_rule && !ref.pass) {
+      v.stage = GeoStage::SourceReference;
+      v.reason = ref.reason;
+      return v;
+    }
+  }
+
+  // --- Stage 2: destination-based constraint (§4.1.2). ---
+  if (config_.dest_constraint) {
+    auto probe = atlas_.select_probe(claim->country, claim->city, /*asn=*/0, claim->coord);
+    if (!probe) {
+      v.stage = GeoStage::DestUnreached;
+      v.reason = "no measurement probe available anywhere";
+      return v;
+    }
+    v.dest_probe_id = probe->id;
+    v.dest_probe_country = probe->country;
+    probe::TracerouteOptions opts;
+    // Destination traces cross more administrative boundaries than source
+    // traces (arbitrary probe -> arbitrary network); they fail to reach the
+    // destination more often, which is where most of the paper's SOL-stage
+    // funnel losses come from.
+    opts.dest_noresponse_prob = 0.15;
+    probe::TracerouteResult dest_trace = engine_.trace(probe->node, obs.ip, opts, rng);
+    ++funnel_.dest_traceroutes;
+    if (!dest_trace.reached) {
+      v.stage = GeoStage::DestUnreached;
+      v.reason = "destination traceroute did not reach destination";
+      return v;
+    }
+    double dest_rtt = effective_latency_ms(dest_trace.first_hop_rtt_ms(),
+                                           dest_trace.last_hop_rtt_ms());
+    if (CheckResult sol = check_sol(probe->coord, claim->coord, dest_rtt); !sol.pass) {
+      v.stage = GeoStage::DestSol;
+      v.reason = sol.reason;
+      return v;
+    }
+  }
+  ++funnel_.after_sol_constraints;
+
+  // --- Stage 3: reverse-DNS constraint (§4.1.3). ---
+  if (CheckResult rd = check_rdns(obs.rdns, claim->country);
+      config_.rdns_constraint && !rd.pass) {
+    v.stage = GeoStage::RdnsMismatch;
+    v.reason = rd.reason;
+    return v;
+  }
+  ++funnel_.after_rdns;
+
+  v.stage = GeoStage::ConfirmedNonLocal;
+  return v;
+}
+
+}  // namespace gam::geoloc

@@ -1,0 +1,126 @@
+// The multi-constraint geolocation pipeline — §4.1 end to end.
+//
+// Input: one "server observation": an IP contacted from a volunteer machine,
+// with the source traceroute results (possibly from a RIPE-Atlas fallback
+// probe) and the server's reverse DNS. The pipeline:
+//   1. looks the IP up in the IPmap-like database; unknown IPs are discarded,
+//      and claims matching the volunteer's country are Local (done);
+//   2. applies the source-based constraint: traceroute must have reached the
+//      destination, and the effective latency must satisfy SOL and the 80%-
+//      of-published-statistics rule against the claimed location;
+//   3. applies the destination-based constraint: a fresh traceroute from an
+//      Atlas probe in the claimed country (same city when available) must
+//      reach the server without violating SOL w.r.t. the claimed spot;
+//   4. applies the reverse-DNS constraint.
+// Only observations surviving all four are *confirmed non-local* — the set
+// every analysis in §6 is computed over. The per-stage discard counters
+// reproduce the paper's §5 funnel (≈14K non-local → ≈6.1K after SOL-based
+// constraints → ≈4.7K after reverse DNS).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "geoloc/constraints.h"
+#include "geoloc/reference_latency.h"
+#include "ipmap/geodb.h"
+#include "probe/atlas.h"
+#include "probe/traceroute.h"
+
+namespace gam::geoloc {
+
+/// One (volunteer, server IP) measurement bundle, pipeline input.
+struct ServerObservation {
+  net::IPv4 ip = 0;
+  std::string volunteer_country;
+  std::string volunteer_city;
+  geo::Coord volunteer_coord;
+
+  bool src_trace_attempted = false;
+  bool src_trace_reached = false;
+  double src_first_hop_ms = 0.0;
+  double src_last_hop_ms = 0.0;
+
+  std::string rdns;  // "" when no PTR exists
+};
+
+/// Where in the funnel an observation ended up.
+enum class GeoStage {
+  UnknownIp,        // IPmap has no record
+  Local,            // claimed inside the volunteer's country
+  SourceUnreached,  // source traceroute missing or didn't reach
+  SourceSol,        // SOL violated against claimed location
+  SourceReference,  // below 80% of published statistics
+  DestUnreached,    // destination probe couldn't confirm reachability
+  DestSol,          // destination-side SOL violated
+  RdnsMismatch,     // hostname hints contradict the claim
+  ConfirmedNonLocal,
+};
+
+std::string geo_stage_name(GeoStage s);
+
+struct GeoVerdict {
+  GeoStage stage = GeoStage::UnknownIp;
+  bool is_local() const { return stage == GeoStage::Local; }
+  bool confirmed_nonlocal() const { return stage == GeoStage::ConfirmedNonLocal; }
+  bool discarded() const { return !is_local() && !confirmed_nonlocal(); }
+
+  ipmap::GeoRecord claim;        // what IPmap said (when known)
+  double effective_rtt_ms = 0.0; // source-side effective latency
+  std::string reason;            // failure detail for discards
+  int dest_probe_id = 0;         // Atlas probe used (0 = none)
+  std::string dest_probe_country;
+};
+
+/// Running totals for the §5 funnel. All counters are cumulative.
+struct FunnelCounters {
+  size_t total = 0;
+  size_t unknown_ip = 0;
+  size_t local = 0;
+  size_t nonlocal_candidates = 0;
+  size_t after_sol_constraints = 0;  // survived source+destination checks
+  size_t after_rdns = 0;             // survived everything
+  size_t dest_traceroutes = 0;       // destination traces launched
+};
+
+/// Which constraints the pipeline applies — all on for the paper's method.
+/// Selectively disabling stages supports the ablation study
+/// (bench_ablation): how much does each §4.1 constraint contribute to
+/// filtering bad geolocations?
+struct ConstraintConfig {
+  bool source_constraint = true;  // §4.1.1: reachability + SOL + 80% rule
+  bool reference_rule = true;     // the 80%-of-published-statistics part
+  bool dest_constraint = true;    // §4.1.2: Atlas probe verification
+  bool rdns_constraint = true;    // §4.1.3: hostname hints
+
+  static ConstraintConfig all() { return {}; }
+  static ConstraintConfig none() { return {false, false, false, false}; }
+};
+
+class MultiConstraintGeolocator {
+ public:
+  MultiConstraintGeolocator(const ipmap::GeoDatabase& geodb,
+                            const ReferenceLatency& reference,
+                            const probe::AtlasNetwork& atlas,
+                            const probe::TracerouteEngine& engine,
+                            ConstraintConfig config = ConstraintConfig::all());
+
+  /// Classify one observation. Destination traceroutes are launched lazily
+  /// inside (counted in the funnel), using `rng` for probe-path jitter.
+  GeoVerdict classify(const ServerObservation& obs, util::Rng& rng) const;
+
+  const FunnelCounters& funnel() const { return funnel_; }
+  void reset_funnel() { funnel_ = {}; }
+
+  const ConstraintConfig& config() const { return config_; }
+
+ private:
+  const ipmap::GeoDatabase& geodb_;
+  const ReferenceLatency& reference_;
+  const probe::AtlasNetwork& atlas_;
+  const probe::TracerouteEngine& engine_;
+  ConstraintConfig config_;
+  mutable FunnelCounters funnel_;
+};
+
+}  // namespace gam::geoloc

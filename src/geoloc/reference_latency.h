@@ -1,0 +1,50 @@
+// Published inter-city latency statistics (Verizon / WonderNetwork stand-ins).
+//
+// §4.1.1 compares each observed source RTT against "statistics of latency
+// previously observed between the geographical location of the volunteer and
+// the server", preferring Verizon's published IP-latency tables and falling
+// back to WonderNetwork's global ping matrix where Verizon has no entry.
+// We generate both tables once from great-circle distances with realistic
+// path inflation and noise — an *independent* (and noisy) reference, exactly
+// the role the published tables play: they were not measured on the
+// volunteer's path, only on comparable city pairs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace gam::geoloc {
+
+struct ReferenceEntry {
+  double rtt_ms = 0.0;
+  std::string source;  // "verizon" | "wonder"
+};
+
+class ReferenceLatency {
+ public:
+  /// Build both tables over every country pair in the world DB.
+  /// Verizon-like coverage is limited to a major-market country set; the
+  /// Wonder-like table covers all pairs.
+  static ReferenceLatency generate(util::Rng rng);
+
+  /// Published RTT between two countries' primary cities, preferring the
+  /// Verizon table (§4.1.1's order). nullopt never happens for world-DB
+  /// countries but is kept for API honesty.
+  std::optional<ReferenceEntry> lookup(std::string_view country_a,
+                                       std::string_view country_b) const;
+
+  size_t verizon_pairs() const { return verizon_.size(); }
+  size_t wonder_pairs() const { return wonder_.size(); }
+
+ private:
+  static std::string key(std::string_view a, std::string_view b);
+  std::map<std::string, double> verizon_;
+  std::map<std::string, double> wonder_;
+};
+
+}  // namespace gam::geoloc

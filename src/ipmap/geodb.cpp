@@ -1,0 +1,29 @@
+#include "ipmap/geodb.h"
+
+namespace gam::ipmap {
+
+void GeoDatabase::set_location(net::IPv4 ip, GeoRecord truth) {
+  truth_[ip] = truth;
+  claimed_[ip] = std::move(truth);
+}
+
+void GeoDatabase::inject_error(net::IPv4 ip, GeoRecord wrong) {
+  if (auto it = claimed_.find(ip); it != claimed_.end()) {
+    it->second = std::move(wrong);
+    errors_.push_back(ip);
+  }
+}
+
+std::optional<GeoRecord> GeoDatabase::lookup(net::IPv4 ip) const {
+  auto it = claimed_.find(ip);
+  if (it == claimed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<GeoRecord> GeoDatabase::true_location(net::IPv4 ip) const {
+  auto it = truth_.find(ip);
+  if (it == truth_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace gam::ipmap

@@ -1,0 +1,58 @@
+// A RIPE-IPmap-like IP geolocation database.
+//
+// IPmap is the paper's primary geolocation source (§4.1) — and its known
+// fallibility is the entire reason the multi-constraint pipeline exists.
+// This database is therefore built in two layers: ground-truth locations
+// ingested from the generated world, and *injected errors* that overwrite
+// what the database claims for specific addresses (reproducing the paper's
+// documented cases: Google addresses in Pakistan's data mislocated to
+// Al Fujairah when the servers answered from Amsterdam; Egypt's mislocated
+// to Germany when they answered from Zurich). Consumers only ever see the
+// claimed location; the truth stays private to world generation and tests.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/coord.h"
+#include "net/ip.h"
+
+namespace gam::ipmap {
+
+struct GeoRecord {
+  std::string country;  // ISO code
+  std::string city;
+  geo::Coord coord;
+
+  bool operator==(const GeoRecord&) const = default;
+};
+
+class GeoDatabase {
+ public:
+  /// Record the true location of `ip` (called by world generation).
+  void set_location(net::IPv4 ip, GeoRecord truth);
+
+  /// Overwrite the *claimed* location of `ip` with a wrong one. The truth
+  /// remains available to tests via true_location().
+  void inject_error(net::IPv4 ip, GeoRecord wrong);
+
+  /// What the database claims — possibly wrong. nullopt for unknown IPs
+  /// (IPmap has incomplete coverage; the pipeline must discard those).
+  std::optional<GeoRecord> lookup(net::IPv4 ip) const;
+
+  /// Ground truth (test/debug only — the pipeline must never call this).
+  std::optional<GeoRecord> true_location(net::IPv4 ip) const;
+
+  size_t size() const { return claimed_.size(); }
+  size_t error_count() const { return errors_.size(); }
+  const std::vector<net::IPv4>& injected_errors() const { return errors_; }
+
+ private:
+  std::map<net::IPv4, GeoRecord> claimed_;
+  std::map<net::IPv4, GeoRecord> truth_;
+  std::vector<net::IPv4> errors_;
+};
+
+}  // namespace gam::ipmap

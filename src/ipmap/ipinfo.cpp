@@ -1,0 +1,17 @@
+#include "ipmap/ipinfo.h"
+
+namespace gam::ipmap {
+
+std::optional<IpAnnotation> IpInfoAnnotator::annotate(net::IPv4 ip) const {
+  const net::AsInfo* info = registry_.lookup_ip(ip);
+  if (!info) return std::nullopt;
+  IpAnnotation a;
+  a.asn = info->asn;
+  a.as_name = info->name;
+  a.org = info->org;
+  a.country = info->country;
+  a.kind = info->kind;
+  return a;
+}
+
+}  // namespace gam::ipmap

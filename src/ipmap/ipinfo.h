@@ -1,0 +1,32 @@
+// IPinfo/ipwhois-style annotation (§3, C2): AS number, AS name, owning
+// organization and network kind for any routed address. Backed by the AS
+// registry — the same source of truth BGP would be.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/asn.h"
+
+namespace gam::ipmap {
+
+struct IpAnnotation {
+  uint32_t asn = 0;
+  std::string as_name;
+  std::string org;
+  std::string country;  // AS registration country
+  net::AsKind kind = net::AsKind::ResidentialIsp;
+};
+
+class IpInfoAnnotator {
+ public:
+  explicit IpInfoAnnotator(const net::AsRegistry& registry) : registry_(registry) {}
+
+  /// nullopt for unrouted addresses.
+  std::optional<IpAnnotation> annotate(net::IPv4 ip) const;
+
+ private:
+  const net::AsRegistry& registry_;
+};
+
+}  // namespace gam::ipmap

@@ -1,0 +1,54 @@
+#include "net/ip.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace gam::net {
+
+std::string ip_to_string(IPv4 ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xFF, (ip >> 16) & 0xFF,
+                (ip >> 8) & 0xFF, ip & 0xFF);
+  return buf;
+}
+
+std::optional<IPv4> parse_ip(std::string_view s) {
+  auto parts = util::split_view(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  IPv4 ip = 0;
+  for (auto p : parts) {
+    long v = util::parse_long(p);
+    if (v < 0 || v > 255) return std::nullopt;
+    ip = (ip << 8) | static_cast<IPv4>(v);
+  }
+  return ip;
+}
+
+namespace {
+IPv4 mask_for(int len) {
+  if (len <= 0) return 0;
+  if (len >= 32) return ~0u;
+  return ~0u << (32 - len);
+}
+}  // namespace
+
+bool Prefix::contains(IPv4 ip) const { return (ip & mask_for(len)) == (base & mask_for(len)); }
+
+uint64_t Prefix::size() const { return 1ULL << (32 - len); }
+
+std::string Prefix::to_string() const {
+  return ip_to_string(base) + "/" + std::to_string(len);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view s) {
+  size_t slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto ip = parse_ip(s.substr(0, slash));
+  long len = util::parse_long(s.substr(slash + 1));
+  if (!ip || len < 0 || len > 32) return std::nullopt;
+  Prefix p{*ip & mask_for(static_cast<int>(len)), static_cast<int>(len)};
+  return p;
+}
+
+}  // namespace gam::net

@@ -1,0 +1,44 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// Addresses are plain uint32_t in host byte order; everything that needs a
+// printable form goes through ip_to_string. The simulator allocates from
+// documentation-style space upward, so no address collides with real-world
+// special ranges by accident of generation order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gam::net {
+
+using IPv4 = uint32_t;
+
+/// Dotted-quad rendering ("10.1.2.3").
+std::string ip_to_string(IPv4 ip);
+
+/// Parse dotted-quad; nullopt on malformed input.
+std::optional<IPv4> parse_ip(std::string_view s);
+
+/// A CIDR prefix, e.g. 10.1.0.0/16.
+struct Prefix {
+  IPv4 base = 0;
+  int len = 32;  // 0..32
+
+  /// True if `ip` falls inside this prefix.
+  bool contains(IPv4 ip) const;
+
+  /// Number of addresses covered (2^(32-len)); saturates for len 0.
+  uint64_t size() const;
+
+  /// "10.1.0.0/16"
+  std::string to_string() const;
+
+  /// Parse "a.b.c.d/len"; nullopt on malformed input. Base is masked to len.
+  static std::optional<Prefix> parse(std::string_view s);
+
+  bool operator==(const Prefix&) const = default;
+};
+
+}  // namespace gam::net

@@ -1,0 +1,101 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace gam::net {
+
+NodeId Topology::add_node(NodeKind kind, std::string name, std::string country,
+                          std::string city, geo::Coord coord, uint32_t asn, IPv4 ip) {
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.kind = kind;
+  n.name = std::move(name);
+  n.country = std::move(country);
+  n.city = std::move(city);
+  n.coord = coord;
+  n.asn = asn;
+  n.ip = ip;
+  if (ip != 0) by_ip_[ip] = n.id;
+  nodes_.push_back(std::move(n));
+  adj_.emplace_back();
+  invalidate_routes();
+  return nodes_.back().id;
+}
+
+void Topology::add_link(NodeId a, NodeId b, double inflation) {
+  double dist = geo::haversine_km(nodes_[a].coord, nodes_[b].coord);
+  double one_way = dist * inflation / geo::kFiberKmPerMs + kHopProcessingMs;
+  add_link_latency(a, b, one_way);
+}
+
+void Topology::add_link_latency(NodeId a, NodeId b, double one_way_ms) {
+  adj_[a].push_back({b, one_way_ms});
+  adj_[b].push_back({a, one_way_ms});
+  ++link_total_;
+  invalidate_routes();
+}
+
+const Topology::SourceTree& Topology::tree_for(NodeId from) const {
+  auto it = trees_.find(from);
+  if (it != trees_.end()) return it->second;
+
+  SourceTree tree;
+  tree.dist.assign(nodes_.size(), std::numeric_limits<double>::infinity());
+  tree.prev.assign(nodes_.size(), kInvalidNode);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  tree.dist[from] = 0.0;
+  pq.push({0.0, from});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > tree.dist[u]) continue;
+    for (auto [v, w] : adj_[u]) {
+      double nd = d + w;
+      if (nd < tree.dist[v]) {
+        tree.dist[v] = nd;
+        tree.prev[v] = u;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return trees_.emplace(from, std::move(tree)).first->second;
+}
+
+std::optional<Path> Topology::shortest_path(NodeId from, NodeId to) const {
+  if (from >= nodes_.size() || to >= nodes_.size()) return std::nullopt;
+  const SourceTree& tree = tree_for(from);
+  if (tree.dist[to] == std::numeric_limits<double>::infinity()) return std::nullopt;
+  Path p;
+  p.one_way_ms = tree.dist[to];
+  for (NodeId cur = to; cur != kInvalidNode; cur = tree.prev[cur]) {
+    p.nodes.push_back(cur);
+    if (cur == from) break;
+  }
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  return p;
+}
+
+double Topology::latency_ms(NodeId from, NodeId to) const {
+  if (from >= nodes_.size() || to >= nodes_.size())
+    return std::numeric_limits<double>::infinity();
+  return tree_for(from).dist[to];
+}
+
+NodeId Topology::find_by_ip(IPv4 ip) const {
+  auto it = by_ip_.find(ip);
+  return it == by_ip_.end() ? kInvalidNode : it->second;
+}
+
+std::vector<NodeId> Topology::nodes_of_kind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n.kind == kind) out.push_back(n.id);
+  }
+  return out;
+}
+
+void Topology::invalidate_routes() const { trees_.clear(); }
+
+}  // namespace gam::net

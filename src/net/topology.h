@@ -1,0 +1,108 @@
+// The physical network: routers and hosts placed in cities, links with
+// fiber-propagation latency, and shortest-path routing.
+//
+// Latency realism matters more than routing realism here: the paper's
+// geolocation constraints are all latency-based, so links carry a
+// propagation delay derived from great-circle distance at 2c/3 with a
+// configurable path-inflation factor (real fiber rarely follows the
+// geodesic), plus a small per-hop processing delay. That guarantees the SOL
+// invariant (RTT >= distance/133 km/ms) holds for *true* endpoint locations
+// and is violated only when a geolocation database lies about a location —
+// precisely the signal the multi-constraint pipeline looks for.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/coord.h"
+#include "net/ip.h"
+
+namespace gam::net {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+enum class NodeKind { Router, Server, Client };
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::Router;
+  std::string name;     // "core1.fra.de" / hostname for servers
+  std::string country;  // ISO code
+  std::string city;     // city name (matches world::City::name)
+  geo::Coord coord;
+  uint32_t asn = 0;
+  IPv4 ip = 0;  // 0 for unnumbered nodes
+};
+
+/// A routed path and its one-way latency.
+struct Path {
+  std::vector<NodeId> nodes;  // from -> ... -> to inclusive
+  double one_way_ms = 0.0;
+
+  double rtt_ms() const { return 2.0 * one_way_ms; }
+  size_t hop_count() const { return nodes.empty() ? 0 : nodes.size() - 1; }
+};
+
+class Topology {
+ public:
+  /// Default path inflation: simulated fiber runs ~25% longer than geodesic.
+  static constexpr double kDefaultInflation = 1.25;
+  /// Per-hop store-and-forward/processing delay (one-way, ms).
+  static constexpr double kHopProcessingMs = 0.15;
+
+  /// Add a node; returns its id. If `ip` is non-zero the node becomes
+  /// addressable (find_by_ip / traceroute destination).
+  NodeId add_node(NodeKind kind, std::string name, std::string country, std::string city,
+                  geo::Coord coord, uint32_t asn, IPv4 ip = 0);
+
+  /// Link two nodes with latency derived from their coordinates:
+  ///   one_way = distance * inflation / kFiberKmPerMs + kHopProcessingMs.
+  void add_link(NodeId a, NodeId b, double inflation = kDefaultInflation);
+
+  /// Link with an explicit one-way latency (last-mile links, IXP fabrics).
+  void add_link_latency(NodeId a, NodeId b, double one_way_ms);
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& mutable_node(NodeId id) { return nodes_[id]; }
+  size_t node_count() const { return nodes_.size(); }
+  size_t link_count() const { return link_total_; }
+
+  const std::vector<std::pair<NodeId, double>>& neighbors(NodeId id) const {
+    return adj_[id];
+  }
+
+  /// Dijkstra shortest path by latency. nullopt if disconnected.
+  /// Results are memoized per source node (single-source tree).
+  std::optional<Path> shortest_path(NodeId from, NodeId to) const;
+
+  /// One-way latency of the shortest path, or +inf if disconnected.
+  double latency_ms(NodeId from, NodeId to) const;
+
+  NodeId find_by_ip(IPv4 ip) const;
+
+  /// All node ids of a given kind (used by probe/Atlas placement).
+  std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+
+  /// Drop all memoized routing state (call after mutating the graph).
+  void invalidate_routes() const;
+
+ private:
+  struct SourceTree {
+    std::vector<double> dist;
+    std::vector<NodeId> prev;
+  };
+  const SourceTree& tree_for(NodeId from) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<std::pair<NodeId, double>>> adj_;
+  std::unordered_map<IPv4, NodeId> by_ip_;
+  size_t link_total_ = 0;
+  mutable std::unordered_map<NodeId, SourceTree> trees_;
+};
+
+}  // namespace gam::net

@@ -1,0 +1,77 @@
+#include "probe/atlas.h"
+
+#include <limits>
+
+namespace gam::probe {
+
+const AtlasProbe& AtlasNetwork::add_probe(const net::Topology& topology, net::NodeId node) {
+  const net::Node& n = topology.node(node);
+  AtlasProbe p;
+  p.id = static_cast<int>(probes_.size()) + 1000;  // Atlas-style numeric ids
+  p.node = node;
+  p.country = n.country;
+  p.city = n.city;
+  p.asn = n.asn;
+  p.coord = n.coord;
+  probes_.push_back(p);
+  return probes_.back();
+}
+
+std::vector<const AtlasProbe*> AtlasNetwork::probes_in(std::string_view country) const {
+  std::vector<const AtlasProbe*> out;
+  for (const auto& p : probes_) {
+    if (p.country == country) out.push_back(&p);
+  }
+  return out;
+}
+
+std::optional<AtlasProbe> AtlasNetwork::select_probe(std::string_view country,
+                                                     std::string_view city, uint32_t asn,
+                                                     std::optional<geo::Coord> near) const {
+  if (probes_.empty()) return std::nullopt;
+
+  auto in_country = probes_in(country);
+  if (!in_country.empty()) {
+    // Same city?
+    if (!city.empty()) {
+      for (const auto* p : in_country) {
+        if (p->city == city) return *p;
+      }
+    }
+    // Same network?
+    if (asn != 0) {
+      for (const auto* p : in_country) {
+        if (p->asn == asn) return *p;
+      }
+    }
+    // Nearest within the country.
+    if (near) {
+      const AtlasProbe* best = in_country.front();
+      double best_km = std::numeric_limits<double>::infinity();
+      for (const auto* p : in_country) {
+        double km = geo::haversine_km(*near, p->coord);
+        if (km < best_km) {
+          best_km = km;
+          best = p;
+        }
+      }
+      return *best;
+    }
+    return *in_country.front();
+  }
+
+  // No probe in the country: globally nearest (neighboring-country fallback).
+  const AtlasProbe* best = nullptr;
+  double best_km = std::numeric_limits<double>::infinity();
+  geo::Coord ref = near.value_or(geo::Coord{0, 0});
+  for (const auto& p : probes_) {
+    double km = geo::haversine_km(ref, p.coord);
+    if (km < best_km) {
+      best_km = km;
+      best = &p;
+    }
+  }
+  return best ? std::optional<AtlasProbe>(*best) : std::nullopt;
+}
+
+}  // namespace gam::probe

@@ -1,0 +1,55 @@
+// A RIPE-Atlas-like measurement platform.
+//
+// The paper leans on Atlas twice: destination-based constraints trace from a
+// probe in the server's *claimed* country (§4.1.2), and source traceroutes
+// fall back to Atlas when the volunteer's own probes fail or are opted out
+// (Egypt, Australia, India, Qatar, Jordan — §4.1.1), including two cases
+// where the nearest usable probe sat in a *neighboring* country (Saudi
+// Arabia for Qatar, Israel for Jordan). Probe density here is skewed toward
+// the Global North by world generation, which is precisely the
+// infrastructure gap the paper is working around.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/coord.h"
+#include "net/topology.h"
+
+namespace gam::probe {
+
+struct AtlasProbe {
+  int id = 0;
+  net::NodeId node = net::kInvalidNode;
+  std::string country;  // ISO code
+  std::string city;
+  uint32_t asn = 0;
+  geo::Coord coord;
+};
+
+class AtlasNetwork {
+ public:
+  /// Register a probe at an existing topology node.
+  const AtlasProbe& add_probe(const net::Topology& topology, net::NodeId node);
+
+  size_t probe_count() const { return probes_.size(); }
+  const std::vector<AtlasProbe>& probes() const { return probes_; }
+  std::vector<const AtlasProbe*> probes_in(std::string_view country) const;
+
+  /// §4.1 selection policy: prefer a probe in `country` — same city first,
+  /// then same AS, then nearest to `near` (or the country's first probe).
+  /// When the country has no probes at all, fall back to the globally
+  /// nearest probe to `near` (the Saudi-for-Qatar case). nullopt only when
+  /// the platform has no probes.
+  std::optional<AtlasProbe> select_probe(std::string_view country,
+                                         std::string_view city = {},
+                                         uint32_t asn = 0,
+                                         std::optional<geo::Coord> near = std::nullopt) const;
+
+ private:
+  std::vector<AtlasProbe> probes_;
+};
+
+}  // namespace gam::probe

@@ -1,0 +1,36 @@
+#include "probe/ping.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace gam::probe {
+
+double PingResult::min_rtt_ms() const {
+  if (rtts_ms.empty()) return 0.0;
+  return *std::min_element(rtts_ms.begin(), rtts_ms.end());
+}
+
+double PingResult::avg_rtt_ms() const { return util::mean(rtts_ms); }
+
+PingResult PingEngine::ping(net::NodeId from, net::IPv4 dest, const PingOptions& opts,
+                            util::Rng& rng) const {
+  PingResult result;
+  result.target = dest;
+  result.sent = opts.count;
+  net::NodeId dest_node = topology_.find_by_ip(dest);
+  if (dest_node == net::kInvalidNode) return result;
+  double base = topology_.latency_ms(from, dest_node);
+  if (!std::isfinite(base)) return result;
+  if (rng.chance(opts.unreachable_prob)) return result;
+  for (int i = 0; i < opts.count; ++i) {
+    if (rng.chance(opts.loss_prob)) continue;
+    ++result.received;
+    result.rtts_ms.push_back(2.0 * base * rng.uniform_real(1.0, 1.08) +
+                             rng.exponential(3.0));
+  }
+  return result;
+}
+
+}  // namespace gam::probe

@@ -1,0 +1,42 @@
+// ICMP echo simulation. Gamma supports ping probes alongside traceroute
+// (§3, C3); the geolocation pipeline uses them as a lightweight RTT check
+// when a full trace is unnecessary.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace gam::probe {
+
+struct PingResult {
+  net::IPv4 target = 0;
+  int sent = 0;
+  int received = 0;
+  std::vector<double> rtts_ms;
+
+  bool reachable() const { return received > 0; }
+  double min_rtt_ms() const;
+  double avg_rtt_ms() const;
+  double loss_rate() const { return sent == 0 ? 0.0 : 1.0 - double(received) / sent; }
+};
+
+struct PingOptions {
+  int count = 4;
+  double loss_prob = 0.02;
+  double unreachable_prob = 0.05;  // host drops ICMP entirely
+};
+
+class PingEngine {
+ public:
+  explicit PingEngine(const net::Topology& topology) : topology_(topology) {}
+
+  PingResult ping(net::NodeId from, net::IPv4 dest, const PingOptions& opts,
+                  util::Rng& rng) const;
+
+ private:
+  const net::Topology& topology_;
+};
+
+}  // namespace gam::probe

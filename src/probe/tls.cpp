@@ -1,0 +1,91 @@
+#include "probe/tls.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+#include "web/psl.h"
+
+namespace gam::probe {
+
+std::string tls_version_name(TlsVersion v) {
+  switch (v) {
+    case TlsVersion::None: return "none";
+    case TlsVersion::Tls10: return "TLSv1.0";
+    case TlsVersion::Tls11: return "TLSv1.1";
+    case TlsVersion::Tls12: return "TLSv1.2";
+    case TlsVersion::Tls13: return "TLSv1.3";
+  }
+  return "?";
+}
+
+TlsProbeResult TlsProbeEngine::probe(net::NodeId from, net::IPv4 dest,
+                                     const TlsProbeOptions& options,
+                                     util::Rng& rng) const {
+  TlsProbeResult result;
+  result.target = dest;
+
+  net::NodeId server = topology_.find_by_ip(dest);
+  if (server == net::kInvalidNode) return result;
+  double one_way = topology_.latency_ms(from, server);
+  if (!std::isfinite(one_way)) return result;
+  double rtt = 2.0 * one_way;
+  if (rtt * 2 > options.timeout_ms) return result;  // 1-RTT handshake + TCP
+
+  const net::Node& node = topology_.node(server);
+  const net::AsInfo* as_info = registry_.lookup_ip(dest);
+  std::string org = as_info ? as_info->org : "Unknown Hosting";
+
+  // Server stack posture derived (stably) from the operator: the big
+  // platforms negotiate TLS 1.3; smaller hosts are a mix, with a tail of
+  // outdated configurations — the spread testssl surveys find.
+  uint64_t h = util::fnv1a(org) ^ (dest * 0x9e3779b97f4a7c15ULL);
+  bool major_platform = as_info && (as_info->kind == net::AsKind::Cloud ||
+                                    as_info->kind == net::AsKind::Content);
+  if (major_platform) {
+    result.version = TlsVersion::Tls13;
+    result.cipher = "TLS_AES_256_GCM_SHA384";
+  } else if (h % 100 < 70) {
+    result.version = TlsVersion::Tls12;
+    result.cipher = "ECDHE-RSA-AES128-GCM-SHA256";
+  } else if (h % 100 < 92) {
+    result.version = TlsVersion::Tls13;
+    result.cipher = "TLS_AES_128_GCM_SHA256";
+  } else if (h % 100 < 97) {
+    result.version = TlsVersion::Tls11;
+    result.cipher = "ECDHE-RSA-AES128-SHA";
+  } else {
+    result.version = TlsVersion::Tls10;
+    result.cipher = "AES128-SHA";
+  }
+
+  // Leaf certificate: CN is the server's canonical name; SANs cover the
+  // operator's registrable domain with a wildcard.
+  result.cert_subject = node.name;
+  std::string reg = web::registrable_domain(node.name);
+  if (!reg.empty()) {
+    result.cert_sans.push_back(reg);
+    result.cert_sans.push_back("*." + reg);
+  }
+  result.cert_issuer_org = major_platform ? "SimTrust Global CA" : "SimCert DV CA";
+
+  if (!options.sni_host.empty()) {
+    for (const auto& san : result.cert_sans) {
+      if (san == options.sni_host) result.certificate_matches_host = true;
+      if (util::starts_with(san, "*.") &&
+          web::host_within(options.sni_host, san.substr(2)) &&
+          options.sni_host != san.substr(2)) {
+        result.certificate_matches_host = true;
+      }
+    }
+    if (options.sni_host == result.cert_subject) result.certificate_matches_host = true;
+  }
+
+  // TCP handshake + 1-RTT TLS 1.3 or 2-RTT for older versions, plus jitter.
+  int tls_rtts = result.version == TlsVersion::Tls13 ? 1 : 2;
+  result.handshake_ms = rtt * (1 + tls_rtts) * rng.uniform_real(1.0, 1.08) +
+                        rng.exponential(2.0);
+  result.handshake_ok = true;
+  return result;
+}
+
+}  // namespace gam::probe

@@ -1,0 +1,65 @@
+// TLS probing — Gamma's testssl-style capability (§3, C3: "it supports the
+// deployment of other probes, e.g., ping and TLS using Nmap and Testssl, to
+// evaluate network latency, reachability, and security parameters").
+//
+// The simulated handshake reports the negotiated protocol version, the
+// certificate subject/SANs and issuer, and the handshake latency. Server
+// TLS posture is derived deterministically from the serving organization:
+// the majors run modern stacks (TLS 1.3), long-tail hosting skews older —
+// enough signal for the security-parameter comparisons the tool advertises.
+// Certificate SANs also give an *ownership* cross-check: the cert for a
+// tracker endpoint names its operator's domains, independent of DNS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/resolver.h"
+#include "net/asn.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace gam::probe {
+
+enum class TlsVersion { None, Tls10, Tls11, Tls12, Tls13 };
+
+std::string tls_version_name(TlsVersion v);
+
+struct TlsProbeResult {
+  net::IPv4 target = 0;
+  bool handshake_ok = false;
+  TlsVersion version = TlsVersion::None;
+  std::string cipher;              // negotiated suite
+  std::string cert_subject;        // leaf CN
+  std::vector<std::string> cert_sans;
+  std::string cert_issuer_org;     // CA organization
+  bool certificate_matches_host = false;  // SNI host covered by CN/SANs
+  double handshake_ms = 0.0;
+
+  /// Weak-configuration flag (testssl-style finding).
+  bool weak() const { return version == TlsVersion::Tls10 || version == TlsVersion::Tls11; }
+};
+
+struct TlsProbeOptions {
+  std::string sni_host;            // hostname presented in SNI ("" = none)
+  double timeout_ms = 5000.0;
+};
+
+class TlsProbeEngine {
+ public:
+  TlsProbeEngine(const net::Topology& topology, const net::AsRegistry& registry,
+                 const dns::Resolver& resolver)
+      : topology_(topology), registry_(registry), resolver_(resolver) {}
+
+  /// Probe `dest` from `from`. Deterministic per (dest, sni) modulo rng
+  /// jitter on the handshake latency.
+  TlsProbeResult probe(net::NodeId from, net::IPv4 dest, const TlsProbeOptions& options,
+                       util::Rng& rng) const;
+
+ private:
+  const net::Topology& topology_;
+  const net::AsRegistry& registry_;
+  const dns::Resolver& resolver_;
+};
+
+}  // namespace gam::probe

@@ -1,0 +1,83 @@
+#include "probe/traceroute.h"
+
+#include "util/stats.h"
+
+namespace gam::probe {
+
+double TracerouteHop::avg_rtt_ms() const { return util::mean(rtts_ms); }
+
+double TracerouteResult::last_hop_rtt_ms() const {
+  if (!reached || hops.empty()) return 0.0;
+  return hops.back().avg_rtt_ms();
+}
+
+double TracerouteResult::first_hop_rtt_ms() const {
+  for (const auto& h : hops) {
+    if (h.ip != 0 && !h.rtts_ms.empty()) return h.avg_rtt_ms();
+  }
+  return 0.0;
+}
+
+TracerouteResult TracerouteEngine::trace(net::NodeId from, net::IPv4 dest,
+                                         const TracerouteOptions& opts,
+                                         util::Rng& rng) const {
+  TracerouteResult result;
+  result.target = net::ip_to_string(dest);
+  result.dest_ip = dest;
+  result.max_ttl = opts.max_ttl;
+
+  net::NodeId dest_node = topology_.find_by_ip(dest);
+  if (dest_node == net::kInvalidNode) return result;  // unrouted: nothing answers
+  auto path = topology_.shortest_path(from, dest_node);
+  if (!path) return result;
+
+  // A firewalled path stops answering at a random interior router; the OS
+  // tool then prints '*' rows until max_ttl (we keep three for brevity, as
+  // interrupted runs are usually cut short by the operator or a timeout).
+  size_t cutoff = path->nodes.size();
+  if (rng.chance(opts.blocked_prob) && path->nodes.size() > 2) {
+    cutoff = 1 + rng.uniform(path->nodes.size() - 2);
+  }
+  bool dest_silent = rng.chance(opts.dest_noresponse_prob);
+
+  // Hop 0 is the source itself; TTL probing starts at the first router.
+  double cumulative_ms = 0.0;
+  net::NodeId prev = path->nodes.front();
+  for (size_t i = 1; i < path->nodes.size(); ++i) {
+    net::NodeId hop_node = path->nodes[i];
+    cumulative_ms += topology_.latency_ms(prev, hop_node);
+    prev = hop_node;
+    int ttl = static_cast<int>(i);
+    if (ttl > opts.max_ttl) break;
+
+    TracerouteHop hop;
+    hop.ttl = ttl;
+    bool is_dest = (i + 1 == path->nodes.size());
+    bool responds = true;
+    if (i >= cutoff) {
+      responds = false;  // firewalled
+    } else if (is_dest) {
+      responds = !dest_silent;
+    } else if (rng.chance(opts.hop_noresponse_prob)) {
+      responds = false;  // ICMP-silent router
+    }
+    // Unnumbered nodes cannot source TTL-exceeded replies.
+    if (responds && topology_.node(hop_node).ip == 0) responds = false;
+    if (responds) {
+      const net::Node& n = topology_.node(hop_node);
+      hop.ip = n.ip;
+      if (auto ptr = resolver_.reverse(n.ip)) hop.hostname = *ptr;
+      for (int q = 0; q < opts.queries_per_hop; ++q) {
+        double rtt = 2.0 * cumulative_ms * rng.uniform_real(1.0, 1.08) +
+                     rng.exponential(3.0);
+        hop.rtts_ms.push_back(rtt);
+      }
+      if (is_dest) result.reached = true;
+    }
+    result.hops.push_back(std::move(hop));
+    if (i >= cutoff && result.hops.size() >= cutoff + 2) break;  // give up after a few '*'
+  }
+  return result;
+}
+
+}  // namespace gam::probe

@@ -1,0 +1,65 @@
+// Traceroute simulation: Gamma's component C3.
+//
+// A trace walks the routed path from a source node toward a destination
+// address, reporting per-TTL round-trip samples exactly as the OS tools do:
+// cumulative propagation+processing latency with per-sample queueing jitter,
+// routers that silently drop probe TTL-exceeded replies ("* * *"), paths cut
+// off by firewalls (the reason traceroutes failed outright in Australia,
+// India, Qatar and Jordan, §4.1.1), and destinations that never answer.
+// The RTT samples it produces are the raw material for every latency-based
+// geolocation constraint downstream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/resolver.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace gam::probe {
+
+struct TracerouteHop {
+  int ttl = 0;                   // 1-based
+  net::IPv4 ip = 0;              // 0 = no response ("* * *")
+  std::string hostname;          // reverse DNS when available
+  std::vector<double> rtts_ms;   // per-query samples; empty if no response
+  double avg_rtt_ms() const;
+};
+
+struct TracerouteResult {
+  std::string target;  // destination as queried (dotted quad)
+  net::IPv4 dest_ip = 0;
+  int max_ttl = 30;
+  std::vector<TracerouteHop> hops;
+  bool reached = false;
+
+  /// RTT of the destination hop; 0 if unreached.
+  double last_hop_rtt_ms() const;
+  /// RTT of the first *responding* hop; 0 if none responded.
+  double first_hop_rtt_ms() const;
+};
+
+struct TracerouteOptions {
+  int max_ttl = 30;
+  int queries_per_hop = 3;
+  double hop_noresponse_prob = 0.12;  // ICMP-silent routers
+  double blocked_prob = 0.0;          // firewall cuts the path mid-way
+  double dest_noresponse_prob = 0.08; // destination ignores probes
+};
+
+class TracerouteEngine {
+ public:
+  TracerouteEngine(const net::Topology& topology, const dns::Resolver& resolver)
+      : topology_(topology), resolver_(resolver) {}
+
+  /// Trace from `from` (any node) to `dest`. Deterministic given rng state.
+  TracerouteResult trace(net::NodeId from, net::IPv4 dest, const TracerouteOptions& opts,
+                         util::Rng& rng) const;
+
+ private:
+  const net::Topology& topology_;
+  const dns::Resolver& resolver_;
+};
+
+}  // namespace gam::probe

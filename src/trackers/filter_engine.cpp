@@ -1,0 +1,68 @@
+#include "trackers/filter_engine.h"
+
+#include "util/strings.h"
+
+namespace gam::trackers {
+
+size_t FilterEngine::load_list(std::string_view text) {
+  size_t loaded = 0;
+  for (auto line : util::split_view(text, '\n')) {
+    if (auto rule = FilterRule::parse(line)) {
+      add_rule(std::move(*rule));
+      ++loaded;
+    }
+  }
+  return loaded;
+}
+
+void FilterEngine::add_rule(FilterRule rule) {
+  auto& rules = rule.exception ? exceptions_ : blocks_;
+  auto& index = rule.exception ? exception_index_ : block_index_;
+  auto& generic = rule.exception ? generic_exceptions_ : generic_blocks_;
+  size_t idx = rules.size();
+  if (rule.host_anchored) {
+    index[rule.anchor_host].push_back(idx);
+  } else {
+    generic.push_back(idx);
+  }
+  rules.push_back(std::move(rule));
+}
+
+const FilterRule* FilterEngine::match_set(
+    const std::vector<FilterRule>& rules,
+    const std::map<std::string, std::vector<size_t>, std::less<>>& index,
+    const std::vector<size_t>& generic, const RequestContext& ctx) const {
+  // Walk the request host and its parent domains through the host index.
+  std::string_view host = ctx.host;
+  while (!host.empty()) {
+    auto it = index.find(host);
+    if (it != index.end()) {
+      for (size_t idx : it->second) {
+        if (rule_matches(rules[idx], ctx)) return &rules[idx];
+      }
+    }
+    size_t dot = host.find('.');
+    if (dot == std::string_view::npos) break;
+    host = host.substr(dot + 1);
+  }
+  for (size_t idx : generic) {
+    if (rule_matches(rules[idx], ctx)) return &rules[idx];
+  }
+  return nullptr;
+}
+
+MatchResult FilterEngine::match(const RequestContext& ctx) const {
+  MatchResult result;
+  const FilterRule* block = match_set(blocks_, block_index_, generic_blocks_, ctx);
+  if (!block) return result;
+  const FilterRule* exc = match_set(exceptions_, exception_index_, generic_exceptions_, ctx);
+  if (exc) {
+    result.exception = exc;
+    return result;
+  }
+  result.blocked = true;
+  result.rule = block;
+  return result;
+}
+
+}  // namespace gam::trackers

@@ -1,0 +1,61 @@
+// Rule-set compilation and fast request matching.
+//
+// Ad-blockers match every network request against tens of thousands of
+// rules; the standard trick — also used here — is to index host-anchored
+// rules by anchor host so a request only consults the handful of rules
+// registered for its host (walking parent domains), plus a short list of
+// generic pattern rules. Exceptions (@@) are consulted only after a block
+// candidate matches, mirroring ABP precedence.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trackers/filter_rule.h"
+
+namespace gam::trackers {
+
+/// Outcome of matching one request against a compiled list.
+struct MatchResult {
+  bool blocked = false;
+  const FilterRule* rule = nullptr;      // the block rule that fired
+  const FilterRule* exception = nullptr; // the exception that saved it, if any
+};
+
+class FilterEngine {
+ public:
+  FilterEngine() = default;
+
+  /// Compile a full list text (one rule per line). Returns the number of
+  /// network rules loaded; comments/cosmetic/unsupported lines are skipped.
+  size_t load_list(std::string_view text);
+
+  /// Add one pre-parsed rule.
+  void add_rule(FilterRule rule);
+
+  /// Match a request. Block rules are tried first (host index, then generic
+  /// rules); on a hit, exception rules may override.
+  MatchResult match(const RequestContext& ctx) const;
+
+  size_t rule_count() const { return blocks_.size() + exceptions_.size(); }
+  size_t block_rule_count() const { return blocks_.size(); }
+  size_t exception_rule_count() const { return exceptions_.size(); }
+
+ private:
+  const FilterRule* match_set(const std::vector<FilterRule>& rules,
+                              const std::map<std::string, std::vector<size_t>, std::less<>>& index,
+                              const std::vector<size_t>& generic,
+                              const RequestContext& ctx) const;
+
+  std::vector<FilterRule> blocks_;
+  std::vector<FilterRule> exceptions_;
+  // anchor host -> indices into blocks_/exceptions_.
+  std::map<std::string, std::vector<size_t>, std::less<>> block_index_;
+  std::map<std::string, std::vector<size_t>, std::less<>> exception_index_;
+  std::vector<size_t> generic_blocks_;
+  std::vector<size_t> generic_exceptions_;
+};
+
+}  // namespace gam::trackers

@@ -1,0 +1,205 @@
+#include "trackers/filter_rule.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+#include "web/psl.h"
+
+namespace gam::trackers {
+
+unsigned type_bit(web::ResourceType t) {
+  switch (t) {
+    case web::ResourceType::Script: return kTypeScript;
+    case web::ResourceType::Image: return kTypeImage;
+    case web::ResourceType::Stylesheet: return kTypeStylesheet;
+    case web::ResourceType::Xhr: return kTypeXhr;
+    case web::ResourceType::Iframe: return kTypeSubdocument;
+    case web::ResourceType::Document: return kTypeDocument;
+  }
+  return kTypeAll;
+}
+
+namespace {
+
+bool is_separator(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return !(std::isalnum(u) || c == '-' || c == '.' || c == '_' || c == '%');
+}
+
+bool char_eq(char a, char b) {
+  return std::tolower(static_cast<unsigned char>(a)) ==
+         std::tolower(static_cast<unsigned char>(b));
+}
+
+// Match pattern (from pi) against text (from ti). If require_end, the match
+// must consume the whole text.
+bool match_at(std::string_view pat, size_t pi, std::string_view text, size_t ti,
+              bool require_end) {
+  if (pi == pat.size()) return !require_end || ti == text.size();
+  char pc = pat[pi];
+  if (pc == '*') {
+    for (size_t k = ti; k <= text.size(); ++k) {
+      if (match_at(pat, pi + 1, text, k, require_end)) return true;
+    }
+    return false;
+  }
+  if (pc == '^') {
+    if (ti == text.size()) return match_at(pat, pi + 1, text, ti, require_end);
+    if (is_separator(text[ti])) return match_at(pat, pi + 1, text, ti + 1, require_end);
+    return false;
+  }
+  if (ti < text.size() && char_eq(text[ti], pc)) {
+    return match_at(pat, pi + 1, text, ti + 1, require_end);
+  }
+  return false;
+}
+
+struct ParsedOptions {
+  bool ok = true;
+  unsigned type_mask = kTypeAll;
+  int party = 0;
+  std::vector<std::string> include_domains;
+  std::vector<std::string> exclude_domains;
+};
+
+ParsedOptions parse_options(std::string_view opts) {
+  ParsedOptions out;
+  unsigned positive_types = 0;
+  unsigned negative_types = 0;
+  for (auto opt : util::split_view(opts, ',')) {
+    opt = util::trim(opt);
+    bool negated = !opt.empty() && opt.front() == '~';
+    std::string_view name = negated ? opt.substr(1) : opt;
+    if (name == "third-party") {
+      out.party = negated ? -1 : 1;
+    } else if (name == "script") {
+      (negated ? negative_types : positive_types) |= kTypeScript;
+    } else if (name == "image") {
+      (negated ? negative_types : positive_types) |= kTypeImage;
+    } else if (name == "stylesheet") {
+      (negated ? negative_types : positive_types) |= kTypeStylesheet;
+    } else if (name == "xmlhttprequest") {
+      (negated ? negative_types : positive_types) |= kTypeXhr;
+    } else if (name == "subdocument") {
+      (negated ? negative_types : positive_types) |= kTypeSubdocument;
+    } else if (name == "document") {
+      (negated ? negative_types : positive_types) |= kTypeDocument;
+    } else if (util::starts_with(name, "domain=") && !negated) {
+      for (auto d : util::split_view(name.substr(7), '|')) {
+        d = util::trim(d);
+        if (d.empty()) continue;
+        if (d.front() == '~') {
+          out.exclude_domains.emplace_back(util::to_lower(d.substr(1)));
+        } else {
+          out.include_domains.emplace_back(util::to_lower(d));
+        }
+      }
+    } else {
+      out.ok = false;  // unsupported option: skip the whole rule, as ABP does
+      return out;
+    }
+  }
+  if (positive_types != 0) {
+    out.type_mask = positive_types;
+  } else if (negative_types != 0) {
+    out.type_mask = kTypeAll & ~negative_types;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool pattern_match(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return true;
+  for (size_t ti = 0; ti <= text.size(); ++ti) {
+    if (match_at(pattern, 0, text, ti, false)) return true;
+  }
+  return false;
+}
+
+std::optional<FilterRule> FilterRule::parse(std::string_view line) {
+  std::string_view s = util::trim(line);
+  if (s.empty() || s.front() == '!' || s.front() == '[') return std::nullopt;
+  // Element-hiding / scriptlet rules have no network effect.
+  if (util::contains(s, "##") || util::contains(s, "#@#") || util::contains(s, "#?#")) {
+    return std::nullopt;
+  }
+
+  FilterRule rule;
+  rule.raw = std::string(s);
+
+  if (util::starts_with(s, "@@")) {
+    rule.exception = true;
+    s.remove_prefix(2);
+  }
+
+  // Split options at the last '$' (hosts rarely contain '$'; lists never do).
+  size_t dollar = s.rfind('$');
+  if (dollar != std::string_view::npos && dollar + 1 < s.size()) {
+    ParsedOptions opts = parse_options(s.substr(dollar + 1));
+    if (!opts.ok) return std::nullopt;
+    rule.type_mask = opts.type_mask;
+    rule.party = opts.party;
+    rule.include_domains = std::move(opts.include_domains);
+    rule.exclude_domains = std::move(opts.exclude_domains);
+    s = s.substr(0, dollar);
+  }
+
+  if (util::starts_with(s, "||")) {
+    rule.host_anchored = true;
+    s.remove_prefix(2);
+    size_t host_end = s.find_first_of("/^*|");
+    rule.anchor_host = util::to_lower(s.substr(0, host_end));
+    if (rule.anchor_host.empty()) return std::nullopt;
+    s = host_end == std::string_view::npos ? std::string_view{} : s.substr(host_end);
+  } else if (util::starts_with(s, "|")) {
+    rule.start_anchored = true;
+    s.remove_prefix(1);
+  }
+  if (!s.empty() && s.back() == '|') {
+    rule.end_anchored = true;
+    s.remove_suffix(1);
+  }
+  rule.pattern = std::string(s);
+  if (!rule.host_anchored && rule.pattern.empty()) return std::nullopt;
+  return rule;
+}
+
+bool rule_matches(const FilterRule& rule, const RequestContext& ctx) {
+  if ((rule.type_mask & type_bit(ctx.type)) == 0) return false;
+  if (rule.party == 1 && !ctx.third_party) return false;
+  if (rule.party == -1 && ctx.third_party) return false;
+  if (!rule.include_domains.empty()) {
+    bool hit = false;
+    for (const auto& d : rule.include_domains) {
+      if (web::host_within(ctx.page_host, d)) hit = true;
+    }
+    if (!hit) return false;
+  }
+  for (const auto& d : rule.exclude_domains) {
+    if (web::host_within(ctx.page_host, d)) return false;
+  }
+
+  if (rule.host_anchored) {
+    if (!web::host_within(ctx.host, rule.anchor_host)) return false;
+    if (rule.pattern.empty() && !rule.end_anchored) return true;
+    // Match the remainder of the URL after the host.
+    size_t scheme_end = ctx.url.find("://");
+    size_t host_pos = scheme_end == std::string::npos ? 0 : scheme_end + 3;
+    std::string_view after_host =
+        std::string_view(ctx.url).substr(host_pos + ctx.host.size());
+    return match_at(rule.pattern, 0, after_host, 0, rule.end_anchored);
+  }
+  if (rule.start_anchored) {
+    return match_at(rule.pattern, 0, ctx.url, 0, rule.end_anchored);
+  }
+  if (rule.end_anchored) {
+    for (size_t ti = 0; ti <= ctx.url.size(); ++ti) {
+      if (match_at(rule.pattern, 0, ctx.url, ti, true)) return true;
+    }
+    return false;
+  }
+  return pattern_match(rule.pattern, ctx.url);
+}
+
+}  // namespace gam::trackers

@@ -1,0 +1,81 @@
+// Adblock-Plus filter-rule model and parser.
+//
+// EasyList and EasyPrivacy (§4.2) are written in the ABP filter language.
+// This implements the network-filter subset those lists actually rely on:
+//
+//   ! comment                      comments and [Adblock] headers
+//   ||host^                        host-anchored block (the dominant form)
+//   ||host/path*tail               host anchor with a path pattern
+//   /banner/*/img^                 plain pattern with wildcards
+//   |https://exact.example/x      start anchor;  trailing | is an end anchor
+//   @@||host^$...                  exception rule
+//   $options                       third-party, ~third-party, script, image,
+//                                  stylesheet, xmlhttprequest, subdocument,
+//                                  domain=a.com|~b.com
+//
+// Element-hiding rules (##) are parsed and ignored: they do not affect
+// network requests, which is all a tracking-flow measurement sees.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "web/website.h"
+
+namespace gam::trackers {
+
+/// Resource-type option mask.
+enum TypeMask : unsigned {
+  kTypeScript = 1u << 0,
+  kTypeImage = 1u << 1,
+  kTypeStylesheet = 1u << 2,
+  kTypeXhr = 1u << 3,
+  kTypeSubdocument = 1u << 4,
+  kTypeDocument = 1u << 5,
+  kTypeAll = 0x3F,
+};
+
+unsigned type_bit(web::ResourceType t);
+
+struct FilterRule {
+  std::string raw;       // original rule text
+  bool exception = false;  // @@ rule
+
+  // Pattern decomposition.
+  bool host_anchored = false;  // started with ||
+  bool start_anchored = false; // started with |
+  bool end_anchored = false;   // ended with |
+  std::string anchor_host;     // for host-anchored rules: the host part
+  std::string pattern;         // remaining pattern (may contain * and ^)
+
+  // Options.
+  unsigned type_mask = kTypeAll;
+  int party = 0;  // 0 = any, 1 = third-party only, -1 = first-party only
+  std::vector<std::string> include_domains;  // $domain= positives (page host)
+  std::vector<std::string> exclude_domains;  // $domain= ~negatives
+
+  /// Parse a single line. nullopt for comments, headers, element-hiding
+  /// rules, empty lines, and anything using unsupported syntax.
+  static std::optional<FilterRule> parse(std::string_view line);
+};
+
+/// Context for matching one network request against the rules.
+struct RequestContext {
+  std::string url;        // full request URL
+  std::string host;       // request host
+  std::string page_host;  // host of the page issuing the request
+  web::ResourceType type = web::ResourceType::Script;
+  bool third_party = false;  // request eTLD+1 != page eTLD+1
+};
+
+/// True if `rule` matches `ctx` (pattern and all options).
+bool rule_matches(const FilterRule& rule, const RequestContext& ctx);
+
+/// Wildcard pattern match used by rule_matches; exposed for tests.
+/// `^` matches a separator (anything not alphanumeric, '-', '.', '_', '%')
+/// or the end of input; `*` matches any run.
+bool pattern_match(std::string_view pattern, std::string_view text);
+
+}  // namespace gam::trackers

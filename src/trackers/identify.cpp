@@ -1,0 +1,71 @@
+#include "trackers/identify.h"
+
+#include "trackers/lists.h"
+#include "trackers/org_db.h"
+
+namespace gam::trackers {
+
+std::string id_method_name(IdMethod m) {
+  switch (m) {
+    case IdMethod::EasyList: return "easylist";
+    case IdMethod::EasyPrivacy: return "easyprivacy";
+    case IdMethod::RegionalList: return "regional-list";
+    case IdMethod::Manual: return "manual";
+    case IdMethod::None: return "none";
+  }
+  return "?";
+}
+
+TrackerIdentifier::TrackerIdentifier() {
+  easylist_.load_list(easylist_text());
+  easyprivacy_.load_list(easyprivacy_text());
+  for (const std::string& country : available_regional_lists()) {
+    FilterEngine engine;
+    engine.load_list(regional_list_text(country));
+    regional_.emplace(country, std::move(engine));
+  }
+}
+
+IdentifyResult TrackerIdentifier::identify(const RequestContext& ctx,
+                                           std::string_view source_country) const {
+  IdentifyResult out;
+  auto fill_org = [&] {
+    if (const Organization* org = OrgDb::instance().org_of_host(ctx.host)) {
+      out.org = org->name;
+    }
+  };
+
+  if (MatchResult m = easylist_.match(ctx); m.blocked) {
+    out.is_tracker = true;
+    out.method = IdMethod::EasyList;
+    out.evidence = m.rule->raw;
+    fill_org();
+    return out;
+  }
+  if (MatchResult m = easyprivacy_.match(ctx); m.blocked) {
+    out.is_tracker = true;
+    out.method = IdMethod::EasyPrivacy;
+    out.evidence = m.rule->raw;
+    fill_org();
+    return out;
+  }
+  if (auto it = regional_.find(source_country); it != regional_.end()) {
+    if (MatchResult m = it->second.match(ctx); m.blocked) {
+      out.is_tracker = true;
+      out.method = IdMethod::RegionalList;
+      out.evidence = m.rule->raw;
+      fill_org();
+      return out;
+    }
+  }
+  if (auto wtm = WhoTracksMe::instance().lookup(ctx.host)) {
+    out.is_tracker = true;
+    out.method = IdMethod::Manual;
+    out.evidence = "whotracksme:" + wtm->org;
+    out.org = wtm->org;
+    return out;
+  }
+  return out;
+}
+
+}  // namespace gam::trackers

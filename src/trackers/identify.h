@@ -1,0 +1,49 @@
+// Tracker identification: the paper's §4.2 pipeline.
+//
+// Order of evidence, exactly as the paper applies it to *non-local* domains:
+//   1. EasyList + EasyPrivacy (the bundled simulated lists);
+//   2. the regional ad/tracker list for the measurement country, where one
+//      exists;
+//   3. manual inspection via WhoTracksMe for whatever the lists missed.
+// A domain that fails all three is treated as a non-tracker (the paper
+// acknowledges this makes its results a lower bound).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "trackers/filter_engine.h"
+#include "trackers/whotracksme.h"
+
+namespace gam::trackers {
+
+enum class IdMethod { EasyList, EasyPrivacy, RegionalList, Manual, None };
+
+std::string id_method_name(IdMethod m);
+
+struct IdentifyResult {
+  bool is_tracker = false;
+  IdMethod method = IdMethod::None;
+  std::string evidence;  // matching rule text or WTM org
+  std::string org;       // owning organization if known ("" otherwise)
+};
+
+class TrackerIdentifier {
+ public:
+  /// Loads the bundled easylist/easyprivacy and every available regional list.
+  TrackerIdentifier();
+
+  /// Identify one request observed in `source_country`'s data.
+  IdentifyResult identify(const RequestContext& ctx, std::string_view source_country) const;
+
+  const FilterEngine& easylist() const { return easylist_; }
+  const FilterEngine& easyprivacy() const { return easyprivacy_; }
+
+ private:
+  FilterEngine easylist_;
+  FilterEngine easyprivacy_;
+  std::map<std::string, FilterEngine, std::less<>> regional_;
+};
+
+}  // namespace gam::trackers

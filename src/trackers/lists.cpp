@@ -1,0 +1,103 @@
+#include "trackers/lists.h"
+
+#include <set>
+
+#include "trackers/org_db.h"
+
+namespace gam::trackers {
+
+namespace {
+
+bool goes_to_easylist(Category c) {
+  switch (c) {
+    case Category::Advertising:
+    case Category::Social:
+    case Category::ContentDelivery:
+      return true;
+    case Category::Analytics:
+    case Category::AudienceMeasurement:
+    case Category::TagManager:
+    case Category::CustomerInteraction:
+      return false;
+  }
+  return true;
+}
+
+std::string build_list(bool easylist) {
+  std::string out;
+  out += easylist ? "[Adblock Plus 2.0]\n! Title: EasyList (simulated)\n"
+                  : "[Adblock Plus 2.0]\n! Title: EasyPrivacy (simulated)\n";
+  out += "! Homepage: https://easylist.to/\n";
+
+  // Domain rules derived from the directory.
+  for (const auto& t : OrgDb::instance().tracker_domains()) {
+    if (!t.in_easylist) continue;
+    if (!t.regional_list.empty()) continue;  // covered by a regional list instead
+    if (goes_to_easylist(t.category) != easylist) continue;
+    out += "||" + t.domain + "^";
+    // Social-widget and CDN rules in the real lists are mostly third-party
+    // qualified so they don't break the first-party site itself.
+    if (t.category == Category::Social || t.category == Category::ContentDelivery) {
+      out += "$third-party";
+    }
+    out += "\n";
+  }
+
+  if (easylist) {
+    // Generic ad-path rules (real EasyList has thousands of these).
+    out += "/adframe.\n";
+    out += "/adserver/*\n";
+    out += "/banner/*/ad_\n";
+    out += "&ad_type=\n";
+    out += "/popunder.js\n";
+    out += "||adnetwork-generic.example^\n";          // list bloat: never served
+    out += "||stale-ads-2009.example^$third-party\n";  // list bloat: never served
+    out += "@@||gstatic.com/recaptcha^\n";             // classic exception
+  } else {
+    out += "/analytics.js?\n";
+    out += "/pixel.gif?\n";
+    out += "/beacon/track^\n";
+    out += "/collect?v=1&\n";
+    out += "-tracking.min.js\n";
+    out += "||telemetry-generic.example^\n";  // list bloat: never served
+    out += "@@||example-consent.example/analytics.js?$domain=example-consent.example\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string& easylist_text() {
+  static const std::string kText = build_list(true);
+  return kText;
+}
+
+const std::string& easyprivacy_text() {
+  static const std::string kText = build_list(false);
+  return kText;
+}
+
+const std::vector<std::string>& available_regional_lists() {
+  static const std::vector<std::string> kCountries = [] {
+    std::set<std::string> seen;
+    for (const auto& t : OrgDb::instance().tracker_domains()) {
+      if (!t.regional_list.empty() && t.in_easylist) seen.insert(t.regional_list);
+    }
+    return std::vector<std::string>(seen.begin(), seen.end());
+  }();
+  return kCountries;
+}
+
+std::string regional_list_text(std::string_view country) {
+  std::string out;
+  for (const auto& t : OrgDb::instance().tracker_domains()) {
+    if (t.regional_list != country || !t.in_easylist) continue;
+    if (out.empty()) {
+      out += "[Adblock Plus 2.0]\n! Title: Regional list (" + std::string(country) + ")\n";
+    }
+    out += "||" + t.domain + "^\n";
+  }
+  return out;
+}
+
+}  // namespace gam::trackers

@@ -1,0 +1,33 @@
+// Bundled filter lists in Adblock-Plus syntax.
+//
+// The list texts are generated at first use from the tracker-domain
+// directory: domains flagged `in_easylist` become ||domain^ rules in either
+// the easylist (advertising/social/CDN) or easyprivacy (analytics/audience/
+// tag-manager/customer-interaction) text, mirroring the real lists' split.
+// Each text also carries the generic path rules, list-bloat entries for
+// domains the simulated web never serves, and a few @@ exceptions —
+// realistic structure the matching engine must cope with, exactly as the
+// paper's pipeline ran the real EasyList/EasyPrivacy (§4.2). Regional lists
+// exist for a subset of countries (the paper cites Indian and Sri Lankan
+// lists and others "where available").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gam::trackers {
+
+/// EasyList-like text: ad/social/CDN blocking rules.
+const std::string& easylist_text();
+
+/// EasyPrivacy-like text: analytics/audience/tag-manager rules.
+const std::string& easyprivacy_text();
+
+/// Countries that have a regional list ("IN", "LK", "RU", "CN", ...).
+const std::vector<std::string>& available_regional_lists();
+
+/// Regional list text for `country`; empty string when none exists.
+std::string regional_list_text(std::string_view country);
+
+}  // namespace gam::trackers

@@ -1,0 +1,262 @@
+// Organization and tracker-domain tables.
+//
+// Calibration targets (paper §6.5): ≈70 organizations; HQ distribution
+// ≈50% US, 10% UK, 4% NL, 4% IL; Google/Twitter/Facebook/Amazon/Yahoo as the
+// five largest trackers; single-country organizations for Jordan
+// (Jubnaadserve, OneTag, optad360) and for Qatar, the UK, Rwanda, Uganda and
+// Sri Lanka. Domains are real-world-plausible; this is a synthetic directory
+// for the simulated web, not a crawl of the real one.
+#include "trackers/org_data.h"
+
+namespace gam::trackers {
+
+namespace {
+constexpr int EL = kRawInEasylist;
+constexpr int WTM = kRawInWhoTracksMe;
+constexpr Category ADV = Category::Advertising;
+constexpr Category ANA = Category::Analytics;
+constexpr Category SOC = Category::Social;
+constexpr Category AUD = Category::AudienceMeasurement;
+constexpr Category TAG = Category::TagManager;
+constexpr Category CDN = Category::ContentDelivery;
+constexpr Category CUX = Category::CustomerInteraction;
+}  // namespace
+
+const std::vector<RawOrg>& raw_orgs() {
+  static const std::vector<RawOrg> kOrgs = {
+      // -------- United States (35; ≈50% of ~73) --------
+      {"Google", "US",
+       "google.com,youtube.com,blogger.com,google.com.eg,google.co.th,google.com.qa,"
+       "google.jo,google.az,google.ru,google.co.uk,google.com.au,google.co.nz,"
+       "google.com.pk,google.lk,google.ae,google.com.sa,google.com.tw,google.co.jp,"
+       "google.co.in,google.ca,google.dz,google.rw,google.co.ug,google.com.ar,"
+       "google.com.lb,google.com.kw"},
+      {"Facebook", "US", "facebook.com,instagram.com,whatsapp.com"},
+      {"Twitter", "US", "twitter.com,x.com"},
+      {"Amazon", "US", "amazon.com,primevideo.com"},
+      {"Yahoo", "US", "yahoo.com,aol.com"},
+      {"Microsoft", "US", "microsoft.com,linkedin.com,msn.com,openai.com"},
+      {"Adobe", "US", "adobe.com"},
+      {"Oracle", "US", "oracle.com"},
+      {"Salesforce", "US", "salesforce.com"},
+      {"comScore", "US", "comscore.com"},
+      {"OpenX", "US", "openx.com"},
+      {"33Across", "US", "33across.com"},
+      {"Lotame", "US", "lotame.com"},
+      {"PubMatic", "US", "pubmatic.com"},
+      {"Magnite", "US", "magnite.com"},
+      {"Xandr", "US", "xandr.com"},
+      {"Sovrn", "US", "sovrn.com"},
+      {"Sharethrough", "US", "sharethrough.com"},
+      {"Quantcast", "US", "quantcast.com"},
+      {"Nielsen", "US", "nielsen.com"},
+      {"Chartbeat", "US", "chartbeat.com"},
+      {"Parsely", "US", "parse.ly"},
+      {"New Relic", "US", "newrelic.com"},
+      {"Mixpanel", "US", "mixpanel.com"},
+      {"Segment", "US", "segment.com"},
+      {"Amplitude", "US", "amplitude.com"},
+      {"Braze", "US", "braze.com"},
+      {"Snap", "US", "snapchat.com"},
+      {"Pinterest", "US", "pinterest.com"},
+      {"LiveRamp", "US", "liveramp.com"},
+      {"Dotomi", "US", "dotomi.com"},
+      {"Akamai", "US", "akamai.com"},
+      {"Cloudflare", "US", "cloudflare.com"},
+      {"Fastly", "US", "fastly.com"},
+      {"The Trade Desk", "US", "thetradedesk.com"},
+      // -------- United Kingdom (7; ≈10%) --------
+      {"Ozone Project", "GB", "ozoneproject.com"},
+      {"BBC", "GB", "bbc.co.uk,bbc.com"},
+      {"ID5", "GB", "id5.io"},
+      {"Permutive", "GB", "permutive.com"},
+      {"LoopMe", "GB", "loopme.com"},
+      {"Captify", "GB", "captifytechnologies.com"},
+      {"Adbrain", "GB", "adbrain.com"},
+      // -------- Netherlands (3; ≈4%) --------
+      {"Improve Digital", "NL", "improvedigital.com"},
+      {"Booking.com", "NL", "booking.com"},
+      {"AdScience", "NL", "adscience.nl"},
+      // -------- Israel (3; ≈4%) --------
+      {"Taboola", "IL", "taboola.com"},
+      {"Outbrain", "IL", "outbrain.com"},
+      {"OpenWeb", "IL", "openweb.com"},
+      // -------- rest of the world (25) --------
+      {"Criteo", "FR", "criteo.com"},
+      {"Smart AdServer", "FR", "smartadserver.com"},
+      {"Smaato", "DE", "smaato.com"},
+      {"SoundCloud", "DE", "soundcloud.com"},
+      {"Adform", "DK", "adform.com"},
+      {"Teads", "LU", "teads.com"},
+      {"OneTag", "IT", "onetag.com"},
+      {"optAd360", "PL", "optad360.com"},
+      {"Jubnaadserve", "JO", "jubnaadserve.com"},
+      {"Hotjar", "MT", "hotjar.com"},
+      {"Matomo", "NZ", "matomo.org"},
+      {"Yandex", "RU", "yandex.ru"},
+      {"VK", "RU", "vk.com,mail.ru"},
+      {"Baidu", "CN", "baidu.com"},
+      {"ByteDance", "CN", "tiktok.com"},
+      {"Media.net", "AE", "media.net"},
+      {"InMobi", "IN", "inmobi.com"},
+      {"AdStudio", "IN", "adstudio.cloud"},
+      {"Eyeota", "SG", "eyeota.com"},
+      {"LankaMetrics", "SG", "lankametrics.com"},
+      {"Adzily", "QA", "adzily.com"},
+      {"KigaliMetrics", "RW", "kigalimetrics.rw"},
+      {"PearlAds", "KE", "pearlads.co.ke"},
+      {"Index Exchange", "CA", "indexexchange.com"},
+      {"Seedtag", "ES", "seedtag.com"},
+  };
+  return kOrgs;
+}
+
+const std::vector<RawTracker>& raw_trackers() {
+  static const std::vector<RawTracker> kTrackers = {
+      // -------- Google (the dominant tracker, §6.2/§6.5) --------
+      {"googletagmanager.com", "Google", TAG, EL | WTM, ""},
+      {"google-analytics.com", "Google", ANA, EL | WTM, ""},
+      {"doubleclick.net", "Google", ADV, EL | WTM, ""},
+      {"googlesyndication.com", "Google", ADV, EL | WTM, ""},
+      {"googleadservices.com", "Google", ADV, EL | WTM, ""},
+      {"googleapis.com", "Google", CDN, EL | WTM, ""},
+      {"gstatic.com", "Google", CDN, EL | WTM, ""},
+      {"googletagservices.com", "Google", ADV, EL | WTM, ""},
+      {"admob.com", "Google", ADV, EL | WTM, ""},
+      {"googleoptimize.com", "Google", ANA, EL | WTM, ""},
+      {"app-measurement.com", "Google", ANA, EL | WTM, ""},
+      {"googlevideo.com", "Google", CDN, WTM, ""},
+      // -------- Facebook --------
+      {"facebook.com", "Facebook", SOC, EL | WTM, ""},
+      {"facebook.net", "Facebook", SOC, EL | WTM, ""},
+      {"fbcdn.net", "Facebook", CDN, EL | WTM, ""},
+      {"instagram.com", "Facebook", SOC, WTM, ""},
+      {"whatsapp.net", "Facebook", SOC, WTM, ""},
+      // -------- Twitter --------
+      {"twitter.com", "Twitter", SOC, EL | WTM, ""},
+      {"twimg.com", "Twitter", CDN, EL | WTM, ""},
+      {"ads-twitter.com", "Twitter", ADV, EL | WTM, ""},
+      {"t.co", "Twitter", SOC, EL | WTM, ""},
+      // -------- Amazon --------
+      {"amazon-adsystem.com", "Amazon", ADV, EL | WTM, ""},
+      {"assoc-amazon.com", "Amazon", ADV, EL | WTM, ""},
+      {"cloudfront.net", "Amazon", CDN, WTM, ""},
+      {"media-amazon.com", "Amazon", CDN, WTM, ""},
+      // -------- Yahoo --------
+      {"yahoo.com", "Yahoo", ADV, EL | WTM, ""},
+      {"yimg.com", "Yahoo", CDN, EL | WTM, ""},
+      {"flurry.com", "Yahoo", ANA, EL | WTM, ""},
+      {"btrll.com", "Yahoo", ADV, EL | WTM, ""},
+      // -------- Microsoft --------
+      {"bing.com", "Microsoft", ADV, EL | WTM, ""},
+      {"clarity.ms", "Microsoft", ANA, EL | WTM, ""},
+      {"linkedin.com", "Microsoft", SOC, EL | WTM, ""},
+      {"licdn.com", "Microsoft", CDN, EL | WTM, ""},
+      {"msn.com", "Microsoft", ADV, WTM, ""},
+      // -------- Adobe --------
+      {"demdex.net", "Adobe", AUD, EL | WTM, ""},
+      {"omtrdc.net", "Adobe", ANA, EL | WTM, ""},
+      {"everesttech.net", "Adobe", ADV, EL | WTM, ""},
+      {"adobedtm.com", "Adobe", TAG, EL | WTM, ""},
+      {"2o7.net", "Adobe", ANA, EL | WTM, ""},
+      // -------- Oracle --------
+      {"bluekai.com", "Oracle", AUD, EL | WTM, ""},
+      {"addthis.com", "Oracle", SOC, EL | WTM, ""},
+      {"moatads.com", "Oracle", ADV, EL | WTM, ""},
+      {"nexac.com", "Oracle", AUD, EL | WTM, ""},
+      // -------- Salesforce --------
+      {"krxd.net", "Salesforce", AUD, EL | WTM, ""},
+      {"pardot.com", "Salesforce", CUX, EL | WTM, ""},
+      {"exacttarget.com", "Salesforce", CUX, EL | WTM, ""},
+      // -------- mid-tier US ad tech --------
+      {"scorecardresearch.com", "comScore", AUD, EL | WTM, ""},
+      {"sitestat.com", "comScore", ANA, EL, ""},
+      {"openx.net", "OpenX", ADV, EL | WTM, ""},
+      {"33across.com", "33Across", ADV, EL | WTM, ""},
+      {"tynt.com", "33Across", ANA, EL | WTM, ""},
+      {"crwdcntrl.net", "Lotame", AUD, EL | WTM, ""},
+      {"pubmatic.com", "PubMatic", ADV, EL | WTM, ""},
+      {"rubiconproject.com", "Magnite", ADV, EL | WTM, ""},
+      {"adnxs.com", "Xandr", ADV, EL | WTM, ""},
+      {"lijit.com", "Sovrn", ADV, EL | WTM, ""},
+      {"sharethrough.com", "Sharethrough", ADV, EL | WTM, ""},
+      {"quantserve.com", "Quantcast", AUD, EL | WTM, ""},
+      {"quantcount.com", "Quantcast", AUD, EL, ""},
+      {"imrworldwide.com", "Nielsen", AUD, EL | WTM, ""},
+      {"chartbeat.com", "Chartbeat", ANA, EL | WTM, ""},
+      {"chartbeat.net", "Chartbeat", ANA, EL | WTM, ""},
+      {"parsely.com", "Parsely", ANA, EL | WTM, ""},
+      {"newrelic.com", "New Relic", ANA, EL | WTM, ""},
+      {"nr-data.net", "New Relic", ANA, EL | WTM, ""},
+      {"mixpanel.com", "Mixpanel", ANA, EL | WTM, ""},
+      {"mxpnl.com", "Mixpanel", ANA, EL, ""},
+      {"segment.io", "Segment", ANA, EL | WTM, ""},
+      {"amplitude.com", "Amplitude", ANA, EL | WTM, ""},
+      {"appboy.com", "Braze", CUX, EL | WTM, ""},
+      {"snapchat.com", "Snap", SOC, EL | WTM, ""},
+      {"sc-static.net", "Snap", CDN, EL | WTM, ""},
+      {"pinterest.com", "Pinterest", SOC, EL | WTM, ""},
+      {"pinimg.com", "Pinterest", CDN, EL, ""},
+      {"rlcdn.com", "LiveRamp", AUD, EL | WTM, ""},
+      {"dotomi.com", "Dotomi", ADV, EL | WTM, ""},
+      {"akamaihd.net", "Akamai", CDN, WTM, ""},
+      {"go-mpulse.net", "Akamai", ANA, WTM, ""},
+      {"cloudflareinsights.com", "Cloudflare", ANA, EL | WTM, ""},
+      {"fastly.net", "Fastly", CDN, WTM, ""},
+      {"adsrvr.org", "The Trade Desk", ADV, EL | WTM, ""},
+      // -------- United Kingdom --------
+      {"theozone-project.com", "Ozone Project", ADV, WTM, ""},  // §4.2's manual example
+      {"bbci.co.uk", "BBC", ANA, WTM, ""},
+      {"id5-sync.com", "ID5", AUD, EL | WTM, ""},
+      {"permutive.com", "Permutive", AUD, EL | WTM, ""},
+      {"permutive.app", "Permutive", AUD, WTM, ""},
+      {"loopme.me", "LoopMe", ADV, EL | WTM, ""},
+      {"captify.co.uk", "Captify", AUD, WTM, ""},
+      {"adbrain.com", "Adbrain", AUD, WTM, ""},
+      // -------- Netherlands --------
+      {"360yield.com", "Improve Digital", ADV, EL | WTM, ""},
+      {"bstatic.com", "Booking.com", CDN, WTM, ""},
+      {"booking.com", "Booking.com", ADV, EL | WTM, ""},
+      {"adscience.nl", "AdScience", ADV, WTM, ""},
+      // -------- Israel --------
+      {"taboola.com", "Taboola", ADV, EL | WTM, ""},
+      {"outbrain.com", "Outbrain", ADV, EL | WTM, ""},
+      {"outbrainimg.com", "Outbrain", CDN, EL, ""},
+      {"spot.im", "OpenWeb", CUX, EL | WTM, ""},
+      // -------- rest of the world --------
+      {"criteo.com", "Criteo", ADV, EL | WTM, ""},
+      {"criteo.net", "Criteo", ADV, EL | WTM, ""},
+      {"smartadserver.com", "Smart AdServer", ADV, EL | WTM, ""},
+      {"smaato.net", "Smaato", ADV, EL | WTM, ""},
+      {"sndcdn.com", "SoundCloud", CDN, WTM, ""},
+      {"soundcloud.com", "SoundCloud", SOC, WTM, ""},
+      {"adform.net", "Adform", ADV, EL | WTM, ""},
+      {"teads.tv", "Teads", ADV, EL | WTM, ""},
+      {"onetag-sys.com", "OneTag", ADV, EL | WTM, ""},
+      {"optad360.io", "optAd360", ADV, EL | WTM, ""},
+      {"jubnaadserve.com", "Jubnaadserve", ADV, WTM, ""},
+      {"hotjar.com", "Hotjar", CUX, EL | WTM, ""},
+      {"matomo.cloud", "Matomo", ANA, WTM, ""},
+      {"yandex.ru", "Yandex", ANA, EL | WTM, "RU"},
+      {"yastatic.net", "Yandex", CDN, EL, "RU"},
+      {"vk.com", "VK", SOC, EL | WTM, "RU"},
+      {"mail.ru", "VK", ANA, EL | WTM, "RU"},
+      {"baidu.com", "Baidu", ANA, EL | WTM, "CN"},
+      {"tiktok.com", "ByteDance", SOC, EL | WTM, ""},
+      {"ttwstatic.com", "ByteDance", CDN, EL, ""},
+      {"media.net", "Media.net", ADV, EL | WTM, ""},
+      {"inmobi.com", "InMobi", ADV, EL | WTM, "IN"},
+      {"adstudio.cloud", "AdStudio", ADV, WTM, "LK"},  // §7's Sri Lanka -> India flow
+      {"eyeota.net", "Eyeota", AUD, EL | WTM, ""},
+      {"lankametrics.lk", "LankaMetrics", ANA, EL | WTM, "LK"},
+      {"adzily.com", "Adzily", ADV, WTM, "QA"},
+      {"kigalimetrics.rw", "KigaliMetrics", ANA, WTM, "RW"},
+      {"pearlads.co.ke", "PearlAds", ADV, WTM, "UG"},
+      {"indexexchange.com", "Index Exchange", ADV, EL | WTM, ""},
+      {"casalemedia.com", "Index Exchange", ADV, EL | WTM, ""},
+      {"seedtag.com", "Seedtag", ADV, EL | WTM, ""},
+  };
+  return kTrackers;
+}
+
+}  // namespace gam::trackers

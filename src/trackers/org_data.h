@@ -1,0 +1,31 @@
+// Raw static tables backing OrgDb. Split into its own translation unit to
+// keep the large literal arrays out of the logic file.
+#pragma once
+
+#include <vector>
+
+#include "trackers/org_db.h"
+
+namespace gam::trackers {
+
+inline constexpr int kRawInEasylist = 1;
+inline constexpr int kRawInWhoTracksMe = 2;
+
+struct RawOrg {
+  const char* name;
+  const char* hq;       // ISO country code
+  const char* domains;  // comma-separated registrable domains (sites etc.)
+};
+
+struct RawTracker {
+  const char* domain;
+  const char* org;
+  Category category;
+  int flags;                  // kRawInEasylist | kRawInWhoTracksMe
+  const char* regional_list;  // ISO code or ""
+};
+
+const std::vector<RawOrg>& raw_orgs();
+const std::vector<RawTracker>& raw_trackers();
+
+}  // namespace gam::trackers

@@ -1,0 +1,77 @@
+// Organization ownership database — the vocabulary behind §6.5–§6.7.
+//
+// The paper attributes every non-local tracking domain to an owning
+// organization via WhoTracksMe plus manual inspection, then reports the HQ
+// country distribution (~70 companies: 50% US, 10% UK, 4% NL, 4% IL) and
+// uses organization identity for first-vs-third-party classification
+// (google.com.eg embedding doubleclick.net is *first-party* because both are
+// Google). This module is the reproduction's equivalent ground-truth
+// directory: organizations, their registrable domains, and the tracker
+// domains they operate, each annotated with how the paper's method could
+// identify it (filter list, regional list, or manual WhoTracksMe lookup).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gam::trackers {
+
+enum class Category {
+  Advertising,
+  Analytics,
+  Social,
+  AudienceMeasurement,
+  TagManager,
+  ContentDelivery,
+  CustomerInteraction,
+};
+
+std::string category_name(Category c);
+
+struct Organization {
+  std::string name;
+  std::string hq_country;             // ISO code
+  std::vector<std::string> domains;   // registrable domains owned (sites + trackers)
+};
+
+struct TrackerDomainInfo {
+  std::string domain;  // registrable domain
+  std::string org;     // owning organization name
+  Category category = Category::Advertising;
+  bool in_easylist = false;      // matched by the bundled easylist/easyprivacy
+  std::string regional_list;     // ISO code of a regional list covering it ("" = none)
+  bool in_whotracksme = false;   // discoverable via the manual-inspection DB
+};
+
+class OrgDb {
+ public:
+  static const OrgDb& instance();
+
+  const std::vector<Organization>& orgs() const { return orgs_; }
+  const std::vector<TrackerDomainInfo>& tracker_domains() const { return trackers_; }
+
+  const Organization* find_org(std::string_view name) const;
+
+  /// Owner of `host`, resolved through its registrable domain. nullptr when
+  /// the domain belongs to no known organization.
+  const Organization* org_of_host(std::string_view host) const;
+
+  /// Tracker metadata for `host` (again via registrable domain); nullptr if
+  /// the domain is not a known tracker domain.
+  const TrackerDomainInfo* tracker_of_host(std::string_view host) const;
+
+  /// HQ-country histogram over all organizations (for the §6.5 statistic).
+  std::map<std::string, size_t> hq_histogram() const;
+
+ private:
+  OrgDb();
+  std::vector<Organization> orgs_;
+  std::vector<TrackerDomainInfo> trackers_;
+  std::map<std::string, size_t, std::less<>> org_by_name_;
+  std::map<std::string, size_t, std::less<>> org_by_domain_;
+  std::map<std::string, size_t, std::less<>> tracker_by_domain_;
+};
+
+}  // namespace gam::trackers

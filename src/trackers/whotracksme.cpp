@@ -1,0 +1,26 @@
+#include "trackers/whotracksme.h"
+
+#include "web/psl.h"
+
+namespace gam::trackers {
+
+const WhoTracksMe& WhoTracksMe::instance() {
+  static const WhoTracksMe db;
+  return db;
+}
+
+std::optional<WtmEntry> WhoTracksMe::lookup(std::string_view host) const {
+  const TrackerDomainInfo* info = OrgDb::instance().tracker_of_host(host);
+  if (!info || !info->in_whotracksme) return std::nullopt;
+  return WtmEntry{info->domain, info->org, info->category};
+}
+
+size_t WhoTracksMe::size() const {
+  size_t n = 0;
+  for (const auto& t : OrgDb::instance().tracker_domains()) {
+    if (t.in_whotracksme) ++n;
+  }
+  return n;
+}
+
+}  // namespace gam::trackers

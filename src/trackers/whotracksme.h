@@ -1,0 +1,41 @@
+// WhoTracksMe-like lookup database for the manual-inspection step.
+//
+// §4.2: domains the filter lists miss were "manually inspected using
+// WhoTracksMe along with a cursory Internet search". This models that
+// resource: a directory keyed by registrable domain, returning the operator
+// organization and tracking category when the domain is known. Coverage is
+// deliberately partial (flagged per-domain in the directory) so the
+// identification funnel has the same three tiers as the paper's:
+// list hit -> manual hit -> unidentified.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "trackers/org_db.h"
+
+namespace gam::trackers {
+
+struct WtmEntry {
+  std::string domain;   // registrable domain
+  std::string org;      // operator
+  Category category = Category::Advertising;
+};
+
+class WhoTracksMe {
+ public:
+  static const WhoTracksMe& instance();
+
+  /// Look up a host (resolved via its registrable domain). nullopt when the
+  /// database has no entry — the paper then falls back to a web search; we
+  /// treat that as unidentified.
+  std::optional<WtmEntry> lookup(std::string_view host) const;
+
+  size_t size() const;
+
+ private:
+  WhoTracksMe() = default;
+};
+
+}  // namespace gam::trackers

@@ -1,0 +1,100 @@
+// Minimal JSON document model, serializer and parser.
+//
+// Gamma's promise in the paper (§3) is that every measurement — whether it
+// came from Linux `traceroute`, Windows `tracert`, or a library backend — is
+// normalized into "an identical structure JSON file". This module is that
+// normalization target. It is deliberately small: object, array, string,
+// number, bool, null; no comments, no NaN/Inf.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gam::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps key order deterministic, which keeps golden-file tests stable.
+using JsonObject = std::map<std::string, Json>;
+
+/// A JSON value. Copyable, with value semantics throughout.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(int v) : type_(Type::Number), num_(v) {}
+  Json(long v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+  Json(size_t v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+  Json(double v) : type_(Type::Number), num_(v) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), str_(s) {}
+  Json(JsonArray a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool(bool fallback = false) const { return is_bool() ? bool_ : fallback; }
+  double as_number(double fallback = 0.0) const { return is_number() ? num_ : fallback; }
+  long as_long(long fallback = 0) const {
+    return is_number() ? static_cast<long>(num_) : fallback;
+  }
+  const std::string& as_string() const { return str_; }
+
+  /// Array access. push_back converts a non-array into an array.
+  void push_back(Json v);
+  size_t size() const;
+  const Json& at(size_t i) const;
+  const JsonArray& items() const { return arr_; }
+
+  /// Object access. operator[] converts a non-object into an object.
+  Json& operator[](const std::string& key);
+  const Json* find(std::string_view key) const;
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+  const JsonObject& fields() const { return obj_; }
+
+  /// Convenience typed getters with fallbacks for absent/mistyped keys.
+  std::string get_string(std::string_view key, std::string fallback = "") const;
+  double get_number(std::string_view key, double fallback = 0.0) const;
+  bool get_bool(std::string_view key, bool fallback = false) const;
+
+  /// Serialize. indent < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Parse. Returns nullopt on any syntax error.
+  static std::optional<Json> parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Escape a string for inclusion in a JSON document (adds quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace gam::util

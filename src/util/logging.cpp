@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace gam::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+void log_debug(std::string_view c, std::string_view m) { log(LogLevel::Debug, c, m); }
+void log_info(std::string_view c, std::string_view m) { log(LogLevel::Info, c, m); }
+void log_warn(std::string_view c, std::string_view m) { log(LogLevel::Warn, c, m); }
+void log_error(std::string_view c, std::string_view m) { log(LogLevel::Error, c, m); }
+
+}  // namespace gam::util

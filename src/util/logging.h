@@ -1,0 +1,28 @@
+// Leveled logging with a process-global threshold.
+//
+// The suite is a library first; logging defaults to Warn so tests and
+// benchmarks stay quiet. Examples raise the level to Info to narrate what
+// Gamma is doing, mirroring the progress output the real tool shows
+// volunteers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace gam::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set/get the global threshold. Messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr as "[LEVEL] component: message".
+void log(LogLevel level, std::string_view component, std::string_view message);
+
+void log_debug(std::string_view component, std::string_view message);
+void log_info(std::string_view component, std::string_view message);
+void log_warn(std::string_view component, std::string_view message);
+void log_error(std::string_view component, std::string_view message);
+
+}  // namespace gam::util

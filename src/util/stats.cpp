@@ -1,0 +1,152 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gam::util {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+namespace {
+double quantile_sorted(const std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  if (v.size() == 1) return v[0];
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+}  // namespace
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return quantile_sorted(v, 0.5);
+}
+
+double quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  return quantile_sorted(v, q);
+}
+
+BoxStats box_stats(std::vector<double> v) {
+  BoxStats b;
+  b.n = v.size();
+  if (v.empty()) return b;
+  b.mean = mean(v);
+  b.stddev = stddev(v);
+  std::sort(v.begin(), v.end());
+  b.min = v.front();
+  b.max = v.back();
+  b.q1 = quantile_sorted(v, 0.25);
+  b.median = quantile_sorted(v, 0.5);
+  b.q3 = quantile_sorted(v, 0.75);
+  b.iqr = b.q3 - b.q1;
+  double lo_fence = b.q1 - 1.5 * b.iqr;
+  double hi_fence = b.q3 + 1.5 * b.iqr;
+  b.whisker_lo = b.max;
+  b.whisker_hi = b.min;
+  for (double x : v) {
+    if (x >= lo_fence && x < b.whisker_lo) b.whisker_lo = x;
+    if (x <= hi_fence && x > b.whisker_hi) b.whisker_hi = x;
+    if (x < lo_fence || x > hi_fence) b.outliers.push_back(x);
+  }
+  return b;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+std::vector<double> ranks(const std::vector<double>& v, size_t n) {
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> r(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) r[idx[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+}  // namespace
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  std::vector<double> xs(x.begin(), x.begin() + static_cast<long>(n));
+  std::vector<double> ys(y.begin(), y.begin() + static_cast<long>(n));
+  return pearson(ranks(xs, n), ranks(ys, n));
+}
+
+double skewness(const std::vector<double>& v) {
+  size_t n = v.size();
+  if (n < 3) return 0.0;
+  double m = mean(v);
+  double s2 = 0, s3 = 0;
+  for (double x : v) {
+    double d = x - m;
+    s2 += d * d;
+    s3 += d * d * d;
+  }
+  double nd = static_cast<double>(n);
+  double sd = std::sqrt(s2 / nd);
+  if (sd <= 0) return 0.0;
+  double g1 = (s3 / nd) / (sd * sd * sd);
+  return std::sqrt(nd * (nd - 1)) / (nd - 2) * g1;
+}
+
+std::vector<size_t> histogram(const std::vector<double>& v, double lo, double hi, size_t bins) {
+  std::vector<size_t> out(bins, 0);
+  if (bins == 0 || hi <= lo) return out;
+  double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : v) {
+    long b = static_cast<long>((x - lo) / width);
+    b = std::clamp<long>(b, 0, static_cast<long>(bins) - 1);
+    ++out[static_cast<size_t>(b)];
+  }
+  return out;
+}
+
+std::map<long, size_t> frequency(const std::vector<double>& v) {
+  std::map<long, size_t> f;
+  for (double x : v) ++f[std::lround(x)];
+  return f;
+}
+
+}  // namespace gam::util

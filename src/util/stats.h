@@ -1,0 +1,53 @@
+// Descriptive statistics used throughout the analysis layer.
+//
+// These mirror the quantities the paper reports: means with standard
+// deviation (Fig 3/4 prose), box-plot five-number summaries (Fig 4),
+// Pearson correlation (the 0.89 T_reg/T_gov correlation), and skewness
+// (the "positive skew" observation in §6.2).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace gam::util {
+
+double mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(const std::vector<double>& v);
+
+/// Median via linear interpolation between the two middle order statistics.
+double median(std::vector<double> v);
+
+/// Quantile q in [0,1] with linear interpolation; v need not be sorted.
+double quantile(std::vector<double> v, double q);
+
+/// Five-number summary plus mean/σ and Tukey outliers, as a box plot needs.
+struct BoxStats {
+  size_t n = 0;
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  double mean = 0, stddev = 0;
+  double iqr = 0;
+  double whisker_lo = 0, whisker_hi = 0;  // Tukey 1.5*IQR fences, clamped to data
+  std::vector<double> outliers;           // points beyond the fences
+};
+BoxStats box_stats(std::vector<double> v);
+
+/// Pearson correlation coefficient; 0 if either side is constant or n < 2.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Adjusted Fisher-Pearson standardized moment coefficient; 0 for n < 3.
+double skewness(const std::vector<double>& v);
+
+/// Histogram with fixed-width bins over [lo, hi); values outside are clamped
+/// into the edge bins. Returns per-bin counts.
+std::vector<size_t> histogram(const std::vector<double>& v, double lo, double hi, size_t bins);
+
+/// Frequency map of integer-valued data (used by Fig 9).
+std::map<long, size_t> frequency(const std::vector<double>& v);
+
+}  // namespace gam::util

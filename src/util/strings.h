@@ -1,0 +1,52 @@
+// String helpers shared across the suite.
+//
+// All functions are pure and allocation-conscious: splitting returns
+// string_views into the caller's buffer where lifetimes allow, and owning
+// overloads are provided for convenience.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gam::util {
+
+/// Split `s` on `delim`, keeping empty fields. Views alias `s`.
+std::vector<std::string_view> split_view(std::string_view s, char delim);
+
+/// Split `s` on `delim`, returning owning strings.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on arbitrary whitespace runs, dropping empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string join(const std::vector<std::string_view>& parts, std::string_view sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with / ends with `prefix` / `suffix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// True if `s` contains `needle`.
+bool contains(std::string_view s, std::string_view needle);
+
+/// Replace every occurrence of `from` in `s` with `to`.
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to);
+
+/// Case-insensitive equality (ASCII).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Parse a non-negative integer; returns -1 on malformed input.
+long parse_long(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace gam::util

@@ -1,0 +1,128 @@
+#include "web/browser.h"
+
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "web/url.h"
+
+namespace gam::web {
+
+std::vector<const NetworkRequest*> PageLoadRecord::content_requests() const {
+  std::vector<const NetworkRequest*> out;
+  for (const auto& r : requests) {
+    if (!r.background) out.push_back(&r);
+  }
+  return out;
+}
+
+const std::vector<std::string>& webdriver_noise_domains() {
+  static const std::vector<std::string> kNoise = {
+      "update.googleapis.com",
+      "clients2.google.com",
+      "safebrowsing.googleapis.com",
+      "accounts.google.com",
+      "optimizationguide-pa.googleapis.com",
+  };
+  return kNoise;
+}
+
+Browser::Browser(const WebUniverse& universe, const dns::Resolver& resolver,
+                 const net::Topology& topology, BrowserOptions options)
+    : universe_(universe), resolver_(resolver), topology_(topology),
+      options_(std::move(options)) {}
+
+NetworkRequest Browser::fetch(std::string_view url, ResourceType type,
+                              net::NodeId client_node, std::string_view client_country,
+                              util::Rng& rng) const {
+  NetworkRequest req;
+  req.url = std::string(url);
+  req.domain = host_of(url);
+  req.type = type;
+  if (req.domain.empty()) return req;
+
+  dns::Answer ans = resolver_.resolve(req.domain, client_country);
+  req.cname_chain = ans.chain;
+  if (ans.nxdomain()) return req;
+  req.ip = ans.primary();
+
+  net::NodeId server = topology_.find_by_ip(req.ip);
+  if (server == net::kInvalidNode) return req;
+  double base_rtt = 2.0 * topology_.latency_ms(client_node, server);
+  if (!std::isfinite(base_rtt)) return req;
+  // Queueing/processing jitter: multiplicative (congestion along the path)
+  // plus a small additive server-think component. Never below propagation.
+  req.rtt_ms = base_rtt * rng.uniform_real(1.0, 1.12) + rng.exponential(2.0);
+  req.completed = true;
+  return req;
+}
+
+PageLoadRecord Browser::load(const Website& site, net::NodeId client_node,
+                             std::string_view client_country, double failure_rate,
+                             util::Rng& rng) const {
+  PageLoadRecord rec;
+  rec.site_domain = site.domain;
+  rec.url = site.url();
+  rec.client_country = std::string(client_country);
+
+  // Connectivity-quality failure model (Fig 2b). A failed load either hangs
+  // until the hard timeout kills the instance or drops early.
+  if (rng.chance(failure_rate)) {
+    rec.loaded = false;
+    if (rng.chance(0.4)) {
+      rec.failure_reason = "hang";
+      rec.total_time_s = options_.hard_timeout_s;
+    } else {
+      rec.failure_reason = rng.chance(0.5) ? "timeout" : "connection";
+      rec.total_time_s = rng.uniform_real(5.0, options_.render_wait_s);
+    }
+    return rec;
+  }
+
+  // The document request itself.
+  NetworkRequest doc = fetch(rec.url, ResourceType::Document, client_node, client_country, rng);
+  if (!doc.completed) {
+    rec.loaded = false;
+    rec.failure_reason = doc.ip == 0 ? "dns" : "connection";
+    rec.total_time_s = rng.uniform_real(1.0, 10.0);
+    rec.requests.push_back(std::move(doc));
+    return rec;
+  }
+  rec.requests.push_back(std::move(doc));
+
+  // Breadth-first expansion of embedded resources and the extra requests
+  // their domains trigger (tag managers, ad scripts). URL-deduplicated.
+  std::set<std::string> seen_urls{rec.url};
+  std::deque<std::pair<Resource, int>> queue;
+  for (const Resource& r : site.resources) queue.push_back({r, 1});
+  while (!queue.empty()) {
+    auto [res, depth] = queue.front();
+    queue.pop_front();
+    if (!seen_urls.insert(res.url).second) continue;
+    NetworkRequest req = fetch(res.url, res.type, client_node, client_country, rng);
+    std::string domain = req.domain;
+    bool completed = req.completed;
+    rec.requests.push_back(std::move(req));
+    if (!completed || depth >= options_.max_expansion_depth) continue;
+    for (const Resource& extra : universe_.expansions_of(domain)) {
+      queue.push_back({extra, depth + 1});
+    }
+  }
+
+  // Chromedriver background traffic (removed downstream, as in §5).
+  if (options_.webdriver_noise && options_.browser == "chrome") {
+    for (const std::string& noise_domain : webdriver_noise_domains()) {
+      if (!rng.chance(0.6)) continue;  // not every load triggers every service
+      NetworkRequest req = fetch("https://" + noise_domain + "/service", ResourceType::Xhr,
+                                 client_node, client_country, rng);
+      req.background = true;
+      rec.requests.push_back(std::move(req));
+    }
+  }
+
+  rec.loaded = true;
+  rec.total_time_s = options_.render_wait_s + rng.uniform_real(0.5, 4.0);
+  return rec;
+}
+
+}  // namespace gam::web

@@ -1,0 +1,92 @@
+// The browser simulator: Gamma's component C1.
+//
+// load() does what the paper's Selenium-driven, isolated Chrome instance
+// does: fetch a website's homepage, record every network request the page
+// triggers (including transitive requests pulled in by tag scripts), resolve
+// each via DNS *as seen from the volunteer's country*, and observe the TCP
+// connect RTT to the responding server. Faithfully reproduced quirks:
+//   * a render wait (20 s default) and a 180 s hard timeout after which a
+//     hung instance is killed and the tool moves on (§3.1);
+//   * per-volunteer load-failure rates (why Japan/Saudi coverage dropped to
+//     64 % / 56 % in Fig 2b);
+//   * chromedriver background requests to Google service endpoints that the
+//     paper had to scrub from its data before analysis (§5, citing
+//     OmniCrawl) — the browser injects them, marked `background`, and the
+//     downstream pipeline must remove them just as the authors did.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/resolver.h"
+#include "net/topology.h"
+#include "util/rng.h"
+#include "web/website.h"
+
+namespace gam::web {
+
+struct BrowserOptions {
+  std::string browser = "chrome";  // "chrome" | "firefox" | "brave"
+  double render_wait_s = 20.0;     // §3.1: double the typical full-render time
+  double hard_timeout_s = 180.0;   // §3.1: kill hung instances
+  int max_expansion_depth = 3;     // tag-within-tag fan-out bound
+  bool webdriver_noise = true;     // chromedriver background google requests
+};
+
+/// One network request observed during a page load.
+struct NetworkRequest {
+  std::string url;
+  std::string domain;  // host of `url`
+  ResourceType type = ResourceType::Script;
+  std::vector<std::string> cname_chain;  // DNS aliases traversed
+  net::IPv4 ip = 0;                      // responding server (0 = unresolved)
+  double rtt_ms = 0.0;                   // observed TCP connect RTT
+  bool completed = false;                // response received
+  bool background = false;               // webdriver noise, not page content
+};
+
+/// Everything recorded for one T_web entry.
+struct PageLoadRecord {
+  std::string site_domain;
+  std::string url;
+  std::string client_country;
+  bool loaded = false;          // whether the page load succeeded at all
+  std::string failure_reason;   // "", "timeout", "connection", "dns", "hang"
+  double total_time_s = 0.0;    // wall time incl. render wait
+  std::vector<NetworkRequest> requests;
+
+  /// Page-content requests only (background noise filtered), as the paper's
+  /// cleaning step produces.
+  std::vector<const NetworkRequest*> content_requests() const;
+};
+
+/// The chromedriver service endpoints injected as background noise. The
+/// cleaning step (core/recorder) filters requests to these domains.
+const std::vector<std::string>& webdriver_noise_domains();
+
+class Browser {
+ public:
+  Browser(const WebUniverse& universe, const dns::Resolver& resolver,
+          const net::Topology& topology, BrowserOptions options);
+
+  /// Load `site` from `client_node` (a Client node in the topology) located
+  /// in `client_country`. `failure_rate` is the probability this load fails
+  /// outright (connectivity-quality model). Deterministic given `rng` state.
+  PageLoadRecord load(const Website& site, net::NodeId client_node,
+                      std::string_view client_country, double failure_rate,
+                      util::Rng& rng) const;
+
+  const BrowserOptions& options() const { return options_; }
+
+ private:
+  NetworkRequest fetch(std::string_view url, ResourceType type, net::NodeId client_node,
+                       std::string_view client_country, util::Rng& rng) const;
+
+  const WebUniverse& universe_;
+  const dns::Resolver& resolver_;
+  const net::Topology& topology_;
+  BrowserOptions options_;
+};
+
+}  // namespace gam::web

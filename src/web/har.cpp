@@ -1,0 +1,145 @@
+#include "web/har.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace gam::web {
+
+namespace {
+
+const char* mime_for(ResourceType t) {
+  switch (t) {
+    case ResourceType::Document: return "text/html";
+    case ResourceType::Script: return "application/javascript";
+    case ResourceType::Image: return "image/gif";
+    case ResourceType::Stylesheet: return "text/css";
+    case ResourceType::Xhr: return "application/json";
+    case ResourceType::Iframe: return "text/html";
+  }
+  return "application/octet-stream";
+}
+
+// Synthetic ISO-8601 timestamp at a fixed epoch plus an offset in ms —
+// deterministic, which keeps HAR exports diffable across runs.
+std::string synthetic_time(double offset_ms) {
+  double seconds = offset_ms / 1000.0;
+  int mins = static_cast<int>(seconds) / 60;
+  double secs = seconds - mins * 60;
+  return util::format("2024-03-16T12:%02d:%06.3fZ", mins % 60, secs);
+}
+
+util::Json entry_for(const NetworkRequest& req, const std::string& page_id,
+                     double started_ms) {
+  util::Json entry = util::Json::object();
+  entry["pageref"] = page_id;
+  entry["startedDateTime"] = synthetic_time(started_ms);
+  entry["time"] = req.rtt_ms;
+
+  util::Json request = util::Json::object();
+  request["method"] = "GET";
+  request["url"] = req.url;
+  request["httpVersion"] = "HTTP/2";
+  request["headers"] = util::Json::array();
+  request["queryString"] = util::Json::array();
+  request["cookies"] = util::Json::array();
+  request["headersSize"] = -1;
+  request["bodySize"] = 0;
+  entry["request"] = std::move(request);
+
+  util::Json response = util::Json::object();
+  response["status"] = req.completed ? 200 : 0;
+  response["statusText"] = req.completed ? "OK" : "";
+  response["httpVersion"] = "HTTP/2";
+  response["headers"] = util::Json::array();
+  response["cookies"] = util::Json::array();
+  util::Json content = util::Json::object();
+  content["size"] = 0;
+  content["mimeType"] = mime_for(req.type);
+  response["content"] = std::move(content);
+  response["redirectURL"] = "";
+  response["headersSize"] = -1;
+  response["bodySize"] = -1;
+  if (req.completed) response["_serverIPAddress"] = net::ip_to_string(req.ip);
+  entry["response"] = std::move(response);
+
+  util::Json timings = util::Json::object();
+  timings["send"] = 0;
+  timings["wait"] = req.rtt_ms;
+  timings["receive"] = 0;
+  timings["dns"] = req.cname_chain.empty() ? 0 : static_cast<int>(req.cname_chain.size());
+  entry["timings"] = std::move(timings);
+  entry["cache"] = util::Json::object();
+  return entry;
+}
+
+}  // namespace
+
+util::Json to_har(const std::vector<PageLoadRecord>& records) {
+  util::Json log = util::Json::object();
+  log["version"] = "1.2";
+  util::Json creator = util::Json::object();
+  creator["name"] = "gamma";
+  creator["version"] = "1.0.0";
+  log["creator"] = std::move(creator);
+
+  util::Json pages = util::Json::array();
+  util::Json entries = util::Json::array();
+  double clock_ms = 0.0;
+  int page_index = 0;
+  for (const auto& record : records) {
+    std::string page_id = util::format("page_%d", page_index++);
+    util::Json page = util::Json::object();
+    page["id"] = page_id;
+    page["title"] = record.url;
+    page["startedDateTime"] = synthetic_time(clock_ms);
+    util::Json timings = util::Json::object();
+    timings["onContentLoad"] = -1;
+    timings["onLoad"] = record.total_time_s * 1000.0;
+    page["pageTimings"] = std::move(timings);
+    pages.push_back(std::move(page));
+
+    double offset = clock_ms;
+    for (const auto* req : record.content_requests()) {
+      entries.push_back(entry_for(*req, page_id, offset));
+      offset += 1.0;  // serialized request starts, 1 ms apart
+    }
+    clock_ms += record.total_time_s * 1000.0;
+  }
+  log["pages"] = std::move(pages);
+  log["entries"] = std::move(entries);
+
+  util::Json har = util::Json::object();
+  har["log"] = std::move(log);
+  return har;
+}
+
+util::Json to_har(const PageLoadRecord& record) {
+  return to_har(std::vector<PageLoadRecord>{record});
+}
+
+bool har_is_valid(const util::Json& har) {
+  const util::Json* log = har.find("log");
+  if (!log || !log->is_object()) return false;
+  if (log->get_string("version") != "1.2") return false;
+  const util::Json* creator = log->find("creator");
+  if (!creator || creator->get_string("name").empty()) return false;
+  const util::Json* pages = log->find("pages");
+  const util::Json* entries = log->find("entries");
+  if (!pages || !pages->is_array() || !entries || !entries->is_array()) return false;
+  std::set<std::string> page_ids;
+  for (const auto& page : pages->items()) {
+    std::string id = page.get_string("id");
+    if (id.empty()) return false;
+    page_ids.insert(id);
+  }
+  for (const auto& entry : entries->items()) {
+    if (!page_ids.count(entry.get_string("pageref"))) return false;
+    const util::Json* request = entry.find("request");
+    if (!request || request->get_string("url").empty()) return false;
+    if (!entry.has("response") || !entry.has("timings")) return false;
+  }
+  return true;
+}
+
+}  // namespace gam::web

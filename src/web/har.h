@@ -1,0 +1,30 @@
+// HTTP Archive (HAR 1.2) export.
+//
+// §3 (C1): Gamma is "capable of ... recording HAR files and all network
+// requests during page loads". The study itself only consumed the request
+// lists, but the HAR surface is part of the tool, so page-load records can
+// be exported as standard HAR documents that any HAR viewer or downstream
+// web-measurement tooling ingests.
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+#include "web/browser.h"
+
+namespace gam::web {
+
+/// Convert one page load into a HAR 1.2 document ("log" root with creator,
+/// pages, entries). Background (webdriver) requests are excluded — they are
+/// not page content. Timestamps are synthetic offsets from a fixed epoch,
+/// since the simulator has no wall clock.
+util::Json to_har(const PageLoadRecord& record);
+
+/// Convert several page loads into a single HAR with one page per load.
+util::Json to_har(const std::vector<PageLoadRecord>& records);
+
+/// Minimal HAR validity check used by tests and consumers: version, creator,
+/// pages/entries arrays, every entry referencing an existing page.
+bool har_is_valid(const util::Json& har);
+
+}  // namespace gam::web

@@ -1,0 +1,136 @@
+#include "web/psl.h"
+
+#include <set>
+#include <string>
+
+#include "util/strings.h"
+
+namespace gam::web {
+
+namespace {
+// Subset of the Public Suffix List covering the simulated world: generic
+// TLDs, the ccTLDs of every country in the world DB, and the second-level
+// registry suffixes (incl. government suffixes) those countries use.
+const std::set<std::string, std::less<>>& suffixes() {
+  static const std::set<std::string, std::less<>> kSuffixes = {
+      // generic
+      "com", "net", "org", "io", "co", "info", "biz", "tv", "me", "app", "dev", "cloud",
+      "gov", "edu", "mil", "int",
+      // bare ccTLDs
+      "az", "dz", "eg", "rw", "ug", "ar", "ru", "lk", "th", "ae", "uk", "au", "ca", "in",
+      "jp", "jo", "nz", "pk", "qa", "sa", "tw", "us", "lb", "fr", "de", "ke", "my", "sg",
+      "hk", "om", "it", "nl", "il", "ie", "bg", "br", "fi", "be", "gh", "tr", "ch", "es",
+      "se", "pl", "za", "ng", "kr", "id", "mx", "cl", "pt", "at", "cz", "dk", "no", "gr",
+      "ro", "hu", "ma", "tn", "et", "tz", "ph", "bd", "np", "kz", "ge", "am", "iq", "kw",
+      "bh", "cy", "lu", "vn", "cn",
+      // second-level registry + government suffixes
+      "co.uk", "org.uk", "ac.uk", "gov.uk", "net.uk",
+      "com.au", "net.au", "org.au", "gov.au", "edu.au",
+      "co.nz", "net.nz", "org.nz", "govt.nz",
+      "com.ar", "gob.ar", "gov.ar", "org.ar",
+      "com.az", "gov.az", "edu.az",
+      "com.dz", "gov.dz",
+      "com.eg", "gov.eg", "edu.eg",
+      "co.rw", "gov.rw", "ac.rw",
+      "co.ug", "go.ug", "ac.ug", "or.ug",
+      "com.ru", "gov.ru",
+      "com.lk", "gov.lk", "lk.lk",
+      "co.th", "go.th", "or.th", "ac.th", "in.th",
+      "ae.ae", "gov.ae", "co.ae",
+      "co.in", "gov.in", "nic.in", "org.in", "net.in", "ac.in",
+      "co.jp", "go.jp", "ne.jp", "or.jp", "ac.jp",
+      "com.jo", "gov.jo", "edu.jo",
+      "com.pk", "gov.pk", "edu.pk",
+      "com.qa", "gov.qa", "edu.qa",
+      "com.sa", "gov.sa", "edu.sa",
+      "com.tw", "gov.tw", "org.tw", "edu.tw",
+      "gc.ca", "on.ca", "qc.ca",
+      "com.lb", "gov.lb", "edu.lb",
+      "gouv.fr", "asso.fr",
+      "com.de",  // informal but harmless
+      "co.ke", "go.ke", "or.ke", "ac.ke",
+      "com.my", "gov.my", "edu.my",
+      "com.sg", "gov.sg", "edu.sg",
+      "com.hk", "gov.hk", "edu.hk",
+      "com.om", "gov.om",
+      "gov.it", "edu.it",
+      "gov.il", "co.il", "org.il", "ac.il",
+      "gov.ie",
+      "government.bg",
+      "com.br", "gov.br", "org.br",
+      "gov.tr", "com.tr", "org.tr", "edu.tr",
+      "co.za", "gov.za", "org.za", "ac.za",
+      "com.ng", "gov.ng",
+      "co.kr", "go.kr", "or.kr", "ac.kr",
+      "co.id", "go.id", "or.id", "ac.id",
+      "gob.mx", "com.mx", "org.mx",
+      "gob.cl", "cl.cl",
+      "gov.co", "com.co", "org.co",
+      "gov.pt", "com.pt",
+      "gv.at", "co.at", "or.at",
+      "gov.cz",
+      "gov.pl", "com.pl", "org.pl",
+      "gov.gr", "com.gr",
+      "gov.ro", "com.ro",
+      "gov.hu", "co.hu",
+      "gov.ma", "co.ma",
+      "gov.tn", "com.tn",
+      "gov.et", "com.et",
+      "go.tz", "co.tz", "or.tz",
+      "gov.ph", "com.ph", "org.ph",
+      "gov.bd", "com.bd", "org.bd",
+      "gov.np", "com.np", "org.np",
+      "gov.kz", "com.kz", "org.kz",
+      "gov.ge", "com.ge", "org.ge",
+      "gov.am", "com.am",
+      "gov.iq", "com.iq",
+      "gov.kw", "com.kw",
+      "gov.bh", "com.bh",
+      "gov.cy", "com.cy",
+      "gov.lu", "lu.lu",
+      "gov.vn", "com.vn", "org.vn",
+      "gov.cn", "com.cn", "org.cn", "net.cn",
+  };
+  return kSuffixes;
+}
+}  // namespace
+
+bool is_public_suffix(std::string_view suffix) {
+  return suffixes().find(util::to_lower(suffix)) != suffixes().end();
+}
+
+std::string public_suffix(std::string_view host) {
+  std::string lowered = util::to_lower(host);
+  std::string_view h = lowered;
+  // Try suffixes from the longest possible down: scan label boundaries left
+  // to right and take the first (= longest) match.
+  size_t pos = 0;
+  while (pos != std::string_view::npos) {
+    std::string_view candidate = h.substr(pos);
+    if (suffixes().find(candidate) != suffixes().end()) return std::string(candidate);
+    size_t dot = h.find('.', pos);
+    pos = dot == std::string_view::npos ? std::string_view::npos : dot + 1;
+  }
+  // No known suffix: treat the final label as the suffix (PSL "*" rule).
+  size_t last_dot = h.rfind('.');
+  return last_dot == std::string_view::npos ? "" : std::string(h.substr(last_dot + 1));
+}
+
+std::string registrable_domain(std::string_view host) {
+  std::string lowered = util::to_lower(host);
+  std::string suffix = public_suffix(lowered);
+  if (suffix.empty() || suffix.size() >= lowered.size()) return lowered;
+  // Drop the suffix and the dot preceding it, then keep the last label.
+  std::string_view rest(lowered.data(), lowered.size() - suffix.size() - 1);
+  size_t dot = rest.rfind('.');
+  std::string_view label = dot == std::string_view::npos ? rest : rest.substr(dot + 1);
+  return std::string(label) + "." + suffix;
+}
+
+bool host_within(std::string_view host, std::string_view domain) {
+  if (host.size() < domain.size()) return false;
+  if (!util::iequals(host.substr(host.size() - domain.size()), domain)) return false;
+  return host.size() == domain.size() || host[host.size() - domain.size() - 1] == '.';
+}
+
+}  // namespace gam::web

@@ -1,0 +1,37 @@
+// Public-suffix handling and registrable-domain (eTLD+1) extraction.
+//
+// Three of the paper's steps depend on suffix semantics:
+//   * tracker filter lists block by registrable domain ("googletagmanager.com"
+//     covers every subdomain, §4.2);
+//   * first-vs-third-party classification compares organizations behind the
+//     site's and the tracker's registrable domains (§6.7), including Google's
+//     country ccTLDs (google.com.eg, google.co.th, ...);
+//   * government-site selection filters a Tranco-like list by gov TLDs
+//     (gov.au, gob.ar, ...), which are themselves public suffixes (§3.2).
+// The embedded suffix set is the subset of the PSL relevant to the simulated
+// world; semantics (longest-match, then one more label) follow the real PSL
+// algorithm.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace gam::web {
+
+/// True if `suffix` is a known public suffix ("com", "co.uk", "gov.au"...).
+bool is_public_suffix(std::string_view suffix);
+
+/// The public suffix of `host` under longest-match rules; "" if the host has
+/// no dot or no known suffix (then the last label is used as the suffix).
+std::string public_suffix(std::string_view host);
+
+/// Registrable domain (eTLD+1): one label below the public suffix.
+/// "www.news.example.co.uk" -> "example.co.uk". A bare suffix or a single
+/// label returns the input unchanged.
+std::string registrable_domain(std::string_view host);
+
+/// True when `host` equals `domain` or is a subdomain of it
+/// ("a.b.example.com" is within "example.com").
+bool host_within(std::string_view host, std::string_view domain);
+
+}  // namespace gam::web

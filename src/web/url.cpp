@@ -1,0 +1,43 @@
+#include "web/url.h"
+
+#include "util/strings.h"
+
+namespace gam::web {
+
+std::string Url::to_string() const {
+  std::string out = scheme + "://" + host;
+  if (port != 0) out += ":" + std::to_string(port);
+  out += path.empty() ? "/" : path;
+  return out;
+}
+
+std::optional<Url> Url::parse(std::string_view s) {
+  size_t scheme_end = s.find("://");
+  if (scheme_end == std::string_view::npos) return std::nullopt;
+  Url u;
+  u.scheme = util::to_lower(s.substr(0, scheme_end));
+  if (u.scheme != "http" && u.scheme != "https") return std::nullopt;
+  std::string_view rest = s.substr(scheme_end + 3);
+  size_t path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  u.path = path_start == std::string_view::npos ? "/" : std::string(rest.substr(path_start));
+  // Userinfo is not modeled; a colon splits host:port.
+  size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    long port = util::parse_long(authority.substr(colon + 1));
+    if (port < 0 || port > 65535) return std::nullopt;
+    u.port = static_cast<uint16_t>(port);
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) return std::nullopt;
+  u.host = util::to_lower(authority);
+  return u;
+}
+
+std::string host_of(std::string_view url) {
+  auto u = Url::parse(url);
+  return u ? u->host : "";
+}
+
+}  // namespace gam::web

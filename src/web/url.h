@@ -1,0 +1,30 @@
+// URL parsing, limited to what web measurement needs: scheme, host, port,
+// path+query. The paper's definition of "domain" (§6.2) is the full host —
+// subdomains distinguish trackers (www.a.b.c.com != www.q.w.c.com) — so Url
+// preserves the host verbatim and eTLD+1 grouping is a separate operation
+// (see psl.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gam::web {
+
+struct Url {
+  std::string scheme;  // "https"
+  std::string host;    // "www.example.co.uk", lowercased
+  uint16_t port = 0;   // 0 = scheme default
+  std::string path;    // "/a/b?q=1" (path + query, "/" if absent)
+
+  std::string to_string() const;
+
+  /// Parse an absolute http(s) URL. Rejects other schemes and empty hosts.
+  static std::optional<Url> parse(std::string_view s);
+};
+
+/// Convenience: host of `url`, or "" when unparsable.
+std::string host_of(std::string_view url);
+
+}  // namespace gam::web

@@ -1,0 +1,57 @@
+#include "web/website.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace gam::web {
+
+const std::vector<Resource> WebUniverse::kNoExpansions;
+
+std::string resource_type_name(ResourceType t) {
+  switch (t) {
+    case ResourceType::Document: return "document";
+    case ResourceType::Script: return "script";
+    case ResourceType::Image: return "image";
+    case ResourceType::Stylesheet: return "stylesheet";
+    case ResourceType::Xhr: return "xhr";
+    case ResourceType::Iframe: return "iframe";
+  }
+  return "?";
+}
+
+void WebUniverse::add_site(Website site) {
+  if (by_domain_.count(site.domain)) {
+    util::log_error("web", "duplicate website domain: " + site.domain);
+    std::abort();
+  }
+  by_domain_[site.domain] = sites_.size();
+  sites_.push_back(std::move(site));
+}
+
+void WebUniverse::add_expansion(std::string_view domain, Resource extra) {
+  expansions_[std::string(domain)].push_back(std::move(extra));
+}
+
+const Website* WebUniverse::find(std::string_view domain) const {
+  auto it = by_domain_.find(domain);
+  return it == by_domain_.end() ? nullptr : &sites_[it->second];
+}
+
+const std::vector<Resource>& WebUniverse::expansions_of(std::string_view domain) const {
+  auto it = expansions_.find(domain);
+  return it == expansions_.end() ? kNoExpansions : it->second;
+}
+
+std::vector<const Website*> WebUniverse::sites_of(std::string_view country,
+                                                  std::optional<SiteKind> kind) const {
+  std::vector<const Website*> out;
+  for (const auto& s : sites_) {
+    if (s.country != country) continue;
+    if (kind && s.kind != *kind) continue;
+    out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace gam::web

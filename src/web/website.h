@@ -1,0 +1,69 @@
+// The synthetic web: websites, the resources their pages embed, and the
+// expansion rules by which embedded tags pull in further requests.
+//
+// A Website is what Gamma's C1 loads. Its homepage embeds Resources
+// (first-party assets plus third-party scripts/pixels); some third-party
+// domains are *tags* that fan out into more requests when loaded (a tag
+// manager pulling analytics + ads), modeled by WebUniverse::expansions. The
+// browser expands these transitively, which is how a single YouTube page in
+// Azerbaijan ends up issuing requests to 32 Google tracking domains (§6.2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gam::web {
+
+enum class SiteKind { Regional, Government };
+
+enum class ResourceType { Document, Script, Image, Stylesheet, Xhr, Iframe };
+
+std::string resource_type_name(ResourceType t);
+
+struct Resource {
+  std::string url;  // absolute URL
+  ResourceType type = ResourceType::Script;
+};
+
+struct Website {
+  std::string domain;   // homepage host, e.g. "news-daily.com.eg"
+  std::string country;  // country whose T_web it belongs to (ISO code)
+  SiteKind kind = SiteKind::Regional;
+  int rank = 0;  // position in its top-list (1-based); 0 for gov sites
+  bool adult = false;  // adult sites are removed from T_web (§3.2)
+  std::vector<Resource> resources;  // embedded on the homepage
+
+  std::string url() const { return "https://" + domain + "/"; }
+};
+
+/// All websites plus tag-expansion rules. Populated by world generation,
+/// consumed read-only by the browser.
+class WebUniverse {
+ public:
+  /// Register a website; domains must be unique.
+  void add_site(Website site);
+
+  /// When a request to `domain` is made, these additional resources load.
+  void add_expansion(std::string_view domain, Resource extra);
+
+  const Website* find(std::string_view domain) const;
+  const std::vector<Website>& sites() const { return sites_; }
+
+  /// Expansion list for `domain` (empty if none).
+  const std::vector<Resource>& expansions_of(std::string_view domain) const;
+
+  /// All sites belonging to `country`, optionally restricted to one kind.
+  std::vector<const Website*> sites_of(std::string_view country,
+                                       std::optional<SiteKind> kind = std::nullopt) const;
+
+ private:
+  std::vector<Website> sites_;
+  std::map<std::string, size_t, std::less<>> by_domain_;
+  std::map<std::string, std::vector<Resource>, std::less<>> expansions_;
+  static const std::vector<Resource> kNoExpansions;
+};
+
+}  // namespace gam::web

@@ -1,0 +1,74 @@
+#include "world/country.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace gam::world {
+
+int policy_strictness(PolicyType p) {
+  switch (p) {
+    case PolicyType::CS: return 4;
+    case PolicyType::PA: return 3;
+    case PolicyType::AC: return 2;
+    case PolicyType::TA: return 1;
+    case PolicyType::NR: return 0;
+    case PolicyType::Unknown: return -1;
+  }
+  return -1;
+}
+
+std::string policy_name(PolicyType p) {
+  switch (p) {
+    case PolicyType::CS: return "CS";
+    case PolicyType::PA: return "PA";
+    case PolicyType::AC: return "AC";
+    case PolicyType::TA: return "TA";
+    case PolicyType::NR: return "NR";
+    case PolicyType::Unknown: return "--";
+  }
+  return "--";
+}
+
+const CountryDb& CountryDb::instance() {
+  static const CountryDb db;
+  return db;
+}
+
+const CountryInfo* CountryDb::find(std::string_view code) const {
+  for (const auto& c : countries_) {
+    if (c.code == code) return &c;
+  }
+  return nullptr;
+}
+
+const CountryInfo& CountryDb::at(std::string_view code) const {
+  const CountryInfo* c = find(code);
+  if (!c) {
+    util::log_error("world", "unknown country code: " + std::string(code));
+    std::abort();
+  }
+  return *c;
+}
+
+const std::vector<CountryInfo>& CountryDb::all() const { return countries_; }
+
+std::vector<const CountryInfo*> CountryDb::by_continent(geo::Continent cont) const {
+  std::vector<const CountryInfo*> out;
+  for (const auto& c : countries_) {
+    if (c.continent == cont) out.push_back(&c);
+  }
+  return out;
+}
+
+double CountryDb::distance_km(std::string_view code_a, std::string_view code_b) const {
+  return geo::haversine_km(at(code_a).primary_city().coord, at(code_b).primary_city().coord);
+}
+
+bool is_source_country(std::string_view code) {
+  const auto& s = source_countries();
+  return std::find(s.begin(), s.end(), code) != s.end();
+}
+
+}  // namespace gam::world

@@ -1,0 +1,219 @@
+// Stage 1: the physical Internet — ASes, routers, links, ISPs, cloud
+// providers, and the Atlas-like probe fleet with its Global-North-skewed
+// density.
+#include <algorithm>
+
+#include "dns/rdns_hints.h"
+#include "util/strings.h"
+#include "worldgen/internal.h"
+
+namespace gam::worldgen::internal {
+
+namespace {
+
+// Countries whose primary cities form the global transit mesh.
+const std::vector<std::string>& hub_countries() {
+  static const std::vector<std::string> kHubs = {
+      "US", "GB", "FR", "DE", "NL", "SG", "HK", "JP", "AU", "IN",
+      "BR", "ZA", "AE", "KE", "EG", "RU",
+  };
+  return kHubs;
+}
+
+// Atlas probe counts: dense in the Global North, sparse in the Global South,
+// zero in Qatar and Jordan (forcing the neighboring-country fallback §4.1.1).
+const std::map<std::string, int>& probe_counts() {
+  static const std::map<std::string, int> kCounts = {
+      {"US", 8}, {"GB", 6}, {"DE", 8}, {"FR", 7}, {"NL", 5}, {"SE", 3}, {"CH", 3},
+      {"IT", 3}, {"ES", 3}, {"PL", 3}, {"IE", 2}, {"FI", 2}, {"DK", 2}, {"NO", 2},
+      {"AT", 2}, {"CZ", 2}, {"BE", 2}, {"LU", 1}, {"PT", 2}, {"GR", 1}, {"RO", 2},
+      {"HU", 1}, {"BG", 2}, {"RU", 4}, {"JP", 4}, {"AU", 4}, {"NZ", 2}, {"CA", 5},
+      {"BR", 3}, {"SG", 3}, {"HK", 2}, {"KR", 2}, {"TW", 2}, {"IN", 3}, {"MY", 2},
+      {"TH", 1}, {"ID", 1}, {"PH", 1}, {"VN", 1}, {"CN", 1}, {"ZA", 3}, {"KE", 2},
+      {"NG", 1}, {"GH", 1}, {"TZ", 1}, {"ET", 1}, {"MA", 1}, {"TN", 1}, {"EG", 1},
+      {"DZ", 1}, {"AE", 2}, {"SA", 1}, {"IL", 3}, {"TR", 2}, {"CY", 1}, {"KW", 1},
+      {"BH", 0}, {"OM", 1}, {"IQ", 0}, {"JO", 0}, {"QA", 0}, {"LB", 1}, {"PK", 1},
+      {"LK", 1}, {"BD", 1}, {"NP", 1}, {"KZ", 1}, {"GE", 1}, {"AM", 1}, {"UG", 1},
+      {"RW", 1}, {"AR", 2}, {"CL", 1}, {"CO", 1}, {"MX", 2}, {"MT", 1},
+  };
+  return kCounts;
+}
+
+}  // namespace
+
+net::IPv4 add_server(Builder& b, const std::string& fqdn, const std::string& country,
+                     uint32_t asn, bool ptr_with_hint, bool ptr_at_all) {
+  World& w = *b.w;
+  const world::CountryInfo& info = world::CountryDb::instance().at(country);
+  const world::City& city = info.primary_city();
+  net::IPv4 ip = w.registry.allocate_address(asn);
+  net::NodeId node = w.topology.add_node(net::NodeKind::Server, fqdn, country, city.name,
+                                         city.coord, asn, ip);
+  w.topology.add_link_latency(w.core_router.at(country), node, 0.4);
+  if (ptr_at_all) {
+    // Server PTRs either carry the city hint (a CDN-style hostname) or a
+    // bare machine name — mirroring real hosting practice.
+    std::string host = ptr_with_hint
+                           ? dns::server_hostname("srv", ip, city, fqdn, true)
+                           : fqdn;
+    w.zones.add_ptr(ip, host);
+  }
+  return ip;
+}
+
+void build_infrastructure(Builder& b) {
+  World& w = *b.w;
+  util::Rng rng = b.rng.fork("infra");
+  const auto& db = world::CountryDb::instance();
+
+  // ---- Per-country ASes and routers. ----
+  std::map<std::string, std::vector<net::NodeId>> city_routers;
+  for (const auto& country : db.all()) {
+    uint32_t transit_asn = b.fresh_asn();
+    w.registry.add({transit_asn, "AS-TRANSIT-" + country.code,
+                    country.name + " National Backbone", country.code,
+                    net::AsKind::Transit});
+    w.registry.allocate_prefix(transit_asn, 18);
+
+    uint32_t host_asn = b.fresh_asn();
+    w.registry.add({host_asn, "AS-HOST-" + country.code, country.name + " Hosting Co",
+                    country.code, net::AsKind::Content});
+    w.registry.allocate_prefix(host_asn, 16);
+    w.hosting_asn[country.code] = host_asn;
+
+    for (size_t i = 0; i < country.cities.size(); ++i) {
+      const world::City& city = country.cities[i];
+      net::IPv4 ip = w.registry.allocate_address(transit_asn);
+      std::string hostname = dns::router_hostname(
+          city, static_cast<int>(i) + 1, "backbone-" + country.cctld + ".net");
+      net::NodeId node = w.topology.add_node(net::NodeKind::Router, hostname, country.code,
+                                             city.name, city.coord, transit_asn, ip);
+      w.zones.add_ptr(ip, hostname);
+      city_routers[country.code].push_back(node);
+      if (i == 0) w.core_router[country.code] = node;
+    }
+    // Intra-country ring to the primary city.
+    for (size_t i = 1; i < city_routers[country.code].size(); ++i) {
+      w.topology.add_link(city_routers[country.code][0], city_routers[country.code][i], 1.35);
+    }
+  }
+
+  // ---- Inter-country links: full hub mesh + nearest-neighbor access. ----
+  const auto& hubs = hub_countries();
+  for (size_t i = 0; i < hubs.size(); ++i) {
+    for (size_t j = i + 1; j < hubs.size(); ++j) {
+      w.topology.add_link(w.core_router.at(hubs[i]), w.core_router.at(hubs[j]), 1.25);
+    }
+  }
+  for (const auto& country : db.all()) {
+    bool is_hub = std::find(hubs.begin(), hubs.end(), country.code) != hubs.end();
+    // Every non-hub country connects to its nearest hub and its 3 nearest
+    // countries (hub or not) — coarse but connectivity-complete.
+    std::vector<std::pair<double, std::string>> by_dist;
+    for (const auto& other : db.all()) {
+      if (other.code == country.code) continue;
+      by_dist.push_back({db.distance_km(country.code, other.code), other.code});
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    int linked = 0;
+    for (const auto& [dist, code] : by_dist) {
+      if (linked >= 3) break;
+      w.topology.add_link(w.core_router.at(country.code), w.core_router.at(code), 1.3);
+      ++linked;
+    }
+    if (!is_hub) {
+      for (const auto& [dist, code] : by_dist) {
+        if (std::find(hubs.begin(), hubs.end(), code) != hubs.end()) {
+          w.topology.add_link(w.core_router.at(country.code), w.core_router.at(code), 1.25);
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- Cloud / CDN providers. ----
+  struct ProviderSpec {
+    const char* name;
+    const char* org;
+    const char* rdns;
+    net::AsKind kind;
+  };
+  const ProviderSpec specs[] = {
+      {"AWS-Sim", "Amazon.com, Inc.", "compute.awssim.net", net::AsKind::Cloud},
+      {"GCP-Sim", "Google LLC", "gcpsim.net", net::AsKind::Cloud},
+      {"GoogleNet", "Google LLC", "1e100sim.net", net::AsKind::Content},
+      {"MetaNet", "Meta Platforms, Inc.", "fbsim.net", net::AsKind::Content},
+      {"EdgeNet", "EdgeNet CDN Ltd.", "edgenetcdn.net", net::AsKind::Cloud},
+  };
+  for (const auto& spec : specs) {
+    uint32_t asn = b.fresh_asn();
+    w.registry.add({asn, std::string("AS-") + spec.name, spec.org, "US", spec.kind});
+    w.registry.allocate_prefix(asn, 14);
+    cdn::Provider p;
+    p.name = spec.name;
+    p.asn = asn;
+    p.org = spec.org;
+    p.rdns_domain = spec.rdns;
+    p.rdns_hint_rate = 0.8;
+    w.cdn.add_provider(std::move(p));
+  }
+
+  // ---- Residential ISPs + volunteer machines (source countries only). ----
+  for (const auto& code : world::source_countries()) {
+    const world::CountryInfo& country = db.at(code);
+    const CountryCalibration& cal = calibration_for(code);
+    uint32_t isp_asn = b.fresh_asn();
+    w.registry.add({isp_asn, "AS-ISP-" + code, country.name + " Broadband", code,
+                    net::AsKind::ResidentialIsp});
+    w.registry.allocate_prefix(isp_asn, 16);
+
+    const world::City& city = country.primary_city();
+    // Access router: the first traceroute hop volunteers see.
+    net::IPv4 access_ip = w.registry.allocate_address(isp_asn);
+    std::string access_name =
+        dns::router_hostname(city, 7, "access." + country.cctld + "-isp.net");
+    net::NodeId access = w.topology.add_node(net::NodeKind::Router, access_name, code,
+                                             city.name, city.coord, isp_asn, access_ip);
+    w.zones.add_ptr(access_ip, access_name);
+    w.topology.add_link_latency(w.core_router.at(code), access, 1.0);
+
+    net::IPv4 client_ip = w.registry.allocate_address(isp_asn);
+    net::NodeId client = w.topology.add_node(net::NodeKind::Client, "volunteer-" + code,
+                                             code, city.name, city.coord, isp_asn, client_ip);
+    // Residential last mile.
+    w.topology.add_link_latency(access, client, rng.uniform_real(2.0, 6.0));
+
+    core::VolunteerProfile profile;
+    profile.id = "vol-" + code;
+    profile.country = code;
+    profile.city = city.name;
+    profile.node = client;
+    profile.ip = client_ip;
+    profile.asn = isp_asn;
+    profile.os = cal.os;
+    profile.load_failure_rate = cal.load_failure;
+    profile.traceroute_opt_out = cal.traceroute_opt_out;
+    profile.traceroute_blocked_prob = cal.traceroute_blocked ? 1.0 : 0.0;
+    w.volunteers.push_back(std::move(profile));
+  }
+
+  // ---- Atlas probe fleet. ----
+  for (const auto& [code, count] : probe_counts()) {
+    const world::CountryInfo* country = db.find(code);
+    if (!country) continue;
+    for (int i = 0; i < count; ++i) {
+      const world::City& city = country->cities[i % country->cities.size()];
+      uint32_t asn = w.hosting_asn.at(code);
+      net::IPv4 ip = w.registry.allocate_address(asn);
+      net::NodeId node = w.topology.add_node(
+          net::NodeKind::Client, util::format("atlas-%s-%d", code.c_str(), i), code,
+          city.name, city.coord, asn, ip);
+      // Probes sit close to the city's backbone router.
+      net::NodeId attach = city_routers[code][i % city_routers[code].size()];
+      w.topology.add_link_latency(attach, node, rng.uniform_real(0.5, 2.0));
+      w.atlas.add_probe(w.topology, node);
+    }
+  }
+}
+
+}  // namespace gam::worldgen::internal

@@ -1,0 +1,217 @@
+#include "worldgen/calibration.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace gam::worldgen {
+
+namespace {
+using Os = probe::OsKind;
+
+CountryCalibration cc(std::string code, double reg, double gov, double mean, double sigma,
+                      double fail, bool majors_foreign, DestMix hub, double tail_prob,
+                      DestMix tail, Os os) {
+  CountryCalibration c;
+  c.code = std::move(code);
+  c.reg_prevalence = reg;
+  c.gov_prevalence = gov;
+  c.tps_mean = mean;
+  c.tps_sigma = sigma;
+  c.load_failure = fail;
+  c.majors_foreign = majors_foreign;
+  c.hub_mix = std::move(hub);
+  c.tail_foreign_prob = tail_prob;
+  c.tail_mix = std::move(tail);
+  c.os = os;
+  return c;
+}
+}  // namespace
+
+const std::vector<CountryCalibration>& calibration() {
+  static const std::vector<CountryCalibration> kTable = [] {
+    std::vector<CountryCalibration> t;
+
+    // Azerbaijan — Fig 3: 82% / 65%; flows to Europe incl. the
+    // single-source Bulgaria flow; YouTube-style all-Google outliers.
+    t.push_back(cc("AZ", 80, 78, 12, 7, 0.06, true,
+                   {{"GB", .85}, {"BG", .1}, {"TR", .05}}, 0.7,
+                   {{"GB", .1}, {"FR", .04}, {"DE", .05}, {"BG", .43}, {"US", .03}, {"RU", .35}},
+                   Os::Windows));
+
+    // Algeria — Table 1: 49.39% overall; few government sites in inputs.
+    {
+      auto c = cc("DZ", 55, 46, 4, 2, 0.10, true,
+                  {{"FR", .85}, {"ES", .1}, {"IT", .05}}, 0.6,
+                  {{"FR", .25}, {"DE", .05}, {"BE", .15}, {"MA", .3}, {"US", .02}, {"TN", .23}},
+                  Os::Linux);
+      c.gov_sites = 12;
+      t.push_back(std::move(c));
+    }
+
+    // Egypt — 70.41% overall; Google traffic to Germany (§7); volunteer
+    // opted out of traceroutes (§4.1.1); wide per-site IQR (§6.2).
+    {
+      auto c = cc("EG", 74, 66, 18, 12, 0.08, true,
+                  {{"DE", .85}, {"FR", .08}, {"IT", .07}}, 0.65,
+                  {{"DE", .45}, {"FR", .08}, {"GB", .1}, {"IT", .25}, {"US", .02}, {"CH", .1}},
+                  Os::Linux);
+      c.traceroute_opt_out = true;
+      t.push_back(std::move(c));
+    }
+
+    // Rwanda — Fig 3: 93% / 31%; trackers hosted at the Nairobi edge (§6.5).
+    t.push_back(cc("RW", 92, 35, 20, 16, 0.12, true,
+                   {{"KE", .85}, {"DE", .08}, {"GB", .07}}, 0.8,
+                   {{"KE", .65}, {"DE", .1}, {"GB", .08}, {"FR", .05}, {"US", .02}, {"ZA", .1}},
+                   Os::Linux));
+
+    // Uganda — Fig 3: 67% / 83%; Kenya-heavy flows; koora-style outliers.
+    t.push_back(cc("UG", 70, 83, 16, 12, 0.10, true,
+                   {{"KE", .85}, {"GB", .08}, {"DE", .07}}, 0.8,
+                   {{"KE", .6}, {"GB", .1}, {"DE", .05}, {"FR", .05}, {"US", .02}, {"ZA", .1},
+                    {"GH", .08}},
+                   Os::Windows));
+
+    // Argentina — 61.48% overall; South American flow stays continental
+    // (§6.4); low per-site counts with outliers (§6.2).
+    t.push_back(cc("AR", 60, 57, 2.5, 1.2, 0.05, true,
+                   {{"BR", .9}, {"FR", .05}, {"US", .05}}, 0.5,
+                   {{"BR", .62}, {"CL", .22}, {"US", .05}, {"FR", .11}}, Os::Windows));
+
+    // Russia — 8% overall (Fig 3: 16% / 0%); majors serve locally; the
+    // single-source Finland flow.
+    {
+      auto c = cc("RU", 11, 0, 2, 1, 0.05, false, {}, 0.15,
+                  {{"DE", .4}, {"FI", .4}, {"NL", .2}}, Os::Windows);
+      c.gov_sites = 14;
+      t.push_back(std::move(c));
+    }
+
+    // Sri Lanka — 9.43% overall; Yahoo -> Japan, AdStudio -> India (§7).
+    {
+      auto c = cc("LK", 26, 12, 3, 1.5, 0.08, false, {}, 0.2,
+                  {{"JP", .45}, {"SG", .25}, {"MY", .1}, {"IN", .1}, {"AU", .15}}, Os::Linux);
+      c.org_overrides = {{"Yahoo", "JP"}, {"AdStudio", "IN"}, {"LankaMetrics", "SG"}};
+      t.push_back(std::move(c));
+    }
+
+    // Thailand — 59.05% overall; flows to Malaysia/Singapore/HK/Japan (§6.3);
+    // Malaysia is essentially single-sourced from Thailand.
+    t.push_back(cc("TH", 58, 50, 6, 3, 0.05, true,
+                   {{"MY", .55}, {"SG", .25}, {"HK", .12}, {"JP", .08}}, 0.6,
+                   {{"SG", .28}, {"MY", .25}, {"HK", .18}, {"JP", .14}, {"US", .03}, {"AU", .55}},
+                   Os::Windows));
+
+    // UAE — Fig 3: 26% / 40% (one of the gov>reg exceptions); the only
+    // source of T_gov flow to the USA (§6.3).
+    t.push_back(cc("AE", 38, 46, 4, 2, 0.05, false, {}, 0.45,
+                   {{"FR", .3}, {"DE", .25}, {"US", .2}, {"GB", .15}, {"OM", .03}, {"SA", .02}, {"AU", .25}},
+                   Os::Linux));
+
+    // United Kingdom — 38.65% overall; low per-site counts; UK-only orgs.
+    t.push_back(cc("GB", 42, 35, 2.5, 1, 0.04, true,
+                   {{"FR", .6}, {"NL", .25}, {"IE", .15}}, 0.4,
+                   {{"FR", .06}, {"DE", .06}, {"NL", .34}, {"IE", .24}, {"US", .06}, {"AU", .24}}, Os::MacOs));
+
+    // Australia — Fig 3: 12% / 1%; majors local; traceroutes failed (§4.1.1).
+    {
+      auto c = cc("AU", 20, 2, 2, 1, 0.04, false, {}, 0.10,
+                  {{"US", .5}, {"SG", .3}, {"JP", .2}}, Os::Linux);
+      c.traceroute_blocked = true;
+      t.push_back(std::move(c));
+    }
+
+    // Canada — 0%: everything serves locally.
+    t.push_back(cc("CA", 0, 0, 2, 1, 0.03, false, {}, 0.0, {}, Os::MacOs));
+
+    // India — 1.06%: all major tracking networks have Indian servers (§6.3);
+    // traceroutes failed (§4.1.1).
+    {
+      auto c = cc("IN", 2, 0.5, 1.5, 0.8, 0.06, false, {}, 0.03, {{"SG", 1.0}}, Os::Linux);
+      c.traceroute_blocked = true;
+      t.push_back(std::move(c));
+    }
+
+    // Japan — 22.71% overall; the 64% load-success volunteer (Fig 2b).
+    t.push_back(cc("JP", 34, 16, 3, 1.5, 0.36, false, {}, 0.3,
+                   {{"US", .2}, {"SG", .15}, {"HK", .15}, {"AU", .5}}, Os::Linux));
+
+    // Jordan — 54.37% overall; the highest per-site averages (15.7, σ12);
+    // Jordan-only orgs; traceroutes failed; Atlas fallback probe in Israel.
+    {
+      auto c = cc("JO", 55, 52, 24, 17, 0.07, true,
+                  {{"FR", .8}, {"DE", .08}, {"GB", .07}, {"IL", .05}}, 0.7,
+                  {{"FR", .05}, {"DE", .08}, {"GB", .08}, {"US", .04}, {"IL", .33}, {"IE", .1},
+                   {"LU", .14}, {"CY", .18}},
+                  Os::Linux);
+      c.traceroute_blocked = true;
+      t.push_back(std::move(c));
+    }
+
+    // New Zealand — Fig 3: 81% / 85%; Australia-dominated flows; the only
+    // country with a normal per-site distribution (§6.2).
+    {
+      auto c = cc("NZ", 85, 93, 12, 4, 0.04, true,
+                  {{"AU", .9}, {"US", .05}, {"FR", .05}}, 0.6,
+                  {{"AU", .75}, {"US", .08}, {"SG", .12}, {"FR", .05}}, Os::MacOs);
+      c.normal_dist = true;
+      t.push_back(std::move(c));
+    }
+
+    // Pakistan — 65.73% overall; France/Germany-heavy with UAE/Oman (§6.3);
+    // the mislocated Google addresses (claimed Al Fujairah, actually
+    // Amsterdam, §4.1.3).
+    t.push_back(cc("PK", 66, 60, 10, 6, 0.08, true,
+                   {{"FR", .42}, {"DE", .3}, {"AE", .15}, {"OM", .13}}, 0.6,
+                   {{"FR", .04}, {"DE", .2}, {"AE", .35}, {"OM", .25}, {"US", .04}, {"SG", .12}},
+                   Os::Windows));
+
+    // Qatar — Fig 3: 83% / 62%; low per-site counts with outliers
+    // (manoramaonline-style); traceroutes failed; Atlas fallback in Saudi
+    // Arabia; Qatar-only org (Adzily).
+    {
+      auto c = cc("QA", 92, 72, 2.5, 1.5, 0.05, true,
+                  {{"FR", .85}, {"GB", .1}}, 0.5,
+                  {{"FR", .04}, {"GB", .1}, {"DE", .08}, {"US", .05}, {"AE", .53}, {"AU", .2}}, Os::Windows);
+      c.traceroute_blocked = true;
+      t.push_back(std::move(c));
+    }
+
+    // Saudi Arabia — 71.43% overall; the 56% load-success volunteer; the
+    // fewest traceroutes (§5).
+    t.push_back(cc("SA", 52, 62, 5, 2.5, 0.44, true,
+                   {{"DE", .8}, {"FR", .05}, {"AE", .15}}, 0.5,
+                   {{"DE", .35}, {"FR", .05}, {"AE", .3}, {"US", .04}, {"BH", .13}, {"KW", .13}},
+                   Os::Windows));
+
+    // Taiwan — Fig 3: 5% / 10% (a gov>reg exception); majors local.
+    t.push_back(cc("TW", 6, 8, 2, 1, 0.05, false, {}, 0.08,
+                   {{"JP", .3}, {"HK", .2}, {"US", .12}, {"AU", .38}}, Os::Linux));
+
+    // United States — 0%.
+    t.push_back(cc("US", 0, 0, 2, 1, 0.03, false, {}, 0.0, {}, Os::Linux));
+
+    // Lebanon — 20.24% overall (NR policy); few government sites; low counts.
+    {
+      auto c = cc("LB", 12, 10, 2, 1, 0.09, true,
+                  {{"FR", .8}, {"DE", .1}, {"CY", .1}}, 0.4,
+                  {{"FR", .25}, {"DE", .1}, {"CY", .6}, {"US", .05}}, Os::Linux);
+      c.gov_sites = 8;
+      t.push_back(std::move(c));
+    }
+
+    return t;
+  }();
+  return kTable;
+}
+
+const CountryCalibration& calibration_for(std::string_view code) {
+  for (const auto& c : calibration()) {
+    if (c.code == code) return c;
+  }
+  util::log_error("worldgen", "no calibration for country: " + std::string(code));
+  std::abort();
+}
+
+}  // namespace gam::worldgen

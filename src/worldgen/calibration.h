@@ -1,0 +1,71 @@
+// Per-country calibration constants, transcribed from the paper.
+//
+// These drive world *generation* only — the ground truth that the
+// measurement pipeline must then recover without access to this table.
+// Sources: Table 1 (non-local rates, policy), Figure 2b (load success),
+// Figure 3 (per-kind prevalence), Figure 4 + §6.2 prose (trackers/site
+// distributions), Figure 5 + §6.3/§7 prose (destination mixes), §4.1.1
+// (traceroute failures and the Egypt opt-out), §5 (coverage).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "probe/formats.h"
+
+namespace gam::worldgen {
+
+/// Weighted destination-country mix.
+using DestMix = std::vector<std::pair<std::string, double>>;
+
+struct CountryCalibration {
+  std::string code;
+
+  // Fig 3 targets: % of T_reg / T_gov sites embedding >=1 non-local tracker.
+  double reg_prevalence = 0.0;
+  double gov_prevalence = 0.0;
+
+  // Fig 4 / §6.2: per-tracked-site non-local tracker-domain counts.
+  double tps_mean = 3.0;
+  double tps_sigma = 1.5;
+  bool normal_dist = false;  // New Zealand's anomalously normal distribution
+
+  // Fig 2b: page-load failure rate of this volunteer's connection.
+  double load_failure = 0.05;
+
+  // §4.1.1 traceroute pathologies.
+  bool traceroute_opt_out = false;  // Egypt
+  bool traceroute_blocked = false;  // Australia, India, Qatar, Jordan
+
+  // Steering: do the major tracking networks serve this country from abroad?
+  bool majors_foreign = false;
+  DestMix hub_mix;  // majors' destination mix (when majors_foreign)
+
+  // Long-tail trackers: probability a tail domain steers abroad, and where.
+  double tail_foreign_prob = 0.0;
+  DestMix tail_mix;
+
+  // Specific organizations forced to a specific foreign destination even
+  // when majors are otherwise local (§7: Yahoo in Sri Lanka -> Japan;
+  // AdStudio in Sri Lanka -> India).
+  std::vector<std::pair<std::string, std::string>> org_overrides;
+
+  // Number of government sites that exist for this country (§5: Lebanon,
+  // Russia and Algeria had few government sites in the input data).
+  int gov_sites = 50;
+
+  // Probability that a regional website's own document is hosted abroad
+  // (feeds the non-local-but-not-tracker share of the §5 funnel).
+  double site_doc_foreign_prob = 0.05;
+
+  probe::OsKind os = probe::OsKind::Linux;
+};
+
+/// The 23 measurement countries, Table-1 order.
+const std::vector<CountryCalibration>& calibration();
+
+/// Calibration row for a country code; aborts on unknown code.
+const CountryCalibration& calibration_for(std::string_view code);
+
+}  // namespace gam::worldgen

@@ -1,0 +1,71 @@
+// Shared state between the world-generation stages. Internal to worldgen.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "worldgen/calibration.h"
+#include "worldgen/world.h"
+
+namespace gam::worldgen::internal {
+
+/// Steering decision for one tracker registrable domain in one country.
+struct Steer {
+  std::string dest;        // hosting country ("" = the source country itself)
+  std::string claim_dest;  // non-empty: IPmap will *claim* this country instead
+  std::string claim_city;  // city for the wrong claim
+};
+
+struct Builder {
+  const WorldConfig* cfg = nullptr;
+  World* w = nullptr;
+  util::Rng rng;
+  uint32_t next_asn = 100;
+
+  // Tracker machinery (filled by build_trackers).
+  // registrable domain -> its FQDNs.
+  std::map<std::string, std::vector<std::string>> fqdns;
+  // (registrable domain, source country) -> steering decision. Decisions are
+  // made once per (organization, country) — a provider serves a whole
+  // country from one place — then copied to each of its registrable domains,
+  // with the documented per-domain error cases overriding afterwards.
+  std::map<std::string, std::map<std::string, Steer>> steering;
+  // source country -> FQDN -> hosting country (destination of its steering).
+  std::map<std::string, std::map<std::string, std::string>> fqdn_dest;
+  // Per source country: tracker FQDNs that steer abroad / stay local.
+  std::map<std::string, std::vector<std::string>> foreign_pool;
+  std::map<std::string, std::vector<std::string>> local_pool;
+  // Weight of each FQDN when sampling site embeds (majors weigh more).
+  std::map<std::string, double> fqdn_weight;
+
+  // Addresses whose IPmap record must be overwritten after ground truth is
+  // ingested (the planted error cases + random DB noise).
+  struct PlannedError {
+    net::IPv4 ip = 0;
+    std::string claim_country;
+    std::string claim_city;
+  };
+  std::vector<PlannedError> planned_errors;
+  // Addresses IPmap simply has no record for (coverage gaps).
+  std::set<net::IPv4> coverage_gaps;
+
+  uint32_t fresh_asn() { return next_asn++; }
+};
+
+/// Stage 1: countries' routers and links, ISPs, cloud providers, Atlas fleet.
+void build_infrastructure(Builder& b);
+
+/// Stage 2: tracker deployments, GeoDNS steering, planned IPmap errors.
+void build_trackers(Builder& b);
+
+/// Stage 3: websites, top lists, Tranco, target selection inputs.
+void build_web(Builder& b);
+
+/// Helper: server node + address in `country` on AS `asn`, linked to the
+/// country's core router; A record + optional PTR; returns the address.
+net::IPv4 add_server(Builder& b, const std::string& fqdn, const std::string& country,
+                     uint32_t asn, bool ptr_with_hint, bool ptr_at_all);
+
+}  // namespace gam::worldgen::internal

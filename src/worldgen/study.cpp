@@ -1,0 +1,65 @@
+#include "worldgen/study.h"
+
+#include "core/recorder.h"
+#include "geoloc/pipeline.h"
+#include "probe/traceroute.h"
+#include "trackers/identify.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace gam::worldgen {
+
+StudyResult run_study(World& world, const StudyOptions& options) {
+  StudyResult result;
+  result.targets_before_optout = world.targets_before_optout;
+
+  std::vector<std::string> countries =
+      options.countries.empty() ? world::source_countries() : options.countries;
+
+  core::GammaEnv env = world.env();
+  core::GammaConfig config = core::GammaConfig::study_defaults();
+  util::Rng study_rng(options.seed);
+
+  // ---- Box 1: volunteer sessions. ----
+  for (const auto& code : countries) {
+    const core::VolunteerProfile& profile = world.volunteer(code);
+    core::GammaSession session(env, profile, world.targets.at(code), config,
+                               study_rng.fork("session-" + code).next());
+    session.run_all();
+    core::VolunteerDataset dataset = session.take_dataset();
+
+    // §5 cleaning: drop the chromedriver background requests.
+    core::scrub_webdriver_noise(dataset);
+
+    // §4.1.1 repair: countries whose traceroutes were opted out or blocked
+    // get replacement traces from the nearest Atlas probe.
+    bool needs_repair = profile.traceroute_opt_out || profile.traceroute_blocked_prob > 0.5;
+    if (needs_repair) {
+      util::Rng repair_rng = study_rng.fork("repair-" + code);
+      probe::TracerouteOptions opts = config.traceroute;
+      result.atlas_repaired_traces +=
+          core::augment_with_atlas_traceroutes(dataset, env, world.atlas, opts, repair_rng);
+    }
+    result.datasets.push_back(std::move(dataset));
+    util::log_info("study", "collected " + code);
+  }
+
+  // ---- Box 2: geolocation + identification + per-country analysis. ----
+  probe::TracerouteEngine engine(world.topology, *world.resolver);
+  geoloc::MultiConstraintGeolocator geolocator(world.geodb, world.reference, world.atlas,
+                                               engine);
+  trackers::TrackerIdentifier identifier;
+  analysis::CountryAnalyzer analyzer(geolocator, identifier, world.universe);
+  for (const auto& dataset : result.datasets) {
+    util::Rng rng = study_rng.fork("analyze-" + dataset.country);
+    result.analyses.push_back(analyzer.analyze(dataset, rng));
+    util::log_info("study", "analyzed " + dataset.country);
+  }
+
+  if (options.anonymize) {
+    for (auto& dataset : result.datasets) core::anonymize(dataset);
+  }
+  return result;
+}
+
+}  // namespace gam::worldgen

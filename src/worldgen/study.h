@@ -1,0 +1,37 @@
+// The full study, end to end — Figure 1 as one callable.
+//
+// For each requested measurement country: run a Gamma session on the
+// volunteer's machine (C1 -> C2 -> C3), scrub the chromedriver noise,
+// repair missing traceroutes from Atlas (§4.1.1), then push the dataset
+// through the multi-constraint geolocation pipeline and tracker
+// identification (Box 2). Returns both the raw datasets and the per-country
+// analyses every figure/table is computed from.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "worldgen/world.h"
+
+namespace gam::worldgen {
+
+struct StudyResult {
+  std::vector<core::VolunteerDataset> datasets;   // scrubbed + repaired
+  std::vector<analysis::CountryAnalysis> analyses;
+  size_t targets_before_optout = 0;
+  size_t atlas_repaired_traces = 0;
+};
+
+struct StudyOptions {
+  uint64_t seed = 7;
+  /// Countries to measure; empty = all 23 source countries.
+  std::vector<std::string> countries;
+  /// Anonymize volunteer IPs after analysis (§3.5). On by default.
+  bool anonymize = true;
+};
+
+StudyResult run_study(World& world, const StudyOptions& options = {});
+
+}  // namespace gam::worldgen

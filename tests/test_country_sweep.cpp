@@ -1,0 +1,140 @@
+// Parameterized per-country sweep: every measurement country's session +
+// analysis must satisfy the pipeline invariants, whatever its calibration
+// (majors local or foreign, traceroutes blocked or not, few or many
+// government sites).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/dataset.h"
+#include "analysis/prevalence.h"
+#include "worldgen/calibration.h"
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+namespace gam {
+namespace {
+
+class CountrySweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = worldgen::generate_world({}).release();
+    worldgen::StudyResult full = worldgen::run_study(*world_);
+    study_ = new worldgen::StudyResult(std::move(full));
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    delete world_;
+  }
+
+  const analysis::CountryAnalysis& analysis_for(const std::string& code) {
+    for (const auto& a : study_->analyses) {
+      if (a.country == code) return a;
+    }
+    ADD_FAILURE() << "missing " << code;
+    static analysis::CountryAnalysis empty;
+    return empty;
+  }
+
+  const core::VolunteerDataset& dataset_for(const std::string& code) {
+    for (const auto& d : study_->datasets) {
+      if (d.country == code) return d;
+    }
+    ADD_FAILURE() << "missing " << code;
+    static core::VolunteerDataset empty;
+    return empty;
+  }
+
+  static worldgen::World* world_;
+  static worldgen::StudyResult* study_;
+};
+
+worldgen::World* CountrySweep::world_ = nullptr;
+worldgen::StudyResult* CountrySweep::study_ = nullptr;
+
+TEST_P(CountrySweep, FunnelMonotone) {
+  const auto& a = analysis_for(GetParam());
+  EXPECT_GE(a.funnel.total, a.funnel.nonlocal_candidates);
+  EXPECT_GE(a.funnel.nonlocal_candidates, a.funnel.after_sol_constraints);
+  EXPECT_GE(a.funnel.after_sol_constraints, a.funnel.after_rdns);
+  EXPECT_EQ(a.funnel.total,
+            a.funnel.unknown_ip + a.funnel.local + a.funnel.nonlocal_candidates);
+}
+
+TEST_P(CountrySweep, NoTrackerClaimedInsideItsOwnCountry) {
+  // A "non-local" tracker hit must never claim the measurement country.
+  const auto& a = analysis_for(GetParam());
+  for (const auto& s : a.sites) {
+    for (const auto& t : s.trackers) {
+      EXPECT_NE(t.dest_country, GetParam()) << t.domain;
+      EXPECT_FALSE(t.dest_country.empty());
+      EXPECT_FALSE(t.domain.empty());
+      EXPECT_NE(t.method, trackers::IdMethod::None);
+    }
+  }
+}
+
+TEST_P(CountrySweep, TrackerHitsAreUniquePerSite) {
+  const auto& a = analysis_for(GetParam());
+  for (const auto& s : a.sites) {
+    std::set<std::string> seen;
+    for (const auto& t : s.trackers) {
+      EXPECT_TRUE(seen.insert(t.domain).second) << s.site_domain << " " << t.domain;
+    }
+    EXPECT_LE(s.trackers.size(), s.nonlocal_domains);
+    EXPECT_LE(s.nonlocal_domains, s.total_domains);
+  }
+}
+
+TEST_P(CountrySweep, ScrubbedDatasetsHaveNoBackgroundRequests) {
+  const auto& ds = dataset_for(GetParam());
+  for (const auto& site : ds.sites) {
+    for (const auto& req : site.page.requests) {
+      EXPECT_FALSE(req.background) << req.url;
+    }
+  }
+}
+
+TEST_P(CountrySweep, TracerouteAvailabilityMatchesCalibration) {
+  const auto& cal = worldgen::calibration_for(GetParam());
+  const auto& ds = dataset_for(GetParam());
+  if (cal.traceroute_opt_out || cal.traceroute_blocked) {
+    // Repaired from Atlas: traces exist and some are attributed to probes.
+    bool atlas_sourced = false;
+    for (const auto& [ip, trace] : ds.traces) {
+      if (trace.source.rfind("atlas:", 0) == 0) atlas_sourced = true;
+    }
+    EXPECT_TRUE(ds.traces.empty() || atlas_sourced) << GetParam();
+  } else {
+    for (const auto& [ip, trace] : ds.traces) {
+      EXPECT_EQ(trace.source, "volunteer");
+    }
+  }
+}
+
+TEST_P(CountrySweep, MeasuredPrevalenceWithinNoiseOfPlanted) {
+  // The pipeline recovers the planted regional prevalence to within
+  // sampling noise + discard losses: measured must be within a generous
+  // +/-20-point band of the target (tight bands are asserted on the
+  // aggregate statistics in test_endtoend).
+  const auto& cal = worldgen::calibration_for(GetParam());
+  analysis::PrevalenceReport prev = analysis::compute_prevalence(study_->analyses);
+  for (const auto& row : prev.rows) {
+    if (row.country != GetParam()) continue;
+    double planted = cal.reg_prevalence;
+    if (planted <= 2.0) {
+      EXPECT_LE(row.pct_reg, 12.0) << "planted " << planted;
+    } else {
+      EXPECT_NEAR(row.pct_reg, planted, 22.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCountries, CountrySweep,
+                         ::testing::ValuesIn(world::source_countries()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace gam

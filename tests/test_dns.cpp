@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "dns/rdns_hints.h"
+#include "dns/resolver.h"
+#include "dns/zone.h"
+
+namespace gam::dns {
+namespace {
+
+TEST(Zone, PlainARecord) {
+  ZoneStore zones;
+  zones.add_a("example.com", 0x0A000001);
+  zones.add_a("example.com", 0x0A000002);
+  Resolver resolver(zones);
+  Answer ans = resolver.resolve("example.com", "US");
+  EXPECT_FALSE(ans.nxdomain());
+  EXPECT_EQ(ans.ips.size(), 2u);
+  EXPECT_EQ(ans.primary(), 0x0A000001u);
+}
+
+TEST(Zone, Nxdomain) {
+  ZoneStore zones;
+  Resolver resolver(zones);
+  Answer ans = resolver.resolve("nope.example", "US");
+  EXPECT_TRUE(ans.nxdomain());
+  EXPECT_EQ(ans.primary(), 0u);
+}
+
+TEST(Zone, CnameChainFollowed) {
+  ZoneStore zones;
+  zones.add_cname("www.example.com", "cdn.example.net");
+  zones.add_cname("cdn.example.net", "edge.example.org");
+  zones.add_a("edge.example.org", 0x0A000005);
+  Resolver resolver(zones);
+  Answer ans = resolver.resolve("www.example.com", "US");
+  EXPECT_EQ(ans.primary(), 0x0A000005u);
+  ASSERT_EQ(ans.chain.size(), 2u);
+  EXPECT_EQ(ans.chain[0], "cdn.example.net");
+  EXPECT_EQ(ans.chain[1], "edge.example.org");
+}
+
+TEST(Zone, CnameLoopBounded) {
+  ZoneStore zones;
+  zones.add_cname("a.example", "b.example");
+  zones.add_cname("b.example", "a.example");
+  Resolver resolver(zones);
+  Answer ans = resolver.resolve("a.example", "US");
+  EXPECT_TRUE(ans.nxdomain());  // gives up instead of spinning
+}
+
+TEST(Zone, GeoSteeringAnswersPerCountry) {
+  ZoneStore zones;
+  zones.add_steered("tracker.example", "EG", 0x0A000001);
+  zones.add_steered("tracker.example", "NZ", 0x0A000002);
+  zones.add_steered_default("tracker.example", 0x0A000003);
+  Resolver resolver(zones);
+  EXPECT_EQ(resolver.resolve("tracker.example", "EG").primary(), 0x0A000001u);
+  EXPECT_EQ(resolver.resolve("tracker.example", "NZ").primary(), 0x0A000002u);
+  // Unlisted country falls back to the default pool.
+  EXPECT_EQ(resolver.resolve("tracker.example", "JP").primary(), 0x0A000003u);
+}
+
+TEST(Zone, SteeredChoiceIsStable) {
+  ZoneStore zones;
+  for (net::IPv4 ip = 1; ip <= 5; ++ip) zones.add_steered("cdn.example", "US", ip);
+  Resolver resolver(zones);
+  net::IPv4 first = resolver.resolve("cdn.example", "US").primary();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(resolver.resolve("cdn.example", "US").primary(), first);
+  }
+}
+
+TEST(Zone, ReverseDns) {
+  ZoneStore zones;
+  zones.add_ptr(0x0A000001, "edge.fra.example.net");
+  Resolver resolver(zones);
+  EXPECT_EQ(resolver.reverse(0x0A000001).value(), "edge.fra.example.net");
+  EXPECT_FALSE(resolver.reverse(0x0A000002).has_value());
+}
+
+TEST(Zone, HasName) {
+  ZoneStore zones;
+  zones.add_a("a.example", 1);
+  zones.add_cname("b.example", "a.example");
+  zones.add_steered("c.example", "US", 2);
+  EXPECT_TRUE(zones.has_name("a.example"));
+  EXPECT_TRUE(zones.has_name("b.example"));
+  EXPECT_TRUE(zones.has_name("c.example"));
+  EXPECT_FALSE(zones.has_name("d.example"));
+}
+
+// ------------------------------------------------------------- rDNS hints
+
+TEST(RdnsHints, ExtractsIataCode) {
+  auto hints = extract_geo_hints("ae-1.cr2.fra1.transit.net");
+  ASSERT_FALSE(hints.empty());
+  EXPECT_EQ(hints[0].country, "DE");
+  EXPECT_EQ(hints[0].city, "Frankfurt");
+}
+
+TEST(RdnsHints, ExtractsCitySlug) {
+  auto hints = extract_geo_hints("server-1.amsterdam.hosting.example");
+  ASSERT_FALSE(hints.empty());
+  EXPECT_EQ(hints[0].country, "NL");
+}
+
+TEST(RdnsHints, StripsTrailingPopDigits) {
+  auto hints = extract_geo_hints("edge.nbo3.cdn.example");
+  ASSERT_FALSE(hints.empty());
+  EXPECT_EQ(hints[0].country, "KE");
+  EXPECT_EQ(hints[0].city, "Nairobi");
+}
+
+TEST(RdnsHints, NoHintsForPlainHostnames) {
+  EXPECT_TRUE(extract_geo_hints("server-10-0-0-1.hosting.example").empty());
+  EXPECT_TRUE(extract_geo_hints("www.example.com").empty());
+  EXPECT_TRUE(extract_geo_hints("").empty());
+}
+
+TEST(RdnsHints, ShortTokensIgnored) {
+  // Two-letter fragments can't be location tokens ("cr", "ae" interface names).
+  EXPECT_TRUE(extract_geo_hints("ae-1.cr2.xx.example").empty());
+}
+
+TEST(RdnsHints, DeduplicatesRepeatedCity) {
+  auto hints = extract_geo_hints("fra1.fra2.frankfurt.example.net");
+  EXPECT_EQ(hints.size(), 1u);
+}
+
+TEST(RdnsHints, RouterHostnameRoundTrip) {
+  const auto& city = world::CountryDb::instance().at("KE").primary_city();
+  std::string name = router_hostname(city, 3, "backbone.example");
+  auto hints = extract_geo_hints(name);
+  ASSERT_FALSE(hints.empty()) << name;
+  EXPECT_EQ(hints[0].country, "KE");
+}
+
+TEST(RdnsHints, ServerHostnameHintControlled) {
+  const auto& city = world::CountryDb::instance().at("NL").primary_city();
+  std::string with = server_hostname("edge", 0x0A010203, city, "cdn.example", true);
+  std::string without = server_hostname("edge", 0x0A010203, city, "cdn.example", false);
+  EXPECT_FALSE(extract_geo_hints(with).empty()) << with;
+  EXPECT_TRUE(extract_geo_hints(without).empty()) << without;
+  // The address is embedded dashed in both.
+  EXPECT_NE(with.find("10-1-2-3"), std::string::npos);
+}
+
+TEST(RdnsHints, CitySlugDropsNonAlpha) {
+  EXPECT_EQ(city_slug("New York"), "newyork");
+  EXPECT_EQ(city_slug("Al Fujairah"), "alfujairah");
+  EXPECT_EQ(city_slug("Sao Paulo"), "saopaulo");
+}
+
+// The paper's §4.1.3 cases: an Amsterdam hostname must contradict a UAE
+// claim, and a Zurich hostname a German claim.
+TEST(RdnsHints, PaperErrorCasesDetectable) {
+  const auto& ams = world::CountryDb::instance().at("NL").primary_city();
+  std::string host = server_hostname("srv", 0x0A000001, ams, "1e100sim.net", true);
+  auto hints = extract_geo_hints(host);
+  ASSERT_FALSE(hints.empty());
+  EXPECT_EQ(hints[0].country, "NL");  // contradicts a claimed "AE"
+
+  const auto& zrh = world::CountryDb::instance().at("CH").primary_city();
+  host = server_hostname("srv", 0x0A000002, zrh, "1e100sim.net", true);
+  hints = extract_geo_hints(host);
+  ASSERT_FALSE(hints.empty());
+  EXPECT_EQ(hints[0].country, "CH");  // contradicts a claimed "DE"
+}
+
+}  // namespace
+}  // namespace gam::dns

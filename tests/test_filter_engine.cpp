@@ -1,0 +1,85 @@
+#include "trackers/filter_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "web/url.h"
+
+namespace gam::trackers {
+namespace {
+
+RequestContext ctx(std::string url, std::string page = "news.example", bool third = true) {
+  RequestContext c;
+  c.url = std::move(url);
+  c.host = web::host_of(c.url);
+  c.page_host = std::move(page);
+  c.type = web::ResourceType::Script;
+  c.third_party = third;
+  return c;
+}
+
+TEST(FilterEngine, LoadListCountsNetworkRules) {
+  FilterEngine engine;
+  size_t n = engine.load_list(
+      "[Adblock Plus 2.0]\n"
+      "! comment\n"
+      "||ads.example^\n"
+      "||tracker.example^$third-party\n"
+      "/pixel.gif?\n"
+      "@@||ads.example/acceptable^\n"
+      "example.com##.banner\n");
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(engine.block_rule_count(), 3u);
+  EXPECT_EQ(engine.exception_rule_count(), 1u);
+}
+
+TEST(FilterEngine, HostIndexedMatch) {
+  FilterEngine engine;
+  engine.load_list("||ads.example^\n||other.example^\n");
+  MatchResult m = engine.match(ctx("https://sub.ads.example/x.js"));
+  EXPECT_TRUE(m.blocked);
+  ASSERT_NE(m.rule, nullptr);
+  EXPECT_EQ(m.rule->anchor_host, "ads.example");
+  EXPECT_FALSE(engine.match(ctx("https://clean.example/x.js")).blocked);
+}
+
+TEST(FilterEngine, ParentDomainWalk) {
+  FilterEngine engine;
+  engine.load_list("||example.net^\n");
+  EXPECT_TRUE(engine.match(ctx("https://a.b.c.d.example.net/x")).blocked);
+}
+
+TEST(FilterEngine, GenericRulesApply) {
+  FilterEngine engine;
+  engine.load_list("/analytics.js?\n");
+  EXPECT_TRUE(engine.match(ctx("https://anything.example/analytics.js?v=2")).blocked);
+  EXPECT_FALSE(engine.match(ctx("https://anything.example/analytics.js")).blocked);
+}
+
+TEST(FilterEngine, ExceptionOverridesBlock) {
+  FilterEngine engine;
+  engine.load_list(
+      "||cdn.example^\n"
+      "@@||cdn.example/fonts/\n");
+  MatchResult blocked = engine.match(ctx("https://cdn.example/ads/x.js"));
+  EXPECT_TRUE(blocked.blocked);
+  MatchResult saved = engine.match(ctx("https://cdn.example/fonts/roboto.woff"));
+  EXPECT_FALSE(saved.blocked);
+  ASSERT_NE(saved.exception, nullptr);
+  EXPECT_TRUE(saved.exception->exception);
+}
+
+TEST(FilterEngine, EmptyEngineMatchesNothing) {
+  FilterEngine engine;
+  EXPECT_FALSE(engine.match(ctx("https://ads.example/x")).blocked);
+}
+
+TEST(FilterEngine, OptionsEnforcedThroughEngine) {
+  FilterEngine engine;
+  engine.load_list("||widgets.example^$third-party\n");
+  EXPECT_TRUE(engine.match(ctx("https://widgets.example/w.js", "news.example", true)).blocked);
+  EXPECT_FALSE(
+      engine.match(ctx("https://widgets.example/w.js", "widgets.example", false)).blocked);
+}
+
+}  // namespace
+}  // namespace gam::trackers

@@ -1,0 +1,76 @@
+#include "geo/coord.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gam::geo {
+namespace {
+
+TEST(Geo, HaversineZeroForSamePoint) {
+  Coord c{48.86, 2.35};
+  EXPECT_DOUBLE_EQ(haversine_km(c, c), 0.0);
+}
+
+TEST(Geo, HaversineKnownDistances) {
+  Coord london{51.51, -0.13}, paris{48.86, 2.35};
+  EXPECT_NEAR(haversine_km(london, paris), 344, 15);  // ~344 km
+
+  Coord nyc{40.71, -74.01}, tokyo{35.68, 139.69};
+  EXPECT_NEAR(haversine_km(nyc, tokyo), 10850, 150);
+
+  Coord sydney{-33.87, 151.21}, auckland{-36.85, 174.76};
+  EXPECT_NEAR(haversine_km(sydney, auckland), 2155, 60);
+}
+
+TEST(Geo, HaversineSymmetric) {
+  Coord a{10, 20}, b{-30, 125};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Geo, HaversineAntipodal) {
+  Coord a{0, 0}, b{0, 180};
+  EXPECT_NEAR(haversine_km(a, b), 6371 * M_PI, 1.0);  // half circumference
+}
+
+TEST(Geo, MinRttMatchesPaperConstant) {
+  // 133 km per ms of RTT: 1330 km needs >= 10 ms.
+  EXPECT_DOUBLE_EQ(min_rtt_ms(1330.0), 10.0);
+  EXPECT_DOUBLE_EQ(min_rtt_ms(0.0), 0.0);
+}
+
+TEST(Geo, ViolatesSol) {
+  EXPECT_TRUE(violates_sol(9.9, 1330.0));    // too fast
+  EXPECT_FALSE(violates_sol(10.0, 1330.0));  // exactly at the bound
+  EXPECT_FALSE(violates_sol(50.0, 1330.0));  // plenty slow
+  EXPECT_FALSE(violates_sol(0.0, 0.0));      // zero distance: anything goes
+}
+
+TEST(Geo, FiberSpeedIsTwoThirdsC) {
+  EXPECT_NEAR(kFiberKmPerMs, 299792.458 / 1000.0 * 2.0 / 3.0, 0.01);
+  // The paper's SOL constant is deliberately looser than true 2c/3 RTT speed.
+  EXPECT_LT(kSolKmPerRttMs, kFiberKmPerMs / 2.0 + 40.0);
+}
+
+TEST(Geo, ContinentNames) {
+  EXPECT_EQ(continent_name(Continent::Africa), "Africa");
+  EXPECT_EQ(continent_name(Continent::NorthAmerica), "North America");
+  EXPECT_EQ(continent_name(Continent::Oceania), "Oceania");
+}
+
+// Property: triangle inequality for great-circle distances.
+class HaversineTriangle : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaversineTriangle, TriangleInequality) {
+  int seed = GetParam();
+  auto coord = [](int k) {
+    return Coord{-80.0 + (k * 37 % 160), -170.0 + (k * 61 % 340)};
+  };
+  Coord a = coord(seed), b = coord(seed + 11), c = coord(seed + 29);
+  EXPECT_LE(haversine_km(a, c), haversine_km(a, b) + haversine_km(b, c) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HaversineTriangle, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace gam::geo

@@ -1,0 +1,160 @@
+#include "trackers/org_db.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "trackers/filter_engine.h"
+
+#include "trackers/lists.h"
+#include "trackers/whotracksme.h"
+
+namespace gam::trackers {
+namespace {
+
+TEST(OrgDb, RoughlySeventyOrganizations) {
+  // §6.5: "we also identified ~70 companies that own all the non-local
+  // tracking domains".
+  size_t n = OrgDb::instance().orgs().size();
+  EXPECT_GE(n, 65u);
+  EXPECT_LE(n, 80u);
+}
+
+TEST(OrgDb, HqDistributionMatchesPaper) {
+  // §6.5: 50% US, 10% UK, 4% NL, 4% IL.
+  const OrgDb& db = OrgDb::instance();
+  auto hist = db.hq_histogram();
+  double total = static_cast<double>(db.orgs().size());
+  EXPECT_NEAR(hist["US"] / total, 0.50, 0.05);
+  EXPECT_NEAR(hist["GB"] / total, 0.10, 0.03);
+  EXPECT_NEAR(hist["NL"] / total, 0.04, 0.02);
+  EXPECT_NEAR(hist["IL"] / total, 0.04, 0.02);
+}
+
+TEST(OrgDb, TopFiveOrgsPresent) {
+  for (const char* name : {"Google", "Twitter", "Facebook", "Amazon", "Yahoo"}) {
+    EXPECT_NE(OrgDb::instance().find_org(name), nullptr) << name;
+  }
+}
+
+TEST(OrgDb, OrgOfHostViaRegistrableDomain) {
+  const Organization* org = OrgDb::instance().org_of_host("stats.g.doubleclick.net");
+  ASSERT_NE(org, nullptr);
+  EXPECT_EQ(org->name, "Google");
+  EXPECT_EQ(OrgDb::instance().org_of_host("unknown.example"), nullptr);
+}
+
+TEST(OrgDb, GoogleOwnsCountrySpecificSites) {
+  // §6.7: google.com.eg, google.co.th etc. are Google properties.
+  for (const char* host : {"www.google.com.eg", "google.co.th", "google.jo"}) {
+    const Organization* org = OrgDb::instance().org_of_host(host);
+    ASSERT_NE(org, nullptr) << host;
+    EXPECT_EQ(org->name, "Google") << host;
+  }
+}
+
+TEST(OrgDb, TrackerOfHostExactAndRegistrable) {
+  const TrackerDomainInfo* t = OrgDb::instance().tracker_of_host("ads.smaato.net");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->org, "Smaato");
+  EXPECT_EQ(OrgDb::instance().tracker_of_host("nope.example"), nullptr);
+}
+
+TEST(OrgDb, PaperNamedTrackersPresent) {
+  // Domains the paper names explicitly.
+  for (const char* domain :
+       {"googletagmanager.com", "doubleclick.net", "googleapis.com",
+        "theozone-project.com", "dotomi.com", "smaato.net", "spot.im",
+        "scorecardresearch.com", "33across.com", "360yield.com", "adstudio.cloud",
+        "jubnaadserve.com"}) {
+    EXPECT_NE(OrgDb::instance().tracker_of_host(domain), nullptr) << domain;
+  }
+}
+
+TEST(OrgDb, TheOzoneProjectIsManualOnly) {
+  // §4.2's manual-identification example: not in the lists, found via
+  // WhoTracksMe inspection.
+  const TrackerDomainInfo* t = OrgDb::instance().tracker_of_host("theozone-project.com");
+  ASSERT_NE(t, nullptr);
+  EXPECT_FALSE(t->in_easylist);
+  EXPECT_TRUE(t->in_whotracksme);
+}
+
+TEST(OrgDb, EveryTrackerHasAKnownOrg) {
+  for (const auto& t : OrgDb::instance().tracker_domains()) {
+    EXPECT_NE(OrgDb::instance().find_org(t.org), nullptr) << t.domain << " -> " << t.org;
+  }
+}
+
+TEST(OrgDb, TrackerDomainsUnique) {
+  std::set<std::string> seen;
+  for (const auto& t : OrgDb::instance().tracker_domains()) {
+    EXPECT_TRUE(seen.insert(t.domain).second) << "duplicate " << t.domain;
+  }
+}
+
+TEST(OrgDb, DomainFamiliesAveragedToPaperScale) {
+  // ~505 domains over ~70 orgs: several domains per organization.
+  size_t domains = OrgDb::instance().tracker_domains().size();
+  EXPECT_GE(domains, 400u);
+  EXPECT_LE(domains, 650u);
+}
+
+TEST(OrgDb, ManualShareNearPaperSplit) {
+  // 64/505 = ~13% of identified domains were manual-only (§4.2).
+  size_t manual = 0, total = 0;
+  for (const auto& t : OrgDb::instance().tracker_domains()) {
+    ++total;
+    if (!t.in_easylist && t.regional_list.empty()) ++manual;
+  }
+  double share = static_cast<double>(manual) / total;
+  EXPECT_GT(share, 0.08);
+  EXPECT_LT(share, 0.25);
+}
+
+TEST(Lists, EasylistAndEasyprivacyNonTrivial) {
+  FilterEngine easylist, easyprivacy;
+  EXPECT_GT(easylist.load_list(easylist_text()), 100u);
+  EXPECT_GT(easyprivacy.load_list(easyprivacy_text()), 50u);
+}
+
+TEST(Lists, RegionalListsExist) {
+  auto available = available_regional_lists();
+  EXPECT_FALSE(available.empty());
+  // The paper cites Indian and Sri Lankan regional lists.
+  EXPECT_NE(std::find(available.begin(), available.end(), "IN"), available.end());
+  EXPECT_NE(std::find(available.begin(), available.end(), "LK"), available.end());
+  for (const auto& country : available) {
+    EXPECT_FALSE(regional_list_text(country).empty()) << country;
+  }
+  EXPECT_TRUE(regional_list_text("ZZ").empty());
+}
+
+TEST(Lists, ListBloatEntriesDoNotBlockRealDomains) {
+  FilterEngine engine;
+  engine.load_list(easylist_text());
+  RequestContext c;
+  c.url = "https://safe-site.example/page.js";
+  c.host = "safe-site.example";
+  c.page_host = "safe-site.example";
+  c.third_party = false;
+  EXPECT_FALSE(engine.match(c).blocked);
+}
+
+TEST(WhoTracksMe, CoversManualDomains) {
+  auto entry = WhoTracksMe::instance().lookup("static.theozone-project.com");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->org, "Ozone Project");
+  EXPECT_FALSE(WhoTracksMe::instance().lookup("totally-unknown.example").has_value());
+  EXPECT_GT(WhoTracksMe::instance().size(), 100u);
+}
+
+TEST(Categories, NamesComplete) {
+  EXPECT_EQ(category_name(Category::Advertising), "advertising");
+  EXPECT_EQ(category_name(Category::Analytics), "analytics");
+  EXPECT_EQ(category_name(Category::TagManager), "tag-manager");
+}
+
+}  // namespace
+}  // namespace gam::trackers

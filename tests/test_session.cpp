@@ -1,0 +1,196 @@
+// Gamma session behaviour on the full generated world: resumability,
+// opt-outs, traceroute dedup, per-OS recording, scrubbing, anonymization,
+// dataset JSON round trip.
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "core/recorder.h"
+#include "util/strings.h"
+#include "worldgen/world.h"
+
+namespace gam::core {
+namespace {
+
+struct SessionFixture : ::testing::Test {
+  static void SetUpTestSuite() { world_ = worldgen::generate_world({}).release(); }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static worldgen::World* world_;
+
+  GammaSession make_session(const std::string& country, uint64_t seed = 11) {
+    return GammaSession(world_->env(), world_->volunteer(country),
+                        world_->targets.at(country), GammaConfig::study_defaults(), seed);
+  }
+};
+
+worldgen::World* SessionFixture::world_ = nullptr;
+
+TEST_F(SessionFixture, RunAllMeasuresEveryNonOptedSite) {
+  GammaSession session = make_session("NZ");
+  session.run_all();
+  EXPECT_TRUE(session.finished());
+  const VolunteerDataset& ds = session.dataset();
+  size_t optouts = world_->volunteer("NZ").site_opt_outs.size();
+  EXPECT_EQ(ds.attempted_sites() + optouts, session.total_sites());
+  EXPECT_GT(ds.loaded_sites(), ds.attempted_sites() * 8 / 10);  // Fig 2b: >86% typical
+}
+
+TEST_F(SessionFixture, StepByStepEqualsRunAll) {
+  GammaSession a = make_session("TW", 99);
+  GammaSession b = make_session("TW", 99);
+  a.run_all();
+  size_t steps = 0;
+  while (b.step()) ++steps;
+  EXPECT_EQ(steps, a.dataset().attempted_sites());
+  // Identical RNG seed => identical recorded data.
+  EXPECT_EQ(dataset_to_json(a.dataset()).dump(), dataset_to_json(b.dataset()).dump());
+}
+
+TEST_F(SessionFixture, ResumeContinuesWhereStopped) {
+  GammaSession session = make_session("TW", 5);
+  session.step();
+  session.step();
+  size_t before = session.next_site_index();
+  EXPECT_GT(before, 0u);
+  EXPECT_FALSE(session.finished());
+  session.run_all();
+  EXPECT_TRUE(session.finished());
+  EXPECT_EQ(session.dataset().attempted_sites() +
+                world_->volunteer("TW").site_opt_outs.size(),
+            session.total_sites());
+}
+
+TEST_F(SessionFixture, OptedOutSitesNeverMeasured) {
+  const VolunteerProfile& profile = world_->volunteer("AZ");
+  GammaSession session = make_session("AZ");
+  session.run_all();
+  for (const auto& site : session.dataset().sites) {
+    EXPECT_EQ(profile.site_opt_outs.count(site.page.site_domain), 0u)
+        << site.page.site_domain;
+  }
+}
+
+TEST_F(SessionFixture, TraceroutesDedupedAcrossSites) {
+  GammaSession session = make_session("NZ");
+  session.run_all();
+  const VolunteerDataset& ds = session.dataset();
+  // One trace per unique address, stored at dataset level.
+  EXPECT_GT(ds.traces.size(), 50u);
+  for (const auto& [ip, trace] : ds.traces) {
+    EXPECT_EQ(trace.ip, ip);
+    EXPECT_TRUE(trace.attempted);
+    EXPECT_EQ(trace.source, "volunteer");
+  }
+}
+
+TEST_F(SessionFixture, WindowsVolunteerRecordsTracertOutput) {
+  // Pakistan's volunteer runs Windows (calibration): raw text is tracert.
+  GammaSession session = make_session("PK");
+  session.run_all();
+  const VolunteerDataset& ds = session.dataset();
+  ASSERT_FALSE(ds.traces.empty());
+  bool saw_windows_format = false;
+  for (const auto& [ip, trace] : ds.traces) {
+    EXPECT_EQ(trace.os, "windows");
+    if (trace.raw_text.find("Tracing route to") != std::string::npos) {
+      saw_windows_format = true;
+      EXPECT_TRUE(trace.normalized.is_object());  // normalizer handled tracert
+    }
+  }
+  EXPECT_TRUE(saw_windows_format);
+}
+
+TEST_F(SessionFixture, TracerouteOptOutRespected) {
+  // Egypt's volunteer opted out of traceroutes (§3.5).
+  GammaSession session = make_session("EG");
+  session.run_all();
+  EXPECT_TRUE(session.dataset().traces.empty());
+}
+
+TEST_F(SessionFixture, BlockedNetworkYieldsUnreachedTraces) {
+  // Jordan's network blocks traceroutes (§4.1.1): attempted but unreached.
+  GammaSession session = make_session("JO");
+  session.run_all();
+  const VolunteerDataset& ds = session.dataset();
+  ASSERT_FALSE(ds.traces.empty());
+  for (const auto& [ip, trace] : ds.traces) {
+    EXPECT_FALSE(trace.reached) << net::ip_to_string(ip);
+  }
+}
+
+TEST_F(SessionFixture, AtlasRepairFillsBlockedTraces) {
+  GammaSession session = make_session("JO");
+  session.run_all();
+  VolunteerDataset ds = session.take_dataset();
+  util::Rng rng(3);
+  probe::TracerouteOptions opts;
+  size_t repaired =
+      augment_with_atlas_traceroutes(ds, world_->env(), world_->atlas, opts, rng);
+  EXPECT_GT(repaired, 0u);
+  size_t reached = 0;
+  bool from_atlas = false;
+  for (const auto& [ip, trace] : ds.traces) {
+    if (trace.reached) ++reached;
+    if (util::starts_with(trace.source, "atlas:")) from_atlas = true;
+  }
+  EXPECT_GT(reached, ds.traces.size() / 2);
+  EXPECT_TRUE(from_atlas);
+}
+
+TEST_F(SessionFixture, ScrubRemovesWebdriverNoise) {
+  GammaSession session = make_session("NZ");
+  session.run_all();
+  VolunteerDataset ds = session.take_dataset();
+  size_t removed = scrub_webdriver_noise(ds);
+  EXPECT_GT(removed, 0u);  // chrome always produced some background traffic
+  for (const auto& site : ds.sites) {
+    for (const auto& req : site.page.requests) {
+      EXPECT_FALSE(req.background);
+      for (const auto& noise : web::webdriver_noise_domains()) {
+        EXPECT_NE(req.domain, noise);
+      }
+    }
+  }
+  EXPECT_EQ(scrub_webdriver_noise(ds), 0u);  // idempotent
+}
+
+TEST_F(SessionFixture, AnonymizeReplacesVolunteerIp) {
+  GammaSession session = make_session("GB");
+  session.run_all();
+  VolunteerDataset ds = session.take_dataset();
+  std::string original = ds.volunteer_ip;
+  anonymize(ds);
+  EXPECT_NE(ds.volunteer_ip, original);
+  EXPECT_TRUE(util::starts_with(ds.volunteer_ip, "anon-"));
+}
+
+TEST_F(SessionFixture, DatasetJsonRoundTrip) {
+  GammaSession session = make_session("LK", 17);
+  session.run_all();
+  VolunteerDataset ds = session.take_dataset();
+  util::Json doc = dataset_to_json(ds);
+  auto restored = dataset_from_json(doc);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->volunteer_id, ds.volunteer_id);
+  EXPECT_EQ(restored->country, ds.country);
+  EXPECT_EQ(restored->sites.size(), ds.sites.size());
+  EXPECT_EQ(restored->traces.size(), ds.traces.size());
+  // Full fidelity: re-serialization is identical.
+  EXPECT_EQ(dataset_to_json(*restored).dump(), doc.dump());
+}
+
+TEST(Recorder, RejectsMalformedJson) {
+  EXPECT_FALSE(dataset_from_json(util::Json(nullptr)).has_value());
+  EXPECT_FALSE(dataset_from_json(util::Json::object()).has_value());
+  util::Json bad = util::Json::object();
+  bad["volunteer_id"] = "x";
+  bad["country"] = "EG";
+  // missing "sites"
+  EXPECT_FALSE(dataset_from_json(bad).has_value());
+}
+
+}  // namespace
+}  // namespace gam::core

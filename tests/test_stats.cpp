@@ -1,0 +1,141 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gam::util {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({7}), 7.0);
+}
+
+TEST(Stats, StddevSample) {
+  // Sample stddev of {2,4,4,4,5,5,7,9} is 2.138...
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(median({9}), 9.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> v = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.125), 5.0);
+}
+
+TEST(Stats, BoxStatsFiveNumber) {
+  BoxStats b = box_stats({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(b.n, 9u);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.max, 9);
+  EXPECT_DOUBLE_EQ(b.median, 5);
+  EXPECT_DOUBLE_EQ(b.q1, 3);
+  EXPECT_DOUBLE_EQ(b.q3, 7);
+  EXPECT_DOUBLE_EQ(b.iqr, 4);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(Stats, BoxStatsDetectsOutliers) {
+  BoxStats b = box_stats({1, 2, 2, 3, 3, 3, 4, 4, 5, 50});
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 50.0);
+  EXPECT_LE(b.whisker_hi, 5.0);
+}
+
+TEST(Stats, BoxStatsEmpty) {
+  BoxStats b = box_stats({});
+  EXPECT_EQ(b.n, 0u);
+  EXPECT_DOUBLE_EQ(b.median, 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 4, 6}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Stats, PearsonUncorrelatedNearZero) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 1000; ++i) {
+    x.push_back((i * 7) % 13);
+    y.push_back((i * 11) % 17);
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.1);
+}
+
+TEST(Stats, SpearmanMonotonicIsOne) {
+  EXPECT_NEAR(spearman({1, 5, 9}, {10, 100, 1000}), 1.0, 1e-12);
+  EXPECT_NEAR(spearman({1, 5, 9}, {1000, 100, 10}), -1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanHandlesTies) {
+  double r = spearman({1, 2, 2, 3}, {1, 2, 2, 3});
+  EXPECT_NEAR(r, 1.0, 1e-12);
+}
+
+TEST(Stats, SkewnessSigns) {
+  EXPECT_GT(skewness({1, 1, 1, 2, 2, 3, 10}), 0.5);   // right tail
+  EXPECT_LT(skewness({10, 10, 10, 9, 9, 8, 1}), -0.5);  // left tail
+  EXPECT_NEAR(skewness({1, 2, 3, 4, 5}), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(skewness({1, 2}), 0.0);
+}
+
+TEST(Stats, Histogram) {
+  auto h = histogram({0.5, 1.5, 1.6, 2.5, 9.9, -4.0, 15.0}, 0.0, 10.0, 10);
+  EXPECT_EQ(h[0], 2u);  // 0.5 and clamped -4.0
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[2], 1u);
+  EXPECT_EQ(h[9], 2u);  // 9.9 and clamped 15.0
+}
+
+TEST(Stats, HistogramDegenerate) {
+  EXPECT_TRUE(histogram({1.0}, 0, 10, 0).empty());
+  auto h = histogram({1.0}, 5, 5, 3);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0] + h[1] + h[2], 0u);
+}
+
+TEST(Stats, Frequency) {
+  auto f = frequency({1, 1, 2, 2.4, 3});
+  EXPECT_EQ(f[1], 2u);
+  EXPECT_EQ(f[2], 2u);  // 2 and 2.4 both round to 2
+  EXPECT_EQ(f[3], 1u);
+}
+
+// Property sweep: box stats are order statistics — invariant under shuffling,
+// and min <= q1 <= median <= q3 <= max always holds.
+class BoxStatsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxStatsSweep, OrderingInvariant) {
+  int n = GetParam();
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i) v.push_back(((i * 2654435761u) % 1000) / 10.0);
+  BoxStats b = box_stats(v);
+  EXPECT_LE(b.min, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.max);
+  EXPECT_LE(b.whisker_lo, b.whisker_hi);
+  EXPECT_GE(b.whisker_lo, b.min);
+  EXPECT_LE(b.whisker_hi, b.max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoxStatsSweep, ::testing::Values(1, 2, 3, 5, 10, 100, 999));
+
+}  // namespace
+}  // namespace gam::util

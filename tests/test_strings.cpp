@@ -1,0 +1,114 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace gam::util {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitEmptyInput) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitViewAliasesInput) {
+  std::string s = "x.y";
+  auto parts = split_view(s, '.');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].data(), s.data());
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  auto parts = split_ws("  a \t b\n  c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWsEmpty) { EXPECT_TRUE(split_ws("   ").empty()); }
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join(std::vector<std::string>{"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(join(std::vector<std::string>{"one"}, ","), "one");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t\na b\r\n"), "a b");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AbC.DeF"), "abc.def");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("example.com", "exam"));
+  EXPECT_FALSE(starts_with("ex", "exam"));
+  EXPECT_TRUE(ends_with("example.com", ".com"));
+  EXPECT_FALSE(ends_with("om", ".com"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Strings, Contains) {
+  EXPECT_TRUE(contains("a/ads/b", "/ads/"));
+  EXPECT_FALSE(contains("a", "/ads/"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("1.2.3.4", ".", "-"), "1-2-3-4");
+  EXPECT_EQ(replace_all("aaa", "a", "ab"), "ababab");
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+  EXPECT_EQ(replace_all("", "a", "b"), "");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("HoSt", "host"));
+  EXPECT_FALSE(iequals("host", "hosts"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Strings, ParseLong) {
+  EXPECT_EQ(parse_long("42"), 42);
+  EXPECT_EQ(parse_long(" 42 "), 42);
+  EXPECT_EQ(parse_long("0"), 0);
+  EXPECT_EQ(parse_long("-1"), -1);
+  EXPECT_EQ(parse_long("4x2"), -1);
+  EXPECT_EQ(parse_long(""), -1);
+  EXPECT_EQ(parse_long("999999999999999999999999"), -1);  // overflow
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%s=%d", "x", 7), "x=7");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace gam::util

@@ -1,0 +1,136 @@
+#include "core/target_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "web/psl.h"
+
+namespace gam::core {
+namespace {
+
+TEST(Overlap, FractionBasics) {
+  std::vector<std::string> a = {"a", "b", "c", "d"};
+  std::vector<std::string> b = {"c", "d", "e", "f"};
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(overlap_fraction({}, b), 0.0);
+}
+
+TEST(Overlap, TopNLimit) {
+  std::vector<std::string> a = {"a", "b", "c", "d"};
+  std::vector<std::string> b = {"a", "x", "y", "z"};
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, b, 1), 1.0);  // only 'a' considered
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, b, 4), 0.25);
+}
+
+struct SelectorFixture : ::testing::Test {
+  void SetUp() override {
+    // Minimal universe for Egypt.
+    universe_.add_site({"news-0.com.eg", "EG", web::SiteKind::Regional, 1, false, {}});
+    universe_.add_site({"shop-1.com.eg", "EG", web::SiteKind::Regional, 2, false, {}});
+    universe_.add_site({"adult-tube.com.eg", "EG", web::SiteKind::Regional, 3, true, {}});
+    universe_.add_site({"banned-site.com.eg", "EG", web::SiteKind::Regional, 4, false, {}});
+    universe_.add_site({"moi.gov.eg", "EG", web::SiteKind::Government, 0, false, {}});
+    universe_.add_site({"tax.gov.eg", "EG", web::SiteKind::Government, 0, false, {}});
+    universe_.add_site({"health.gov.eg", "EG", web::SiteKind::Government, 0, false, {}});
+
+    inputs_.universe = &universe_;
+    inputs_.similarweb.provider = "similarweb";
+    inputs_.similarweb.by_country["EG"] = {"news-0.com.eg", "adult-tube.com.eg",
+                                           "banned-site.com.eg", "shop-1.com.eg"};
+    inputs_.semrush.provider = "semrush";
+    inputs_.semrush.by_country["EG"] = {"shop-1.com.eg", "news-0.com.eg"};
+    inputs_.semrush.by_country["RW"] = {"radio-rw.rw"};
+    inputs_.ahrefs.provider = "ahrefs";
+    inputs_.ahrefs.by_country["EG"] = {"news-0.com.eg"};
+    // Tranco surfaces only one Egyptian gov site; the rest come from the
+    // search-scrape fallback.
+    inputs_.tranco.domains = {"news-0.com.eg", "moi.gov.eg", "shop-1.com.eg"};
+    inputs_.banned["EG"] = {"banned-site.com.eg"};
+  }
+
+  web::WebUniverse universe_;
+  TargetSelectionInputs inputs_;
+};
+
+TEST_F(SelectorFixture, SelectsFromSimilarwebFirst) {
+  TargetSelector selector(inputs_);
+  TargetList t = selector.select("EG", 50, 50);
+  EXPECT_EQ(t.regional_source, "similarweb");
+  // Adult and banned sites removed (§3.2).
+  for (const auto& d : t.regional) {
+    EXPECT_NE(d, "adult-tube.com.eg");
+    EXPECT_NE(d, "banned-site.com.eg");
+  }
+  EXPECT_EQ(t.regional.size(), 2u);
+}
+
+TEST_F(SelectorFixture, FallsBackToSemrush) {
+  TargetSelector selector(inputs_);
+  TargetList t = selector.select("RW", 50, 50);
+  EXPECT_EQ(t.regional_source, "semrush");
+  ASSERT_EQ(t.regional.size(), 1u);
+  EXPECT_EQ(t.regional[0], "radio-rw.rw");
+}
+
+TEST_F(SelectorFixture, GovTldFilteringAndFallback) {
+  TargetSelector selector(inputs_);
+  TargetList t = selector.select("EG", 50, 50);
+  // moi.gov.eg from Tranco; tax + health from the search fallback.
+  EXPECT_EQ(t.government.size(), 3u);
+  EXPECT_EQ(t.government[0], "moi.gov.eg");
+  for (const auto& d : t.government) {
+    EXPECT_TRUE(web::host_within(d, "gov.eg")) << d;
+  }
+}
+
+TEST_F(SelectorFixture, GovCapRespected) {
+  TargetSelector selector(inputs_);
+  TargetList t = selector.select("EG", 50, 2);
+  EXPECT_EQ(t.government.size(), 2u);
+}
+
+TEST_F(SelectorFixture, AllConcatenatesRegThenGov) {
+  TargetSelector selector(inputs_);
+  TargetList t = selector.select("EG", 50, 50);
+  auto all = t.all();
+  EXPECT_EQ(all.size(), t.regional.size() + t.government.size());
+  EXPECT_EQ(all.front(), t.regional.front());
+  EXPECT_EQ(all.back(), t.government.back());
+}
+
+TEST_F(SelectorFixture, OverlapStudyUsesFullyCoveredCountries) {
+  TargetSelector selector(inputs_);
+  auto study = selector.run_overlap_study(4);
+  // Only EG is covered by all three providers.
+  EXPECT_EQ(study.countries_compared, 1u);
+  EXPECT_DOUBLE_EQ(study.semrush_vs_similarweb, 0.5);   // 2 of 4 entries shared
+  EXPECT_DOUBLE_EQ(study.ahrefs_vs_similarweb, 0.25);   // 1 of 4
+}
+
+TEST(Config, StudyDefaultsMatchPaper) {
+  GammaConfig cfg = GammaConfig::study_defaults();
+  EXPECT_EQ(cfg.browser.browser, "chrome");
+  EXPECT_DOUBLE_EQ(cfg.browser.render_wait_s, 20.0);   // §3.1
+  EXPECT_DOUBLE_EQ(cfg.browser.hard_timeout_s, 180.0); // §3.1
+  EXPECT_EQ(cfg.concurrent_instances, 1);              // single-thread mode
+  EXPECT_TRUE(cfg.enable_network_info);
+  EXPECT_TRUE(cfg.enable_probes);
+  EXPECT_TRUE(cfg.valid());
+}
+
+TEST(Config, ValidityChecks) {
+  GammaConfig cfg = GammaConfig::study_defaults();
+  cfg.browser.render_wait_s = -1;
+  EXPECT_FALSE(cfg.valid());
+  cfg = GammaConfig::study_defaults();
+  cfg.browser.hard_timeout_s = 1.0;  // below render wait
+  EXPECT_FALSE(cfg.valid());
+  cfg = GammaConfig::study_defaults();
+  cfg.concurrent_instances = 0;
+  EXPECT_FALSE(cfg.valid());
+}
+
+}  // namespace
+}  // namespace gam::core

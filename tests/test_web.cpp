@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "web/browser.h"
+#include "web/psl.h"
+#include "web/url.h"
+#include "web/website.h"
+
+namespace gam::web {
+namespace {
+
+// ------------------------------------------------------------------- URL
+
+TEST(Url, ParseBasic) {
+  auto u = Url::parse("https://www.Example.com/a/b?q=1");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->scheme, "https");
+  EXPECT_EQ(u->host, "www.example.com");  // lowercased
+  EXPECT_EQ(u->path, "/a/b?q=1");
+  EXPECT_EQ(u->port, 0);
+}
+
+TEST(Url, ParsePort) {
+  auto u = Url::parse("http://example.com:8080/x");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->port, 8080);
+  EXPECT_EQ(u->to_string(), "http://example.com:8080/x");
+}
+
+TEST(Url, ParseNoPathDefaultsSlash) {
+  auto u = Url::parse("https://example.com");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->path, "/");
+  EXPECT_EQ(u->to_string(), "https://example.com/");
+}
+
+TEST(Url, RejectsNonHttp) {
+  EXPECT_FALSE(Url::parse("ftp://example.com/").has_value());
+  EXPECT_FALSE(Url::parse("example.com/x").has_value());
+  EXPECT_FALSE(Url::parse("https://").has_value());
+  EXPECT_FALSE(Url::parse("https://host:99999/").has_value());
+}
+
+TEST(Url, HostOf) {
+  EXPECT_EQ(host_of("https://a.b.c/x"), "a.b.c");
+  EXPECT_EQ(host_of("garbage"), "");
+}
+
+// ------------------------------------------------------------------- PSL
+
+TEST(Psl, PublicSuffixLookup) {
+  EXPECT_TRUE(is_public_suffix("com"));
+  EXPECT_TRUE(is_public_suffix("co.uk"));
+  EXPECT_TRUE(is_public_suffix("gov.au"));
+  EXPECT_TRUE(is_public_suffix("GOB.AR"));  // case-insensitive
+  EXPECT_FALSE(is_public_suffix("example.com"));
+}
+
+struct RegDomainCase {
+  const char* host;
+  const char* expected;
+};
+
+class RegistrableDomainSweep : public ::testing::TestWithParam<RegDomainCase> {};
+
+TEST_P(RegistrableDomainSweep, ExtractsETldPlusOne) {
+  EXPECT_EQ(registrable_domain(GetParam().host), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RegistrableDomainSweep,
+    ::testing::Values(
+        RegDomainCase{"www.example.com", "example.com"},
+        RegDomainCase{"example.com", "example.com"},
+        RegDomainCase{"a.b.news.co.uk", "news.co.uk"},
+        RegDomainCase{"stats.g.doubleclick.net", "doubleclick.net"},
+        RegDomainCase{"moi.gov.au", "moi.gov.au"},  // gov.au is itself a suffix
+        RegDomainCase{"www.google.com.eg", "google.com.eg"},
+        RegDomainCase{"google.co.th", "google.co.th"},
+        RegDomainCase{"sub.site.gob.ar", "site.gob.ar"},
+        RegDomainCase{"WWW.UPPER.COM", "upper.com"},
+        RegDomainCase{"localhost", "localhost"},        // no dot: unchanged
+        RegDomainCase{"x.unknowntld", "x.unknowntld"}));  // wildcard rule
+
+TEST(Psl, HostWithin) {
+  EXPECT_TRUE(host_within("a.b.example.com", "example.com"));
+  EXPECT_TRUE(host_within("example.com", "example.com"));
+  EXPECT_FALSE(host_within("badexample.com", "example.com"));
+  EXPECT_FALSE(host_within("example.com", "a.example.com"));
+  EXPECT_TRUE(host_within("MOI.GOV.AU", "gov.au"));
+}
+
+// -------------------------------------------------------------- Universe
+
+TEST(Universe, AddFindSitesOf) {
+  WebUniverse universe;
+  universe.add_site({"news.example.eg", "EG", SiteKind::Regional, 1, false, {}});
+  universe.add_site({"moi.gov.eg", "EG", SiteKind::Government, 0, false, {}});
+  universe.add_site({"shop.example.jo", "JO", SiteKind::Regional, 2, false, {}});
+
+  EXPECT_NE(universe.find("news.example.eg"), nullptr);
+  EXPECT_EQ(universe.find("missing.example"), nullptr);
+  EXPECT_EQ(universe.sites_of("EG").size(), 2u);
+  EXPECT_EQ(universe.sites_of("EG", SiteKind::Government).size(), 1u);
+  EXPECT_EQ(universe.sites_of("XX").size(), 0u);
+}
+
+TEST(Universe, Expansions) {
+  WebUniverse universe;
+  universe.add_expansion("tagmanager.example", {"https://analytics.example/a.js",
+                                                ResourceType::Script});
+  EXPECT_EQ(universe.expansions_of("tagmanager.example").size(), 1u);
+  EXPECT_TRUE(universe.expansions_of("other.example").empty());
+}
+
+TEST(Universe, SiteUrl) {
+  Website site{"news.example", "EG", SiteKind::Regional, 1, false, {}};
+  EXPECT_EQ(site.url(), "https://news.example/");
+}
+
+// -------------------------------------------------------------- Browser
+
+struct BrowserFixture : ::testing::Test {
+  void SetUp() override {
+    // A tiny world: one client in EG, one site server, one tracker server.
+    geo::Coord cairo{30.04, 31.24};
+    geo::Coord frankfurt{50.11, 8.68};
+    router_ = topo_.add_node(net::NodeKind::Router, "r1", "EG", "Cairo", cairo, 1, 0x0A000001);
+    client_ = topo_.add_node(net::NodeKind::Client, "c", "EG", "Cairo", cairo, 1, 0x0A0000FE);
+    topo_.add_link_latency(router_, client_, 3.0);
+    net::NodeId site_srv =
+        topo_.add_node(net::NodeKind::Server, "site", "EG", "Cairo", cairo, 2, 0x0A000010);
+    topo_.add_link_latency(router_, site_srv, 0.5);
+    net::NodeId tracker_srv = topo_.add_node(net::NodeKind::Server, "trk", "DE", "Frankfurt",
+                                             frankfurt, 3, 0x0A000020);
+    topo_.add_link(router_, tracker_srv);
+
+    zones_.add_a("news.example.eg", 0x0A000010);
+    zones_.add_a("tracker.example.de", 0x0A000020);
+    zones_.add_a("tag.example.de", 0x0A000020);
+    zones_.add_a("deep.example.de", 0x0A000020);
+
+    Website site;
+    site.domain = "news.example.eg";
+    site.country = "EG";
+    site.resources = {{"https://news.example.eg/app.js", ResourceType::Script},
+                      {"https://tracker.example.de/t.js", ResourceType::Script},
+                      {"https://tag.example.de/tag.js", ResourceType::Script},
+                      {"https://missing.example/x.js", ResourceType::Script}};
+    universe_.add_site(site);
+    universe_.add_expansion("tag.example.de",
+                            {"https://deep.example.de/deep.js", ResourceType::Script});
+  }
+
+  Browser make_browser(BrowserOptions opts = {}) {
+    resolver_ = std::make_unique<dns::Resolver>(zones_);
+    return Browser(universe_, *resolver_, topo_, opts);
+  }
+
+  net::Topology topo_;
+  dns::ZoneStore zones_;
+  WebUniverse universe_;
+  std::unique_ptr<dns::Resolver> resolver_;
+  net::NodeId router_ = 0, client_ = 0;
+};
+
+TEST_F(BrowserFixture, SuccessfulLoadRecordsRequests) {
+  BrowserOptions opts;
+  opts.webdriver_noise = false;
+  Browser browser = make_browser(opts);
+  util::Rng rng(1);
+  PageLoadRecord rec =
+      browser.load(*universe_.find("news.example.eg"), client_, "EG", 0.0, rng);
+  EXPECT_TRUE(rec.loaded);
+  EXPECT_EQ(rec.site_domain, "news.example.eg");
+  // Document + 4 resources + 1 expansion = 6 requests.
+  EXPECT_EQ(rec.requests.size(), 6u);
+  // The missing domain fails DNS but is still recorded as a request.
+  bool saw_failed = false, saw_expansion = false;
+  for (const auto& r : rec.requests) {
+    if (r.domain == "missing.example") {
+      saw_failed = true;
+      EXPECT_FALSE(r.completed);
+      EXPECT_EQ(r.ip, 0u);
+    }
+    if (r.domain == "deep.example.de") saw_expansion = true;
+  }
+  EXPECT_TRUE(saw_failed);
+  EXPECT_TRUE(saw_expansion);
+}
+
+TEST_F(BrowserFixture, RttReflectsTopologyDistance) {
+  BrowserOptions opts;
+  opts.webdriver_noise = false;
+  Browser browser = make_browser(opts);
+  util::Rng rng(2);
+  PageLoadRecord rec =
+      browser.load(*universe_.find("news.example.eg"), client_, "EG", 0.0, rng);
+  double local_rtt = 0, foreign_rtt = 0;
+  for (const auto& r : rec.requests) {
+    if (r.domain == "news.example.eg" && r.type == ResourceType::Document) local_rtt = r.rtt_ms;
+    if (r.domain == "tracker.example.de") foreign_rtt = r.rtt_ms;
+  }
+  EXPECT_GT(local_rtt, 0.0);
+  EXPECT_GT(foreign_rtt, local_rtt);  // Frankfurt is much farther than Cairo
+  // Cairo->Frankfurt ~2900 km: RTT at least ~2*2900*1.25/200 = 36 ms.
+  EXPECT_GT(foreign_rtt, 30.0);
+}
+
+TEST_F(BrowserFixture, FailureModelProducesFailures) {
+  Browser browser = make_browser();
+  util::Rng rng(3);
+  int failed = 0;
+  for (int i = 0; i < 300; ++i) {
+    PageLoadRecord rec =
+        browser.load(*universe_.find("news.example.eg"), client_, "EG", 0.4, rng);
+    if (!rec.loaded) {
+      ++failed;
+      EXPECT_FALSE(rec.failure_reason.empty());
+      EXPECT_TRUE(rec.requests.empty());
+    }
+  }
+  EXPECT_NEAR(failed / 300.0, 0.4, 0.08);
+}
+
+TEST_F(BrowserFixture, HangsHitHardTimeout) {
+  BrowserOptions opts;
+  opts.hard_timeout_s = 180.0;
+  Browser browser = make_browser(opts);
+  util::Rng rng(4);
+  bool saw_hang = false;
+  for (int i = 0; i < 400 && !saw_hang; ++i) {
+    PageLoadRecord rec =
+        browser.load(*universe_.find("news.example.eg"), client_, "EG", 0.9, rng);
+    if (rec.failure_reason == "hang") {
+      saw_hang = true;
+      EXPECT_DOUBLE_EQ(rec.total_time_s, 180.0);  // §3.1 kill timer
+    }
+  }
+  EXPECT_TRUE(saw_hang);
+}
+
+TEST_F(BrowserFixture, WebdriverNoiseMarkedBackground) {
+  BrowserOptions opts;
+  opts.webdriver_noise = true;
+  Browser browser = make_browser(opts);
+  util::Rng rng(5);
+  bool saw_noise = false;
+  for (int i = 0; i < 20 && !saw_noise; ++i) {
+    PageLoadRecord rec =
+        browser.load(*universe_.find("news.example.eg"), client_, "EG", 0.0, rng);
+    for (const auto& r : rec.requests) {
+      if (r.background) {
+        saw_noise = true;
+        // Noise goes to the documented chromedriver endpoints.
+        bool known = false;
+        for (const auto& d : webdriver_noise_domains()) {
+          if (r.domain == d) known = true;
+        }
+        EXPECT_TRUE(known) << r.domain;
+      }
+    }
+    // content_requests() must exclude them.
+    for (const auto* r : rec.content_requests()) EXPECT_FALSE(r->background);
+  }
+  EXPECT_TRUE(saw_noise);
+}
+
+TEST_F(BrowserFixture, NonChromeSkipsWebdriverNoise) {
+  BrowserOptions opts;
+  opts.browser = "firefox";
+  opts.webdriver_noise = true;
+  Browser browser = make_browser(opts);
+  util::Rng rng(6);
+  PageLoadRecord rec =
+      browser.load(*universe_.find("news.example.eg"), client_, "EG", 0.0, rng);
+  for (const auto& r : rec.requests) EXPECT_FALSE(r.background);
+}
+
+TEST_F(BrowserFixture, ExpansionDepthBounded) {
+  // a -> a (self-expansion): must not loop forever thanks to URL dedup +
+  // depth bound.
+  universe_.add_expansion("deep.example.de",
+                          {"https://deep.example.de/deep.js", ResourceType::Script});
+  BrowserOptions opts;
+  opts.webdriver_noise = false;
+  opts.max_expansion_depth = 3;
+  Browser browser = make_browser(opts);
+  util::Rng rng(7);
+  PageLoadRecord rec =
+      browser.load(*universe_.find("news.example.eg"), client_, "EG", 0.0, rng);
+  EXPECT_LT(rec.requests.size(), 20u);
+}
+
+TEST(ResourceTypeNames, AllDistinct) {
+  EXPECT_EQ(resource_type_name(ResourceType::Document), "document");
+  EXPECT_EQ(resource_type_name(ResourceType::Script), "script");
+  EXPECT_EQ(resource_type_name(ResourceType::Image), "image");
+  EXPECT_EQ(resource_type_name(ResourceType::Stylesheet), "stylesheet");
+  EXPECT_EQ(resource_type_name(ResourceType::Xhr), "xhr");
+  EXPECT_EQ(resource_type_name(ResourceType::Iframe), "iframe");
+}
+
+}  // namespace
+}  // namespace gam::web

@@ -1,0 +1,228 @@
+// World-generation invariants: the simulated Internet must be internally
+// consistent before any measurement runs on it.
+#include "worldgen/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "web/psl.h"
+#include "worldgen/calibration.h"
+
+namespace gam::worldgen {
+namespace {
+
+struct WorldFixture : ::testing::Test {
+  static void SetUpTestSuite() { world_ = generate_world({}).release(); }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* WorldFixture::world_ = nullptr;
+
+TEST_F(WorldFixture, CalibrationCoversAll23Countries) {
+  EXPECT_EQ(calibration().size(), 23u);
+  std::set<std::string> codes;
+  for (const auto& c : calibration()) codes.insert(c.code);
+  for (const auto& code : world::source_countries()) {
+    EXPECT_TRUE(codes.count(code)) << code;
+  }
+}
+
+TEST_F(WorldFixture, OneVolunteerPerSourceCountry) {
+  EXPECT_EQ(world_->volunteers.size(), 23u);
+  for (const auto& v : world_->volunteers) {
+    EXPECT_NE(v.node, net::kInvalidNode);
+    EXPECT_NE(v.ip, 0u);
+    EXPECT_FALSE(v.city.empty());
+  }
+}
+
+TEST_F(WorldFixture, PaperTraceroutePathologiesConfigured) {
+  EXPECT_TRUE(world_->volunteer("EG").traceroute_opt_out);
+  for (const char* code : {"AU", "IN", "QA", "JO"}) {
+    EXPECT_GT(world_->volunteer(code).traceroute_blocked_prob, 0.5) << code;
+  }
+  EXPECT_FALSE(world_->volunteer("US").traceroute_opt_out);
+  EXPECT_LT(world_->volunteer("US").traceroute_blocked_prob, 0.1);
+}
+
+TEST_F(WorldFixture, LoadFailureRatesMatchFig2b) {
+  // Japan 64% and Saudi Arabia 56% load success.
+  EXPECT_NEAR(world_->volunteer("JP").load_failure_rate, 0.36, 0.01);
+  EXPECT_NEAR(world_->volunteer("SA").load_failure_rate, 0.44, 0.01);
+  EXPECT_LT(world_->volunteer("GB").load_failure_rate, 0.15);
+}
+
+TEST_F(WorldFixture, TargetsTotalNearPaper) {
+  // §5: 2005 websites offered across all T_web.
+  EXPECT_GT(world_->targets_before_optout, 1700u);
+  EXPECT_LT(world_->targets_before_optout, 2400u);
+  EXPECT_EQ(world_->targets.size(), 23u);
+}
+
+TEST_F(WorldFixture, OptOutsAreSmall) {
+  // §5: only 0.99% of websites were opted out.
+  size_t optouts = 0;
+  for (const auto& v : world_->volunteers) optouts += v.site_opt_outs.size();
+  double rate = static_cast<double>(optouts) / world_->targets_before_optout;
+  EXPECT_GT(rate, 0.001);
+  EXPECT_LT(rate, 0.03);
+}
+
+TEST_F(WorldFixture, GoogleAndWikipediaInEveryTargetList) {
+  for (const auto& [country, targets] : world_->targets) {
+    auto all = targets.all();
+    std::set<std::string> set(all.begin(), all.end());
+    EXPECT_TRUE(set.count("google.com")) << country;
+    EXPECT_TRUE(set.count("wikipedia.org")) << country;
+  }
+}
+
+TEST_F(WorldFixture, AdultSitesNeverSelected) {
+  for (const auto& [country, targets] : world_->targets) {
+    for (const auto& domain : targets.all()) {
+      const web::Website* site = world_->universe.find(domain);
+      if (site) EXPECT_FALSE(site->adult) << domain;
+    }
+  }
+}
+
+TEST_F(WorldFixture, GovListsUseGovTlds) {
+  for (const auto& [country, targets] : world_->targets) {
+    const auto& info = world::CountryDb::instance().at(country);
+    for (const auto& domain : targets.government) {
+      bool matches = false;
+      for (const auto& tld : info.gov_tlds) {
+        if (web::host_within(domain, tld)) matches = true;
+      }
+      EXPECT_TRUE(matches) << country << ": " << domain;
+    }
+  }
+}
+
+TEST_F(WorldFixture, CountriesWithFewGovSitesReflectInputs) {
+  // §5: Lebanon, Russia, Algeria had few government sites.
+  EXPECT_LT(world_->targets.at("LB").government.size(), 15u);
+  EXPECT_LT(world_->targets.at("RU").government.size(), 20u);
+  EXPECT_EQ(world_->targets.at("NZ").government.size(), 50u);
+}
+
+TEST_F(WorldFixture, EverySelectedSiteResolvesFromItsCountry) {
+  for (const auto& [country, targets] : world_->targets) {
+    for (const auto& domain : targets.all()) {
+      dns::Answer ans = world_->resolver->resolve(domain, country);
+      EXPECT_FALSE(ans.nxdomain()) << domain << " from " << country;
+    }
+  }
+}
+
+TEST_F(WorldFixture, SteeringRespectsGroundTruthGeography) {
+  // For every tracker address: the IPmap *truth* must equal the country of
+  // the node that owns the address (claims may lie; truth may not).
+  size_t checked = 0;
+  for (size_t i = 0; i < world_->topology.node_count(); ++i) {
+    const net::Node& node = world_->topology.node(static_cast<net::NodeId>(i));
+    if (node.kind != net::NodeKind::Server || node.ip == 0) continue;
+    auto truth = world_->geodb.true_location(node.ip);
+    if (!truth) continue;  // coverage gap
+    EXPECT_EQ(truth->country, node.country) << node.name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST_F(WorldFixture, InjectedErrorsDisagreeWithTruth) {
+  ASSERT_GT(world_->geodb.error_count(), 10u);
+  for (net::IPv4 ip : world_->geodb.injected_errors()) {
+    auto claim = world_->geodb.lookup(ip);
+    auto truth = world_->geodb.true_location(ip);
+    ASSERT_TRUE(claim.has_value());
+    ASSERT_TRUE(truth.has_value());
+    EXPECT_NE(claim->country, truth->country) << net::ip_to_string(ip);
+  }
+}
+
+TEST_F(WorldFixture, PaperErrorCasesPlanted) {
+  // PK's Google addresses: claimed AE, truly NL; EG's: claimed DE, truly CH.
+  bool pk_case = false, eg_case = false;
+  for (net::IPv4 ip : world_->geodb.injected_errors()) {
+    auto claim = world_->geodb.lookup(ip);
+    auto truth = world_->geodb.true_location(ip);
+    if (claim->country == "AE" && truth->country == "NL") pk_case = true;
+    if (claim->country == "DE" && truth->country == "CH") eg_case = true;
+  }
+  EXPECT_TRUE(pk_case);
+  EXPECT_TRUE(eg_case);
+}
+
+TEST_F(WorldFixture, AtlasDensitySkewedToGlobalNorth) {
+  EXPECT_GT(world_->atlas.probe_count(), 100u);
+  EXPECT_GE(world_->atlas.probes_in("DE").size(), 5u);
+  EXPECT_GE(world_->atlas.probes_in("US").size(), 5u);
+  EXPECT_LE(world_->atlas.probes_in("RW").size(), 2u);
+  // Qatar and Jordan have none (§4.1.1's neighbor fallback).
+  EXPECT_TRUE(world_->atlas.probes_in("QA").empty());
+  EXPECT_TRUE(world_->atlas.probes_in("JO").empty());
+}
+
+TEST_F(WorldFixture, MajorsServeLocallyWhereCalibrated) {
+  // India: all major tracking networks have in-country servers (§6.3).
+  dns::Answer ans = world_->resolver->resolve("doubleclick.net", "IN");
+  ASSERT_FALSE(ans.nxdomain());
+  auto loc = world_->geodb.true_location(ans.primary());
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->country, "IN");
+  // New Zealand: Google serves from Australia.
+  ans = world_->resolver->resolve("doubleclick.net", "NZ");
+  ASSERT_FALSE(ans.nxdomain());
+  loc = world_->geodb.true_location(ans.primary());
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->country, "AU");
+}
+
+TEST_F(WorldFixture, KenyaEdgeHostsForEastAfrica) {
+  // Rwanda/Uganda majors answer from the Nairobi edge (§6.5).
+  dns::Answer rw = world_->resolver->resolve("googleapis.com", "RW");
+  ASSERT_FALSE(rw.nxdomain());
+  auto loc = world_->geodb.true_location(rw.primary());
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->country, "KE");
+  EXPECT_EQ(loc->city, "Nairobi");
+}
+
+TEST_F(WorldFixture, DeterministicForSameSeed) {
+  auto other = generate_world({});
+  EXPECT_EQ(other->topology.node_count(), world_->topology.node_count());
+  EXPECT_EQ(other->geodb.size(), world_->geodb.size());
+  EXPECT_EQ(other->targets_before_optout, world_->targets_before_optout);
+  // Same steering decision for a sample domain.
+  for (const char* country : {"PK", "NZ", "EG"}) {
+    EXPECT_EQ(other->resolver->resolve("doubleclick.net", country).primary(),
+              world_->resolver->resolve("doubleclick.net", country).primary());
+  }
+}
+
+TEST_F(WorldFixture, DifferentSeedsDiffer) {
+  auto other = generate_world({.seed = 777});
+  bool any_difference =
+      other->topology.node_count() != world_->topology.node_count() ||
+      other->resolver->resolve("doubleclick.net", "PK").primary() !=
+          world_->resolver->resolve("doubleclick.net", "PK").primary();
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(WorldFixture, OverlapStudyMatchesPaperNumbers) {
+  // §3.2: semrush ~65% overlap with similarweb, ahrefs ~48%.
+  core::TargetSelector selector(world_->selection);
+  auto study = selector.run_overlap_study(50);
+  EXPECT_GT(study.countries_compared, 15u);
+  EXPECT_NEAR(study.semrush_vs_similarweb, 0.65, 0.08);
+  EXPECT_NEAR(study.ahrefs_vs_similarweb, 0.48, 0.08);
+}
+
+}  // namespace
+}  // namespace gam::worldgen
