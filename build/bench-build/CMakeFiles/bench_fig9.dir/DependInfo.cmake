@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9.cpp" "bench-build/CMakeFiles/bench_fig9.dir/bench_fig9.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig9.dir/bench_fig9.cpp.o.d"
+  "/root/repo/bench/common.cpp" "bench-build/CMakeFiles/bench_fig9.dir/common.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig9.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/worldgen/CMakeFiles/gamma_worldgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gamma_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gamma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geoloc/CMakeFiles/gamma_geoloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/CMakeFiles/gamma_trackers.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/gamma_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/gamma_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/gamma_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipmap/CMakeFiles/gamma_ipmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/gamma_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gamma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/gamma_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/gamma_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gamma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_firstparty"
+  "../bench/bench_firstparty.pdb"
+  "CMakeFiles/bench_firstparty.dir/bench_firstparty.cpp.o"
+  "CMakeFiles/bench_firstparty.dir/bench_firstparty.cpp.o.d"
+  "CMakeFiles/bench_firstparty.dir/common.cpp.o"
+  "CMakeFiles/bench_firstparty.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_firstparty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_funnel"
+  "../bench/bench_funnel.pdb"
+  "CMakeFiles/bench_funnel.dir/bench_funnel.cpp.o"
+  "CMakeFiles/bench_funnel.dir/bench_funnel.cpp.o.d"
+  "CMakeFiles/bench_funnel.dir/common.cpp.o"
+  "CMakeFiles/bench_funnel.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_toplists"
+  "../bench/bench_toplists.pdb"
+  "CMakeFiles/bench_toplists.dir/bench_toplists.cpp.o"
+  "CMakeFiles/bench_toplists.dir/bench_toplists.cpp.o.d"
+  "CMakeFiles/bench_toplists.dir/common.cpp.o"
+  "CMakeFiles/bench_toplists.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toplists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_country_study.dir/country_study.cpp.o"
+  "CMakeFiles/example_country_study.dir/country_study.cpp.o.d"
+  "example_country_study"
+  "example_country_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_country_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_filter_inspect.dir/filter_inspect.cpp.o"
+  "CMakeFiles/example_filter_inspect.dir/filter_inspect.cpp.o.d"
+  "example_filter_inspect"
+  "example_filter_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_filter_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/geolocation_audit.cpp" "examples/CMakeFiles/example_geolocation_audit.dir/geolocation_audit.cpp.o" "gcc" "examples/CMakeFiles/example_geolocation_audit.dir/geolocation_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/worldgen/CMakeFiles/gamma_worldgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gamma_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gamma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geoloc/CMakeFiles/gamma_geoloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/CMakeFiles/gamma_trackers.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/gamma_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/gamma_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/gamma_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipmap/CMakeFiles/gamma_ipmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/gamma_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gamma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/gamma_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/gamma_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gamma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

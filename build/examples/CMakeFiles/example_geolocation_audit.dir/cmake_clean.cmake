@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_geolocation_audit.dir/geolocation_audit.cpp.o"
+  "CMakeFiles/example_geolocation_audit.dir/geolocation_audit.cpp.o.d"
+  "example_geolocation_audit"
+  "example_geolocation_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_geolocation_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

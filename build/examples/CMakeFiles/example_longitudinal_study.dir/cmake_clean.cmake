@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_longitudinal_study.dir/longitudinal_study.cpp.o"
+  "CMakeFiles/example_longitudinal_study.dir/longitudinal_study.cpp.o.d"
+  "example_longitudinal_study"
+  "example_longitudinal_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_longitudinal_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_report.dir/policy_report.cpp.o"
+  "CMakeFiles/example_policy_report.dir/policy_report.cpp.o.d"
+  "example_policy_report"
+  "example_policy_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

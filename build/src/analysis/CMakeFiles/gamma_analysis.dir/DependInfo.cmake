@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/continent_flows.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/continent_flows.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/continent_flows.cpp.o.d"
+  "/root/repo/src/analysis/dataset.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/dataset.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/dataset.cpp.o.d"
+  "/root/repo/src/analysis/flows.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/flows.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/flows.cpp.o.d"
+  "/root/repo/src/analysis/freq.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/freq.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/freq.cpp.o.d"
+  "/root/repo/src/analysis/hosting.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/hosting.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/hosting.cpp.o.d"
+  "/root/repo/src/analysis/longitudinal.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/longitudinal.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/longitudinal.cpp.o.d"
+  "/root/repo/src/analysis/org_flows.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/org_flows.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/org_flows.cpp.o.d"
+  "/root/repo/src/analysis/party.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/party.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/party.cpp.o.d"
+  "/root/repo/src/analysis/per_site.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/per_site.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/per_site.cpp.o.d"
+  "/root/repo/src/analysis/policy.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/policy.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/policy.cpp.o.d"
+  "/root/repo/src/analysis/prevalence.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/prevalence.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/prevalence.cpp.o.d"
+  "/root/repo/src/analysis/regional_variation.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/regional_variation.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/regional_variation.cpp.o.d"
+  "/root/repo/src/analysis/study.cpp" "src/analysis/CMakeFiles/gamma_analysis.dir/study.cpp.o" "gcc" "src/analysis/CMakeFiles/gamma_analysis.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gamma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geoloc/CMakeFiles/gamma_geoloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trackers/CMakeFiles/gamma_trackers.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/gamma_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gamma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipmap/CMakeFiles/gamma_ipmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/gamma_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/gamma_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/gamma_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gamma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/gamma_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

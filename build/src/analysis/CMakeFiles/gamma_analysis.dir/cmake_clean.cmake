@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_analysis.dir/continent_flows.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/continent_flows.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/dataset.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/dataset.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/flows.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/flows.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/freq.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/freq.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/hosting.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/hosting.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/longitudinal.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/org_flows.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/org_flows.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/party.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/party.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/per_site.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/per_site.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/policy.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/policy.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/prevalence.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/prevalence.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/regional_variation.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/regional_variation.cpp.o.d"
+  "CMakeFiles/gamma_analysis.dir/study.cpp.o"
+  "CMakeFiles/gamma_analysis.dir/study.cpp.o.d"
+  "libgamma_analysis.a"
+  "libgamma_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

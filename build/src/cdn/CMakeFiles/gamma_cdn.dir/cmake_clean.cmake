@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_cdn.dir/cdn.cpp.o"
+  "CMakeFiles/gamma_cdn.dir/cdn.cpp.o.d"
+  "libgamma_cdn.a"
+  "libgamma_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

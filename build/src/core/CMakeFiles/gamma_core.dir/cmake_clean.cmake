@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_core.dir/config.cpp.o"
+  "CMakeFiles/gamma_core.dir/config.cpp.o.d"
+  "CMakeFiles/gamma_core.dir/recorder.cpp.o"
+  "CMakeFiles/gamma_core.dir/recorder.cpp.o.d"
+  "CMakeFiles/gamma_core.dir/session.cpp.o"
+  "CMakeFiles/gamma_core.dir/session.cpp.o.d"
+  "CMakeFiles/gamma_core.dir/target_selection.cpp.o"
+  "CMakeFiles/gamma_core.dir/target_selection.cpp.o.d"
+  "libgamma_core.a"
+  "libgamma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

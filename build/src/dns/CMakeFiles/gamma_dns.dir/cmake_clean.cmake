@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_dns.dir/rdns_hints.cpp.o"
+  "CMakeFiles/gamma_dns.dir/rdns_hints.cpp.o.d"
+  "CMakeFiles/gamma_dns.dir/resolver.cpp.o"
+  "CMakeFiles/gamma_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/gamma_dns.dir/zone.cpp.o"
+  "CMakeFiles/gamma_dns.dir/zone.cpp.o.d"
+  "libgamma_dns.a"
+  "libgamma_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_geo.dir/coord.cpp.o"
+  "CMakeFiles/gamma_geo.dir/coord.cpp.o.d"
+  "libgamma_geo.a"
+  "libgamma_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

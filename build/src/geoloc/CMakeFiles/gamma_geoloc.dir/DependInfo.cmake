@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geoloc/constraints.cpp" "src/geoloc/CMakeFiles/gamma_geoloc.dir/constraints.cpp.o" "gcc" "src/geoloc/CMakeFiles/gamma_geoloc.dir/constraints.cpp.o.d"
+  "/root/repo/src/geoloc/pipeline.cpp" "src/geoloc/CMakeFiles/gamma_geoloc.dir/pipeline.cpp.o" "gcc" "src/geoloc/CMakeFiles/gamma_geoloc.dir/pipeline.cpp.o.d"
+  "/root/repo/src/geoloc/reference_latency.cpp" "src/geoloc/CMakeFiles/gamma_geoloc.dir/reference_latency.cpp.o" "gcc" "src/geoloc/CMakeFiles/gamma_geoloc.dir/reference_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipmap/CMakeFiles/gamma_ipmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/gamma_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/gamma_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/gamma_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gamma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gamma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/gamma_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

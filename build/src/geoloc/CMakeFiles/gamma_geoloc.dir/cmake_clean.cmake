@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_geoloc.dir/constraints.cpp.o"
+  "CMakeFiles/gamma_geoloc.dir/constraints.cpp.o.d"
+  "CMakeFiles/gamma_geoloc.dir/pipeline.cpp.o"
+  "CMakeFiles/gamma_geoloc.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gamma_geoloc.dir/reference_latency.cpp.o"
+  "CMakeFiles/gamma_geoloc.dir/reference_latency.cpp.o.d"
+  "libgamma_geoloc.a"
+  "libgamma_geoloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_geoloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

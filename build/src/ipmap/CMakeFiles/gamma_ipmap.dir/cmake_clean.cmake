@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_ipmap.dir/geodb.cpp.o"
+  "CMakeFiles/gamma_ipmap.dir/geodb.cpp.o.d"
+  "CMakeFiles/gamma_ipmap.dir/ipinfo.cpp.o"
+  "CMakeFiles/gamma_ipmap.dir/ipinfo.cpp.o.d"
+  "libgamma_ipmap.a"
+  "libgamma_ipmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_ipmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

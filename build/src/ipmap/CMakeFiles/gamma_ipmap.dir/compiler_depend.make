@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gamma_ipmap.
+# This may be replaced when dependencies are built.

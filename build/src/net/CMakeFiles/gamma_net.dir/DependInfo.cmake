@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/asn.cpp" "src/net/CMakeFiles/gamma_net.dir/asn.cpp.o" "gcc" "src/net/CMakeFiles/gamma_net.dir/asn.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/gamma_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/gamma_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/gamma_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/gamma_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/gamma_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/gamma_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gamma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

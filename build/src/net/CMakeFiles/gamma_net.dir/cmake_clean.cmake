@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_net.dir/asn.cpp.o"
+  "CMakeFiles/gamma_net.dir/asn.cpp.o.d"
+  "CMakeFiles/gamma_net.dir/ip.cpp.o"
+  "CMakeFiles/gamma_net.dir/ip.cpp.o.d"
+  "CMakeFiles/gamma_net.dir/topology.cpp.o"
+  "CMakeFiles/gamma_net.dir/topology.cpp.o.d"
+  "libgamma_net.a"
+  "libgamma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

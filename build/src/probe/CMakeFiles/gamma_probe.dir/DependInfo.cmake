@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/atlas.cpp" "src/probe/CMakeFiles/gamma_probe.dir/atlas.cpp.o" "gcc" "src/probe/CMakeFiles/gamma_probe.dir/atlas.cpp.o.d"
+  "/root/repo/src/probe/formats.cpp" "src/probe/CMakeFiles/gamma_probe.dir/formats.cpp.o" "gcc" "src/probe/CMakeFiles/gamma_probe.dir/formats.cpp.o.d"
+  "/root/repo/src/probe/ping.cpp" "src/probe/CMakeFiles/gamma_probe.dir/ping.cpp.o" "gcc" "src/probe/CMakeFiles/gamma_probe.dir/ping.cpp.o.d"
+  "/root/repo/src/probe/tls.cpp" "src/probe/CMakeFiles/gamma_probe.dir/tls.cpp.o" "gcc" "src/probe/CMakeFiles/gamma_probe.dir/tls.cpp.o.d"
+  "/root/repo/src/probe/traceroute.cpp" "src/probe/CMakeFiles/gamma_probe.dir/traceroute.cpp.o" "gcc" "src/probe/CMakeFiles/gamma_probe.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/gamma_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gamma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gamma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/gamma_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/gamma_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

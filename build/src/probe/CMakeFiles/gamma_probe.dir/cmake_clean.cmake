@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_probe.dir/atlas.cpp.o"
+  "CMakeFiles/gamma_probe.dir/atlas.cpp.o.d"
+  "CMakeFiles/gamma_probe.dir/formats.cpp.o"
+  "CMakeFiles/gamma_probe.dir/formats.cpp.o.d"
+  "CMakeFiles/gamma_probe.dir/ping.cpp.o"
+  "CMakeFiles/gamma_probe.dir/ping.cpp.o.d"
+  "CMakeFiles/gamma_probe.dir/tls.cpp.o"
+  "CMakeFiles/gamma_probe.dir/tls.cpp.o.d"
+  "CMakeFiles/gamma_probe.dir/traceroute.cpp.o"
+  "CMakeFiles/gamma_probe.dir/traceroute.cpp.o.d"
+  "libgamma_probe.a"
+  "libgamma_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

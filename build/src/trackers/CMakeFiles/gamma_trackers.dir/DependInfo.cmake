@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trackers/filter_engine.cpp" "src/trackers/CMakeFiles/gamma_trackers.dir/filter_engine.cpp.o" "gcc" "src/trackers/CMakeFiles/gamma_trackers.dir/filter_engine.cpp.o.d"
+  "/root/repo/src/trackers/filter_rule.cpp" "src/trackers/CMakeFiles/gamma_trackers.dir/filter_rule.cpp.o" "gcc" "src/trackers/CMakeFiles/gamma_trackers.dir/filter_rule.cpp.o.d"
+  "/root/repo/src/trackers/identify.cpp" "src/trackers/CMakeFiles/gamma_trackers.dir/identify.cpp.o" "gcc" "src/trackers/CMakeFiles/gamma_trackers.dir/identify.cpp.o.d"
+  "/root/repo/src/trackers/lists.cpp" "src/trackers/CMakeFiles/gamma_trackers.dir/lists.cpp.o" "gcc" "src/trackers/CMakeFiles/gamma_trackers.dir/lists.cpp.o.d"
+  "/root/repo/src/trackers/org_data.cpp" "src/trackers/CMakeFiles/gamma_trackers.dir/org_data.cpp.o" "gcc" "src/trackers/CMakeFiles/gamma_trackers.dir/org_data.cpp.o.d"
+  "/root/repo/src/trackers/org_db.cpp" "src/trackers/CMakeFiles/gamma_trackers.dir/org_db.cpp.o" "gcc" "src/trackers/CMakeFiles/gamma_trackers.dir/org_db.cpp.o.d"
+  "/root/repo/src/trackers/whotracksme.cpp" "src/trackers/CMakeFiles/gamma_trackers.dir/whotracksme.cpp.o" "gcc" "src/trackers/CMakeFiles/gamma_trackers.dir/whotracksme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/web/CMakeFiles/gamma_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gamma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/gamma_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gamma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/gamma_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/gamma_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_trackers.dir/filter_engine.cpp.o"
+  "CMakeFiles/gamma_trackers.dir/filter_engine.cpp.o.d"
+  "CMakeFiles/gamma_trackers.dir/filter_rule.cpp.o"
+  "CMakeFiles/gamma_trackers.dir/filter_rule.cpp.o.d"
+  "CMakeFiles/gamma_trackers.dir/identify.cpp.o"
+  "CMakeFiles/gamma_trackers.dir/identify.cpp.o.d"
+  "CMakeFiles/gamma_trackers.dir/lists.cpp.o"
+  "CMakeFiles/gamma_trackers.dir/lists.cpp.o.d"
+  "CMakeFiles/gamma_trackers.dir/org_data.cpp.o"
+  "CMakeFiles/gamma_trackers.dir/org_data.cpp.o.d"
+  "CMakeFiles/gamma_trackers.dir/org_db.cpp.o"
+  "CMakeFiles/gamma_trackers.dir/org_db.cpp.o.d"
+  "CMakeFiles/gamma_trackers.dir/whotracksme.cpp.o"
+  "CMakeFiles/gamma_trackers.dir/whotracksme.cpp.o.d"
+  "libgamma_trackers.a"
+  "libgamma_trackers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_trackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_util.dir/json.cpp.o"
+  "CMakeFiles/gamma_util.dir/json.cpp.o.d"
+  "CMakeFiles/gamma_util.dir/logging.cpp.o"
+  "CMakeFiles/gamma_util.dir/logging.cpp.o.d"
+  "CMakeFiles/gamma_util.dir/rng.cpp.o"
+  "CMakeFiles/gamma_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gamma_util.dir/stats.cpp.o"
+  "CMakeFiles/gamma_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gamma_util.dir/strings.cpp.o"
+  "CMakeFiles/gamma_util.dir/strings.cpp.o.d"
+  "libgamma_util.a"
+  "libgamma_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/browser.cpp" "src/web/CMakeFiles/gamma_web.dir/browser.cpp.o" "gcc" "src/web/CMakeFiles/gamma_web.dir/browser.cpp.o.d"
+  "/root/repo/src/web/har.cpp" "src/web/CMakeFiles/gamma_web.dir/har.cpp.o" "gcc" "src/web/CMakeFiles/gamma_web.dir/har.cpp.o.d"
+  "/root/repo/src/web/psl.cpp" "src/web/CMakeFiles/gamma_web.dir/psl.cpp.o" "gcc" "src/web/CMakeFiles/gamma_web.dir/psl.cpp.o.d"
+  "/root/repo/src/web/url.cpp" "src/web/CMakeFiles/gamma_web.dir/url.cpp.o" "gcc" "src/web/CMakeFiles/gamma_web.dir/url.cpp.o.d"
+  "/root/repo/src/web/website.cpp" "src/web/CMakeFiles/gamma_web.dir/website.cpp.o" "gcc" "src/web/CMakeFiles/gamma_web.dir/website.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/gamma_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gamma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/gamma_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gamma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/gamma_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

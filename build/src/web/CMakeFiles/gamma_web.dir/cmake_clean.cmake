@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_web.dir/browser.cpp.o"
+  "CMakeFiles/gamma_web.dir/browser.cpp.o.d"
+  "CMakeFiles/gamma_web.dir/har.cpp.o"
+  "CMakeFiles/gamma_web.dir/har.cpp.o.d"
+  "CMakeFiles/gamma_web.dir/psl.cpp.o"
+  "CMakeFiles/gamma_web.dir/psl.cpp.o.d"
+  "CMakeFiles/gamma_web.dir/url.cpp.o"
+  "CMakeFiles/gamma_web.dir/url.cpp.o.d"
+  "CMakeFiles/gamma_web.dir/website.cpp.o"
+  "CMakeFiles/gamma_web.dir/website.cpp.o.d"
+  "libgamma_web.a"
+  "libgamma_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

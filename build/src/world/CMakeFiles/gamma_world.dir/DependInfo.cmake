@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/country.cpp" "src/world/CMakeFiles/gamma_world.dir/country.cpp.o" "gcc" "src/world/CMakeFiles/gamma_world.dir/country.cpp.o.d"
+  "/root/repo/src/world/country_db.cpp" "src/world/CMakeFiles/gamma_world.dir/country_db.cpp.o" "gcc" "src/world/CMakeFiles/gamma_world.dir/country_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/gamma_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gamma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

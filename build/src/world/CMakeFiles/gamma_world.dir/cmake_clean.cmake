@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_world.dir/country.cpp.o"
+  "CMakeFiles/gamma_world.dir/country.cpp.o.d"
+  "CMakeFiles/gamma_world.dir/country_db.cpp.o"
+  "CMakeFiles/gamma_world.dir/country_db.cpp.o.d"
+  "libgamma_world.a"
+  "libgamma_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

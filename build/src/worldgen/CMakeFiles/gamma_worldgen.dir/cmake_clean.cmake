@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_worldgen.dir/build_infra.cpp.o"
+  "CMakeFiles/gamma_worldgen.dir/build_infra.cpp.o.d"
+  "CMakeFiles/gamma_worldgen.dir/build_trackers.cpp.o"
+  "CMakeFiles/gamma_worldgen.dir/build_trackers.cpp.o.d"
+  "CMakeFiles/gamma_worldgen.dir/build_web.cpp.o"
+  "CMakeFiles/gamma_worldgen.dir/build_web.cpp.o.d"
+  "CMakeFiles/gamma_worldgen.dir/calibration.cpp.o"
+  "CMakeFiles/gamma_worldgen.dir/calibration.cpp.o.d"
+  "CMakeFiles/gamma_worldgen.dir/generate.cpp.o"
+  "CMakeFiles/gamma_worldgen.dir/generate.cpp.o.d"
+  "CMakeFiles/gamma_worldgen.dir/study.cpp.o"
+  "CMakeFiles/gamma_worldgen.dir/study.cpp.o.d"
+  "libgamma_worldgen.a"
+  "libgamma_worldgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_worldgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_country_sweep.dir/test_country_sweep.cpp.o"
+  "CMakeFiles/test_country_sweep.dir/test_country_sweep.cpp.o.d"
+  "test_country_sweep"
+  "test_country_sweep.pdb"
+  "test_country_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_country_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filter_engine.dir/test_filter_engine.cpp.o"
+  "CMakeFiles/test_filter_engine.dir/test_filter_engine.cpp.o.d"
+  "test_filter_engine"
+  "test_filter_engine.pdb"
+  "test_filter_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filter_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

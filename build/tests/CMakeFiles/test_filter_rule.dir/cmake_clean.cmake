@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filter_rule.dir/test_filter_rule.cpp.o"
+  "CMakeFiles/test_filter_rule.dir/test_filter_rule.cpp.o.d"
+  "test_filter_rule"
+  "test_filter_rule.pdb"
+  "test_filter_rule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filter_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_identify.dir/test_identify.cpp.o"
+  "CMakeFiles/test_identify.dir/test_identify.cpp.o.d"
+  "test_identify"
+  "test_identify.pdb"
+  "test_identify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_identify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orgdb.dir/test_orgdb.cpp.o"
+  "CMakeFiles/test_orgdb.dir/test_orgdb.cpp.o.d"
+  "test_orgdb"
+  "test_orgdb.pdb"
+  "test_orgdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orgdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_orgdb.
+# This may be replaced when dependencies are built.

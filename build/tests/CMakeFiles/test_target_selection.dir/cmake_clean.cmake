@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_target_selection.dir/test_target_selection.cpp.o"
+  "CMakeFiles/test_target_selection.dir/test_target_selection.cpp.o.d"
+  "test_target_selection"
+  "test_target_selection.pdb"
+  "test_target_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_target_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

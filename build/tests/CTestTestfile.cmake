@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_country_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_endtoend[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_filter_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_filter_rule[1]_include.cmake")
+include("/root/repo/build/tests/test_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_geoloc[1]_include.cmake")
+include("/root/repo/build/tests/test_identify[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_orgdb[1]_include.cmake")
+include("/root/repo/build/tests/test_probe[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_strings[1]_include.cmake")
+include("/root/repo/build/tests/test_target_selection[1]_include.cmake")
+include("/root/repo/build/tests/test_web[1]_include.cmake")
+include("/root/repo/build/tests/test_world[1]_include.cmake")
+include("/root/repo/build/tests/test_worldgen[1]_include.cmake")

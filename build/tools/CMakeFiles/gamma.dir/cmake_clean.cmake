@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma.dir/gamma_cli.cpp.o"
+  "CMakeFiles/gamma.dir/gamma_cli.cpp.o.d"
+  "gamma"
+  "gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
