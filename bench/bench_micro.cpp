@@ -174,4 +174,37 @@ void BM_FullStudy(benchmark::State& state) {
 }
 BENCHMARK(BM_FullStudy)->Unit(benchmark::kMillisecond)->Iterations(3);
 
+// Parallel-vs-serial speedup of the 23-country study on one shared world
+// (world generation excluded: it is one-time setup, the campaign is the
+// recurring cost). Run with --benchmark_filter=BM_StudyJobs and compare
+// jobs=1 to jobs=4; the determinism contract guarantees identical output,
+// so this measures pure scheduling win.
+void BM_StudyJobs(benchmark::State& state) {
+  // Mutable-ref world: run_study only reads it, and the route cache is
+  // internally locked, so sharing across iterations is safe and keeps the
+  // cache warm (both arms benefit equally).
+  auto& world = const_cast<worldgen::World&>(shared_world());
+  worldgen::StudyOptions options;
+  options.jobs = static_cast<size_t>(state.range(0));
+  // Warm the shared route cache so every arm measures steady state rather
+  // than the first arm paying all the one-time Dijkstra costs.
+  {
+    worldgen::StudyResult warmup = worldgen::run_study(world, options);
+    benchmark::DoNotOptimize(warmup.analyses.size());
+  }
+  for (auto _ : state) {
+    worldgen::StudyResult result = worldgen::run_study(world, options);
+    benchmark::DoNotOptimize(result.analyses.size());
+  }
+}
+BENCHMARK(BM_StudyJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 }  // namespace

@@ -1,6 +1,12 @@
 // Full multi-country study driver: run the complete 23-country measurement
 // campaign (or a subset given as arguments) and print the headline analyses.
+//
+// Usage: country_study [--jobs N] [ISO ISO ...]
+//   --jobs N   run N country chains in parallel (0 = hardware threads;
+//              default 1). Output is identical for every N.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "analysis/flows.h"
 #include "analysis/org_flows.h"
@@ -11,9 +17,17 @@
 
 int main(int argc, char** argv) {
   using namespace gam;
-  auto world = worldgen::generate_world({});
   worldgen::StudyOptions options;
-  for (int i = 1; i < argc; ++i) options.countries.push_back(argv[i]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      options.jobs = static_cast<size_t>(std::strtoul(argv[i] + 7, nullptr, 10));
+    } else {
+      options.countries.push_back(argv[i]);
+    }
+  }
+  auto world = worldgen::generate_world({});
   worldgen::StudyResult study = worldgen::run_study(*world, options);
 
   analysis::PrevalenceReport prev = analysis::compute_prevalence(study.analyses);

@@ -63,7 +63,6 @@ CountryAnalysis CountryAnalyzer::analyze(const core::VolunteerDataset& dataset,
   CountryAnalysis out;
   out.country = dataset.country;
   geo::Coord coord = volunteer_coord(dataset);
-  geoloc::FunnelCounters funnel_before = geolocator_.funnel();
 
   // ---- Pass 1: classify every unique content domain once per country. ----
   // (The paper's §5 counts — 26K domains, 14K non-local, ... — are sums of
@@ -97,6 +96,7 @@ CountryAnalysis CountryAnalyzer::analyze(const core::VolunteerDataset& dataset,
         obs.rdns = it->second;
       }
       f.verdict = geolocator_.classify(obs, rng);
+      out.funnel.absorb(f.verdict);
       if (!f.verdict.dest_probe_country.empty()) {
         out.dest_probe_countries.insert(f.verdict.dest_probe_country);
       }
@@ -117,16 +117,6 @@ CountryAnalysis CountryAnalyzer::analyze(const core::VolunteerDataset& dataset,
   out.unique_domains = fate.size();
   out.unique_ips = ips_seen.size();
   out.traceroutes = dataset.traceroutes_launched();
-  geoloc::FunnelCounters after = geolocator_.funnel();
-  out.funnel.total = after.total - funnel_before.total;
-  out.funnel.unknown_ip = after.unknown_ip - funnel_before.unknown_ip;
-  out.funnel.local = after.local - funnel_before.local;
-  out.funnel.nonlocal_candidates =
-      after.nonlocal_candidates - funnel_before.nonlocal_candidates;
-  out.funnel.after_sol_constraints =
-      after.after_sol_constraints - funnel_before.after_sol_constraints;
-  out.funnel.after_rdns = after.after_rdns - funnel_before.after_rdns;
-  out.funnel.dest_traceroutes = after.dest_traceroutes - funnel_before.dest_traceroutes;
 
   // ---- Pass 2: per-site view. ----
   for (const auto& site : dataset.sites) {

@@ -1,0 +1,11 @@
+#include "core/parallel_runner.h"
+
+namespace gam::core {
+
+size_t ParallelStudyRunner::resolve_jobs(size_t jobs) {
+  return jobs == 0 ? util::ThreadPool::hardware_threads() : jobs;
+}
+
+ParallelStudyRunner::ParallelStudyRunner(size_t jobs) : pool_(resolve_jobs(jobs)) {}
+
+}  // namespace gam::core

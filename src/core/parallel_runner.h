@@ -1,0 +1,62 @@
+// Deterministic parallel fan-out over the study's countries.
+//
+// The paper's campaign is embarrassingly parallel: 23 volunteer crawls that
+// never talk to each other, then 23 analyses that only read shared immutable
+// substrate (topology, DNS zones, geo database, filter lists). The runner
+// executes one task per country on a fixed-size util::ThreadPool and returns
+// results indexed exactly like the input country list, so downstream merges
+// (analysis::StudyStats and every figure) see the same deterministic country
+// order regardless of thread count or scheduling.
+//
+// Determinism contract (see DESIGN.md): tasks must draw randomness only from
+// util::Rng::substream(study_seed, name) streams keyed by their own country,
+// and must touch shared state only through const, thread-safe reads (e.g.
+// net::Topology's locked route cache). Under that contract the runner
+// guarantees byte-identical output for any `jobs` value.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace gam::core {
+
+class ParallelStudyRunner {
+ public:
+  /// `jobs == 0` means one worker per hardware thread; `jobs == 1` degrades
+  /// to serial execution (same code path, same results).
+  explicit ParallelStudyRunner(size_t jobs = 0);
+
+  size_t jobs() const { return pool_.size(); }
+
+  /// Clamp a user-supplied --jobs value: 0 -> hardware threads, else as-is.
+  static size_t resolve_jobs(size_t jobs);
+
+  /// Run stage(i, countries[i]) for every country concurrently and return
+  /// the results in input order. Exceptions from any task propagate after
+  /// all tasks have settled.
+  template <typename Fn>
+  auto map(const std::vector<std::string>& countries, Fn&& stage)
+      -> std::vector<std::invoke_result_t<Fn&, size_t, const std::string&>> {
+    using R = std::invoke_result_t<Fn&, size_t, const std::string&>;
+    std::vector<std::optional<R>> slots(countries.size());
+    util::parallel_for(pool_, countries.size(),
+                       [&](size_t i) { slots[i].emplace(stage(i, countries[i])); });
+    std::vector<R> out;
+    out.reserve(slots.size());
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  util::ThreadPool& pool() { return pool_; }
+
+ private:
+  util::ThreadPool pool_;
+};
+
+}  // namespace gam::core

@@ -19,6 +19,34 @@ std::string geo_stage_name(GeoStage s) {
   return "?";
 }
 
+void FunnelCounters::absorb(const GeoVerdict& v) {
+  ++total;
+  if (v.dest_trace_launched) ++dest_traceroutes;
+  if (v.stage == GeoStage::UnknownIp) {
+    ++unknown_ip;
+    return;
+  }
+  if (v.stage == GeoStage::Local) {
+    ++local;
+    return;
+  }
+  ++nonlocal_candidates;
+  if (v.stage == GeoStage::RdnsMismatch || v.stage == GeoStage::ConfirmedNonLocal) {
+    ++after_sol_constraints;
+  }
+  if (v.stage == GeoStage::ConfirmedNonLocal) ++after_rdns;
+}
+
+void FunnelCounters::merge(const FunnelCounters& other) {
+  total += other.total;
+  unknown_ip += other.unknown_ip;
+  local += other.local;
+  nonlocal_candidates += other.nonlocal_candidates;
+  after_sol_constraints += other.after_sol_constraints;
+  after_rdns += other.after_rdns;
+  dest_traceroutes += other.dest_traceroutes;
+}
+
 MultiConstraintGeolocator::MultiConstraintGeolocator(const ipmap::GeoDatabase& geodb,
                                                      const ReferenceLatency& reference,
                                                      const probe::AtlasNetwork& atlas,
@@ -29,7 +57,6 @@ MultiConstraintGeolocator::MultiConstraintGeolocator(const ipmap::GeoDatabase& g
 
 GeoVerdict MultiConstraintGeolocator::classify(const ServerObservation& obs,
                                                util::Rng& rng) const {
-  ++funnel_.total;
   GeoVerdict v;
 
   // --- Stage 0: IPmap lookup (§4.1). ---
@@ -37,16 +64,13 @@ GeoVerdict MultiConstraintGeolocator::classify(const ServerObservation& obs,
   if (!claim) {
     v.stage = GeoStage::UnknownIp;
     v.reason = "no IPmap record";
-    ++funnel_.unknown_ip;
     return v;
   }
   v.claim = *claim;
   if (claim->country == obs.volunteer_country) {
     v.stage = GeoStage::Local;
-    ++funnel_.local;
     return v;
   }
-  ++funnel_.nonlocal_candidates;
 
   // --- Stage 1: source-based constraint (§4.1.1). ---
   if (config_.source_constraint) {
@@ -89,7 +113,7 @@ GeoVerdict MultiConstraintGeolocator::classify(const ServerObservation& obs,
     // funnel losses come from.
     opts.dest_noresponse_prob = 0.15;
     probe::TracerouteResult dest_trace = engine_.trace(probe->node, obs.ip, opts, rng);
-    ++funnel_.dest_traceroutes;
+    v.dest_trace_launched = true;
     if (!dest_trace.reached) {
       v.stage = GeoStage::DestUnreached;
       v.reason = "destination traceroute did not reach destination";
@@ -103,7 +127,6 @@ GeoVerdict MultiConstraintGeolocator::classify(const ServerObservation& obs,
       return v;
     }
   }
-  ++funnel_.after_sol_constraints;
 
   // --- Stage 3: reverse-DNS constraint (§4.1.3). ---
   if (CheckResult rd = check_rdns(obs.rdns, claim->country);
@@ -112,7 +135,6 @@ GeoVerdict MultiConstraintGeolocator::classify(const ServerObservation& obs,
     v.reason = rd.reason;
     return v;
   }
-  ++funnel_.after_rdns;
 
   v.stage = GeoStage::ConfirmedNonLocal;
   return v;

@@ -70,9 +70,12 @@ struct GeoVerdict {
   std::string reason;            // failure detail for discards
   int dest_probe_id = 0;         // Atlas probe used (0 = none)
   std::string dest_probe_country;
+  bool dest_trace_launched = false;  // a destination traceroute was issued
 };
 
-/// Running totals for the §5 funnel. All counters are cumulative.
+/// Totals for the §5 funnel. The pipeline itself is stateless (classify is
+/// pure, so any number of threads can share one geolocator); each caller
+/// accumulates its own counters by absorbing the verdicts it receives.
 struct FunnelCounters {
   size_t total = 0;
   size_t unknown_ip = 0;
@@ -81,6 +84,11 @@ struct FunnelCounters {
   size_t after_sol_constraints = 0;  // survived source+destination checks
   size_t after_rdns = 0;             // survived everything
   size_t dest_traceroutes = 0;       // destination traces launched
+
+  /// Record where one classified observation landed in the funnel.
+  void absorb(const GeoVerdict& v);
+  /// Merge another set of totals (per-country -> study-wide aggregation).
+  void merge(const FunnelCounters& other);
 };
 
 /// Which constraints the pipeline applies — all on for the paper's method.
@@ -106,11 +114,11 @@ class MultiConstraintGeolocator {
                             ConstraintConfig config = ConstraintConfig::all());
 
   /// Classify one observation. Destination traceroutes are launched lazily
-  /// inside (counted in the funnel), using `rng` for probe-path jitter.
+  /// inside (flagged on the verdict), using `rng` for probe-path jitter.
+  /// Pure: no state is mutated, so concurrent calls are safe as long as each
+  /// thread brings its own Rng. Track funnel totals by absorbing verdicts
+  /// into a caller-owned FunnelCounters.
   GeoVerdict classify(const ServerObservation& obs, util::Rng& rng) const;
-
-  const FunnelCounters& funnel() const { return funnel_; }
-  void reset_funnel() { funnel_ = {}; }
 
   const ConstraintConfig& config() const { return config_; }
 
@@ -120,7 +128,6 @@ class MultiConstraintGeolocator {
   const probe::AtlasNetwork& atlas_;
   const probe::TracerouteEngine& engine_;
   ConstraintConfig config_;
-  mutable FunnelCounters funnel_;
 };
 
 }  // namespace gam::geoloc

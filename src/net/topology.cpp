@@ -1,6 +1,7 @@
 #include "net/topology.h"
 
 #include <algorithm>
+#include <mutex>
 #include <queue>
 
 namespace gam::net {
@@ -36,40 +37,52 @@ void Topology::add_link_latency(NodeId a, NodeId b, double one_way_ms) {
   invalidate_routes();
 }
 
-const Topology::SourceTree& Topology::tree_for(NodeId from) const {
-  auto it = trees_.find(from);
-  if (it != trees_.end()) return it->second;
-
-  SourceTree tree;
-  tree.dist.assign(nodes_.size(), std::numeric_limits<double>::infinity());
-  tree.prev.assign(nodes_.size(), kInvalidNode);
+std::shared_ptr<const Topology::SourceTree> Topology::compute_tree(NodeId from) const {
+  auto tree = std::make_shared<SourceTree>();
+  tree->dist.assign(nodes_.size(), std::numeric_limits<double>::infinity());
+  tree->prev.assign(nodes_.size(), kInvalidNode);
   using Entry = std::pair<double, NodeId>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
-  tree.dist[from] = 0.0;
+  tree->dist[from] = 0.0;
   pq.push({0.0, from});
   while (!pq.empty()) {
     auto [d, u] = pq.top();
     pq.pop();
-    if (d > tree.dist[u]) continue;
+    if (d > tree->dist[u]) continue;
     for (auto [v, w] : adj_[u]) {
       double nd = d + w;
-      if (nd < tree.dist[v]) {
-        tree.dist[v] = nd;
-        tree.prev[v] = u;
+      if (nd < tree->dist[v]) {
+        tree->dist[v] = nd;
+        tree->prev[v] = u;
         pq.push({nd, v});
       }
     }
   }
-  return trees_.emplace(from, std::move(tree)).first->second;
+  return tree;
+}
+
+std::shared_ptr<const Topology::SourceTree> Topology::tree_for(NodeId from) const {
+  RouteShard& shard = route_shards_[from % kRouteShards];
+  {
+    std::shared_lock lock(shard.mu);
+    auto it = shard.trees.find(from);
+    if (it != shard.trees.end()) return it->second;
+  }
+  // Miss: run Dijkstra outside any lock. Two threads may race to compute the
+  // same source tree; both results are identical and the first insert wins,
+  // which wastes a little work but never blocks readers on a graph walk.
+  std::shared_ptr<const SourceTree> tree = compute_tree(from);
+  std::unique_lock lock(shard.mu);
+  return shard.trees.try_emplace(from, std::move(tree)).first->second;
 }
 
 std::optional<Path> Topology::shortest_path(NodeId from, NodeId to) const {
   if (from >= nodes_.size() || to >= nodes_.size()) return std::nullopt;
-  const SourceTree& tree = tree_for(from);
-  if (tree.dist[to] == std::numeric_limits<double>::infinity()) return std::nullopt;
+  std::shared_ptr<const SourceTree> tree = tree_for(from);
+  if (tree->dist[to] == std::numeric_limits<double>::infinity()) return std::nullopt;
   Path p;
-  p.one_way_ms = tree.dist[to];
-  for (NodeId cur = to; cur != kInvalidNode; cur = tree.prev[cur]) {
+  p.one_way_ms = tree->dist[to];
+  for (NodeId cur = to; cur != kInvalidNode; cur = tree->prev[cur]) {
     p.nodes.push_back(cur);
     if (cur == from) break;
   }
@@ -80,7 +93,7 @@ std::optional<Path> Topology::shortest_path(NodeId from, NodeId to) const {
 double Topology::latency_ms(NodeId from, NodeId to) const {
   if (from >= nodes_.size() || to >= nodes_.size())
     return std::numeric_limits<double>::infinity();
-  return tree_for(from).dist[to];
+  return tree_for(from)->dist[to];
 }
 
 NodeId Topology::find_by_ip(IPv4 ip) const {
@@ -96,6 +109,20 @@ std::vector<NodeId> Topology::nodes_of_kind(NodeKind kind) const {
   return out;
 }
 
-void Topology::invalidate_routes() const { trees_.clear(); }
+void Topology::invalidate_routes() const {
+  for (RouteShard& shard : route_shards_) {
+    std::unique_lock lock(shard.mu);
+    shard.trees.clear();
+  }
+}
+
+size_t Topology::route_cache_size() const {
+  size_t total = 0;
+  for (RouteShard& shard : route_shards_) {
+    std::shared_lock lock(shard.mu);
+    total += shard.trees.size();
+  }
+  return total;
+}
 
 }  // namespace gam::net

@@ -11,9 +11,12 @@
 // precisely the signal the multi-constraint pipeline looks for.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -77,7 +80,9 @@ class Topology {
   }
 
   /// Dijkstra shortest path by latency. nullopt if disconnected.
-  /// Results are memoized per source node (single-source tree).
+  /// Results are memoized per source node (single-source tree); the memo is
+  /// sharded and reader/writer-locked, so concurrent queries from any number
+  /// of threads are safe (parallel study sessions share one Topology).
   std::optional<Path> shortest_path(NodeId from, NodeId to) const;
 
   /// One-way latency of the shortest path, or +inf if disconnected.
@@ -89,20 +94,37 @@ class Topology {
   std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
 
   /// Drop all memoized routing state (call after mutating the graph).
+  /// Safe to call between phases while other threads hold trees returned by
+  /// earlier queries: cached trees are shared_ptr-owned, so in-flight readers
+  /// keep theirs alive and only the memo entries are dropped.
   void invalidate_routes() const;
+
+  /// Number of memoized source trees across all shards (observability/tests).
+  size_t route_cache_size() const;
 
  private:
   struct SourceTree {
     std::vector<double> dist;
     std::vector<NodeId> prev;
   };
-  const SourceTree& tree_for(NodeId from) const;
+  /// The memoized Dijkstra tree rooted at `from`, computing it on miss.
+  /// Thread-safe; the returned tree is immutable and outlives invalidation.
+  std::shared_ptr<const SourceTree> tree_for(NodeId from) const;
+  std::shared_ptr<const SourceTree> compute_tree(NodeId from) const;
 
   std::vector<Node> nodes_;
   std::vector<std::vector<std::pair<NodeId, double>>> adj_;
   std::unordered_map<IPv4, NodeId> by_ip_;
   size_t link_total_ = 0;
-  mutable std::unordered_map<NodeId, SourceTree> trees_;
+
+  // Route memo, sharded by source node to keep writer contention off the
+  // read-mostly fast path. Each shard is independently reader/writer locked.
+  static constexpr size_t kRouteShards = 16;
+  struct RouteShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<NodeId, std::shared_ptr<const SourceTree>> trees;
+  };
+  mutable std::array<RouteShard, kRouteShards> route_shards_;
 };
 
 }  // namespace gam::net

@@ -37,6 +37,8 @@ Rng Rng::fork(std::string_view name) const {
   return Rng(mix);
 }
 
+Rng Rng::substream(uint64_t seed, std::string_view name) { return Rng(seed).fork(name); }
+
 uint64_t Rng::next() {
   const uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -22,6 +22,14 @@ class Rng {
   /// (parent seed, name) pairs always produce identical child streams.
   Rng fork(std::string_view name) const;
 
+  /// The determinism contract for parallel work: the canonical stream for a
+  /// named unit of a study (a country's session, its Atlas repair, its
+  /// analysis). Defined as Rng(seed).fork(name), so it depends only on the
+  /// (seed, name) pair — never on execution order, thread count, or how many
+  /// draws happened elsewhere — and a parallel run is byte-identical to a
+  /// serial one.
+  static Rng substream(uint64_t seed, std::string_view name);
+
   /// Next raw 64-bit value.
   uint64_t next();
 

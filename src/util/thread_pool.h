@@ -1,0 +1,78 @@
+// A fixed-size thread pool for embarrassingly parallel fan-out.
+//
+// Deliberately work-stealing-free: the study's unit of work is one whole
+// country (a full crawl + analysis chain, seconds of CPU), so a single
+// mutex-guarded FIFO queue is contention-free in practice and keeps the
+// execution model simple enough to reason about determinism. Determinism
+// never depends on the pool anyway — every task derives its randomness from
+// an order-independent substream (see util::Rng::substream) and writes to
+// its own pre-allocated result slot, so any interleaving produces identical
+// output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gam::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency() (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Best-effort hardware parallelism (never 0).
+  static size_t hardware_threads();
+
+  /// Enqueue a callable; the future carries its result or exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // workers: work available / shutdown
+  std::condition_variable idle_cv_;  // wait_idle: queue drained
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across the pool and block until all complete.
+/// The first exception thrown by any iteration is rethrown here (the rest
+/// still run to completion, so shared state is quiescent afterwards).
+void parallel_for(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace gam::util

@@ -1,13 +1,26 @@
 #include "worldgen/study.h"
 
+#include "core/parallel_runner.h"
 #include "core/recorder.h"
 #include "geoloc/pipeline.h"
 #include "probe/traceroute.h"
 #include "trackers/identify.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace gam::worldgen {
+
+namespace {
+
+/// Everything one country's task produces; merged in country order.
+struct CountryOutcome {
+  core::VolunteerDataset dataset;
+  analysis::CountryAnalysis analysis;
+  size_t atlas_repaired = 0;
+};
+
+}  // namespace
 
 StudyResult run_study(World& world, const StudyOptions& options) {
   StudyResult result;
@@ -18,42 +31,60 @@ StudyResult run_study(World& world, const StudyOptions& options) {
 
   core::GammaEnv env = world.env();
   core::GammaConfig config = core::GammaConfig::study_defaults();
-  util::Rng study_rng(options.seed);
 
-  // ---- Box 1: volunteer sessions. ----
-  for (const auto& code : countries) {
-    const core::VolunteerProfile& profile = world.volunteer(code);
-    core::GammaSession session(env, profile, world.targets.at(code), config,
-                               study_rng.fork("session-" + code).next());
-    session.run_all();
-    core::VolunteerDataset dataset = session.take_dataset();
-
-    // §5 cleaning: drop the chromedriver background requests.
-    core::scrub_webdriver_noise(dataset);
-
-    // §4.1.1 repair: countries whose traceroutes were opted out or blocked
-    // get replacement traces from the nearest Atlas probe.
-    bool needs_repair = profile.traceroute_opt_out || profile.traceroute_blocked_prob > 0.5;
-    if (needs_repair) {
-      util::Rng repair_rng = study_rng.fork("repair-" + code);
-      probe::TracerouteOptions opts = config.traceroute;
-      result.atlas_repaired_traces +=
-          core::augment_with_atlas_traceroutes(dataset, env, world.atlas, opts, repair_rng);
-    }
-    result.datasets.push_back(std::move(dataset));
-    util::log_info("study", "collected " + code);
-  }
-
-  // ---- Box 2: geolocation + identification + per-country analysis. ----
+  // Shared, immutable analysis substrate. Everything here is read-only after
+  // construction (the geolocation pipeline is pure, the topology's route
+  // cache is internally locked), so one instance serves all worker threads.
   probe::TracerouteEngine engine(world.topology, *world.resolver);
   geoloc::MultiConstraintGeolocator geolocator(world.geodb, world.reference, world.atlas,
                                                engine);
   trackers::TrackerIdentifier identifier;
   analysis::CountryAnalyzer analyzer(geolocator, identifier, world.universe);
-  for (const auto& dataset : result.datasets) {
-    util::Rng rng = study_rng.fork("analyze-" + dataset.country);
-    result.analyses.push_back(analyzer.analyze(dataset, rng));
-    util::log_info("study", "analyzed " + dataset.country);
+
+  // ---- Boxes 1+2, fanned out per country. ----
+  // Each task is the full chain for one volunteer: session (C1 -> C2 -> C3),
+  // webdriver scrub, Atlas repair (§4.1.1), geolocation + identification +
+  // per-country analysis. Every random draw comes from a (seed, country)
+  // substream, so any interleaving reproduces the serial run exactly.
+  core::ParallelStudyRunner runner(options.jobs);
+  std::vector<CountryOutcome> outcomes =
+      runner.map(countries, [&](size_t, const std::string& code) {
+        CountryOutcome out;
+        const core::VolunteerProfile& profile = world.volunteer(code);
+        core::GammaSession session(
+            env, profile, world.targets.at(code), config,
+            util::Rng::substream(options.seed, "session-" + code).next());
+        session.run_all();
+        out.dataset = session.take_dataset();
+
+        // §5 cleaning: drop the chromedriver background requests.
+        core::scrub_webdriver_noise(out.dataset);
+
+        // §4.1.1 repair: countries whose traceroutes were opted out or
+        // blocked get replacement traces from the nearest Atlas probe.
+        bool needs_repair =
+            profile.traceroute_opt_out || profile.traceroute_blocked_prob > 0.5;
+        if (needs_repair) {
+          util::Rng repair_rng = util::Rng::substream(options.seed, "repair-" + code);
+          probe::TracerouteOptions opts = config.traceroute;
+          out.atlas_repaired = core::augment_with_atlas_traceroutes(
+              out.dataset, env, world.atlas, opts, repair_rng);
+        }
+        util::log_info("study", "collected " + code);
+
+        util::Rng analyze_rng = util::Rng::substream(options.seed, "analyze-" + code);
+        out.analysis = analyzer.analyze(out.dataset, analyze_rng);
+        util::log_info("study", "analyzed " + code);
+        return out;
+      });
+
+  // Deterministic merge: input country order, independent of scheduling.
+  result.datasets.reserve(outcomes.size());
+  result.analyses.reserve(outcomes.size());
+  for (CountryOutcome& out : outcomes) {
+    result.atlas_repaired_traces += out.atlas_repaired;
+    result.datasets.push_back(std::move(out.dataset));
+    result.analyses.push_back(std::move(out.analysis));
   }
 
   if (options.anonymize) {

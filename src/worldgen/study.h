@@ -30,6 +30,13 @@ struct StudyOptions {
   std::vector<std::string> countries;
   /// Anonymize volunteer IPs after analysis (§3.5). On by default.
   bool anonymize = true;
+  /// Worker threads for the per-country fan-out: each country's whole
+  /// crawl -> scrub -> Atlas repair -> analysis chain runs as one task on a
+  /// core::ParallelStudyRunner. 1 = serial (default), 0 = one per hardware
+  /// thread. Results are byte-identical for every value — all randomness
+  /// comes from util::Rng::substream(seed, country) streams and results are
+  /// merged in input country order.
+  size_t jobs = 1;
 };
 
 StudyResult run_study(World& world, const StudyOptions& options = {});

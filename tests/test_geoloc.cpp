@@ -287,14 +287,14 @@ TEST_F(PipelineFixture, NearbyForeignClaimCaughtByReferenceRule) {
 }
 
 TEST_F(PipelineFixture, FunnelCountersAccumulate) {
-  geolocator_->reset_funnel();
+  FunnelCounters f;
   util::Rng rng(9);
-  geolocator_->classify(observe(srv_pk_), rng);     // local
-  geolocator_->classify(observe(0x0BADBEEF), rng);  // unknown
+  f.absorb(geolocator_->classify(observe(srv_pk_), rng));     // local
+  f.absorb(geolocator_->classify(observe(0x0BADBEEF), rng));  // unknown
   for (int i = 0; i < 10; ++i) {
-    geolocator_->classify(observe(srv_dubai_), rng);  // candidate, usually confirmed
+    // Candidate, usually confirmed.
+    f.absorb(geolocator_->classify(observe(srv_dubai_), rng));
   }
-  const FunnelCounters& f = geolocator_->funnel();
   EXPECT_EQ(f.total, 12u);
   EXPECT_EQ(f.local, 1u);
   EXPECT_EQ(f.unknown_ip, 1u);
