@@ -8,6 +8,7 @@
 #include "probe/formats.h"
 #include "probe/traceroute.h"
 #include "trackers/identify.h"
+#include "util/metrics.h"
 #include "web/psl.h"
 #include "worldgen/study.h"
 #include "worldgen/world.h"
@@ -186,6 +187,12 @@ void BM_StudyJobs(benchmark::State& state) {
   auto& world = const_cast<worldgen::World&>(shared_world());
   worldgen::StudyOptions options;
   options.jobs = static_cast<size_t>(state.range(0));
+  // Second arg toggles metrics recording; the metrics_off arms measure the
+  // cost of the enabled-flag check alone, so (metrics_on - metrics_off)
+  // bounds the instrumentation overhead (budget: <= 5%).
+  const bool metrics_on = state.range(1) != 0;
+  util::MetricsRegistry::set_enabled(metrics_on);
+  state.SetLabel(metrics_on ? "metrics_on" : "metrics_off");
   // Warm the shared route cache so every arm measures steady state rather
   // than the first arm paying all the one-time Dijkstra costs.
   {
@@ -196,12 +203,15 @@ void BM_StudyJobs(benchmark::State& state) {
     worldgen::StudyResult result = worldgen::run_study(world, options);
     benchmark::DoNotOptimize(result.analyses.size());
   }
+  util::MetricsRegistry::set_enabled(true);
 }
 BENCHMARK(BM_StudyJobs)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({8, 1})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(2)
     ->MeasureProcessCPUTime()

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "world/country.h"
 
 namespace gam::core {
@@ -44,13 +45,19 @@ GammaSession::GammaSession(GammaEnv env, VolunteerProfile profile, TargetList ta
 bool GammaSession::finished() const { return next_index_ >= ordered_targets_.size(); }
 
 bool GammaSession::step() {
+  static util::Counter& measured =
+      util::MetricsRegistry::instance().counter("core.sites_measured");
+  static util::Counter& optout =
+      util::MetricsRegistry::instance().counter("core.sites_optout");
   while (next_index_ < ordered_targets_.size()) {
     const std::string& domain = ordered_targets_[next_index_++];
     if (profile_.site_opt_outs.count(domain)) {
       util::log_debug("gamma", "volunteer opted out of " + domain);
+      optout.inc();
       continue;  // respected silently; not attempted
     }
     measure_site(domain);
+    measured.inc();
     return true;
   }
   return false;
@@ -102,6 +109,9 @@ void GammaSession::measure_site(const std::string& domain) {
     for (const auto& [d, ips] : m.domain_ips) {
       for (net::IPv4 ip : ips) {
         if (dataset_.traces.count(ip)) continue;  // session-level dedup
+        static util::Counter& launched =
+            util::MetricsRegistry::instance().counter("core.traceroutes_launched");
+        launched.inc();
         TracerouteRecord rec;
         rec.ip = ip;
         rec.attempted = true;

@@ -1,15 +1,26 @@
 #include "dns/resolver.h"
 
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace gam::dns {
 
 Answer Resolver::resolve(std::string_view name, std::string_view client_country) const {
+  static util::Counter& lookups =
+      util::MetricsRegistry::instance().counter("dns.lookups");
+  static util::Counter& nxdomain =
+      util::MetricsRegistry::instance().counter("dns.nxdomain");
+  static util::Counter& steered =
+      util::MetricsRegistry::instance().counter("dns.steered_answers");
+  static util::Counter& cname_hops =
+      util::MetricsRegistry::instance().counter("dns.cname_hops");
+  lookups.inc();
   Answer ans;
   ans.qname = std::string(name);
   std::string current(name);
   for (int depth = 0; depth <= kMaxCnameDepth; ++depth) {
     if (const SteeredRecord* sr = zones_.find_steered(current)) {
+      steered.inc();
       auto it = sr->per_country.find(std::string(client_country));
       const std::vector<net::IPv4>* pool =
           (it != sr->per_country.end() && !it->second.empty()) ? &it->second
@@ -26,16 +37,21 @@ Answer Resolver::resolve(std::string_view name, std::string_view client_country)
       return ans;
     }
     if (const std::string* cname = zones_.find_cname(current)) {
+      cname_hops.inc();
       ans.chain.push_back(*cname);
       current = *cname;
       continue;
     }
     break;  // NXDOMAIN
   }
+  if (ans.nxdomain()) nxdomain.inc();
   return ans;
 }
 
 std::optional<std::string> Resolver::reverse(net::IPv4 ip) const {
+  static util::Counter& lookups =
+      util::MetricsRegistry::instance().counter("dns.reverse_lookups");
+  lookups.inc();
   return zones_.find_ptr(ip);
 }
 

@@ -1,5 +1,8 @@
 #include "geoloc/pipeline.h"
 
+#include <array>
+
+#include "util/metrics.h"
 #include "world/country.h"
 
 namespace gam::geoloc {
@@ -55,8 +58,40 @@ MultiConstraintGeolocator::MultiConstraintGeolocator(const ipmap::GeoDatabase& g
     : geodb_(geodb), reference_(reference), atlas_(atlas), engine_(engine),
       config_(config) {}
 
+namespace {
+
+// Per-stage funnel counters, mirroring FunnelCounters but process-wide:
+// geoloc.stage.<name> over all classified observations. Resolved once so
+// the per-verdict cost is a single relaxed increment.
+util::Counter& stage_counter(GeoStage s) {
+  static const std::array<util::Counter*, 9> kCounters = [] {
+    std::array<util::Counter*, 9> c{};
+    for (size_t i = 0; i < c.size(); ++i) {
+      c[i] = &util::MetricsRegistry::instance().counter(
+          "geoloc.stage." + geo_stage_name(static_cast<GeoStage>(i)));
+    }
+    return c;
+  }();
+  return *kCounters[static_cast<size_t>(s)];
+}
+
+}  // namespace
+
 GeoVerdict MultiConstraintGeolocator::classify(const ServerObservation& obs,
                                                util::Rng& rng) const {
+  static util::Counter& classified =
+      util::MetricsRegistry::instance().counter("geoloc.classified");
+  static util::Counter& dest_traces =
+      util::MetricsRegistry::instance().counter("geoloc.dest_traceroutes");
+  GeoVerdict v = classify_impl(obs, rng);
+  classified.inc();
+  stage_counter(v.stage).inc();
+  if (v.dest_trace_launched) dest_traces.inc();
+  return v;
+}
+
+GeoVerdict MultiConstraintGeolocator::classify_impl(const ServerObservation& obs,
+                                                    util::Rng& rng) const {
   GeoVerdict v;
 
   // --- Stage 0: IPmap lookup (§4.1). ---

@@ -115,14 +115,17 @@ class MultiConstraintGeolocator {
 
   /// Classify one observation. Destination traceroutes are launched lazily
   /// inside (flagged on the verdict), using `rng` for probe-path jitter.
-  /// Pure: no state is mutated, so concurrent calls are safe as long as each
-  /// thread brings its own Rng. Track funnel totals by absorbing verdicts
-  /// into a caller-owned FunnelCounters.
+  /// Pure: no object state is mutated (only process-wide atomic
+  /// `geoloc.*` metrics are bumped), so concurrent calls are safe as long
+  /// as each thread brings its own Rng. Track funnel totals by absorbing
+  /// verdicts into a caller-owned FunnelCounters.
   GeoVerdict classify(const ServerObservation& obs, util::Rng& rng) const;
 
   const ConstraintConfig& config() const { return config_; }
 
  private:
+  GeoVerdict classify_impl(const ServerObservation& obs, util::Rng& rng) const;
+
   const ipmap::GeoDatabase& geodb_;
   const ReferenceLatency& reference_;
   const probe::AtlasNetwork& atlas_;

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <queue>
 
+#include "util/metrics.h"
+
 namespace gam::net {
 
 NodeId Topology::add_node(NodeKind kind, std::string name, std::string country,
@@ -62,12 +64,20 @@ std::shared_ptr<const Topology::SourceTree> Topology::compute_tree(NodeId from) 
 }
 
 std::shared_ptr<const Topology::SourceTree> Topology::tree_for(NodeId from) const {
+  static util::Counter& hits =
+      util::MetricsRegistry::instance().counter("net.route_cache.hits");
+  static util::Counter& misses =
+      util::MetricsRegistry::instance().counter("net.route_cache.misses");
   RouteShard& shard = route_shards_[from % kRouteShards];
   {
     std::shared_lock lock(shard.mu);
     auto it = shard.trees.find(from);
-    if (it != shard.trees.end()) return it->second;
+    if (it != shard.trees.end()) {
+      hits.inc();
+      return it->second;
+    }
   }
+  misses.inc();
   // Miss: run Dijkstra outside any lock. Two threads may race to compute the
   // same source tree; both results are identical and the first insert wins,
   // which wastes a little work but never blocks readers on a graph walk.

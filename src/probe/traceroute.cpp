@@ -1,5 +1,6 @@
 #include "probe/traceroute.h"
 
+#include "util/metrics.h"
 #include "util/stats.h"
 
 namespace gam::probe {
@@ -21,6 +22,15 @@ double TracerouteResult::first_hop_rtt_ms() const {
 TracerouteResult TracerouteEngine::trace(net::NodeId from, net::IPv4 dest,
                                          const TracerouteOptions& opts,
                                          util::Rng& rng) const {
+  static util::Counter& traces =
+      util::MetricsRegistry::instance().counter("probe.traceroutes");
+  static util::Counter& reached_total =
+      util::MetricsRegistry::instance().counter("probe.traceroutes_reached");
+  static util::Histogram& hop_hist = util::MetricsRegistry::instance().histogram(
+      "probe.hops_per_trace", {2, 4, 6, 8, 12, 16, 24, 32});
+  static util::Histogram& last_hop_hist =
+      util::MetricsRegistry::instance().histogram("probe.last_hop_rtt_ms");
+  traces.inc();
   TracerouteResult result;
   result.target = net::ip_to_string(dest);
   result.dest_ip = dest;
@@ -76,6 +86,11 @@ TracerouteResult TracerouteEngine::trace(net::NodeId from, net::IPv4 dest,
     }
     result.hops.push_back(std::move(hop));
     if (i >= cutoff && result.hops.size() >= cutoff + 2) break;  // give up after a few '*'
+  }
+  hop_hist.observe(static_cast<double>(result.hops.size()));
+  if (result.reached) {
+    reached_total.inc();
+    last_hop_hist.observe(result.last_hop_rtt_ms());
   }
   return result;
 }

@@ -1,5 +1,6 @@
 #include "trackers/filter_engine.h"
 
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace gam::trackers {
@@ -52,14 +53,23 @@ const FilterRule* FilterEngine::match_set(
 }
 
 MatchResult FilterEngine::match(const RequestContext& ctx) const {
+  static util::Counter& calls =
+      util::MetricsRegistry::instance().counter("trackers.match_calls");
+  static util::Counter& blocked =
+      util::MetricsRegistry::instance().counter("trackers.match_blocked");
+  static util::Counter& excepted =
+      util::MetricsRegistry::instance().counter("trackers.match_exceptioned");
+  calls.inc();
   MatchResult result;
   const FilterRule* block = match_set(blocks_, block_index_, generic_blocks_, ctx);
   if (!block) return result;
   const FilterRule* exc = match_set(exceptions_, exception_index_, generic_exceptions_, ctx);
   if (exc) {
+    excepted.inc();
     result.exception = exc;
     return result;
   }
+  blocked.inc();
   result.blocked = true;
   result.rule = block;
   return result;

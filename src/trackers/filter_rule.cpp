@@ -1,7 +1,9 @@
 #include "trackers/filter_rule.h"
 
 #include <cctype>
+#include <cstdint>
 
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "web/psl.h"
 
@@ -31,27 +33,82 @@ bool char_eq(char a, char b) {
          std::tolower(static_cast<unsigned char>(b));
 }
 
-// Match pattern (from pi) against text (from ti). If require_end, the match
-// must consume the whole text.
-bool match_at(std::string_view pat, size_t pi, std::string_view text, size_t ti,
-              bool require_end) {
-  if (pi == pat.size()) return !require_end || ti == text.size();
-  char pc = pat[pi];
-  if (pc == '*') {
-    for (size_t k = ti; k <= text.size(); ++k) {
-      if (match_at(pat, pi + 1, text, k, require_end)) return true;
+// Iterative wildcard match: two pointers plus a single backtrack marker at
+// the most recent '*'. On a mismatch we resume just after that star with its
+// matched span extended by one character; stars seen later overwrite the
+// marker, which is the classic linear-space glob algorithm — worst case
+// O(|pat| * |text|) instead of the exponential blowup the old per-'*'
+// recursion hit on star-heavy rules against long URLs.
+//
+// anchor_start=false behaves as an implicit leading '*' (match may begin
+// anywhere); anchor_end=true requires the match to consume the whole text.
+// '^' consumes one separator, or zero characters at end of input — the
+// zero-width case only arises once the text is exhausted, where no further
+// consuming atom can succeed, so the single-marker backtracking argument
+// still holds.
+bool wildcard_match(std::string_view pat, std::string_view text, bool anchor_start,
+                    bool anchor_end, uint64_t* backtracks) {
+  constexpr size_t npos = std::string_view::npos;
+  size_t pi = 0, ti = 0;
+  size_t star_pi = npos, star_ti = 0;
+  if (!anchor_start) {
+    star_pi = 0;
+    star_ti = 0;
+  }
+  uint64_t nback = 0;
+  for (;;) {
+    if (pi < pat.size()) {
+      char pc = pat[pi];
+      if (pc == '*') {
+        ++pi;
+        star_pi = pi;
+        star_ti = ti;
+        continue;
+      }
+      if (pc == '^') {
+        if (ti < text.size() && is_separator(text[ti])) {
+          ++pi;
+          ++ti;
+          continue;
+        }
+        if (ti == text.size()) {
+          ++pi;  // '^' also matches the end of input
+          continue;
+        }
+      } else if (ti < text.size() && char_eq(text[ti], pc)) {
+        ++pi;
+        ++ti;
+        continue;
+      }
+    } else if (!anchor_end || ti == text.size()) {
+      if (backtracks) *backtracks += nback;
+      return true;
     }
-    return false;
+    // Mismatch (or pattern exhausted with text left over under anchor_end):
+    // grow the last star's span by one and retry, or fail if impossible.
+    if (star_pi == npos || star_ti >= text.size()) {
+      if (backtracks) *backtracks += nback;
+      return false;
+    }
+    ++nback;
+    ti = ++star_ti;
+    pi = star_pi;
   }
-  if (pc == '^') {
-    if (ti == text.size()) return match_at(pat, pi + 1, text, ti, require_end);
-    if (is_separator(text[ti])) return match_at(pat, pi + 1, text, ti + 1, require_end);
-    return false;
+}
+
+// Anchored-match wrapper that publishes backtrack totals. The counter is
+// only touched when a '*' actually backtracked, so plain substring rules —
+// the vast majority — pay nothing.
+bool anchored_match(std::string_view pat, std::string_view text, bool anchor_start,
+                    bool anchor_end) {
+  uint64_t backtracks = 0;
+  bool matched = wildcard_match(pat, text, anchor_start, anchor_end, &backtracks);
+  if (backtracks > 0) {
+    static util::Counter& bt =
+        util::MetricsRegistry::instance().counter("trackers.pattern_backtracks");
+    bt.inc(backtracks);
   }
-  if (ti < text.size() && char_eq(text[ti], pc)) {
-    return match_at(pat, pi + 1, text, ti + 1, require_end);
-  }
-  return false;
+  return matched;
 }
 
 struct ParsedOptions {
@@ -111,10 +168,15 @@ ParsedOptions parse_options(std::string_view opts) {
 
 bool pattern_match(std::string_view pattern, std::string_view text) {
   if (pattern.empty()) return true;
-  for (size_t ti = 0; ti <= text.size(); ++ti) {
-    if (match_at(pattern, 0, text, ti, false)) return true;
+  uint64_t backtracks = 0;
+  bool matched = wildcard_match(pattern, text, /*anchor_start=*/false,
+                                /*anchor_end=*/false, &backtracks);
+  if (backtracks > 0) {
+    static util::Counter& bt =
+        util::MetricsRegistry::instance().counter("trackers.pattern_backtracks");
+    bt.inc(backtracks);
   }
-  return false;
+  return matched;
 }
 
 std::optional<FilterRule> FilterRule::parse(std::string_view line) {
@@ -188,16 +250,13 @@ bool rule_matches(const FilterRule& rule, const RequestContext& ctx) {
     size_t host_pos = scheme_end == std::string::npos ? 0 : scheme_end + 3;
     std::string_view after_host =
         std::string_view(ctx.url).substr(host_pos + ctx.host.size());
-    return match_at(rule.pattern, 0, after_host, 0, rule.end_anchored);
+    return anchored_match(rule.pattern, after_host, true, rule.end_anchored);
   }
   if (rule.start_anchored) {
-    return match_at(rule.pattern, 0, ctx.url, 0, rule.end_anchored);
+    return anchored_match(rule.pattern, ctx.url, true, rule.end_anchored);
   }
   if (rule.end_anchored) {
-    for (size_t ti = 0; ti <= ctx.url.size(); ++ti) {
-      if (match_at(rule.pattern, 0, ctx.url, ti, true)) return true;
-    }
-    return false;
+    return anchored_match(rule.pattern, ctx.url, false, true);
   }
   return pattern_match(rule.pattern, ctx.url);
 }

@@ -1,0 +1,189 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+#include "util/json.h"
+
+namespace gam::util {
+
+void Gauge::add(double d) {
+  if (!metrics_enabled()) return;
+  // CAS loop instead of std::atomic<double>::fetch_add to stay portable to
+  // standard libraries without C++20 floating-point atomic RMW.
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  // Edges must be sorted for the linear scan in observe() to be a
+  // partition; fix silently rather than crash a measurement run.
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe(double v) {
+  if (!metrics_enabled()) return;
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h->bounds();
+    data.counts = h->bucket_counts();
+    data.count = h->count();
+    data.sum = h->sum();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+const std::vector<double>& MetricsRegistry::default_latency_buckets_ms() {
+  static const std::vector<double> kBuckets = {0.5,  1,    2,    5,     10,    20,   50,
+                                               100,  200,  500,  1000,  2000,  5000,
+                                               10000, 30000, 60000};
+  return kBuckets;
+}
+
+Json MetricsSnapshot::to_json() const {
+  Json doc = Json::object();
+  Json jc = Json::object();
+  for (const auto& [name, v] : counters) jc[name] = v;
+  doc["counters"] = std::move(jc);
+  Json jg = Json::object();
+  for (const auto& [name, v] : gauges) jg[name] = v;
+  doc["gauges"] = std::move(jg);
+  Json jh = Json::object();
+  for (const auto& [name, h] : histograms) {
+    Json entry = Json::object();
+    Json bounds = Json::array();
+    for (double b : h.bounds) bounds.push_back(b);
+    entry["bounds"] = std::move(bounds);
+    Json counts = Json::array();
+    for (uint64_t c : h.counts) counts.push_back(c);
+    entry["counts"] = std::move(counts);  // counts.size() == bounds.size()+1
+    entry["count"] = h.count;
+    entry["sum"] = h.sum;
+    jh[name] = std::move(entry);
+  }
+  doc["histograms"] = std::move(jh);
+  return doc;
+}
+
+namespace {
+
+std::string prom_name(std::string_view name) {
+  std::string out = "gamma_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_number(double v) {
+  std::string s = std::to_string(v);
+  // Trim trailing zeros (and a trailing '.') for stable, readable output.
+  size_t last = s.find_last_not_of('0');
+  if (last != std::string::npos && s[last] == '.') --last;
+  return s.substr(0, last + 1);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + prom_number(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += p + "_bucket{le=\"" + prom_number(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += h.counts.empty() ? 0 : h.counts.back();
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += p + "_sum " + prom_number(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gam::util

@@ -1,0 +1,176 @@
+// Process-wide observability: named counters, gauges, and fixed-bucket
+// latency histograms, plus RAII timers.
+//
+// The paper's suite is a measurement instrument, and an instrument must be
+// able to observe itself: per-stage funnel tallies (§5), cache behaviour,
+// probe volumes, and per-country wall time are what make a 23-country run
+// auditable instead of a black box. Design constraints, in order:
+//
+//   1. The hot path is wait-free: an increment is one relaxed atomic RMW
+//      (plus one relaxed load of the global enable flag). No locks, no
+//      allocation, no string hashing after the first lookup.
+//   2. Registration is cold and locked. Instruments live forever once
+//      created — `reset()` zeroes values but never invalidates references,
+//      so call sites may cache `Counter&` in function-local statics.
+//   3. Snapshots are deterministic: instruments are stored in name order,
+//      so two identical runs serialize byte-identically (used by tests to
+//      prove the --jobs determinism contract extends to the metrics layer).
+//
+// Naming scheme (see DESIGN.md §7): `<subsystem>.<noun>[.<detail>]`, all
+// lower case, dots as separators, e.g. `net.route_cache.hits`,
+// `geoloc.stage.source-sol`, `study.country_wall_ms`. Histogram names end
+// in their unit (`_ms`, `_hops`).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gam::util {
+
+class Json;
+
+namespace detail {
+inline std::atomic<bool> g_metrics_enabled{true};
+}  // namespace detail
+
+/// Global kill switch, checked (relaxed) on every record. Lets benchmarks
+/// measure the instrumented-vs-dark overhead without rebuilding.
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) {
+    if (metrics_enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (also supports add for up/down use).
+class Gauge {
+ public:
+  void set(double v) {
+    if (metrics_enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double d);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper edges in ascending
+/// order; one implicit overflow bucket catches everything above the last
+/// edge. Bucket layout is fixed at construction so observe() stays lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every instrument, in name order.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1, last = overflow
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  Json to_json() const;
+  /// Prometheus text exposition (cumulative `le` buckets, `gamma_` prefix).
+  std::string to_prometheus() const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Find-or-create. The returned reference is valid for the process
+  /// lifetime; cache it (function-local static) on hot paths.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First registration fixes the bucket bounds; later calls with the same
+  /// name return the existing histogram regardless of `bounds`.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  Histogram& histogram(std::string_view name) {
+    return histogram(name, default_latency_buckets_ms());
+  }
+
+  MetricsSnapshot snapshot() const;
+  /// Zero every instrument (references stay valid). Test-only in spirit.
+  void reset();
+
+  static void set_enabled(bool on) {
+    detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  /// Powers-of-roughly-2 edges from sub-millisecond to tens of seconds —
+  /// wide enough for request RTTs and per-country wall times alike.
+  static const std::vector<double>& default_latency_buckets_ms();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // std::map keeps snapshots in deterministic name order; unique_ptr keeps
+  // instrument addresses stable across rehash-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII span: records elapsed wall milliseconds into a histogram on scope
+/// exit. `ScopedTimer t(MetricsRegistry::instance().histogram("x_ms"));`
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : h_(h), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { h_.observe(elapsed_ms()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Histogram& h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gam::util

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace gam::util {
 
@@ -67,8 +69,21 @@ BoxStats box_stats(std::vector<double> v) {
   return b;
 }
 
+namespace {
+// Correlations over series of different lengths are always a caller bug —
+// silently truncating to the shorter side would mask misaligned
+// per-country series in the policy-correlation analysis.
+void require_same_length(const char* fn, size_t nx, size_t ny) {
+  if (nx != ny) {
+    throw std::invalid_argument(std::string(fn) + ": series length mismatch (" +
+                                std::to_string(nx) + " vs " + std::to_string(ny) + ")");
+  }
+}
+}  // namespace
+
 double pearson(const std::vector<double>& x, const std::vector<double>& y) {
-  size_t n = std::min(x.size(), y.size());
+  require_same_length("pearson", x.size(), y.size());
+  size_t n = x.size();
   if (n < 2) return 0.0;
   double mx = 0, my = 0;
   for (size_t i = 0; i < n; ++i) {
@@ -107,11 +122,10 @@ std::vector<double> ranks(const std::vector<double>& v, size_t n) {
 }  // namespace
 
 double spearman(const std::vector<double>& x, const std::vector<double>& y) {
-  size_t n = std::min(x.size(), y.size());
+  require_same_length("spearman", x.size(), y.size());
+  size_t n = x.size();
   if (n < 2) return 0.0;
-  std::vector<double> xs(x.begin(), x.begin() + static_cast<long>(n));
-  std::vector<double> ys(y.begin(), y.begin() + static_cast<long>(n));
-  return pearson(ranks(xs, n), ranks(ys, n));
+  return pearson(ranks(x, n), ranks(y, n));
 }
 
 double skewness(const std::vector<double>& v) {

@@ -35,9 +35,12 @@ struct BoxStats {
 BoxStats box_stats(std::vector<double> v);
 
 /// Pearson correlation coefficient; 0 if either side is constant or n < 2.
+/// Throws std::invalid_argument if the series lengths differ — a mismatch
+/// always means misaligned inputs, never a quantity worth truncating to.
 double pearson(const std::vector<double>& x, const std::vector<double>& y);
 
-/// Spearman rank correlation (average ranks for ties).
+/// Spearman rank correlation (average ranks for ties). Throws
+/// std::invalid_argument on length mismatch, like pearson.
 double spearman(const std::vector<double>& x, const std::vector<double>& y);
 
 /// Adjusted Fisher-Pearson standardized moment coefficient; 0 for n < 3.

@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "util/metrics.h"
 #include "web/url.h"
 
 namespace gam::web {
@@ -35,6 +36,13 @@ Browser::Browser(const WebUniverse& universe, const dns::Resolver& resolver,
 NetworkRequest Browser::fetch(std::string_view url, ResourceType type,
                               net::NodeId client_node, std::string_view client_country,
                               util::Rng& rng) const {
+  static util::Counter& requests =
+      util::MetricsRegistry::instance().counter("web.requests");
+  static util::Counter& completed =
+      util::MetricsRegistry::instance().counter("web.requests_completed");
+  static util::Histogram& rtt_hist =
+      util::MetricsRegistry::instance().histogram("web.request_rtt_ms");
+  requests.inc();
   NetworkRequest req;
   req.url = std::string(url);
   req.domain = host_of(url);
@@ -54,12 +62,19 @@ NetworkRequest Browser::fetch(std::string_view url, ResourceType type,
   // plus a small additive server-think component. Never below propagation.
   req.rtt_ms = base_rtt * rng.uniform_real(1.0, 1.12) + rng.exponential(2.0);
   req.completed = true;
+  completed.inc();
+  rtt_hist.observe(req.rtt_ms);
   return req;
 }
 
 PageLoadRecord Browser::load(const Website& site, net::NodeId client_node,
                              std::string_view client_country, double failure_rate,
                              util::Rng& rng) const {
+  static util::Counter& loads =
+      util::MetricsRegistry::instance().counter("web.page_loads");
+  static util::Counter& failures =
+      util::MetricsRegistry::instance().counter("web.page_load_failures");
+  loads.inc();
   PageLoadRecord rec;
   rec.site_domain = site.domain;
   rec.url = site.url();
@@ -76,6 +91,7 @@ PageLoadRecord Browser::load(const Website& site, net::NodeId client_node,
       rec.failure_reason = rng.chance(0.5) ? "timeout" : "connection";
       rec.total_time_s = rng.uniform_real(5.0, options_.render_wait_s);
     }
+    failures.inc();
     return rec;
   }
 
@@ -86,6 +102,7 @@ PageLoadRecord Browser::load(const Website& site, net::NodeId client_node,
     rec.failure_reason = doc.ip == 0 ? "dns" : "connection";
     rec.total_time_s = rng.uniform_real(1.0, 10.0);
     rec.requests.push_back(std::move(doc));
+    failures.inc();
     return rec;
   }
   rec.requests.push_back(std::move(doc));

@@ -22,12 +22,23 @@ std::optional<Url> Url::parse(std::string_view s) {
   std::string_view authority =
       path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
   u.path = path_start == std::string_view::npos ? "/" : std::string(rest.substr(path_start));
-  // Userinfo is not modeled; a colon splits host:port.
+  // Userinfo is rejected outright rather than folded into the host:
+  // accepting "http://user@evil.com/" as host "user@evil.com" would poison
+  // PSL lookups and first/third-party classification downstream, and the
+  // measurement never issues credentialed URLs.
+  if (authority.find('@') != std::string_view::npos) return std::nullopt;
   size_t colon = authority.rfind(':');
   if (colon != std::string_view::npos) {
-    long port = util::parse_long(authority.substr(colon + 1));
-    if (port < 0 || port > 65535) return std::nullopt;
-    u.port = static_cast<uint16_t>(port);
+    std::string_view port_str = authority.substr(colon + 1);
+    if (port_str.empty()) {
+      // "host:" — trailing colon means the scheme default, per WHATWG.
+    } else {
+      long port = util::parse_long(port_str);
+      // Port 0 is unconnectable and would round-trip through to_string as
+      // portless; treat it like any other out-of-range port.
+      if (port <= 0 || port > 65535) return std::nullopt;
+      u.port = static_cast<uint16_t>(port);
+    }
     authority = authority.substr(0, colon);
   }
   if (authority.empty()) return std::nullopt;

@@ -6,6 +6,7 @@
 #include "probe/traceroute.h"
 #include "trackers/identify.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -49,6 +50,12 @@ StudyResult run_study(World& world, const StudyOptions& options) {
   core::ParallelStudyRunner runner(options.jobs);
   std::vector<CountryOutcome> outcomes =
       runner.map(countries, [&](size_t, const std::string& code) {
+        static util::Counter& done =
+            util::MetricsRegistry::instance().counter("study.countries");
+        static util::Histogram& wall =
+            util::MetricsRegistry::instance().histogram("study.country_wall_ms");
+        util::ScopedTimer timer(wall);
+        done.inc();
         CountryOutcome out;
         const core::VolunteerProfile& profile = world.volunteer(code);
         core::GammaSession session(

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
+
 #include "web/url.h"
 
 namespace gam::trackers {
@@ -122,6 +125,54 @@ TEST(PatternMatch, SeparatorCaret) {
 
 TEST(PatternMatch, CaseInsensitive) {
   EXPECT_TRUE(pattern_match("/ADS/", "https://x.example/ads/a.js"));
+}
+
+TEST(PatternMatch, ConsecutiveAndEdgeWildcards) {
+  EXPECT_TRUE(pattern_match("a**b", "aXb"));
+  EXPECT_TRUE(pattern_match("a**b", "ab"));
+  EXPECT_TRUE(pattern_match("*ads*", "https://x/ads/i.png"));
+  EXPECT_TRUE(pattern_match("*", "anything"));
+  EXPECT_TRUE(pattern_match("*", ""));
+  EXPECT_FALSE(pattern_match("a*b*c", "acb"));
+}
+
+TEST(PatternMatch, CaretAfterWildcard) {
+  // '*' must be able to hand off to a '^' mid-text and at end of text.
+  EXPECT_TRUE(pattern_match("track*^id", "https://x/track/abc?id"));
+  EXPECT_TRUE(pattern_match("track*^", "https://x/track123"));  // '^' at end
+  EXPECT_FALSE(pattern_match("track*^id", "https://x/trackabcid"));
+}
+
+// Regression: the old matcher recursed once per '*' and retried every start
+// offset, so a star-heavy pattern against a long URL was exponential — a
+// 21-char pattern vs. a 2k-char URL would effectively never return. The
+// iterative two-pointer rewrite is O(|pattern| * |url|); even a generous
+// CI box finishes this in well under 100 ms (typically microseconds).
+TEST(PatternMatch, PathologicalStarPatternIsFast) {
+  const std::string pattern = "a*a*a*a*a*a*a*a*a*a*b";  // 10 '*'s, no match
+  std::string url = "https://x.example/";
+  url.append(2000, 'a');  // 2k-char URL of near-matches
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(pattern_match(pattern, url));
+  url.back() = 'b';  // now it matches; exercise the accepting path too
+  EXPECT_TRUE(pattern_match(pattern, url));
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_LT(elapsed_ms, 100.0);
+}
+
+TEST(RuleMatch, PathologicalEndAnchoredIsFast) {
+  // End-anchored rules used to retry match_at from every offset on top of
+  // the recursive stars — the same blowup through a different entry point.
+  auto rule = *FilterRule::parse("a*a*a*a*a*a*a*a*a*a*b|");
+  std::string url = "https://x.example/" + std::string(2000, 'a');
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(rule_matches(rule, ctx(url)));
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_LT(elapsed_ms, 100.0);
 }
 
 // -------------------------------------------------------------- matching

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace gam::util {
 namespace {
 
@@ -34,6 +36,16 @@ TEST(Stats, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(quantile(v, 0.125), 5.0);
 }
 
+TEST(Stats, QuantileDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);        // empty -> 0, not a crash
+  EXPECT_DOUBLE_EQ(quantile({7}, 0.0), 7.0);       // single element: every q
+  EXPECT_DOUBLE_EQ(quantile({7}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7}, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({5, 5, 5}, 0.75), 5.0);  // all-equal
+  EXPECT_DOUBLE_EQ(quantile({1, 2}, -0.5), 1.0);   // q clamped into [0,1]
+  EXPECT_DOUBLE_EQ(quantile({1, 2}, 1.5), 2.0);
+}
+
 TEST(Stats, BoxStatsFiveNumber) {
   BoxStats b = box_stats({1, 2, 3, 4, 5, 6, 7, 8, 9});
   EXPECT_EQ(b.n, 9u);
@@ -59,6 +71,31 @@ TEST(Stats, BoxStatsEmpty) {
   EXPECT_DOUBLE_EQ(b.median, 0.0);
 }
 
+TEST(Stats, BoxStatsSingleElement) {
+  BoxStats b = box_stats({42.0});
+  EXPECT_EQ(b.n, 1u);
+  EXPECT_DOUBLE_EQ(b.min, 42.0);
+  EXPECT_DOUBLE_EQ(b.q1, 42.0);
+  EXPECT_DOUBLE_EQ(b.median, 42.0);
+  EXPECT_DOUBLE_EQ(b.q3, 42.0);
+  EXPECT_DOUBLE_EQ(b.max, 42.0);
+  EXPECT_DOUBLE_EQ(b.iqr, 0.0);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 42.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 42.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(Stats, BoxStatsAllEqual) {
+  BoxStats b = box_stats({3, 3, 3, 3, 3});
+  EXPECT_DOUBLE_EQ(b.min, 3.0);
+  EXPECT_DOUBLE_EQ(b.max, 3.0);
+  EXPECT_DOUBLE_EQ(b.iqr, 0.0);
+  EXPECT_DOUBLE_EQ(b.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 3.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 3.0);
+  EXPECT_TRUE(b.outliers.empty());  // zero-IQR fences must not flag equals
+}
+
 TEST(Stats, PearsonPerfectCorrelation) {
   EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
   EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
@@ -67,6 +104,19 @@ TEST(Stats, PearsonPerfectCorrelation) {
 TEST(Stats, PearsonConstantSeriesIsZero) {
   EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 4, 6}), 0.0);
   EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Stats, PearsonLengthMismatchThrows) {
+  // Truncating to the shorter series would silently correlate misaligned
+  // data — e.g. a per-country series missing one entry. Must be loud.
+  EXPECT_THROW(pearson({1, 2, 3}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(pearson({}, {1}), std::invalid_argument);
+  EXPECT_THROW(pearson({1}, {}), std::invalid_argument);
+}
+
+TEST(Stats, SpearmanLengthMismatchThrows) {
+  EXPECT_THROW(spearman({1, 2, 3, 4}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(spearman({1}, {}), std::invalid_argument);
 }
 
 TEST(Stats, PearsonUncorrelatedNearZero) {

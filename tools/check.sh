@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 gate for Gamma: configure, build, run the full test suite, then
+# rebuild the concurrency-sensitive targets under ThreadSanitizer and run
+# the suites that exercise shared state (thread pool, parallel study runner,
+# metrics registry).
+#
+# Usage: tools/check.sh [--skip-tsan]
+#
+# Exits non-zero on the first failure. Build trees:
+#   build/       plain tier-1 build (reused if already configured)
+#   build-tsan/  GAMMA_SANITIZE=thread build (concurrency suites only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "== tsan: skipped (--skip-tsan) =="
+  exit 0
+fi
+
+echo "== tsan: configure + build concurrency suites =="
+cmake -B build-tsan -S . -DGAMMA_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS" \
+  --target test_thread_pool test_parallel_study test_metrics
+
+echo "== tsan: run concurrency suites =="
+for t in test_thread_pool test_parallel_study test_metrics; do
+  "./build-tsan/tests/$t"
+done
+
+echo "== check.sh: all green =="

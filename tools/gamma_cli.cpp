@@ -26,6 +26,7 @@
 #include "analysis/study.h"
 #include "core/recorder.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "web/har.h"
 #include "worldgen/study.h"
 #include "worldgen/world.h"
@@ -39,16 +40,21 @@ struct Args {
   std::vector<std::string> countries;
   std::string site;
   std::string out;
+  std::string metrics_out;
   uint64_t seed = 7;
+  size_t jobs = 1;
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: gamma <command> [options]\n"
                "  run    --country CC [--out DIR] [--seed N]   one volunteer session\n"
-               "  study  [--country CC ...] [--out DIR] [--seed N]   the full study\n"
+               "  study  [--country CC ...] [--out DIR] [--seed N] [--jobs N]   the full study\n"
                "  har    --site DOMAIN --country CC [--out FILE]     HAR export\n"
-               "  audit                                              IPmap error audit\n");
+               "  audit                                              IPmap error audit\n"
+               "common options:\n"
+               "  --metrics-out FILE   after the command, dump pipeline metrics as\n"
+               "                       JSON to FILE and Prometheus text to FILE.prom\n");
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -73,6 +79,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.metrics_out = v;
+    } else if (flag == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      args.jobs = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -153,6 +167,7 @@ int cmd_study(const Args& args) {
   worldgen::StudyOptions options;
   options.countries = args.countries;
   options.seed = args.seed;
+  options.jobs = args.jobs;
   worldgen::StudyResult study = worldgen::run_study(*world, options);
 
   analysis::PrevalenceReport prev = analysis::compute_prevalence(study.analyses);
@@ -268,6 +283,18 @@ int cmd_audit(const Args& args) {
   return 0;
 }
 
+// Dump the process-wide metrics registry: JSON to `path`, Prometheus text
+// exposition to `path`.prom. Runs after the command so the snapshot covers
+// the whole pipeline (crawl, DNS, probes, geolocation, identification).
+int write_metrics(const std::string& path) {
+  util::MetricsSnapshot snap = util::MetricsRegistry::instance().snapshot();
+  if (!write_file(path, snap.to_json().dump(2) + "\n")) return 1;
+  if (!write_file(path + ".prom", snap.to_prometheus())) return 1;
+  std::printf("wrote metrics: %s (JSON), %s.prom (Prometheus)\n", path.c_str(),
+              path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -277,10 +304,18 @@ int main(int argc, char** argv) {
     return 2;
   }
   gam::util::set_log_level(gam::util::LogLevel::Warn);
-  if (args.command == "run") return cmd_run(args);
-  if (args.command == "study") return cmd_study(args);
-  if (args.command == "har") return cmd_har(args);
-  if (args.command == "audit") return cmd_audit(args);
-  usage();
-  return 2;
+  int rc = 2;
+  if (args.command == "run") rc = cmd_run(args);
+  else if (args.command == "study") rc = cmd_study(args);
+  else if (args.command == "har") rc = cmd_har(args);
+  else if (args.command == "audit") rc = cmd_audit(args);
+  else {
+    usage();
+    return 2;
+  }
+  if (!args.metrics_out.empty()) {
+    int metrics_rc = write_metrics(args.metrics_out);
+    if (rc == 0) rc = metrics_rc;
+  }
+  return rc;
 }
