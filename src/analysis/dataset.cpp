@@ -89,6 +89,7 @@ CountryAnalysis CountryAnalyzer::analyze(const core::VolunteerDataset& dataset,
       if (auto it = dataset.traces.find(req.ip); it != dataset.traces.end()) {
         obs.src_trace_attempted = it->second.attempted;
         obs.src_trace_reached = it->second.reached;
+        obs.src_trace_fault = it->second.fault_injected;
         obs.src_first_hop_ms = it->second.first_hop_ms;
         obs.src_last_hop_ms = it->second.last_hop_ms;
       }

@@ -17,7 +17,7 @@ GammaConfig GammaConfig::study_defaults() {
 bool GammaConfig::valid() const {
   return browser.render_wait_s > 0 && browser.hard_timeout_s >= browser.render_wait_s &&
          browser.max_expansion_depth >= 1 && concurrent_instances >= 1 &&
-         traceroute.max_ttl >= 1 && traceroute.queries_per_hop >= 1;
+         traceroute.max_ttl >= 1 && traceroute.queries_per_hop >= 1 && retry.valid();
 }
 
 }  // namespace gam::core

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "probe/traceroute.h"
+#include "util/retry.h"
 #include "web/browser.h"
 
 namespace gam::core {
@@ -21,6 +22,9 @@ struct GammaConfig {
   bool enable_probes = true;         // C3: traceroutes
   int concurrent_instances = 1;      // §3.1: single-thread mode by default
   probe::TracerouteOptions traceroute;
+  // Shared retry budget for transient (fault-plane) failures: DNS lookups
+  // and traceroute launches. No effect unless a FaultInjector is armed.
+  util::RetryPolicy retry;
 
   /// The paper's study configuration (all defaults).
   static GammaConfig study_defaults();

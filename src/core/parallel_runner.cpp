@@ -1,6 +1,19 @@
 #include "core/parallel_runner.h"
 
+#include "util/metrics.h"
+
 namespace gam::core {
+
+void breaker_count_failure() {
+  static util::Counter& c =
+      util::MetricsRegistry::instance().counter("breaker.task_failures");
+  c.inc();
+}
+
+void breaker_count_open() {
+  static util::Counter& c = util::MetricsRegistry::instance().counter("breaker.open");
+  c.inc();
+}
 
 size_t ParallelStudyRunner::resolve_jobs(size_t jobs) {
   return jobs == 0 ? util::ThreadPool::hardware_threads() : jobs;

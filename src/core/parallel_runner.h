@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -25,6 +26,12 @@
 #include "util/thread_pool.h"
 
 namespace gam::core {
+
+// Metric hooks for the per-country circuit breaker (out of line so this
+// header stays free of the metrics registry): one task attempt threw /
+// a country exhausted its attempts and was degraded to its fallback.
+void breaker_count_failure();
+void breaker_count_open();
 
 class ParallelStudyRunner {
  public:
@@ -51,6 +58,37 @@ class ParallelStudyRunner {
     out.reserve(slots.size());
     for (auto& slot : slots) out.push_back(std::move(*slot));
     return out;
+  }
+
+  /// map() with a per-country circuit breaker. stage(i, country, attempt)
+  /// (attempt starting at 1) is retried up to `attempts` times when it
+  /// throws; once the budget is exhausted the breaker opens for that country
+  /// and fallback(i, country, what) supplies a degraded result instead — one
+  /// wedged country must not sink the other 22. Deterministic: a stage that
+  /// throws on draw-free preconditions (or on fault-plane decisions keyed by
+  /// country and attempt) yields the same outcome for any `jobs` value.
+  /// Counts breaker.task_failures per throw and breaker.open per degraded
+  /// country.
+  template <typename Fn, typename Fallback>
+  auto map_with_breaker(const std::vector<std::string>& countries, Fn&& stage,
+                        Fallback&& fallback, int attempts = 2)
+      -> std::vector<std::invoke_result_t<Fn&, size_t, const std::string&, int>> {
+    if (attempts < 1) attempts = 1;
+    return map(countries, [&](size_t i, const std::string& country) {
+      std::string last_error = "unknown failure";
+      for (int attempt = 1; attempt <= attempts; ++attempt) {
+        try {
+          return stage(i, country, attempt);
+        } catch (const std::exception& e) {
+          last_error = e.what();
+          breaker_count_failure();
+        } catch (...) {
+          breaker_count_failure();
+        }
+      }
+      breaker_count_open();
+      return fallback(i, country, last_error);
+    });
   }
 
   util::ThreadPool& pool() { return pool_; }

@@ -100,6 +100,12 @@ util::Json dataset_to_json(const VolunteerDataset& dataset) {
     tr["first_hop_ms"] = t.first_hop_ms;
     tr["last_hop_ms"] = t.last_hop_ms;
     tr["normalized"] = t.normalized;
+    // Fault-plane bookkeeping, only-when-set: fault-free datasets serialize
+    // byte-identically to builds without the fault plane. Both fields feed
+    // back into analysis (degradation decisions), so they must round-trip
+    // through the checkpoint journal.
+    if (t.fault_injected) tr["fault_injected"] = true;
+    if (!t.normalize_error.empty()) tr["normalize_error"] = t.normalize_error;
     traces[net::ip_to_string(ip)] = std::move(tr);
   }
   doc["traces"] = std::move(traces);
@@ -125,6 +131,9 @@ std::optional<VolunteerDataset> dataset_from_json(const util::Json& doc) {
     m.page.client_country = ds.country;
     m.page.loaded = s.get_bool("loaded");
     m.page.failure_reason = s.get_string("failure_reason");
+    // Direct assignment, not set_failure(): deserialization must not bump
+    // the web.failure.* counters a second time.
+    m.page.failure = web::load_failure_from_name(m.page.failure_reason);
     m.page.total_time_s = s.get_number("total_time_s");
     if (const util::Json* reqs = s.find("requests"); reqs && reqs->is_array()) {
       for (const auto& r : reqs->items()) {
@@ -164,6 +173,8 @@ std::optional<VolunteerDataset> dataset_from_json(const util::Json& doc) {
       rec.reached = tr.get_bool("reached");
       rec.first_hop_ms = tr.get_number("first_hop_ms");
       rec.last_hop_ms = tr.get_number("last_hop_ms");
+      rec.fault_injected = tr.get_bool("fault_injected");
+      rec.normalize_error = tr.get_string("normalize_error");
       if (const util::Json* norm = tr.find("normalized")) rec.normalized = *norm;
       ds.traces[*ip] = std::move(rec);
     }

@@ -34,6 +34,7 @@ GammaSession::GammaSession(GammaEnv env, VolunteerProfile profile, TargetList ta
       browser_(*env.universe, *env.resolver, *env.topology, config_.browser),
       traceroute_(*env.topology, *env.resolver),
       rng_(seed) {
+  browser_.set_resilience(env_.faults, config_.retry);
   ordered_targets_ = targets_.all();
   dataset_.volunteer_id = profile_.id;
   dataset_.country = profile_.country;
@@ -77,8 +78,7 @@ void GammaSession::measure_site(const std::string& domain) {
     m.page.site_domain = domain;
     m.page.url = "https://" + domain + "/";
     m.page.client_country = profile_.country;
-    m.page.loaded = false;
-    m.page.failure_reason = "dns";
+    m.page.set_failure(web::LoadFailure::Dns);
     dataset_.sites.push_back(std::move(m));
     return;
   }
@@ -119,9 +119,29 @@ void GammaSession::measure_site(const std::string& domain) {
         rec.os = probe::os_kind_name(profile_.os);
         probe::TracerouteOptions opts = config_.traceroute;
         opts.blocked_prob = profile_.traceroute_blocked_prob;
-        probe::TracerouteResult trace = traceroute_.trace(profile_.node, ip, opts, rng_);
+        probe::TracerouteResult trace;
+        if (env_.faults && env_.faults->armed()) {
+          // Injected whole-trace timeouts are transient: retry within the
+          // shared budget, keying each attempt so a fault can clear. A trace
+          // killed by the fault plane consumes no measurement rng draws, so
+          // the retried run sees the same draws a fault-free run would.
+          util::Rng jitter =
+              env_.faults->stream("retry.trace", profile_.country + "/" + net::ip_to_string(ip));
+          int attempt = 0;
+          util::retry_call(config_.retry, jitter, [&] {
+            ++attempt;
+            trace = traceroute_.trace(profile_.node, ip, opts, rng_, env_.faults,
+                                      "src#" + std::to_string(attempt));
+            return !trace.fault_injected;
+          });
+          rec.fault_injected = trace.fault_injected;
+        } else {
+          trace = traceroute_.trace(profile_.node, ip, opts, rng_);
+        }
         rec.raw_text = probe::format_for(trace, profile_.os);
-        rec.normalized = probe::normalize_traceroute(rec.raw_text, profile_.os);
+        auto norm = probe::normalize_traceroute_checked(rec.raw_text, profile_.os);
+        rec.normalized = std::move(norm.doc);
+        rec.normalize_error = norm.error;
         rec.reached = trace.reached;
         rec.first_hop_ms = trace.first_hop_rtt_ms();
         rec.last_hop_ms = trace.last_hop_rtt_ms();
@@ -150,6 +170,15 @@ size_t augment_with_atlas_traceroutes(VolunteerDataset& dataset, const GammaEnv&
   for (const auto& c : country.cities) {
     if (c.name == dataset.disclosed_city) near = c.coord;
   }
+  // Fault plane: the probe fleet for this country may be injected as
+  // unavailable — the repair pass is skipped outright and the datasets keep
+  // their unusable traces (the geolocator degrades instead of discarding).
+  if (env.faults && env.faults->armed() &&
+      env.faults->roll("atlas.unavailable", "repair/" + dataset.country,
+                       env.faults->plan().atlas_unavailable)) {
+    return 0;
+  }
+
   auto probe = atlas.select_probe(dataset.country, dataset.disclosed_city, 0, near);
   if (!probe) return 0;
 
@@ -163,9 +192,13 @@ size_t augment_with_atlas_traceroutes(VolunteerDataset& dataset, const GammaEnv&
     rec.attempted = true;
     rec.source = "atlas:" + std::to_string(probe->id);
     rec.os = "linux";  // Atlas probes report a uniform format
-    probe::TracerouteResult trace = engine.trace(probe->node, ip, opts, rng);
+    probe::TracerouteResult trace =
+        engine.trace(probe->node, ip, opts, rng, env.faults, "repair/" + dataset.country);
+    rec.fault_injected = trace.fault_injected;
     rec.raw_text = probe::format_linux(trace);
-    rec.normalized = probe::normalize_traceroute(rec.raw_text, probe::OsKind::Linux);
+    auto norm = probe::normalize_traceroute_checked(rec.raw_text, probe::OsKind::Linux);
+    rec.normalized = std::move(norm.doc);
+    rec.normalize_error = norm.error;
     rec.reached = trace.reached;
     rec.first_hop_ms = trace.first_hop_rtt_ms();
     rec.last_hop_ms = trace.last_hop_rtt_ms();

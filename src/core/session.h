@@ -29,6 +29,7 @@
 #include "probe/atlas.h"
 #include "probe/formats.h"
 #include "probe/traceroute.h"
+#include "util/fault.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "web/browser.h"
@@ -40,6 +41,9 @@ struct GammaEnv {
   const web::WebUniverse* universe = nullptr;
   const dns::Resolver* resolver = nullptr;
   const net::Topology* topology = nullptr;
+  /// Fault plane (nullptr or disarmed = fault-free). Borrowed; must outlive
+  /// every session and repair pass that sees this env.
+  const util::FaultInjector* faults = nullptr;
 };
 
 struct VolunteerProfile {
@@ -67,6 +71,11 @@ struct TracerouteRecord {
   double first_hop_ms = 0.0;
   double last_hop_ms = 0.0;
   std::string source;    // "volunteer" or "atlas:<probe-id>"
+  /// The run was killed by the fault plane even after the retry budget —
+  /// downstream treats this as missing infrastructure, not path evidence.
+  bool fault_injected = false;
+  /// Structured normalizer diagnostic ("" = parsed cleanly).
+  std::string normalize_error;
 };
 
 /// Per-site record: the page load plus C2 results for its domains.

@@ -5,7 +5,18 @@
 
 namespace gam::dns {
 
-Answer Resolver::resolve(std::string_view name, std::string_view client_country) const {
+std::string_view dns_error_name(DnsError e) {
+  switch (e) {
+    case DnsError::None: return "none";
+    case DnsError::Timeout: return "timeout";
+    case DnsError::ServFail: return "servfail";
+  }
+  return "?";
+}
+
+Answer Resolver::resolve(std::string_view name, std::string_view client_country,
+                         const util::FaultInjector* faults,
+                         std::string_view fault_key) const {
   static util::Counter& lookups =
       util::MetricsRegistry::instance().counter("dns.lookups");
   static util::Counter& nxdomain =
@@ -17,6 +28,18 @@ Answer Resolver::resolve(std::string_view name, std::string_view client_country)
   lookups.inc();
   Answer ans;
   ans.qname = std::string(name);
+  if (faults && faults->armed()) {
+    std::string key = ans.qname + "@" + std::string(client_country);
+    key.append(fault_key);
+    if (faults->roll("dns.timeout", key, faults->plan().dns_timeout)) {
+      ans.error = DnsError::Timeout;
+      return ans;
+    }
+    if (faults->roll("dns.servfail", key, faults->plan().dns_servfail)) {
+      ans.error = DnsError::ServFail;
+      return ans;
+    }
+  }
   std::string current(name);
   for (int depth = 0; depth <= kMaxCnameDepth; ++depth) {
     if (const SteeredRecord* sr = zones_.find_steered(current)) {

@@ -15,15 +15,25 @@
 #include <vector>
 
 #include "dns/zone.h"
+#include "util/fault.h"
 
 namespace gam::dns {
+
+/// How a forward lookup failed, beyond the ordinary NXDOMAIN. Timeout and
+/// SERVFAIL are transient (the resolver never answered / answered with an
+/// error); callers are expected to retry them under util::RetryPolicy.
+enum class DnsError { None, Timeout, ServFail };
+
+std::string_view dns_error_name(DnsError e);
 
 /// Result of a forward lookup.
 struct Answer {
   std::string qname;                // what was asked
   std::vector<std::string> chain;   // CNAME hops traversed (may be empty)
   std::vector<net::IPv4> ips;       // final A answers (empty => NXDOMAIN)
-  bool nxdomain() const { return ips.empty(); }
+  DnsError error = DnsError::None;  // transient failure (ips then empty)
+  bool nxdomain() const { return ips.empty() && error == DnsError::None; }
+  bool failed() const { return error != DnsError::None; }
 
   /// First answer, the address a browser connects to. 0 if NXDOMAIN.
   net::IPv4 primary() const { return ips.empty() ? 0 : ips.front(); }
@@ -34,7 +44,16 @@ class Resolver {
   explicit Resolver(const ZoneStore& zones) : zones_(zones) {}
 
   /// Forward lookup as seen from `client_country` (ISO code).
-  Answer resolve(std::string_view name, std::string_view client_country) const;
+  Answer resolve(std::string_view name, std::string_view client_country) const {
+    return resolve(name, client_country, nullptr, {});
+  }
+
+  /// Fault-aware lookup: before consulting the zones, asks `faults` whether
+  /// this query times out or SERVFAILs (keyed on name@country plus the
+  /// caller's `fault_key` — typically a retry-attempt tag, so a transient
+  /// fault can clear on a later attempt). `faults` may be null.
+  Answer resolve(std::string_view name, std::string_view client_country,
+                 const util::FaultInjector* faults, std::string_view fault_key) const;
 
   /// Reverse lookup; nullopt when no PTR exists (common in the wild, and the
   /// paper's rDNS constraint must tolerate exactly that).

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "net/ip.h"
 #include "util/metrics.h"
 #include "world/country.h"
 
@@ -18,6 +19,24 @@ std::string geo_stage_name(GeoStage s) {
     case GeoStage::DestSol: return "dest-sol";
     case GeoStage::RdnsMismatch: return "rdns-mismatch";
     case GeoStage::ConfirmedNonLocal: return "confirmed-nonlocal";
+  }
+  return "?";
+}
+
+std::string geo_error_name(GeoErrorCode e) {
+  switch (e) {
+    case GeoErrorCode::None: return "none";
+    case GeoErrorCode::NoIpmapRecord: return "no-ipmap-record";
+    case GeoErrorCode::SourceTraceMissing: return "source-trace-missing";
+    case GeoErrorCode::SourceTraceUnreached: return "source-trace-unreached";
+    case GeoErrorCode::SourceSolViolation: return "source-sol-violation";
+    case GeoErrorCode::SourceReferenceViolation: return "source-reference-violation";
+    case GeoErrorCode::NoAtlasProbe: return "no-atlas-probe";
+    case GeoErrorCode::AtlasProbeUnavailable: return "atlas-probe-unavailable";
+    case GeoErrorCode::DestTraceFault: return "dest-trace-fault";
+    case GeoErrorCode::DestTraceUnreached: return "dest-trace-unreached";
+    case GeoErrorCode::DestSolViolation: return "dest-sol-violation";
+    case GeoErrorCode::RdnsMismatch: return "rdns-mismatch";
   }
   return "?";
 }
@@ -83,10 +102,13 @@ GeoVerdict MultiConstraintGeolocator::classify(const ServerObservation& obs,
       util::MetricsRegistry::instance().counter("geoloc.classified");
   static util::Counter& dest_traces =
       util::MetricsRegistry::instance().counter("geoloc.dest_traceroutes");
+  static util::Counter& degraded =
+      util::MetricsRegistry::instance().counter("geoloc.degraded");
   GeoVerdict v = classify_impl(obs, rng);
   classified.inc();
   stage_counter(v.stage).inc();
   if (v.dest_trace_launched) dest_traces.inc();
+  if (v.confidence == GeoConfidence::Degraded) degraded.inc();
   return v;
 }
 
@@ -98,6 +120,7 @@ GeoVerdict MultiConstraintGeolocator::classify_impl(const ServerObservation& obs
   auto claim = geodb_.lookup(obs.ip);
   if (!claim) {
     v.stage = GeoStage::UnknownIp;
+    v.error = GeoErrorCode::NoIpmapRecord;
     v.reason = "no IPmap record";
     return v;
   }
@@ -109,57 +132,93 @@ GeoVerdict MultiConstraintGeolocator::classify_impl(const ServerObservation& obs
 
   // --- Stage 1: source-based constraint (§4.1.1). ---
   if (config_.source_constraint) {
-    if (!obs.src_trace_attempted || !obs.src_trace_reached) {
+    bool source_usable = obs.src_trace_attempted && obs.src_trace_reached;
+    if (!source_usable && obs.src_trace_fault) {
+      // The trace was killed by the fault plane, not by the network: the
+      // missing evidence says nothing about the claim, so skip the source
+      // constraint and let the remaining stages decide (degraded verdict).
+      v.confidence = GeoConfidence::Degraded;
+      v.error = GeoErrorCode::SourceTraceMissing;
+    } else if (!source_usable) {
       v.stage = GeoStage::SourceUnreached;
+      v.error = obs.src_trace_attempted ? GeoErrorCode::SourceTraceUnreached
+                                        : GeoErrorCode::SourceTraceMissing;
       v.reason = obs.src_trace_attempted ? "source traceroute did not reach destination"
                                          : "no source traceroute available";
       return v;
-    }
-    v.effective_rtt_ms = effective_latency_ms(obs.src_first_hop_ms, obs.src_last_hop_ms);
-    if (CheckResult sol = check_sol(obs.volunteer_coord, claim->coord, v.effective_rtt_ms);
-        !sol.pass) {
-      v.stage = GeoStage::SourceSol;
-      v.reason = sol.reason;
-      return v;
-    }
-    if (CheckResult ref = check_reference(reference_, obs.volunteer_country, claim->country,
-                                          v.effective_rtt_ms);
-        config_.reference_rule && !ref.pass) {
-      v.stage = GeoStage::SourceReference;
-      v.reason = ref.reason;
-      return v;
+    } else {
+      v.effective_rtt_ms = effective_latency_ms(obs.src_first_hop_ms, obs.src_last_hop_ms);
+      if (CheckResult sol = check_sol(obs.volunteer_coord, claim->coord, v.effective_rtt_ms);
+          !sol.pass) {
+        v.stage = GeoStage::SourceSol;
+        v.error = GeoErrorCode::SourceSolViolation;
+        v.reason = sol.reason;
+        return v;
+      }
+      if (CheckResult ref = check_reference(reference_, obs.volunteer_country, claim->country,
+                                            v.effective_rtt_ms);
+          config_.reference_rule && !ref.pass) {
+        v.stage = GeoStage::SourceReference;
+        v.error = GeoErrorCode::SourceReferenceViolation;
+        v.reason = ref.reason;
+        return v;
+      }
     }
   }
 
   // --- Stage 2: destination-based constraint (§4.1.2). ---
   if (config_.dest_constraint) {
-    auto probe = atlas_.select_probe(claim->country, claim->city, /*asn=*/0, claim->coord);
-    if (!probe) {
-      v.stage = GeoStage::DestUnreached;
-      v.reason = "no measurement probe available anywhere";
-      return v;
-    }
-    v.dest_probe_id = probe->id;
-    v.dest_probe_country = probe->country;
-    probe::TracerouteOptions opts;
-    // Destination traces cross more administrative boundaries than source
-    // traces (arbitrary probe -> arbitrary network); they fail to reach the
-    // destination more often, which is where most of the paper's SOL-stage
-    // funnel losses come from.
-    opts.dest_noresponse_prob = 0.15;
-    probe::TracerouteResult dest_trace = engine_.trace(probe->node, obs.ip, opts, rng);
-    v.dest_trace_launched = true;
-    if (!dest_trace.reached) {
-      v.stage = GeoStage::DestUnreached;
-      v.reason = "destination traceroute did not reach destination";
-      return v;
-    }
-    double dest_rtt = effective_latency_ms(dest_trace.first_hop_rtt_ms(),
-                                           dest_trace.last_hop_rtt_ms());
-    if (CheckResult sol = check_sol(probe->coord, claim->coord, dest_rtt); !sol.pass) {
-      v.stage = GeoStage::DestSol;
-      v.reason = sol.reason;
-      return v;
+    // Fault plane: the probe fleet in the claimed country may be injected as
+    // unavailable. That is an infrastructure outage, not evidence about the
+    // claim — skip the destination constraint and degrade.
+    bool atlas_down =
+        faults_ && faults_->armed() &&
+        faults_->roll("atlas.unavailable",
+                      claim->country + "/" + net::ip_to_string(obs.ip),
+                      faults_->plan().atlas_unavailable);
+    if (atlas_down) {
+      v.confidence = GeoConfidence::Degraded;
+      if (v.error == GeoErrorCode::None) v.error = GeoErrorCode::AtlasProbeUnavailable;
+    } else {
+      auto probe = atlas_.select_probe(claim->country, claim->city, /*asn=*/0, claim->coord);
+      if (!probe) {
+        v.stage = GeoStage::DestUnreached;
+        v.error = GeoErrorCode::NoAtlasProbe;
+        v.reason = "no measurement probe available anywhere";
+        return v;
+      }
+      v.dest_probe_id = probe->id;
+      v.dest_probe_country = probe->country;
+      probe::TracerouteOptions opts;
+      // Destination traces cross more administrative boundaries than source
+      // traces (arbitrary probe -> arbitrary network); they fail to reach the
+      // destination more often, which is where most of the paper's SOL-stage
+      // funnel losses come from.
+      opts.dest_noresponse_prob = 0.15;
+      probe::TracerouteResult dest_trace =
+          engine_.trace(probe->node, obs.ip, opts, rng, faults_,
+                        "dest/" + obs.volunteer_country);
+      v.dest_trace_launched = true;
+      if (dest_trace.fault_injected) {
+        // The probe run was killed by the fault plane; absence of a result is
+        // not a failed constraint. Continue on whatever evidence remains.
+        v.confidence = GeoConfidence::Degraded;
+        if (v.error == GeoErrorCode::None) v.error = GeoErrorCode::DestTraceFault;
+      } else if (!dest_trace.reached) {
+        v.stage = GeoStage::DestUnreached;
+        v.error = GeoErrorCode::DestTraceUnreached;
+        v.reason = "destination traceroute did not reach destination";
+        return v;
+      } else {
+        double dest_rtt = effective_latency_ms(dest_trace.first_hop_rtt_ms(),
+                                               dest_trace.last_hop_rtt_ms());
+        if (CheckResult sol = check_sol(probe->coord, claim->coord, dest_rtt); !sol.pass) {
+          v.stage = GeoStage::DestSol;
+          v.error = GeoErrorCode::DestSolViolation;
+          v.reason = sol.reason;
+          return v;
+        }
+      }
     }
   }
 
@@ -167,6 +226,7 @@ GeoVerdict MultiConstraintGeolocator::classify_impl(const ServerObservation& obs
   if (CheckResult rd = check_rdns(obs.rdns, claim->country);
       config_.rdns_constraint && !rd.pass) {
     v.stage = GeoStage::RdnsMismatch;
+    v.error = GeoErrorCode::RdnsMismatch;
     v.reason = rd.reason;
     return v;
   }

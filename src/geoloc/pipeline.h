@@ -38,6 +38,9 @@ struct ServerObservation {
 
   bool src_trace_attempted = false;
   bool src_trace_reached = false;
+  /// The source trace was killed by the fault plane (not by the network):
+  /// grounds for degrading the source constraint rather than discarding.
+  bool src_trace_fault = false;
   double src_first_hop_ms = 0.0;
   double src_last_hop_ms = 0.0;
 
@@ -59,6 +62,35 @@ enum class GeoStage {
 
 std::string geo_stage_name(GeoStage s);
 
+/// Structured discard taxonomy: every non-confirming verdict carries exactly
+/// one code, and Degraded verdicts keep the code of the fault that forced a
+/// constraint skip even when they ultimately confirm. The free-text `reason`
+/// stays as human-readable detail (it embeds distances and RTTs), but
+/// programmatic consumers — metrics, degradation accounting, the fault-sweep
+/// harness — key on this enum.
+enum class GeoErrorCode {
+  None,                      // local or confirmed non-local
+  NoIpmapRecord,             // database has no claim for the address
+  SourceTraceMissing,        // no source traceroute was ever attempted
+  SourceTraceUnreached,      // attempted but never reached the destination
+  SourceSolViolation,        // claimed spot unreachable at light speed
+  SourceReferenceViolation,  // below 80% of published statistics
+  NoAtlasProbe,              // platform has no probe anywhere
+  AtlasProbeUnavailable,     // fault plane: probe fleet did not answer
+  DestTraceFault,            // fault plane: destination probe run killed
+  DestTraceUnreached,        // destination traceroute didn't reach
+  DestSolViolation,          // destination-side SOL violated
+  RdnsMismatch,              // hostname hints contradict the claim
+};
+
+std::string geo_error_name(GeoErrorCode e);
+
+/// How much of the multi-constraint battery actually ran. Full means every
+/// enabled constraint was applied; Degraded means an infrastructure fault
+/// (not measurement evidence!) forced the pipeline to skip a constraint and
+/// classify on whatever survived — the paper's partial-coverage mode.
+enum class GeoConfidence { Full, Degraded };
+
 struct GeoVerdict {
   GeoStage stage = GeoStage::UnknownIp;
   bool is_local() const { return stage == GeoStage::Local; }
@@ -67,6 +99,8 @@ struct GeoVerdict {
 
   ipmap::GeoRecord claim;        // what IPmap said (when known)
   double effective_rtt_ms = 0.0; // source-side effective latency
+  GeoErrorCode error = GeoErrorCode::None;  // structured discard code
+  GeoConfidence confidence = GeoConfidence::Full;
   std::string reason;            // failure detail for discards
   int dest_probe_id = 0;         // Atlas probe used (0 = none)
   std::string dest_probe_country;
@@ -121,6 +155,14 @@ class MultiConstraintGeolocator {
   /// verdicts into a caller-owned FunnelCounters.
   GeoVerdict classify(const ServerObservation& obs, util::Rng& rng) const;
 
+  /// Arm the fault plane (Atlas unavailability, destination-trace kills).
+  /// Graceful degradation: when an injected infrastructure fault blocks a
+  /// constraint, classify() skips that constraint, downgrades the verdict's
+  /// confidence to Degraded, and continues with whatever evidence remains —
+  /// instead of discarding the observation outright. Must be called before
+  /// any concurrent classify() use; the pointer is borrowed.
+  void set_fault_injector(const util::FaultInjector* faults) { faults_ = faults; }
+
   const ConstraintConfig& config() const { return config_; }
 
  private:
@@ -131,6 +173,7 @@ class MultiConstraintGeolocator {
   const probe::AtlasNetwork& atlas_;
   const probe::TracerouteEngine& engine_;
   ConstraintConfig config_;
+  const util::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace gam::geoloc

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace gam::probe {
@@ -110,6 +111,19 @@ struct ParsedHop {
   std::vector<double> rtts;
 };
 
+// Strict RTT token parse: the full token must be a finite, non-negative
+// number. Garbled tool output ("4.x2", "-1e999") must fail the line, not
+// silently truncate to whatever strtod salvages.
+bool parse_rtt(std::string_view token, double& out) {
+  std::string buf(token);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!std::isfinite(v) || v < 0.0) return false;
+  out = v;
+  return true;
+}
+
 // " 3  core.fra.net (10.0.0.3)  4.2 ms  4.3 ms  4.1 ms"  |  " 2  * * *"
 std::optional<ParsedHop> parse_linux_hop(std::string_view line) {
   auto tokens = util::split_ws(line);
@@ -123,11 +137,14 @@ std::optional<ParsedHop> parse_linux_hop(std::string_view line) {
   if (tokens.size() < 3 || tokens[2].size() < 3 || tokens[2].front() != '(') {
     return std::nullopt;
   }
+  if (tokens[2].back() != ')') return std::nullopt;
   hop.ip = std::string(tokens[2].substr(1, tokens[2].size() - 2));
   if (name != hop.ip) hop.hostname = std::string(name);
   for (size_t i = 3; i + 1 < tokens.size(); i += 2) {
     if (tokens[i + 1] != "ms") break;
-    hop.rtts.push_back(std::strtod(std::string(tokens[i]).c_str(), nullptr));
+    double rtt = 0.0;
+    if (!parse_rtt(tokens[i], rtt)) return std::nullopt;
+    hop.rtts.push_back(rtt);
   }
   return hop;
 }
@@ -156,7 +173,9 @@ std::optional<ParsedHop> parse_windows_hop(std::string_view line) {
       continue;
     }
     if (i + 1 < tokens.size() && tokens[i + 1] == "ms") {
-      hop.rtts.push_back(std::strtod(std::string(tokens[i]).c_str(), nullptr));
+      double rtt = 0.0;
+      if (!parse_rtt(tokens[i], rtt)) return std::nullopt;
+      hop.rtts.push_back(rtt);
       i += 2;
       ++rtt_fields;
       continue;
@@ -177,16 +196,32 @@ std::optional<ParsedHop> parse_windows_hop(std::string_view line) {
 
 }  // namespace
 
-util::Json normalize_traceroute(std::string_view text, OsKind os) {
+NormalizedTrace normalize_traceroute_checked(std::string_view text, OsKind os) {
+  static util::Counter& failures = [] () -> util::Counter& {
+    return util::MetricsRegistry::instance().counter("probe.normalize_failures");
+  }();
   bool windows = os == OsKind::Windows;
+  NormalizedTrace out;
+  auto fail = [&](std::string message, int line) -> NormalizedTrace& {
+    out.doc = util::Json(nullptr);
+    out.error = std::move(message);
+    out.error_line = line;
+    failures.inc();
+    return out;
+  };
+
   std::string target;
   int max_ttl = 0;
   util::Json hops = util::Json::array();
   std::string last_ip;
+  int line_no = 0;
+  bool saw_content = false;
 
   for (auto line : util::split_view(text, '\n')) {
+    ++line_no;
     auto trimmed = util::trim(line);
     if (trimmed.empty()) continue;
+    saw_content = true;
     if (util::starts_with(trimmed, "traceroute to ")) {
       auto tokens = util::split_ws(trimmed);
       if (tokens.size() >= 3) target = std::string(tokens[2]);
@@ -209,7 +244,7 @@ util::Json normalize_traceroute(std::string_view text, OsKind os) {
     if (util::starts_with(trimmed, "Trace complete")) continue;
 
     auto hop = windows ? parse_windows_hop(trimmed) : parse_linux_hop(trimmed);
-    if (!hop) return util::Json(nullptr);  // malformed body line
+    if (!hop) return fail("malformed hop line", line_no);
 
     util::Json h = util::Json::object();
     h["ttl"] = hop->ttl;
@@ -222,13 +257,19 @@ util::Json normalize_traceroute(std::string_view text, OsKind os) {
     if (!hop->ip.empty()) last_ip = hop->ip;
   }
 
-  if (target.empty()) return util::Json(nullptr);
+  if (!saw_content) return fail("empty traceroute output", 0);
+  if (target.empty()) return fail("missing or malformed header (no target)", 1);
   util::Json doc = util::Json::object();
   doc["target"] = target;
   doc["max_ttl"] = max_ttl;
   doc["reached"] = (!last_ip.empty() && last_ip == target);
   doc["hops"] = std::move(hops);
-  return doc;
+  out.doc = std::move(doc);
+  return out;
+}
+
+util::Json normalize_traceroute(std::string_view text, OsKind os) {
+  return normalize_traceroute_checked(text, os).doc;
 }
 
 }  // namespace gam::probe

@@ -38,11 +38,28 @@ std::string format_macos(const TracerouteResult& result);
 /// Render with the tool native to `os`.
 std::string format_for(const TracerouteResult& result, OsKind os);
 
+/// Outcome of normalizing native tool output. On failure `doc` is null and
+/// `error`/`error_line` carry a structured diagnostic — volunteer machines
+/// ship truncated and garbled text (killed tools, locale quirks), and the
+/// pipeline must account for every discarded trace rather than deref a null.
+struct NormalizedTrace {
+  util::Json doc;        // canonical schema; null iff !ok()
+  std::string error;     // "" iff ok()
+  int error_line = 0;    // 1-based line of the first malformed row (0 = none)
+  bool ok() const { return error.empty(); }
+};
+
 /// Parse tool output back into the canonical JSON schema:
 ///   {"target": "...", "reached": bool, "max_ttl": n,
 ///    "hops": [{"ttl": n, "ip": "..."|null, "hostname": "..."|null,
 ///              "rtt_ms": [..]}]}
-/// Returns a null Json on parse failure.
+/// Never throws; every failure mode yields a structured error. Counts
+/// `probe.normalize_failures` on failure.
+NormalizedTrace normalize_traceroute_checked(std::string_view text, OsKind os);
+
+/// Back-compat wrapper: the checked normalizer's doc, a null Json on parse
+/// failure. Prefer normalize_traceroute_checked — callers of this overload
+/// must still handle the null.
 util::Json normalize_traceroute(std::string_view text, OsKind os);
 
 /// Canonical JSON directly from the in-memory result (bypasses text); the

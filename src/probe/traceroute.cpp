@@ -1,5 +1,7 @@
 #include "probe/traceroute.h"
 
+#include <optional>
+
 #include "util/metrics.h"
 #include "util/stats.h"
 
@@ -21,7 +23,8 @@ double TracerouteResult::first_hop_rtt_ms() const {
 
 TracerouteResult TracerouteEngine::trace(net::NodeId from, net::IPv4 dest,
                                          const TracerouteOptions& opts,
-                                         util::Rng& rng) const {
+                                         util::Rng& rng, const util::FaultInjector* faults,
+                                         std::string_view fault_scope) const {
   static util::Counter& traces =
       util::MetricsRegistry::instance().counter("probe.traceroutes");
   static util::Counter& reached_total =
@@ -35,6 +38,25 @@ TracerouteResult TracerouteEngine::trace(net::NodeId from, net::IPv4 dest,
   result.target = net::ip_to_string(dest);
   result.dest_ip = dest;
   result.max_ttl = opts.max_ttl;
+
+  // Fault plane: a killed probe run produces no hop rows at all, exactly
+  // what a volunteer's firewalled `traceroute` that never prints looks like.
+  // Hop-loss draws come from a dedicated (scope, dest) substream so the
+  // measurement rng sees an identical draw sequence with faults on or off.
+  bool fault_armed = faults && faults->armed();
+  std::string fault_key;
+  std::optional<util::Rng> loss_rng;
+  if (fault_armed) {
+    fault_key = std::string(fault_scope) + "/" + result.target;
+    if (faults->roll("traceroute.timeout", fault_key, faults->plan().trace_timeout)) {
+      result.fault_injected = true;
+      hop_hist.observe(0.0);
+      return result;
+    }
+    if (faults->plan().trace_hop_loss > 0.0) {
+      loss_rng = faults->stream("traceroute.hoploss", fault_key);
+    }
+  }
 
   net::NodeId dest_node = topology_.find_by_ip(dest);
   if (dest_node == net::kInvalidNode) return result;  // unrouted: nothing answers
@@ -70,6 +92,10 @@ TracerouteResult TracerouteEngine::trace(net::NodeId from, net::IPv4 dest,
       responds = !dest_silent;
     } else if (rng.chance(opts.hop_noresponse_prob)) {
       responds = false;  // ICMP-silent router
+    }
+    if (responds && !is_dest && loss_rng &&
+        loss_rng->chance(faults->plan().trace_hop_loss)) {
+      responds = false;  // injected probe loss
     }
     // Unnumbered nodes cannot source TTL-exceeded replies.
     if (responds && topology_.node(hop_node).ip == 0) responds = false;

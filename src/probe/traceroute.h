@@ -15,6 +15,7 @@
 
 #include "dns/resolver.h"
 #include "net/topology.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace gam::probe {
@@ -33,6 +34,11 @@ struct TracerouteResult {
   int max_ttl = 30;
   std::vector<TracerouteHop> hops;
   bool reached = false;
+  /// True when the fault plane killed this probe run (whole-trace timeout).
+  /// Lets callers distinguish an injected infrastructure fault — retryable,
+  /// and grounds for graceful degradation — from a genuine measurement
+  /// outcome like a firewalled path.
+  bool fault_injected = false;
 
   /// RTT of the destination hop; 0 if unreached.
   double last_hop_rtt_ms() const;
@@ -55,7 +61,18 @@ class TracerouteEngine {
 
   /// Trace from `from` (any node) to `dest`. Deterministic given rng state.
   TracerouteResult trace(net::NodeId from, net::IPv4 dest, const TracerouteOptions& opts,
-                         util::Rng& rng) const;
+                         util::Rng& rng) const {
+    return trace(from, dest, opts, rng, nullptr, {});
+  }
+
+  /// Fault-aware trace: `faults` (may be null) decides — keyed on
+  /// `fault_scope` plus the destination address — whether the whole probe
+  /// run times out and which extra hops lose their responses. Fault draws
+  /// come from dedicated substreams, never from `rng`, so arming the fault
+  /// plane does not perturb the measurement randomness.
+  TracerouteResult trace(net::NodeId from, net::IPv4 dest, const TracerouteOptions& opts,
+                         util::Rng& rng, const util::FaultInjector* faults,
+                         std::string_view fault_scope) const;
 
  private:
   const net::Topology& topology_;

@@ -1,0 +1,111 @@
+#include "util/fault.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace gam::util {
+
+namespace {
+
+struct Field {
+  const char* group;
+  const char* key;
+  double FaultPlan::*member;
+};
+
+// One row per fault knob; keeps to_json/from_json/valid in lockstep.
+constexpr Field kFields[] = {
+    {"dns", "timeout", &FaultPlan::dns_timeout},
+    {"dns", "servfail", &FaultPlan::dns_servfail},
+    {"traceroute", "timeout", &FaultPlan::trace_timeout},
+    {"traceroute", "hop_loss", &FaultPlan::trace_hop_loss},
+    {"browser", "hang", &FaultPlan::browser_hang},
+    {"browser", "reset", &FaultPlan::browser_reset},
+    {"browser", "slow", &FaultPlan::browser_slow},
+    {"atlas", "unavailable", &FaultPlan::atlas_unavailable},
+    {"session", "abort", &FaultPlan::session_abort},
+};
+
+}  // namespace
+
+bool FaultPlan::any() const {
+  for (const Field& f : kFields) {
+    if (this->*(f.member) > 0.0) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::valid() const {
+  for (const Field& f : kFields) {
+    double v = this->*(f.member);
+    if (!(v >= 0.0 && v <= 1.0)) return false;
+  }
+  return true;
+}
+
+Json FaultPlan::to_json() const {
+  Json doc = Json::object();
+  for (const Field& f : kFields) doc[f.group][f.key] = this->*(f.member);
+  return doc;
+}
+
+std::optional<FaultPlan> FaultPlan::from_json(const Json& doc) {
+  if (!doc.is_object()) return std::nullopt;
+  FaultPlan plan;
+  for (const auto& [group, members] : doc.fields()) {
+    if (!members.is_object()) return std::nullopt;
+    for (const auto& [key, value] : members.fields()) {
+      bool known = false;
+      for (const Field& f : kFields) {
+        if (group == f.group && key == f.key) {
+          if (!value.is_number()) return std::nullopt;
+          plan.*(f.member) = value.as_number();
+          known = true;
+          break;
+        }
+      }
+      if (!known) return std::nullopt;
+    }
+  }
+  if (!plan.valid()) return std::nullopt;
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto doc = Json::parse(buf.str());
+  if (!doc) return std::nullopt;
+  return from_json(*doc);
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed)
+    : plan_(plan), seed_(seed), armed_(true) {}
+
+bool FaultInjector::roll(std::string_view component, std::string_view key,
+                         double prob) const {
+  if (!armed_ || prob <= 0.0) return false;
+  Rng rng = stream(component, key);
+  if (rng.uniform01() >= prob) return false;
+  static Counter& injected = MetricsRegistry::instance().counter("fault.injected");
+  injected.inc();
+  MetricsRegistry::instance()
+      .counter("fault.injected." + std::string(component))
+      .inc();
+  return true;
+}
+
+Rng FaultInjector::stream(std::string_view component, std::string_view key) const {
+  std::string name;
+  name.reserve(component.size() + key.size() + 1);
+  name.append(component).push_back('/');
+  name.append(key);
+  return Rng::substream(seed_, name);
+}
+
+}  // namespace gam::util

@@ -1,0 +1,92 @@
+// Deterministic, seed-driven fault injection — the suite's fault plane.
+//
+// The paper's campaign survived hostile volunteer networks only because the
+// tool tolerated failure: page loads died in Japan and Saudi Arabia (Fig 2b),
+// firewalls silenced traceroutes in Australia/India/Qatar/Jordan (§4.1.1),
+// and the Egypt volunteer opted out of traceroutes entirely. Those losses are
+// *modelled* elsewhere (VolunteerProfile); this module exists to *exercise*
+// the pipeline code against them: a FaultPlan names per-component fault
+// probabilities (DNS timeout/SERVFAIL, traceroute probe timeouts and hop
+// loss, browser hang/connection-reset/slow-load, Atlas probe unavailability,
+// whole-session aborts) and a FaultInjector turns each (component, key) pair
+// into a reproducible yes/no via Rng::substream(seed, component + "/" + key).
+//
+// Determinism contract: a fault decision depends only on (plan, seed,
+// component, key) — never on call order, thread count, or how many faults
+// fired elsewhere — so a faulty study is byte-identical for any --jobs value,
+// and an injector with no plan never draws at all (a fault-free run is
+// byte-identical to a build without the fault plane).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace gam::util {
+
+class Json;
+
+/// Per-component fault probabilities, all in [0, 1]; 0 = never fire.
+/// Grouped by the pipeline component each one targets.
+struct FaultPlan {
+  // dns::Resolver
+  double dns_timeout = 0.0;   // query never answered
+  double dns_servfail = 0.0;  // upstream SERVFAIL
+  // probe::TracerouteEngine
+  double trace_timeout = 0.0;   // whole probe run times out (no usable output)
+  double trace_hop_loss = 0.0;  // extra per-hop response loss
+  // web::Browser
+  double browser_hang = 0.0;   // instance wedges until the hard timeout
+  double browser_reset = 0.0;  // connection reset mid-load
+  double browser_slow = 0.0;   // load succeeds but crawls
+  // probe::AtlasNetwork
+  double atlas_unavailable = 0.0;  // no probe answers the measurement request
+  // core::Session / ParallelStudyRunner circuit breaker
+  double session_abort = 0.0;  // the volunteer's whole run dies
+
+  /// True when any probability is non-zero.
+  bool any() const;
+  /// All probabilities within [0, 1].
+  bool valid() const;
+
+  /// {"dns": {"timeout": p, "servfail": p}, "traceroute": {...}, ...}.
+  Json to_json() const;
+  /// Inverse of to_json(); unknown keys rejected, absent keys default to 0.
+  /// nullopt on schema violations or out-of-range probabilities.
+  static std::optional<FaultPlan> from_json(const Json& doc);
+  /// Parse a plan from a JSON file on disk. nullopt on I/O or schema errors.
+  static std::optional<FaultPlan> load_file(const std::string& path);
+};
+
+/// The deterministic decision point every instrumented component consults.
+/// Default-constructed injectors are disarmed and cost one pointer test per
+/// call site; an injector built from a plan is armed even if every rate is
+/// zero (that is what the zero-overhead benchmark arm measures).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(FaultPlan plan, uint64_t seed);
+
+  bool armed() const { return armed_; }
+  const FaultPlan& plan() const { return plan_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Deterministic Bernoulli draw for one named fault site: true iff the
+  /// fault fires. Depends only on (seed, component, key). Counts
+  /// `fault.injected` and `fault.injected.<component>` on a hit.
+  bool roll(std::string_view component, std::string_view key, double prob) const;
+
+  /// An independent randomness stream for multi-draw fault processes
+  /// (e.g. per-hop loss along one traceroute). Same (component, key) ⇒ same
+  /// stream, regardless of what else the study did.
+  Rng stream(std::string_view component, std::string_view key) const;
+
+ private:
+  FaultPlan plan_;
+  uint64_t seed_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace gam::util

@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -79,7 +80,7 @@ std::string json_escape(std::string_view s) {
 }
 
 namespace {
-std::string number_to_string(double d) {
+std::string number_to_string(double d, bool exact) {
   if (std::isnan(d) || std::isinf(d)) return "null";
   // Integers print without a decimal point; keeps records compact and stable.
   if (d == std::floor(d) && std::fabs(d) < 1e15) {
@@ -87,13 +88,30 @@ std::string number_to_string(double d) {
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
     return buf;
   }
-  char buf[40];
+  if (exact) {
+    // Shortest representation that parses back to exactly `d`. Round-trip
+    // exactness is load-bearing for the study checkpoint journal: it re-reads
+    // recorded RTTs, and a ulp of drift would flip marginal SOL verdicts on
+    // resume.
+    char buf[40];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+    if (ec != std::errc()) {
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      return buf;
+    }
+    return std::string(buf, end);
+  }
+  // Human-facing output: 10 significant digits, idempotent under
+  // parse-then-dump (the nearest double to a 10-digit decimal prints back to
+  // the same 10 digits), so re-serializing a journal-restored dataset is
+  // byte-identical to serializing the original.
+  char buf[32];
   std::snprintf(buf, sizeof buf, "%.10g", d);
   return buf;
 }
 }  // namespace
 
-void Json::dump_to(std::string& out, int indent, int depth) const {
+void Json::dump_to(std::string& out, int indent, int depth, bool exact_doubles) const {
   auto newline = [&](int d) {
     if (indent < 0) return;
     out += '\n';
@@ -102,7 +120,7 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
   switch (type_) {
     case Type::Null: out += "null"; break;
     case Type::Bool: out += bool_ ? "true" : "false"; break;
-    case Type::Number: out += number_to_string(num_); break;
+    case Type::Number: out += number_to_string(num_, exact_doubles); break;
     case Type::String: out += json_escape(str_); break;
     case Type::Array: {
       if (arr_.empty()) {
@@ -113,7 +131,7 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
       for (size_t i = 0; i < arr_.size(); ++i) {
         if (i) out += ',';
         newline(depth + 1);
-        arr_[i].dump_to(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1, exact_doubles);
       }
       newline(depth);
       out += ']';
@@ -132,7 +150,7 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
         newline(depth + 1);
         out += json_escape(k);
         out += indent < 0 ? ":" : ": ";
-        v.dump_to(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1, exact_doubles);
       }
       newline(depth);
       out += '}';
@@ -143,7 +161,13 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
 
 std::string Json::dump(int indent) const {
   std::string out;
-  dump_to(out, indent, 0);
+  dump_to(out, indent, 0, /*exact_doubles=*/false);
+  return out;
+}
+
+std::string Json::dump_exact(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0, /*exact_doubles=*/true);
   return out;
 }
 

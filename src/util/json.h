@@ -75,8 +75,16 @@ class Json {
   double get_number(std::string_view key, double fallback = 0.0) const;
   bool get_bool(std::string_view key, bool fallback = false) const;
 
-  /// Serialize. indent < 0 means compact single-line output.
+  /// Serialize. indent < 0 means compact single-line output. Doubles print
+  /// with 10 significant digits — idempotent under parse-then-dump, so
+  /// re-serializing a parsed document reproduces the same bytes.
   std::string dump(int indent = -1) const;
+
+  /// Like dump(), but doubles print in their shortest exact round-trip form
+  /// (std::to_chars): parse(dump_exact(x)) restores bit-identical values.
+  /// Used by the study checkpoint journal, where a ulp of RTT drift on
+  /// resume would flip marginal speed-of-light verdicts.
+  std::string dump_exact(int indent = -1) const;
 
   /// Parse. Returns nullopt on any syntax error.
   static std::optional<Json> parse(std::string_view text);
@@ -84,7 +92,7 @@ class Json {
   bool operator==(const Json& other) const;
 
  private:
-  void dump_to(std::string& out, int indent, int depth) const;
+  void dump_to(std::string& out, int indent, int depth, bool exact_doubles) const;
 
   Type type_;
   bool bool_ = false;

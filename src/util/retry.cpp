@@ -1,0 +1,35 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/metrics.h"
+
+namespace gam::util {
+
+double backoff_delay_ms(const RetryPolicy& policy, int next_attempt, Rng& rng) {
+  if (policy.base_delay_ms <= 0.0) return 0.0;
+  int exponent = std::max(0, next_attempt - 2);
+  // Cap the exponent before exponentiating so huge attempt counts can't
+  // overflow to inf; the delay is clamped to max_delay_ms anyway.
+  double d = policy.base_delay_ms * std::pow(2.0, std::min(exponent, 40));
+  d = std::min(d, policy.max_delay_ms);
+  return rng.uniform_real(d / 2.0, d);
+}
+
+void retry_count_attempt() {
+  static Counter& c = MetricsRegistry::instance().counter("retry.attempts");
+  c.inc();
+}
+
+void retry_count_exhausted() {
+  static Counter& c = MetricsRegistry::instance().counter("retry.exhausted");
+  c.inc();
+}
+
+void retry_count_deadline_hit() {
+  static Counter& c = MetricsRegistry::instance().counter("retry.deadline_hit");
+  c.inc();
+}
+
+}  // namespace gam::util

@@ -1,0 +1,74 @@
+// Shared retry policy: bounded exponential backoff with deterministic
+// jitter and a per-operation deadline budget.
+//
+// Every substrate call the fault plane can kill (DNS queries, traceroute
+// launches) retries through this one policy so the whole pipeline degrades
+// the same way. Backoff is *simulated* time — the suite never sleeps; the
+// delays are charged against the policy's deadline budget and reported back
+// so callers can account them (a volunteer's tool waiting out DNS retries is
+// wall time the paper's §3.1 timeouts must cover). Jitter draws from a
+// caller-supplied Rng, so the retry schedule obeys the same determinism
+// contract as everything else: no draw ever happens unless an attempt
+// actually failed, which keeps fault-free runs byte-identical.
+#pragma once
+
+#include "util/rng.h"
+
+namespace gam::util {
+
+struct RetryPolicy {
+  int max_attempts = 3;          // total tries, >= 1
+  double base_delay_ms = 50.0;   // backoff before the 2nd attempt
+  double max_delay_ms = 1000.0;  // cap on any single backoff
+  double deadline_ms = 5000.0;   // per-operation budget across all backoffs
+
+  bool valid() const {
+    return max_attempts >= 1 && base_delay_ms >= 0.0 &&
+           max_delay_ms >= base_delay_ms && deadline_ms >= 0.0;
+  }
+};
+
+struct RetryResult {
+  bool success = false;
+  int attempts = 0;         // attempts actually made (>= 1)
+  double backoff_ms = 0.0;  // simulated waiting charged to the operation
+};
+
+/// Backoff before attempt `next_attempt` (2-based: the wait after the first
+/// failure). Full jitter: uniform in [d/2, d) with d = min(max_delay,
+/// base_delay * 2^(next_attempt-2)).
+double backoff_delay_ms(const RetryPolicy& policy, int next_attempt, Rng& rng);
+
+/// Metric hooks for retry_call (out-of-line so the header stays light).
+void retry_count_attempt();
+void retry_count_exhausted();
+void retry_count_deadline_hit();
+
+/// Run `op` (a callable returning true on success) under `policy`. Counts
+/// `retry.attempts` per try, `retry.exhausted` when the operation never
+/// succeeded, and `retry.deadline_hit` when the deadline budget stopped the
+/// schedule early. Draws from `rng` only after a failed attempt.
+template <typename Op>
+RetryResult retry_call(const RetryPolicy& policy, Rng& rng, Op&& op) {
+  RetryResult result;
+  int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    ++result.attempts;
+    retry_count_attempt();
+    if (op()) {
+      result.success = true;
+      return result;
+    }
+    if (attempt == attempts) break;
+    double delay = backoff_delay_ms(policy, attempt + 1, rng);
+    if (result.backoff_ms + delay > policy.deadline_ms) {
+      retry_count_deadline_hit();
+      break;
+    }
+    result.backoff_ms += delay;
+  }
+  retry_count_exhausted();
+  return result;
+}
+
+}  // namespace gam::util

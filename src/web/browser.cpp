@@ -9,6 +9,45 @@
 
 namespace gam::web {
 
+std::string_view load_failure_name(LoadFailure f) {
+  switch (f) {
+    case LoadFailure::None: return "";
+    case LoadFailure::Timeout: return "timeout";
+    case LoadFailure::Connection: return "connection";
+    case LoadFailure::Dns: return "dns";
+    case LoadFailure::Hang: return "hang";
+  }
+  return "";
+}
+
+LoadFailure load_failure_from_name(std::string_view name) {
+  if (name == "timeout") return LoadFailure::Timeout;
+  if (name == "connection") return LoadFailure::Connection;
+  if (name == "dns") return LoadFailure::Dns;
+  if (name == "hang") return LoadFailure::Hang;
+  return LoadFailure::None;
+}
+
+void PageLoadRecord::set_failure(LoadFailure f) {
+  loaded = false;
+  failure = f;
+  failure_reason = std::string(load_failure_name(f));
+  // A failed load must never carry an empty reason; an out-of-taxonomy or
+  // None argument degrades to the most generic bucket instead.
+  if (failure_reason.empty()) {
+    failure = LoadFailure::Connection;
+    failure_reason = std::string(load_failure_name(failure));
+  }
+  static util::Counter* kByReason[] = {
+      nullptr,
+      &util::MetricsRegistry::instance().counter("web.failure.timeout"),
+      &util::MetricsRegistry::instance().counter("web.failure.connection"),
+      &util::MetricsRegistry::instance().counter("web.failure.dns"),
+      &util::MetricsRegistry::instance().counter("web.failure.hang"),
+  };
+  kByReason[static_cast<size_t>(failure)]->inc();
+}
+
 std::vector<const NetworkRequest*> PageLoadRecord::content_requests() const {
   std::vector<const NetworkRequest*> out;
   for (const auto& r : requests) {
@@ -33,6 +72,11 @@ Browser::Browser(const WebUniverse& universe, const dns::Resolver& resolver,
     : universe_(universe), resolver_(resolver), topology_(topology),
       options_(std::move(options)) {}
 
+void Browser::set_resilience(const util::FaultInjector* faults, util::RetryPolicy retry) {
+  faults_ = faults;
+  retry_ = retry;
+}
+
 NetworkRequest Browser::fetch(std::string_view url, ResourceType type,
                               net::NodeId client_node, std::string_view client_country,
                               util::Rng& rng) const {
@@ -49,7 +93,28 @@ NetworkRequest Browser::fetch(std::string_view url, ResourceType type,
   req.type = type;
   if (req.domain.empty()) return req;
 
-  dns::Answer ans = resolver_.resolve(req.domain, client_country);
+  dns::Answer ans;
+  if (faults_ && faults_->armed()) {
+    // Injected DNS timeouts/SERVFAILs are transient: retry with backoff,
+    // keying each attempt separately so a fault can clear. Jitter draws come
+    // from a per-domain fault substream, never from the measurement rng.
+    util::Rng jitter = faults_->stream("retry.dns", req.domain);
+    int attempt = 0;
+    util::retry_call(retry_, jitter, [&] {
+      ++attempt;
+      ans = resolver_.resolve(req.domain, client_country, faults_,
+                              "#" + std::to_string(attempt));
+      return !ans.failed();
+    });
+    if (ans.failed()) {
+      static util::Counter& dns_faults =
+          util::MetricsRegistry::instance().counter("web.dns_fault_failures");
+      dns_faults.inc();
+      return req;  // unresolved: ip stays 0, downstream records a dns failure
+    }
+  } else {
+    ans = resolver_.resolve(req.domain, client_country);
+  }
   req.cname_chain = ans.chain;
   if (ans.nxdomain()) return req;
   req.ip = ans.primary();
@@ -80,15 +145,37 @@ PageLoadRecord Browser::load(const Website& site, net::NodeId client_node,
   rec.url = site.url();
   rec.client_country = std::string(client_country);
 
+  // Fault plane, ahead of the organic connectivity model: injected browser
+  // faults are keyed on (country, site) so they reproduce for any --jobs
+  // value and never consume measurement rng draws.
+  bool slow_load = false;
+  if (faults_ && faults_->armed()) {
+    std::string key = rec.client_country + "/" + rec.site_domain;
+    const util::FaultPlan& plan = faults_->plan();
+    if (faults_->roll("browser.hang", key, plan.browser_hang)) {
+      rec.set_failure(LoadFailure::Hang);
+      rec.total_time_s = options_.hard_timeout_s;
+      failures.inc();
+      return rec;
+    }
+    if (faults_->roll("browser.reset", key, plan.browser_reset)) {
+      rec.set_failure(LoadFailure::Connection);
+      rec.total_time_s =
+          faults_->stream("browser.reset_time", key).uniform_real(1.0, 15.0);
+      failures.inc();
+      return rec;
+    }
+    slow_load = faults_->roll("browser.slow", key, plan.browser_slow);
+  }
+
   // Connectivity-quality failure model (Fig 2b). A failed load either hangs
   // until the hard timeout kills the instance or drops early.
   if (rng.chance(failure_rate)) {
-    rec.loaded = false;
     if (rng.chance(0.4)) {
-      rec.failure_reason = "hang";
+      rec.set_failure(LoadFailure::Hang);
       rec.total_time_s = options_.hard_timeout_s;
     } else {
-      rec.failure_reason = rng.chance(0.5) ? "timeout" : "connection";
+      rec.set_failure(rng.chance(0.5) ? LoadFailure::Timeout : LoadFailure::Connection);
       rec.total_time_s = rng.uniform_real(5.0, options_.render_wait_s);
     }
     failures.inc();
@@ -98,8 +185,7 @@ PageLoadRecord Browser::load(const Website& site, net::NodeId client_node,
   // The document request itself.
   NetworkRequest doc = fetch(rec.url, ResourceType::Document, client_node, client_country, rng);
   if (!doc.completed) {
-    rec.loaded = false;
-    rec.failure_reason = doc.ip == 0 ? "dns" : "connection";
+    rec.set_failure(doc.ip == 0 ? LoadFailure::Dns : LoadFailure::Connection);
     rec.total_time_s = rng.uniform_real(1.0, 10.0);
     rec.requests.push_back(std::move(doc));
     failures.inc();
@@ -139,6 +225,14 @@ PageLoadRecord Browser::load(const Website& site, net::NodeId client_node,
 
   rec.loaded = true;
   rec.total_time_s = options_.render_wait_s + rng.uniform_real(0.5, 4.0);
+  if (slow_load) {
+    // Injected slow load: the page finishes, but only after crawling up to
+    // the hard-timeout ceiling. Time drawn from the fault stream.
+    std::string key = rec.client_country + "/" + rec.site_domain;
+    rec.total_time_s += faults_->stream("browser.slow_time", key)
+                            .uniform_real(options_.render_wait_s,
+                                          options_.hard_timeout_s * 0.5);
+  }
   return rec;
 }
 

@@ -21,10 +21,27 @@
 
 #include "dns/resolver.h"
 #include "net/topology.h"
+#include "util/fault.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "web/website.h"
 
 namespace gam::web {
+
+/// The closed failure taxonomy for page loads. Every failed load carries
+/// exactly one of these; `failure_reason` on the record is always the
+/// matching name (never free text, never empty for a failed load).
+enum class LoadFailure {
+  None,        // the load succeeded
+  Timeout,     // render never finished inside the wait window
+  Connection,  // TCP-level failure / connection reset
+  Dns,         // the document host did not resolve
+  Hang,        // instance wedged until the hard timeout killed it
+};
+
+std::string_view load_failure_name(LoadFailure f);
+/// Inverse of load_failure_name; None for "" or unknown strings.
+LoadFailure load_failure_from_name(std::string_view name);
 
 struct BrowserOptions {
   std::string browser = "chrome";  // "chrome" | "firefox" | "brave"
@@ -52,9 +69,15 @@ struct PageLoadRecord {
   std::string url;
   std::string client_country;
   bool loaded = false;          // whether the page load succeeded at all
-  std::string failure_reason;   // "", "timeout", "connection", "dns", "hang"
+  LoadFailure failure = LoadFailure::None;
+  std::string failure_reason;   // load_failure_name(failure); "" iff loaded
   double total_time_s = 0.0;    // wall time incl. render wait
   std::vector<NetworkRequest> requests;
+
+  /// Mark this record failed with `f` (must not be None): sets the enum,
+  /// the canonical reason string, and clears `loaded`. The only sanctioned
+  /// way to record a failure — keeps the taxonomy closed.
+  void set_failure(LoadFailure f);
 
   /// Page-content requests only (background noise filtered), as the paper's
   /// cleaning step produces.
@@ -77,6 +100,11 @@ class Browser {
                       std::string_view client_country, double failure_rate,
                       util::Rng& rng) const;
 
+  /// Arm the fault plane for this browser: injected hangs/resets/slow loads
+  /// per site, plus DNS faults (retried under `retry`) per request.
+  /// `faults` may be null (disarmed). The pointer is borrowed.
+  void set_resilience(const util::FaultInjector* faults, util::RetryPolicy retry);
+
   const BrowserOptions& options() const { return options_; }
 
  private:
@@ -87,6 +115,8 @@ class Browser {
   const dns::Resolver& resolver_;
   const net::Topology& topology_;
   BrowserOptions options_;
+  const util::FaultInjector* faults_ = nullptr;
+  util::RetryPolicy retry_;
 };
 
 }  // namespace gam::web

@@ -1,0 +1,112 @@
+#include "worldgen/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/recorder.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace gam::worldgen {
+
+namespace {
+
+constexpr int kJournalVersion = 1;
+
+util::Json header_json(uint64_t seed, const util::FaultPlan& plan) {
+  util::Json h = util::Json::object();
+  h["checkpoint"] = "gamma-study";
+  h["version"] = kJournalVersion;
+  // Seeds exceed double's integer range in principle; store as string.
+  h["seed"] = std::to_string(seed);
+  h["plan"] = plan.to_json();
+  return h;
+}
+
+}  // namespace
+
+std::string StudyJournal::path_for(const std::string& dir, uint64_t seed) {
+  return dir + "/study-" + std::to_string(seed) + ".jsonl";
+}
+
+StudyJournal::StudyJournal(const std::string& dir, uint64_t seed,
+                           const util::FaultPlan& plan, bool resume) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open() reports
+  path_ = path_for(dir, seed);
+  const util::Json header = header_json(seed, plan);
+
+  if (resume) {
+    std::ifstream in(path_);
+    std::string line;
+    bool header_ok = false;
+    while (std::getline(in, line)) {
+      // A kill mid-write leaves a truncated trailing line; it (and anything
+      // that fails to parse) ends the usable prefix.
+      auto doc = util::Json::parse(line);
+      if (!doc) break;
+      if (!header_ok) {
+        if (!(*doc == header)) {
+          util::log_info("checkpoint",
+                         "stale journal (seed/plan mismatch), starting fresh: " + path_);
+          break;
+        }
+        header_ok = true;
+        continue;
+      }
+      const util::Json* ds = doc->find("dataset");
+      if (!ds) break;
+      auto dataset = core::dataset_from_json(*ds);
+      if (!dataset) break;
+      CheckpointRecord rec;
+      rec.country = doc->get_string("country");
+      rec.dataset = std::move(*dataset);
+      rec.atlas_repaired = static_cast<size_t>(doc->get_number("atlas_repaired"));
+      rec.degraded = doc->get_bool("degraded");
+      rec.degraded_reason = doc->get_string("degraded_reason");
+      if (rec.country.empty()) break;
+      completed_[rec.country] = std::move(rec);
+    }
+    if (!header_ok) completed_.clear();
+  }
+
+  // Rewrite the usable prefix (drops any truncated tail) and leave the file
+  // open-for-append semantics to append(): from here on the journal is
+  // header + every loaded record, each on its own flushed line.
+  std::ofstream out(path_, std::ios::trunc);
+  out << header.dump_exact() << "\n";
+  for (const auto& [code, rec] : completed_) {
+    util::Json j = util::Json::object();
+    j["country"] = rec.country;
+    j["atlas_repaired"] = rec.atlas_repaired;
+    j["degraded"] = rec.degraded;
+    j["degraded_reason"] = rec.degraded_reason;
+    j["dataset"] = core::dataset_to_json(rec.dataset);
+    // dump_exact: journal doubles must restore bit-identically, or resumed
+    // analysis could flip marginal SOL verdicts vs the uninterrupted run.
+    out << j.dump_exact() << "\n";
+  }
+  out.flush();
+}
+
+void StudyJournal::append(const CheckpointRecord& rec) {
+  static util::Counter& checkpointed =
+      util::MetricsRegistry::instance().counter("study.checkpointed_countries");
+  util::Json j = util::Json::object();
+  j["country"] = rec.country;
+  j["atlas_repaired"] = rec.atlas_repaired;
+  j["degraded"] = rec.degraded;
+  j["degraded_reason"] = rec.degraded_reason;
+  j["dataset"] = core::dataset_to_json(rec.dataset);
+  std::string line = j.dump_exact();
+  line += "\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ofstream out(path_, std::ios::app);
+    out << line;
+    out.flush();
+  }
+  checkpointed.inc();
+}
+
+}  // namespace gam::worldgen

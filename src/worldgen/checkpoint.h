@@ -1,0 +1,70 @@
+// Crash-safe study checkpointing (§3.3 writ large).
+//
+// A 23-country campaign is hours of wall clock against real networks; the
+// paper's sessions are resumable per volunteer, and the study driver must be
+// resumable per country. The journal is append-only JSONL: a header line
+// binding the file to one (seed, fault-plan) study, then one self-contained
+// record per completed country — its scrubbed + repaired dataset and the
+// repair/degradation bookkeeping. Each line is flushed as it is written, so
+// a study killed at any instant loses at most the in-flight countries; a
+// truncated trailing line (the kill landed mid-write) is detected and
+// dropped on load.
+//
+// Resume contract: analysis is recomputed from the journaled dataset with
+// the same Rng::substream(seed, "analyze-" + country) stream the original
+// run used, so a resumed study's output is byte-identical to an
+// uninterrupted one (JSON numbers round-trip exactly — see util/json.cpp).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/session.h"
+#include "util/fault.h"
+
+namespace gam::worldgen {
+
+/// One completed country, exactly as the study task finished it: the
+/// dataset is post-scrub and post-repair but pre-anonymization (anonymize
+/// runs once, on the merged result).
+struct CheckpointRecord {
+  std::string country;
+  core::VolunteerDataset dataset;
+  size_t atlas_repaired = 0;
+  bool degraded = false;          // the circuit breaker opened for this country
+  std::string degraded_reason;    // last task error ("" unless degraded)
+};
+
+class StudyJournal {
+ public:
+  /// `<dir>/study-<seed>.jsonl` — one journal per (directory, seed).
+  static std::string path_for(const std::string& dir, uint64_t seed);
+
+  /// Open the journal for a (dir, seed, plan) study, creating `dir` as
+  /// needed. With `resume`, every complete record from a previous run with
+  /// a matching header is loaded into completed(); a header mismatch
+  /// (different seed or plan — the records would not reproduce) discards
+  /// the stale file. Without `resume` the journal starts fresh.
+  StudyJournal(const std::string& dir, uint64_t seed, const util::FaultPlan& plan,
+               bool resume);
+
+  /// Countries already finished by a previous run, keyed by country code.
+  const std::map<std::string, CheckpointRecord>& completed() const {
+    return completed_;
+  }
+
+  /// Append one finished country and flush. Thread-safe: worker tasks call
+  /// this concurrently as countries complete. Counts
+  /// `study.checkpointed_countries`.
+  void append(const CheckpointRecord& rec);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::map<std::string, CheckpointRecord> completed_;
+  std::mutex mu_;
+};
+
+}  // namespace gam::worldgen

@@ -1,7 +1,11 @@
 #include "worldgen/study.h"
 
+#include <optional>
+#include <stdexcept>
+
 #include "core/parallel_runner.h"
 #include "core/recorder.h"
+#include "net/ip.h"
 #include "geoloc/pipeline.h"
 #include "probe/traceroute.h"
 #include "trackers/identify.h"
@@ -9,6 +13,7 @@
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "worldgen/checkpoint.h"
 
 namespace gam::worldgen {
 
@@ -19,6 +24,9 @@ struct CountryOutcome {
   core::VolunteerDataset dataset;
   analysis::CountryAnalysis analysis;
   size_t atlas_repaired = 0;
+  bool degraded = false;       // circuit breaker opened; metadata-only outcome
+  std::string degraded_reason;
+  bool resumed = false;        // restored from the checkpoint journal
 };
 
 }  // namespace
@@ -33,14 +41,40 @@ StudyResult run_study(World& world, const StudyOptions& options) {
   core::GammaEnv env = world.env();
   core::GammaConfig config = core::GammaConfig::study_defaults();
 
+  // Fault plane: disarmed (nullptr) unless the caller engaged a plan, in
+  // which case even an all-zero plan is armed — that is the retry-overhead
+  // benchmark configuration. The injector outlives every task via `env`.
+  util::FaultInjector injector;
+  if (options.fault_plan) {
+    injector = util::FaultInjector(*options.fault_plan, options.seed);
+    env.faults = &injector;
+  }
+
   // Shared, immutable analysis substrate. Everything here is read-only after
   // construction (the geolocation pipeline is pure, the topology's route
   // cache is internally locked), so one instance serves all worker threads.
   probe::TracerouteEngine engine(world.topology, *world.resolver);
   geoloc::MultiConstraintGeolocator geolocator(world.geodb, world.reference, world.atlas,
                                                engine);
+  geolocator.set_fault_injector(env.faults);
   trackers::TrackerIdentifier identifier;
   analysis::CountryAnalyzer analyzer(geolocator, identifier, world.universe);
+
+  // Crash-safe journal: each completed country is appended (flushed) as it
+  // finishes; with --resume, matching records from a killed run are reused.
+  std::optional<StudyJournal> journal;
+  if (!options.checkpoint_dir.empty()) {
+    journal.emplace(options.checkpoint_dir, options.seed,
+                    options.fault_plan.value_or(util::FaultPlan{}), options.resume);
+  }
+
+  // Analysis is recomputed even for resumed countries: it is pure and
+  // deterministic given (dataset, analyze substream), which keeps the
+  // journal small (datasets only) and the resumed output byte-identical.
+  auto analyze_outcome = [&](const std::string& code, CountryOutcome& out) {
+    util::Rng analyze_rng = util::Rng::substream(options.seed, "analyze-" + code);
+    out.analysis = analyzer.analyze(out.dataset, analyze_rng);
+  };
 
   // ---- Boxes 1+2, fanned out per country. ----
   // Each task is the full chain for one volunteer: session (C1 -> C2 -> C3),
@@ -48,48 +82,111 @@ StudyResult run_study(World& world, const StudyOptions& options) {
   // per-country analysis. Every random draw comes from a (seed, country)
   // substream, so any interleaving reproduces the serial run exactly.
   core::ParallelStudyRunner runner(options.jobs);
-  std::vector<CountryOutcome> outcomes =
-      runner.map(countries, [&](size_t, const std::string& code) {
-        static util::Counter& done =
-            util::MetricsRegistry::instance().counter("study.countries");
-        static util::Histogram& wall =
-            util::MetricsRegistry::instance().histogram("study.country_wall_ms");
-        util::ScopedTimer timer(wall);
-        done.inc();
-        CountryOutcome out;
-        const core::VolunteerProfile& profile = world.volunteer(code);
-        core::GammaSession session(
-            env, profile, world.targets.at(code), config,
-            util::Rng::substream(options.seed, "session-" + code).next());
-        session.run_all();
-        out.dataset = session.take_dataset();
+  auto stage = [&](size_t, const std::string& code, int attempt) {
+    static util::Counter& done =
+        util::MetricsRegistry::instance().counter("study.countries");
+    static util::Counter& resumed =
+        util::MetricsRegistry::instance().counter("study.resumed_countries");
+    static util::Histogram& wall =
+        util::MetricsRegistry::instance().histogram("study.country_wall_ms");
+    util::ScopedTimer timer(wall);
+    done.inc();
+    CountryOutcome out;
 
-        // §5 cleaning: drop the chromedriver background requests.
-        core::scrub_webdriver_noise(out.dataset);
-
-        // §4.1.1 repair: countries whose traceroutes were opted out or
-        // blocked get replacement traces from the nearest Atlas probe.
-        bool needs_repair =
-            profile.traceroute_opt_out || profile.traceroute_blocked_prob > 0.5;
-        if (needs_repair) {
-          util::Rng repair_rng = util::Rng::substream(options.seed, "repair-" + code);
-          probe::TracerouteOptions opts = config.traceroute;
-          out.atlas_repaired = core::augment_with_atlas_traceroutes(
-              out.dataset, env, world.atlas, opts, repair_rng);
-        }
-        util::log_info("study", "collected " + code);
-
-        util::Rng analyze_rng = util::Rng::substream(options.seed, "analyze-" + code);
-        out.analysis = analyzer.analyze(out.dataset, analyze_rng);
-        util::log_info("study", "analyzed " + code);
+    if (journal) {
+      if (auto it = journal->completed().find(code); it != journal->completed().end()) {
+        out.dataset = it->second.dataset;
+        out.atlas_repaired = it->second.atlas_repaired;
+        out.degraded = it->second.degraded;
+        out.degraded_reason = it->second.degraded_reason;
+        out.resumed = true;
+        resumed.inc();
+        analyze_outcome(code, out);
+        util::log_info("study", "resumed " + code + " from checkpoint");
         return out;
-      });
+      }
+    }
+
+    // Whole-run abort, keyed per attempt so the breaker's retry can clear a
+    // transient fault; a rate of 1.0 reliably opens the breaker.
+    if (env.faults &&
+        env.faults->roll("session.abort", code + "#" + std::to_string(attempt),
+                         env.faults->plan().session_abort)) {
+      throw std::runtime_error("injected session abort for " + code);
+    }
+
+    const core::VolunteerProfile& profile = world.volunteer(code);
+    core::GammaSession session(
+        env, profile, world.targets.at(code), config,
+        util::Rng::substream(options.seed, "session-" + code).next());
+    session.run_all();
+    out.dataset = session.take_dataset();
+
+    // §5 cleaning: drop the chromedriver background requests.
+    core::scrub_webdriver_noise(out.dataset);
+
+    // §4.1.1 repair: countries whose traceroutes were opted out or
+    // blocked get replacement traces from the nearest Atlas probe.
+    bool needs_repair =
+        profile.traceroute_opt_out || profile.traceroute_blocked_prob > 0.5;
+    if (needs_repair) {
+      util::Rng repair_rng = util::Rng::substream(options.seed, "repair-" + code);
+      probe::TracerouteOptions opts = config.traceroute;
+      out.atlas_repaired = core::augment_with_atlas_traceroutes(
+          out.dataset, env, world.atlas, opts, repair_rng);
+    }
+    util::log_info("study", "collected " + code);
+
+    analyze_outcome(code, out);
+    util::log_info("study", "analyzed " + code);
+    if (journal) {
+      journal->append({code, out.dataset, out.atlas_repaired, false, ""});
+    }
+    return out;
+  };
+
+  // Circuit-breaker fallback: the country's crawl kept failing, so ship a
+  // metadata-only dataset (zero sites, zero traces) through the same
+  // analysis path — partial coverage, deterministic, never a wedged worker.
+  auto fallback = [&](size_t, const std::string& code, const std::string& error) {
+    CountryOutcome out;
+    out.degraded = true;
+    out.degraded_reason = error;
+    out.dataset.country = code;
+    out.dataset.volunteer_id = "vol-" + code;
+    try {
+      const core::VolunteerProfile& profile = world.volunteer(code);
+      out.dataset.volunteer_id = profile.id;
+      out.dataset.disclosed_city = profile.city;
+      out.dataset.volunteer_ip = net::ip_to_string(profile.ip);
+      out.dataset.os = probe::os_kind_name(profile.os);
+    } catch (...) {
+      // Unknown country: keep the minimal dataset; analysis below may still
+      // fail, and then the outcome stays an empty shell for this country.
+    }
+    try {
+      analyze_outcome(code, out);
+    } catch (...) {
+      out.analysis = {};
+      out.analysis.country = code;
+    }
+    util::log_info("study", "degraded " + code + ": " + error);
+    if (journal) {
+      journal->append({code, out.dataset, 0, true, error});
+    }
+    return out;
+  };
+
+  std::vector<CountryOutcome> outcomes =
+      runner.map_with_breaker(countries, stage, fallback);
 
   // Deterministic merge: input country order, independent of scheduling.
   result.datasets.reserve(outcomes.size());
   result.analyses.reserve(outcomes.size());
   for (CountryOutcome& out : outcomes) {
     result.atlas_repaired_traces += out.atlas_repaired;
+    if (out.resumed) ++result.resumed_countries;
+    if (out.degraded) result.degraded_countries.push_back(out.dataset.country);
     result.datasets.push_back(std::move(out.dataset));
     result.analyses.push_back(std::move(out.analysis));
   }

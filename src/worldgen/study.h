@@ -9,10 +9,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/dataset.h"
+#include "util/fault.h"
 #include "worldgen/world.h"
 
 namespace gam::worldgen {
@@ -22,6 +24,12 @@ struct StudyResult {
   std::vector<analysis::CountryAnalysis> analyses;
   size_t targets_before_optout = 0;
   size_t atlas_repaired_traces = 0;
+  /// Countries whose circuit breaker opened: their crawl kept failing, so
+  /// the study carries a degraded (metadata-only) outcome for them instead
+  /// of wedging — the paper's partial-coverage mode.
+  std::vector<std::string> degraded_countries;
+  /// Countries restored from the checkpoint journal instead of re-measured.
+  size_t resumed_countries = 0;
 };
 
 struct StudyOptions {
@@ -37,6 +45,16 @@ struct StudyOptions {
   /// comes from util::Rng::substream(seed, country) streams and results are
   /// merged in input country order.
   size_t jobs = 1;
+  /// Arm the fault plane with this plan (seeded with `seed`). nullopt =
+  /// disarmed (the legacy code path, byte-identical output). An engaged
+  /// all-zero plan is armed but never fires — the retry-overhead benchmark.
+  std::optional<util::FaultPlan> fault_plan;
+  /// Journal each completed country to `<checkpoint_dir>/study-<seed>.jsonl`
+  /// ("" = no checkpointing). With `resume`, countries already journaled by
+  /// a matching previous run are restored instead of re-measured; output is
+  /// byte-identical to an uninterrupted run.
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 StudyResult run_study(World& world, const StudyOptions& options = {});

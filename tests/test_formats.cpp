@@ -178,5 +178,103 @@ TEST_P(NormalizeSweep, CrossOsAgreement) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NormalizeSweep, ::testing::Range(0, 20));
 
+// ---- Hardening: volunteer machines ship truncated and garbled text. The
+// checked normalizer must never deref a null and must say what went wrong
+// and where. ----
+
+TEST(NormalizeChecked, CleanTextParses) {
+  NormalizedTrace out =
+      normalize_traceroute_checked(format_linux(sample_result()), OsKind::Linux);
+  EXPECT_TRUE(out.ok());
+  EXPECT_TRUE(out.error.empty());
+  EXPECT_EQ(out.error_line, 0);
+  ASSERT_TRUE(out.doc.is_object());
+  EXPECT_EQ(out.doc.get_string("target"), "10.2.3.4");
+}
+
+TEST(NormalizeChecked, EmptyInputIsStructuredError) {
+  NormalizedTrace out = normalize_traceroute_checked("", OsKind::Linux);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, "empty traceroute output");
+  EXPECT_TRUE(out.doc.is_null());
+  // Whitespace-only counts as empty of content: no header, so no target.
+  NormalizedTrace blank = normalize_traceroute_checked("\n\n  \n", OsKind::Linux);
+  EXPECT_FALSE(blank.ok());
+}
+
+TEST(NormalizeChecked, MissingHeaderReported) {
+  // A killed tool can flush hop lines without the header ever appearing.
+  NormalizedTrace out = normalize_traceroute_checked(
+      " 1  gw (10.0.0.1)  1.0 ms\n", OsKind::Linux);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, "missing or malformed header (no target)");
+  EXPECT_TRUE(out.doc.is_null());
+}
+
+TEST(NormalizeChecked, TruncatedHopLineReportsLineNumber) {
+  // Simulate a mid-write kill: the last line stops inside the "(ip)" token.
+  std::string text =
+      "traceroute to 10.2.3.4 (10.2.3.4), 30 hops max, 60 byte packets\n"
+      " 1  gw (10.0.0.1)  1.0 ms  1.1 ms\n"
+      " 2  core.fra.net (10.0.0\n";
+  NormalizedTrace out = normalize_traceroute_checked(text, OsKind::Linux);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, "malformed hop line");
+  EXPECT_EQ(out.error_line, 3);
+  EXPECT_TRUE(out.doc.is_null());
+}
+
+TEST(NormalizeChecked, TruncationInsideTrailingRttsStillParses) {
+  // Losing only trailing RTT tokens is survivable — the hop keeps the
+  // measurements that made it to disk.
+  std::string text = format_linux(sample_result());
+  text.resize(text.size() - 8);  // chops into hop 3's last "43.100 ms"
+  NormalizedTrace out = normalize_traceroute_checked(text, OsKind::Linux);
+  EXPECT_TRUE(out.ok());
+  ASSERT_TRUE(out.doc.is_object());
+  EXPECT_EQ(out.doc.find("hops")->at(2).find("rtt_ms")->size(), 2u);
+}
+
+TEST(NormalizeChecked, GarbledRttRejectedNotSalvaged) {
+  std::string text =
+      "traceroute to 10.2.3.4 (10.2.3.4), 30 hops max, 60 byte packets\n"
+      " 1  gw (10.0.0.1)  4.x2 ms\n";
+  NormalizedTrace out = normalize_traceroute_checked(text, OsKind::Linux);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error_line, 2);
+}
+
+TEST(NormalizeChecked, GarbledWindowsRttRejected) {
+  std::string text =
+      "Tracing route to 10.2.3.4 over a maximum of 30 hops\n\n"
+      "  1    4x99 ms     4 ms     4 ms  10.0.0.1\n";
+  NormalizedTrace out = normalize_traceroute_checked(text, OsKind::Windows);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, "malformed hop line");
+}
+
+TEST(NormalizeChecked, NegativeAndInfiniteRttsRejected) {
+  std::string neg =
+      "traceroute to 10.2.3.4 (10.2.3.4), 30 hops max, 60 byte packets\n"
+      " 1  gw (10.0.0.1)  -3.0 ms\n";
+  EXPECT_FALSE(normalize_traceroute_checked(neg, OsKind::Linux).ok());
+  std::string inf =
+      "traceroute to 10.2.3.4 (10.2.3.4), 30 hops max, 60 byte packets\n"
+      " 1  gw (10.0.0.1)  1e999 ms\n";
+  EXPECT_FALSE(normalize_traceroute_checked(inf, OsKind::Linux).ok());
+}
+
+TEST(NormalizeChecked, UnterminatedParenIpRejected) {
+  std::string text =
+      "traceroute to 10.2.3.4 (10.2.3.4), 30 hops max, 60 byte packets\n"
+      " 1  gw (10.0.0.1\n";
+  EXPECT_FALSE(normalize_traceroute_checked(text, OsKind::Linux).ok());
+}
+
+TEST(NormalizeChecked, BackCompatWrapperReturnsNullDocOnFailure) {
+  util::Json doc = normalize_traceroute("complete garbage", OsKind::Linux);
+  EXPECT_TRUE(doc.is_null());
+}
+
 }  // namespace
 }  // namespace gam::probe

@@ -1,0 +1,269 @@
+// The resilience acceptance criteria, end to end: a faulty study is
+// deterministic across thread counts, an armed-but-zero plan changes
+// nothing, a hostile plan degrades coverage instead of crashing or hanging,
+// and checkpoint/resume reproduces an uninterrupted run byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/recorder.h"
+#include "util/fault.h"
+#include "web/browser.h"
+#include "util/metrics.h"
+#include "worldgen/checkpoint.h"
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+namespace gam {
+namespace {
+
+const worldgen::World& shared_world() {
+  static const std::unique_ptr<worldgen::World> world = worldgen::generate_world({});
+  return *world;
+}
+
+/// Byte-exact image of everything a study run ships: the full serialized
+/// datasets (the same JSON the CLI writes) plus analysis totals. Stronger
+/// than test_parallel_study's summary fingerprint — any drift in any stored
+/// field shows up here.
+std::string fingerprint(const worldgen::StudyResult& study) {
+  std::ostringstream os;
+  os << "targets=" << study.targets_before_optout
+     << " repaired=" << study.atlas_repaired_traces << " degraded=";
+  for (const auto& c : study.degraded_countries) os << c << ',';
+  os << '\n';
+  for (const auto& ds : study.datasets) {
+    os << core::dataset_to_json(ds).dump() << '\n';
+  }
+  for (const auto& a : study.analyses) {
+    const auto& f = a.funnel;
+    os << a.country << ' ' << a.unique_domains << ' ' << a.unique_ips << ' '
+       << a.traceroutes << ' ' << f.total << '/' << f.unknown_ip << '/' << f.local << '/'
+       << f.nonlocal_candidates << '/' << f.after_sol_constraints << '/' << f.after_rdns
+       << '/' << f.dest_traceroutes << '\n';
+    for (const auto& site : a.sites) {
+      os << "  " << site.site_domain << ' ' << site.loaded << ' ' << site.total_domains
+         << ' ' << site.nonlocal_domains << " hits=" << site.trackers.size() << '\n';
+    }
+  }
+  return os.str();
+}
+
+util::FaultPlan hostile_plan() {
+  util::FaultPlan plan;
+  plan.dns_timeout = 0.10;
+  plan.dns_servfail = 0.05;
+  plan.trace_timeout = 0.20;
+  plan.trace_hop_loss = 0.10;
+  plan.browser_hang = 0.05;
+  plan.browser_reset = 0.05;
+  plan.browser_slow = 0.10;
+  plan.atlas_unavailable = 0.20;
+  return plan;
+}
+
+worldgen::StudyResult run(worldgen::StudyOptions options) {
+  return worldgen::run_study(const_cast<worldgen::World&>(shared_world()), options);
+}
+
+worldgen::StudyOptions subset_options(std::vector<std::string> countries) {
+  worldgen::StudyOptions options;
+  options.seed = 21;
+  options.countries = std::move(countries);
+  return options;
+}
+
+const std::vector<std::string>& subset() {
+  // Includes the operationally interesting volunteers: Egypt (traceroute
+  // opt-out), Australia (blocked traceroutes -> Atlas repair), Japan
+  // (flaky loads), plus two plain countries.
+  static const std::vector<std::string> kSubset = {"EG", "AU", "JP", "CA", "GB"};
+  return kSubset;
+}
+
+TEST(Resilience, FaultyStudyIdenticalAcrossJobCounts) {
+  worldgen::StudyOptions options = subset_options(subset());
+  options.fault_plan = hostile_plan();
+  options.jobs = 1;
+  std::string serial = fingerprint(run(options));
+  options.jobs = 4;
+  std::string parallel = fingerprint(run(options));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Resilience, ArmedZeroPlanMatchesDisarmedByteForByte) {
+  worldgen::StudyOptions options = subset_options({"EG", "JP"});
+  std::string disarmed = fingerprint(run(options));
+  options.fault_plan = util::FaultPlan{};  // engaged but all-zero: armed path
+  std::string armed = fingerprint(run(options));
+  EXPECT_EQ(disarmed, armed);
+}
+
+TEST(Resilience, HostilePlanFullStudyCompletesWithLossAccounted) {
+  util::MetricsRegistry::instance().counter("fault.injected").reset();
+  worldgen::StudyOptions options;  // all 23 countries
+  options.seed = 9;
+  options.jobs = 4;
+  options.fault_plan = hostile_plan();
+  worldgen::StudyResult study = run(options);
+  EXPECT_EQ(study.datasets.size(), 23u);
+  EXPECT_EQ(study.analyses.size(), 23u);
+  // The plan actually fired, and the loss is visible in the metrics layer.
+  EXPECT_GT(util::MetricsRegistry::instance().counter("fault.injected").value(), 0u);
+  // Partial coverage, not collapse: pages still load, classification still
+  // confirms non-local servers somewhere.
+  size_t loaded = 0, confirmed = 0;
+  for (const auto& ds : study.datasets) loaded += ds.loaded_sites();
+  for (const auto& a : study.analyses) confirmed += a.funnel.after_rdns;
+  EXPECT_GT(loaded, 0u);
+  EXPECT_GT(confirmed, 0u);
+}
+
+TEST(Resilience, AtlasOutageSkipsDestConstraintInsteadOfDiscarding) {
+  worldgen::StudyOptions options = subset_options({"CA", "GB"});
+  std::string baseline = fingerprint(run(options));
+
+  util::FaultPlan plan;
+  plan.atlas_unavailable = 1.0;
+  options.fault_plan = plan;
+  worldgen::StudyResult study = run(options);
+  size_t dest_traces = 0, confirmed = 0;
+  for (const auto& a : study.analyses) {
+    dest_traces += a.funnel.dest_traceroutes;
+    confirmed += a.funnel.after_rdns;
+  }
+  // No destination probe ever ran, yet the pipeline degraded gracefully and
+  // still confirmed servers on the surviving constraints.
+  EXPECT_EQ(dest_traces, 0u);
+  EXPECT_GT(confirmed, 0u);
+  EXPECT_GT(util::MetricsRegistry::instance().counter("geoloc.degraded").value(), 0u);
+  EXPECT_NE(fingerprint(study), baseline);
+}
+
+TEST(Resilience, SessionAbortOpensBreakerAndDegradesCountry) {
+  worldgen::StudyOptions options = subset_options({"CA", "GB", "JP"});
+  util::FaultPlan plan;
+  plan.session_abort = 1.0;  // every attempt aborts -> breaker opens everywhere
+  options.fault_plan = plan;
+  worldgen::StudyResult study = run(options);
+  ASSERT_EQ(study.datasets.size(), 3u);
+  EXPECT_EQ(study.degraded_countries, options.countries);
+  for (const auto& ds : study.datasets) {
+    EXPECT_EQ(ds.sites.size(), 0u);   // metadata-only shell
+    EXPECT_FALSE(ds.country.empty());
+  }
+  EXPECT_GT(util::MetricsRegistry::instance().counter("breaker.open").value(), 0u);
+}
+
+class CheckpointDir {
+ public:
+  explicit CheckpointDir(const std::string& name)
+      : path_(::testing::TempDir() + "gamma-" + name + "-" +
+              std::to_string(::getpid())) {}
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Resilience, ResumeAfterPartialRunMatchesUninterrupted) {
+  worldgen::StudyOptions options = subset_options(subset());
+  options.fault_plan = hostile_plan();
+  options.jobs = 2;
+  std::string uninterrupted = fingerprint(run(options));
+
+  // "Kill" the study after two countries: run only a prefix with the journal
+  // enabled, then run the full list with --resume against the same journal.
+  CheckpointDir dir("resume");
+  worldgen::StudyOptions partial = options;
+  partial.countries = {subset()[0], subset()[1]};
+  partial.checkpoint_dir = dir.path();
+  run(partial);
+
+  worldgen::StudyOptions resumed_options = options;
+  resumed_options.checkpoint_dir = dir.path();
+  resumed_options.resume = true;
+  worldgen::StudyResult resumed = run(resumed_options);
+  EXPECT_EQ(resumed.resumed_countries, 2u);
+  EXPECT_EQ(fingerprint(resumed), uninterrupted);
+}
+
+TEST(Resilience, ResumeToleratesTruncatedTrailingLine) {
+  worldgen::StudyOptions options = subset_options({"EG", "AU", "JP"});
+  std::string uninterrupted = fingerprint(run(options));
+
+  CheckpointDir dir("truncated");
+  worldgen::StudyOptions partial = options;
+  partial.countries = {"EG"};
+  partial.checkpoint_dir = dir.path();
+  run(partial);
+
+  // A kill mid-write leaves half a record; resume must drop it and re-run
+  // that country instead of crashing or importing garbage.
+  std::string journal = worldgen::StudyJournal::path_for(dir.path(), options.seed);
+  {
+    std::ofstream out(journal, std::ios::app);
+    out << R"({"country":"AU","atlas_repaired":3,"dataset":{"volunteer_)";
+  }
+  worldgen::StudyOptions resumed_options = options;
+  resumed_options.checkpoint_dir = dir.path();
+  resumed_options.resume = true;
+  worldgen::StudyResult resumed = run(resumed_options);
+  EXPECT_EQ(resumed.resumed_countries, 1u);
+  EXPECT_EQ(fingerprint(resumed), uninterrupted);
+}
+
+TEST(Resilience, StaleJournalSeedMismatchIsDiscarded) {
+  CheckpointDir dir("stale");
+  worldgen::StudyOptions partial = subset_options({"EG"});
+  partial.checkpoint_dir = dir.path();
+  run(partial);
+
+  worldgen::StudyOptions other = subset_options({"EG", "AU"});
+  other.seed = 1234;  // journal was written by seed 21
+  other.checkpoint_dir = dir.path();
+  other.resume = true;
+  worldgen::StudyResult resumed = run(other);
+  EXPECT_EQ(resumed.resumed_countries, 0u);
+
+  worldgen::StudyOptions clean = subset_options({"EG", "AU"});
+  clean.seed = 1234;
+  EXPECT_EQ(fingerprint(resumed), fingerprint(run(clean)));
+}
+
+TEST(Resilience, BrowserFailuresAlwaysCarryClosedEnumReason) {
+  // Japan's volunteer models the paper's flakiest loads; every failed page
+  // must land in the closed taxonomy with a non-empty reason.
+  worldgen::StudyOptions options = subset_options({"JP", "SA"});
+  options.fault_plan = hostile_plan();
+  worldgen::StudyResult study = run(options);
+  size_t failures = 0;
+  for (const auto& ds : study.datasets) {
+    for (const auto& site : ds.sites) {
+      if (site.page.loaded) {
+        EXPECT_TRUE(site.page.failure_reason.empty());
+        continue;
+      }
+      ++failures;
+      EXPECT_FALSE(site.page.failure_reason.empty());
+      EXPECT_TRUE(site.page.failure_reason == "timeout" ||
+                  site.page.failure_reason == "connection" ||
+                  site.page.failure_reason == "dns" ||
+                  site.page.failure_reason == "hang")
+          << site.page.failure_reason;
+      EXPECT_EQ(site.page.failure_reason,
+                std::string(web::load_failure_name(site.page.failure)));
+    }
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+}  // namespace
+}  // namespace gam

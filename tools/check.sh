@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 gate for Gamma: configure, build, run the full test suite, then
-# rebuild the concurrency-sensitive targets under ThreadSanitizer and run
-# the suites that exercise shared state (thread pool, parallel study runner,
-# metrics registry).
+# Tier-1 gate for Gamma: configure, build, run the full test suite, then a
+# kill-mid-study --resume smoke test against the CLI, then rebuild under the
+# sanitizers and run the suites each one is best at catching:
+#   tsan  -> shared-state suites (thread pool, parallel study runner, metrics)
+#   asan  -> fault-plane + parser suites (heap misuse in degraded paths)
+#   ubsan -> the same suites (UB in backoff arithmetic, hop parsing)
 #
-# Usage: tools/check.sh [--skip-tsan]
+# Usage: tools/check.sh [--skip-san]
+#   --skip-san   run only the plain build + ctest + resume smoke
+#   --skip-tsan  (historical alias for --skip-san)
 #
 # Exits non-zero on the first failure. Build trees:
-#   build/       plain tier-1 build (reused if already configured)
-#   build-tsan/  GAMMA_SANITIZE=thread build (concurrency suites only)
+#   build/        plain tier-1 build (reused if already configured)
+#   build-tsan/   GAMMA_SANITIZE=thread    (concurrency suites)
+#   build-asan/   GAMMA_SANITIZE=address   (resilience suites)
+#   build-ubsan/  GAMMA_SANITIZE=undefined (resilience suites)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
-SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+SKIP_SAN=0
+[[ "${1:-}" == "--skip-san" || "${1:-}" == "--skip-tsan" ]] && SKIP_SAN=1
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -23,8 +29,38 @@ cmake --build build -j"$JOBS"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-if [[ "$SKIP_TSAN" == "1" ]]; then
-  echo "== tsan: skipped (--skip-tsan) =="
+echo "== resume smoke: kill mid-study, then --resume =="
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+cat > "$SMOKE/plan.json" <<'EOF'
+{
+  "dns": {"timeout": 0.1},
+  "traceroute": {"timeout": 0.2, "hop_loss": 0.1},
+  "browser": {"slow": 0.1},
+  "atlas": {"unavailable": 0.2}
+}
+EOF
+GAMMA=build/tools/gamma
+mkdir -p "$SMOKE/uninterrupted" "$SMOKE/resumed"
+"$GAMMA" study --seed 33 --jobs 1 --fault-plan "$SMOKE/plan.json" \
+  --out "$SMOKE/uninterrupted" >/dev/null
+# SIGKILL the same study partway through (no destructors, no flush beyond the
+# journal's own per-record flush) ...
+timeout -s KILL 1 "$GAMMA" study --seed 33 --jobs 1 \
+  --fault-plan "$SMOKE/plan.json" --checkpoint "$SMOKE/ckpt" >/dev/null || true
+JOURNALED=0
+if [[ -f "$SMOKE/ckpt/study-33.jsonl" ]]; then
+  JOURNALED="$(wc -l < "$SMOKE/ckpt/study-33.jsonl")"
+fi
+echo "   killed after ~1s; journal holds $JOURNALED lines (incl. header)"
+# ... then --resume must reproduce the uninterrupted output byte-for-byte.
+"$GAMMA" study --seed 33 --jobs 1 --fault-plan "$SMOKE/plan.json" \
+  --checkpoint "$SMOKE/ckpt" --resume --out "$SMOKE/resumed" | sed 's/^/   /'
+diff -r "$SMOKE/uninterrupted" "$SMOKE/resumed"
+echo "   resumed output identical to uninterrupted run"
+
+if [[ "$SKIP_SAN" == "1" ]]; then
+  echo "== sanitizers: skipped (--skip-san) =="
   exit 0
 fi
 
@@ -32,10 +68,23 @@ echo "== tsan: configure + build concurrency suites =="
 cmake -B build-tsan -S . -DGAMMA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" \
   --target test_thread_pool test_parallel_study test_metrics
-
 echo "== tsan: run concurrency suites =="
 for t in test_thread_pool test_parallel_study test_metrics; do
   "./build-tsan/tests/$t"
+done
+
+RESILIENCE_SUITES=(test_fault test_formats test_resilience)
+for san in address undefined; do
+  tree="build-asan"
+  [[ "$san" == "undefined" ]] && tree="build-ubsan"
+  echo "== ${san}: configure + build resilience suites =="
+  cmake -B "$tree" -S . -DGAMMA_SANITIZE="$san" >/dev/null
+  cmake --build "$tree" -j"$JOBS" --target "${RESILIENCE_SUITES[@]}"
+  echo "== ${san}: run resilience suites =="
+  for t in "${RESILIENCE_SUITES[@]}"; do
+    # UBSan recovers by default; halt_on_error turns any report into a failure.
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" "./$tree/tests/$t"
+  done
 done
 
 echo "== check.sh: all green =="

@@ -25,6 +25,7 @@
 #include "analysis/prevalence.h"
 #include "analysis/study.h"
 #include "core/recorder.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "web/har.h"
@@ -41,6 +42,9 @@ struct Args {
   std::string site;
   std::string out;
   std::string metrics_out;
+  std::string fault_plan;   // JSON file; arms the fault plane
+  std::string checkpoint;   // journal directory; "" = no checkpointing
+  bool resume = false;
   uint64_t seed = 7;
   size_t jobs = 1;
 };
@@ -49,9 +53,19 @@ void usage() {
   std::fprintf(stderr,
                "usage: gamma <command> [options]\n"
                "  run    --country CC [--out DIR] [--seed N]   one volunteer session\n"
-               "  study  [--country CC ...] [--out DIR] [--seed N] [--jobs N]   the full study\n"
+               "  study  [--country CC ...] [--out DIR] [--seed N] [--jobs N]\n"
+               "         [--fault-plan FILE] [--checkpoint DIR] [--resume]   the full study\n"
                "  har    --site DOMAIN --country CC [--out FILE]     HAR export\n"
                "  audit                                              IPmap error audit\n"
+               "study resilience options:\n"
+               "  --fault-plan FILE    arm the deterministic fault plane with the JSON\n"
+               "                       plan in FILE (see DESIGN.md); the study degrades\n"
+               "                       to partial coverage instead of failing\n"
+               "  --checkpoint DIR     journal each completed country to\n"
+               "                       DIR/study-<seed>.jsonl as it finishes\n"
+               "  --resume             reuse countries journaled by a killed run with\n"
+               "                       the same seed/plan; output is byte-identical to\n"
+               "                       an uninterrupted run\n"
                "common options:\n"
                "  --metrics-out FILE   after the command, dump pipeline metrics as\n"
                "                       JSON to FILE and Prometheus text to FILE.prom\n");
@@ -87,6 +101,16 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.jobs = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--fault-plan") {
+      const char* v = next();
+      if (!v) return false;
+      args.fault_plan = v;
+    } else if (flag == "--checkpoint") {
+      const char* v = next();
+      if (!v) return false;
+      args.checkpoint = v;
+    } else if (flag == "--resume") {
+      args.resume = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -168,12 +192,38 @@ int cmd_study(const Args& args) {
   options.countries = args.countries;
   options.seed = args.seed;
   options.jobs = args.jobs;
+  if (!args.fault_plan.empty()) {
+    auto plan = util::FaultPlan::load_file(args.fault_plan);
+    if (!plan) {
+      std::fprintf(stderr, "study: cannot load fault plan %s (bad JSON, unknown key,\n"
+                           "or probability outside [0,1])\n", args.fault_plan.c_str());
+      return 1;
+    }
+    options.fault_plan = *plan;
+  }
+  options.checkpoint_dir = args.checkpoint;
+  options.resume = args.resume;
+  if (args.resume && args.checkpoint.empty()) {
+    std::fprintf(stderr, "study: --resume requires --checkpoint DIR\n");
+    return 1;
+  }
   worldgen::StudyResult study = worldgen::run_study(*world, options);
 
   analysis::PrevalenceReport prev = analysis::compute_prevalence(study.analyses);
   analysis::FlowsReport flows = analysis::compute_flows(study.analyses);
   std::printf("%zu countries measured; %zu sites with non-local trackers\n",
               study.analyses.size(), flows.sites_with_nonlocal);
+  if (study.resumed_countries > 0) {
+    std::printf("resumed %zu countries from checkpoint\n", study.resumed_countries);
+  }
+  if (!study.degraded_countries.empty()) {
+    std::string list;
+    for (const auto& c : study.degraded_countries) {
+      if (!list.empty()) list += " ";
+      list += c;
+    }
+    std::printf("degraded (partial coverage): %s\n", list.c_str());
+  }
   std::printf("prevalence: reg %.1f%% gov %.1f%% (pearson %.2f)\n", prev.mean_reg,
               prev.mean_gov, prev.pearson_reg_gov);
   auto ranked = flows.ranked_destinations();
