@@ -1,0 +1,113 @@
+// GammaStore benchmark: once the study is serialized to a .gmst file, how
+// much faster is answering a paper question from the mapped store than from
+// a full study re-run?
+//
+// Times four things:
+//   1. the full study (the JSON path's only way to get numbers) — baseline,
+//   2. store::Writer serializing that study,
+//   3. store::Reader::open (mmap + full validation),
+//   4. repeated aggregate queries over the mapped columns (group-by, flows,
+//      and the Figure 3 prevalence report).
+//
+// The headline is the per-aggregate speedup vs re-running the study; the
+// ISSUE 4 acceptance bar is >= 100x, printed explicitly on the last line.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "analysis/report_json.h"
+#include "common.h"
+#include "store/query.h"
+#include "store/reader.h"
+#include "store/reports.h"
+#include "store/writer.h"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gam;
+  std::string path = "bench_store.gmst";
+
+  // 1. Baseline: the full study. This is what every figure/table bench pays
+  // today, and what a store query replaces.
+  auto t0 = std::chrono::steady_clock::now();
+  bench::Study study = bench::run_full_study();
+  double study_ms = ms_since(t0);
+
+  // 2. Serialize it.
+  t0 = std::chrono::steady_clock::now();
+  store::WriteResult written = store::Writer().write(path, study.result.analyses);
+  double write_ms = ms_since(t0);
+  if (!written.ok()) {
+    std::fprintf(stderr, "store write failed: %s\n", written.error.to_string().c_str());
+    return 1;
+  }
+
+  // 3. Map + validate (magic, version, footer, every block CRC).
+  t0 = std::chrono::steady_clock::now();
+  store::Error error;
+  std::unique_ptr<store::Reader> reader = store::Reader::open(path, &error);
+  double open_ms = ms_since(t0);
+  if (!reader) {
+    std::fprintf(stderr, "store open failed: %s\n", error.to_string().c_str());
+    return 1;
+  }
+
+  // 4. Aggregates over the mapped columns, repeated so per-query time is
+  // measured past any cold-cache noise.
+  constexpr int kIters = 50;
+  store::Query query(*reader);
+
+  store::QuerySpec group;
+  group.table = store::TableId::Hits;
+  group.group_by = "org";
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    if (!query.run(group)) return 1;
+  }
+  double group_us = 1000.0 * ms_since(t0) / kIters;
+
+  store::QuerySpec flows;
+  flows.table = store::TableId::Hits;
+  flows.flows = true;
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    if (!query.run(flows)) return 1;
+  }
+  double flows_us = 1000.0 * ms_since(t0) / kIters;
+
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    analysis::PrevalenceReport prev = store::prevalence_report(*reader);
+    (void)prev;
+  }
+  double prev_us = 1000.0 * ms_since(t0) / kIters;
+
+  double worst_us = group_us > flows_us ? group_us : flows_us;
+  if (prev_us > worst_us) worst_us = prev_us;
+  double speedup = (study_ms * 1000.0) / worst_us;
+
+  bench::print_header("store", "mapped GMST aggregates vs full study re-run");
+  std::printf("%-34s %12.1f ms\n", "full study (baseline)", study_ms);
+  std::printf("%-34s %12.1f ms   (%zu bytes, %zu blocks)\n", "store write", write_ms,
+              written.bytes_written, written.blocks);
+  std::printf("%-34s %12.2f ms   (%zu countries, %zu sites, %zu hits)\n",
+              "reader open (mmap + CRC validate)", open_ms, reader->num_countries(),
+              reader->num_sites(), reader->num_hits());
+  std::printf("%-34s %12.1f us/query\n", "group-by org (hits)", group_us);
+  std::printf("%-34s %12.1f us/query\n", "flow matrix (hits)", flows_us);
+  std::printf("%-34s %12.1f us/query\n", "prevalence report (Fig 3)", prev_us);
+  std::printf("\nslowest aggregate vs study re-run: %.0fx speedup (target >= 100x: %s)\n",
+              speedup, speedup >= 100.0 ? "PASS" : "FAIL");
+  std::remove(path.c_str());
+  return speedup >= 100.0 ? 0 : 1;
+}

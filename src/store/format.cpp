@@ -1,0 +1,32 @@
+#include "store/format.h"
+
+namespace gam::store {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::None: return "ok";
+    case ErrorCode::Io: return "io";
+    case ErrorCode::TooSmall: return "too_small";
+    case ErrorCode::BadMagic: return "bad_magic";
+    case ErrorCode::BadVersion: return "bad_version";
+    case ErrorCode::BadTrailer: return "bad_trailer";
+    case ErrorCode::BadFooter: return "bad_footer";
+    case ErrorCode::CrcMismatch: return "crc_mismatch";
+    case ErrorCode::BadBlock: return "bad_block";
+    case ErrorCode::MissingBlock: return "missing_block";
+    case ErrorCode::Malformed: return "malformed";
+    case ErrorCode::BadQuery: return "bad_query";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string s = error_code_name(code);
+  if (!detail.empty()) {
+    s += ": ";
+    s += detail;
+  }
+  return s;
+}
+
+}  // namespace gam::store

@@ -1,0 +1,112 @@
+// GMST — the Gamma study store: a binary columnar on-disk format for the
+// analysis substrate (countries / sites / tracker hits), designed so the
+// expensive measurement pipeline runs once and every §6 analysis becomes a
+// cheap scan over mapped columns. DESIGN.md §9 is the normative spec; this
+// header is the single source of truth for the constants.
+//
+// File layout (all integers little-endian):
+//
+//   [header: "GMST" magic, u32 version, 8 reserved zero bytes]    16 bytes
+//   [block 0][pad][block 1][pad]...        each block 8-byte aligned
+//   [footer: u32 block_count, then per block:
+//            u16 name_len + name bytes, u64 offset, u64 length,
+//            u64 rows, u32 crc32]
+//   [trailer: u64 footer_offset, u32 footer_crc32, "TSMG"]        16 bytes
+//
+// Blocks are per-column byte ranges. Column encodings:
+//   - fixed-width numerics: raw u8 / u32 / u64 arrays (length = rows*width);
+//   - dictionary-encoded strings: u32 ids into one shared, sorted string
+//     pool (`dict.offsets` prefix offsets + `dict.bytes` concatenated UTF-8);
+//   - varint offsets: rows+1 monotone offsets, LEB128 delta-encoded — the
+//     parent->child row ranges (country->sites, site->hits, country->dest
+//     probe countries).
+//
+// Every block (including the footer, via the trailer CRC) carries a CRC32;
+// the reader validates magic, version, trailer, footer and all block CRCs
+// before handing out a single view, so a truncated or bit-flipped file is a
+// structured error, never UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gam::store {
+
+inline constexpr char kMagic[4] = {'G', 'M', 'S', 'T'};
+inline constexpr char kEndMagic[4] = {'T', 'S', 'M', 'G'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kHeaderSize = 16;
+inline constexpr size_t kTrailerSize = 16;
+inline constexpr size_t kBlockAlign = 8;
+
+/// Why the reader refused a file (or the writer failed). `None` means OK.
+enum class ErrorCode {
+  None,
+  Io,           // open/stat/map/write failed
+  TooSmall,     // shorter than header + trailer
+  BadMagic,     // leading magic mismatch — not a GMST file
+  BadVersion,   // version we do not speak
+  BadTrailer,   // end magic mismatch or footer offset outside the file
+  BadFooter,    // footer CRC mismatch or unparsable block table
+  CrcMismatch,  // a block's stored CRC does not match its bytes
+  BadBlock,     // block range/size/alignment inconsistent with its schema
+  MissingBlock, // a column the schema requires is absent
+  Malformed,    // decoded content violates invariants (offsets, dict ids)
+  BadQuery,     // query referenced an unknown table/column (not a file fault)
+};
+
+const char* error_code_name(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::None;
+  std::string detail;
+
+  bool ok() const { return code == ErrorCode::None; }
+  /// "crc_mismatch: block countries.code" — stable, grep-able.
+  std::string to_string() const;
+};
+
+// Block (column) names. The footer's column index maps these to byte
+// ranges; the reader requires every one of them and ignores unknown extras
+// (forward compatibility within a version).
+namespace blocks {
+inline constexpr const char* kMetaJson = "meta.json";
+inline constexpr const char* kDictOffsets = "dict.offsets";
+inline constexpr const char* kDictBytes = "dict.bytes";
+
+inline constexpr const char* kCountryCode = "countries.code";
+inline constexpr const char* kCountryUniqueDomains = "countries.unique_domains";
+inline constexpr const char* kCountryUniqueIps = "countries.unique_ips";
+inline constexpr const char* kCountryTraceroutes = "countries.traceroutes";
+inline constexpr const char* kCountryFunnelTotal = "countries.funnel_total";
+inline constexpr const char* kCountryFunnelUnknownIp = "countries.funnel_unknown_ip";
+inline constexpr const char* kCountryFunnelLocal = "countries.funnel_local";
+inline constexpr const char* kCountryFunnelNonlocal = "countries.funnel_nonlocal";
+inline constexpr const char* kCountryFunnelAfterSol = "countries.funnel_after_sol";
+inline constexpr const char* kCountryFunnelAfterRdns = "countries.funnel_after_rdns";
+inline constexpr const char* kCountryFunnelDestTraces = "countries.funnel_dest_traces";
+inline constexpr const char* kCountrySiteOffsets = "countries.site_offsets";
+inline constexpr const char* kCountryDestProbeOffsets = "countries.dest_probe_offsets";
+inline constexpr const char* kCountryDestProbeValues = "countries.dest_probe_values";
+
+inline constexpr const char* kSiteCountry = "sites.country";
+inline constexpr const char* kSiteDomain = "sites.domain";
+inline constexpr const char* kSiteKind = "sites.kind";
+inline constexpr const char* kSiteLoaded = "sites.loaded";
+inline constexpr const char* kSiteTotalDomains = "sites.total_domains";
+inline constexpr const char* kSiteNonlocalDomains = "sites.nonlocal_domains";
+inline constexpr const char* kSiteHitOffsets = "sites.hit_offsets";
+
+inline constexpr const char* kHitSite = "hits.site";
+inline constexpr const char* kHitDomain = "hits.domain";
+inline constexpr const char* kHitRegDomain = "hits.reg_domain";
+inline constexpr const char* kHitIp = "hits.ip";
+inline constexpr const char* kHitDestCountry = "hits.dest_country";
+inline constexpr const char* kHitDestCity = "hits.dest_city";
+inline constexpr const char* kHitOrg = "hits.org";
+inline constexpr const char* kHitMethod = "hits.method";
+inline constexpr const char* kHitFirstParty = "hits.first_party";
+}  // namespace blocks
+
+}  // namespace gam::store

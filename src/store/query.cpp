@@ -1,0 +1,363 @@
+#include "store/query.h"
+
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "net/ip.h"
+#include "trackers/identify.h"
+#include "util/metrics.h"
+
+namespace gam::store {
+
+namespace {
+
+using Matcher = std::function<bool(size_t)>;
+
+/// One queryable column: projection value, grouping key, and a predicate
+/// compiler. `pred` may be empty (projection-only columns).
+struct Col {
+  std::string name;
+  std::function<util::Json(size_t)> get;
+  std::function<std::string(size_t)> key;
+  std::function<Matcher(const std::string&)> pred;
+};
+
+Matcher never() {
+  return [](size_t) { return false; };
+}
+
+/// Dictionary column: the predicate resolves the value to a pool id once
+/// and compares ids per row; an absent string can never match.
+Col dict_col(const Reader& r, std::string name, std::function<uint32_t(size_t)> id_of) {
+  Col c;
+  c.name = std::move(name);
+  c.get = [&r, id_of](size_t i) { return util::Json(std::string(r.dict_at(id_of(i)))); };
+  c.key = [&r, id_of](size_t i) { return std::string(r.dict_at(id_of(i))); };
+  c.pred = [&r, id_of](const std::string& v) -> Matcher {
+    auto id = r.dict_find(v);
+    if (!id) return never();
+    uint32_t want = *id;
+    return [id_of, want](size_t i) { return id_of(i) == want; };
+  };
+  return c;
+}
+
+Col u64_col(std::string name, std::function<uint64_t(size_t)> value) {
+  Col c;
+  c.name = std::move(name);
+  c.get = [value](size_t i) { return util::Json(static_cast<size_t>(value(i))); };
+  c.key = [value](size_t i) { return std::to_string(value(i)); };
+  c.pred = [value](const std::string& v) -> Matcher {
+    char* end = nullptr;
+    uint64_t want = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0') return never();
+    return [value, want](size_t i) { return value(i) == want; };
+  };
+  return c;
+}
+
+Col bool_col(std::string name, std::function<bool(size_t)> value) {
+  Col c;
+  c.name = std::move(name);
+  c.get = [value](size_t i) { return util::Json(value(i)); };
+  c.key = [value](size_t i) { return value(i) ? std::string("true") : std::string("false"); };
+  c.pred = [value](const std::string& v) -> Matcher {
+    if (v == "true" || v == "1") return [value](size_t i) { return value(i); };
+    if (v == "false" || v == "0") return [value](size_t i) { return !value(i); };
+    return never();
+  };
+  return c;
+}
+
+/// Small closed enum rendered as a string (site kind, id method).
+Col enum_col(std::string name, std::function<uint8_t(size_t)> code,
+             std::function<std::string(uint8_t)> label, uint8_t max_code) {
+  Col c;
+  c.name = std::move(name);
+  c.get = [code, label](size_t i) { return util::Json(label(code(i))); };
+  c.key = [code, label](size_t i) { return label(code(i)); };
+  c.pred = [code, label, max_code](const std::string& v) -> Matcher {
+    for (uint8_t k = 0; k <= max_code; ++k) {
+      if (label(k) == v) {
+        return [code, k](size_t i) { return code(i) == k; };
+      }
+    }
+    return never();
+  };
+  return c;
+}
+
+std::string kind_label(uint8_t k) { return k == 1 ? "government" : "regional"; }
+
+std::string method_label(uint8_t m) {
+  return trackers::id_method_name(static_cast<trackers::IdMethod>(m));
+}
+
+std::vector<Col> make_columns(const Reader& r, TableId table) {
+  std::vector<Col> cols;
+  const auto& C = r.countries();
+  const auto& S = r.sites();
+  const auto& H = r.hits();
+  switch (table) {
+    case TableId::Countries: {
+      cols.push_back(dict_col(r, "code", [&C](size_t i) { return C.code.id_at(i); }));
+      cols.push_back(u64_col("unique_domains",
+                             [&C](size_t i) { return C.unique_domains.at(i); }));
+      cols.push_back(u64_col("unique_ips", [&C](size_t i) { return C.unique_ips.at(i); }));
+      cols.push_back(u64_col("traceroutes",
+                             [&C](size_t i) { return C.traceroutes.at(i); }));
+      cols.push_back(u64_col("funnel_total",
+                             [&C](size_t i) { return C.funnel_total.at(i); }));
+      cols.push_back(u64_col("funnel_unknown_ip",
+                             [&C](size_t i) { return C.funnel_unknown_ip.at(i); }));
+      cols.push_back(u64_col("funnel_local",
+                             [&C](size_t i) { return C.funnel_local.at(i); }));
+      cols.push_back(u64_col("funnel_nonlocal",
+                             [&C](size_t i) { return C.funnel_nonlocal.at(i); }));
+      cols.push_back(u64_col("funnel_after_sol",
+                             [&C](size_t i) { return C.funnel_after_sol.at(i); }));
+      cols.push_back(u64_col("funnel_after_rdns",
+                             [&C](size_t i) { return C.funnel_after_rdns.at(i); }));
+      cols.push_back(u64_col("funnel_dest_traces",
+                             [&C](size_t i) { return C.funnel_dest_traces.at(i); }));
+      cols.push_back(u64_col("sites", [&C](size_t i) {
+        return C.site_offsets[i + 1] - C.site_offsets[i];
+      }));
+      // Projection-only: one country's destination-probe country set.
+      Col dp;
+      dp.name = "dest_probe_countries";
+      dp.get = [&r, &C](size_t i) {
+        util::Json arr = util::Json::array();
+        for (uint64_t k = C.dest_probe_offsets[i]; k < C.dest_probe_offsets[i + 1]; ++k) {
+          arr.push_back(std::string(C.dest_probe_values.at(k)));
+        }
+        return arr;
+      };
+      cols.push_back(std::move(dp));
+      break;
+    }
+    case TableId::Sites: {
+      cols.push_back(dict_col(r, "country", [&S](size_t i) { return S.country.id_at(i); }));
+      cols.push_back(dict_col(r, "domain", [&S](size_t i) { return S.domain.id_at(i); }));
+      cols.push_back(enum_col("kind", [&S](size_t i) { return S.kind.at(i); }, kind_label, 1));
+      cols.push_back(bool_col("loaded", [&S](size_t i) { return S.loaded.at(i) != 0; }));
+      cols.push_back(u64_col("total_domains",
+                             [&S](size_t i) { return S.total_domains.at(i); }));
+      cols.push_back(u64_col("nonlocal_domains",
+                             [&S](size_t i) { return S.nonlocal_domains.at(i); }));
+      cols.push_back(u64_col("trackers", [&S](size_t i) {
+        return S.hit_offsets[i + 1] - S.hit_offsets[i];
+      }));
+      break;
+    }
+    case TableId::Hits: {
+      auto site_of = [&H](size_t i) { return H.site.at(i); };
+      cols.push_back(dict_col(r, "source_country", [&S, site_of](size_t i) {
+        return S.country.id_at(site_of(i));
+      }));
+      cols.push_back(dict_col(r, "site_domain", [&S, site_of](size_t i) {
+        return S.domain.id_at(site_of(i));
+      }));
+      cols.push_back(enum_col("kind", [&S, site_of](size_t i) {
+        return S.kind.at(site_of(i));
+      }, kind_label, 1));
+      cols.push_back(bool_col("loaded", [&S, site_of](size_t i) {
+        return S.loaded.at(site_of(i)) != 0;
+      }));
+      cols.push_back(dict_col(r, "domain", [&H](size_t i) { return H.domain.id_at(i); }));
+      cols.push_back(dict_col(r, "reg_domain",
+                              [&H](size_t i) { return H.reg_domain.id_at(i); }));
+      Col ip;
+      ip.name = "ip";
+      ip.get = [&H](size_t i) { return util::Json(net::ip_to_string(H.ip.at(i))); };
+      ip.key = [&H](size_t i) { return net::ip_to_string(H.ip.at(i)); };
+      ip.pred = [&H](const std::string& v) -> Matcher {
+        return [&H, v](size_t i) { return net::ip_to_string(H.ip.at(i)) == v; };
+      };
+      cols.push_back(std::move(ip));
+      cols.push_back(dict_col(r, "dest_country",
+                              [&H](size_t i) { return H.dest_country.id_at(i); }));
+      cols.push_back(dict_col(r, "dest_city",
+                              [&H](size_t i) { return H.dest_city.id_at(i); }));
+      cols.push_back(dict_col(r, "org", [&H](size_t i) { return H.org.id_at(i); }));
+      cols.push_back(enum_col("method", [&H](size_t i) { return H.method.at(i); },
+                              method_label, 4));
+      cols.push_back(bool_col("first_party",
+                              [&H](size_t i) { return H.first_party.at(i) != 0; }));
+      break;
+    }
+  }
+  return cols;
+}
+
+size_t table_rows(const Reader& r, TableId table) {
+  switch (table) {
+    case TableId::Countries: return r.num_countries();
+    case TableId::Sites: return r.num_sites();
+    case TableId::Hits: return r.num_hits();
+  }
+  return 0;
+}
+
+const Col* find_col(const std::vector<Col>& cols, std::string_view name) {
+  for (const auto& c : cols) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<TableId> table_from_name(std::string_view name) {
+  if (name == "countries") return TableId::Countries;
+  if (name == "sites") return TableId::Sites;
+  if (name == "hits") return TableId::Hits;
+  return std::nullopt;
+}
+
+const char* table_name(TableId table) {
+  switch (table) {
+    case TableId::Countries: return "countries";
+    case TableId::Sites: return "sites";
+    case TableId::Hits: return "hits";
+  }
+  return "?";
+}
+
+std::vector<std::string> Query::columns(TableId table) {
+  // The column set depends only on the schema, not the data; an empty
+  // reader is not required, but make_columns needs one. Names are kept in a
+  // static schema table instead.
+  switch (table) {
+    case TableId::Countries:
+      return {"code", "unique_domains", "unique_ips", "traceroutes", "funnel_total",
+              "funnel_unknown_ip", "funnel_local", "funnel_nonlocal", "funnel_after_sol",
+              "funnel_after_rdns", "funnel_dest_traces", "sites", "dest_probe_countries"};
+    case TableId::Sites:
+      return {"country", "domain", "kind", "loaded", "total_domains", "nonlocal_domains",
+              "trackers"};
+    case TableId::Hits:
+      return {"source_country", "site_domain", "kind", "loaded", "domain", "reg_domain",
+              "ip", "dest_country", "dest_city", "org", "method", "first_party"};
+  }
+  return {};
+}
+
+std::optional<util::Json> Query::run(const QuerySpec& spec, Error* error) const {
+  static util::Histogram& query_ms =
+      util::MetricsRegistry::instance().histogram("store.query_ms");
+  static util::Counter& queries = util::MetricsRegistry::instance().counter("store.queries");
+  util::ScopedTimer timer(query_ms);
+  queries.inc();
+
+  auto fail = [&](std::string detail) -> std::optional<util::Json> {
+    if (error) *error = {ErrorCode::BadQuery, std::move(detail)};
+    return std::nullopt;
+  };
+
+  const std::vector<Col> cols = make_columns(r_, spec.table);
+  const size_t rows = table_rows(r_, spec.table);
+
+  // Compile predicates.
+  std::vector<Matcher> matchers;
+  matchers.reserve(spec.where.size());
+  for (const auto& [name, value] : spec.where) {
+    const Col* c = find_col(cols, name);
+    if (!c || !c->pred) {
+      return fail("column '" + name + "' is not filterable on table " +
+                  table_name(spec.table));
+    }
+    matchers.push_back(c->pred(value));
+  }
+  auto matches = [&](size_t i) {
+    for (const auto& m : matchers) {
+      if (!m(i)) return false;
+    }
+    return true;
+  };
+
+  util::Json envelope = util::Json::object();
+  envelope["table"] = table_name(spec.table);
+
+  if (spec.flows) {
+    if (spec.table != TableId::Hits) return fail("--flows requires the hits table");
+    if (!spec.group_by.empty()) return fail("--flows and --group-by are exclusive");
+    const Col* src = find_col(cols, "source_country");
+    const Col* dest = find_col(cols, "dest_country");
+    std::map<std::string, std::map<std::string, std::set<uint32_t>>> flows;
+    std::set<uint32_t> distinct_sites;
+    size_t matched = 0;
+    for (size_t i = 0; i < rows; ++i) {
+      if (!matches(i)) continue;
+      ++matched;
+      uint32_t site = r_.hits().site.at(i);
+      distinct_sites.insert(site);
+      flows[src->key(i)][dest->key(i)].insert(site);
+    }
+    util::Json result = util::Json::object();
+    for (const auto& [s, dests] : flows) {
+      util::Json row = util::Json::object();
+      for (const auto& [d, sites] : dests) row[d] = sites.size();
+      result[s] = std::move(row);
+    }
+    envelope["mode"] = "flows";
+    envelope["matched"] = matched;
+    envelope["distinct_sites"] = distinct_sites.size();
+    envelope["result"] = std::move(result);
+    return envelope;
+  }
+
+  if (!spec.group_by.empty()) {
+    const Col* c = find_col(cols, spec.group_by);
+    if (!c || !c->key) {
+      return fail("column '" + spec.group_by + "' is not groupable on table " +
+                  table_name(spec.table));
+    }
+    std::map<std::string, size_t> counts;
+    size_t matched = 0;
+    for (size_t i = 0; i < rows; ++i) {
+      if (!matches(i)) continue;
+      ++matched;
+      ++counts[c->key(i)];
+    }
+    util::Json result = util::Json::object();
+    for (const auto& [k, n] : counts) result[k] = n;
+    envelope["mode"] = "group";
+    envelope["by"] = spec.group_by;
+    envelope["matched"] = matched;
+    envelope["result"] = std::move(result);
+    return envelope;
+  }
+
+  // Select: project matching rows (limit caps the emitted rows only).
+  std::vector<const Col*> projected;
+  if (spec.project.empty()) {
+    for (const auto& c : cols) projected.push_back(&c);
+  } else {
+    for (const auto& name : spec.project) {
+      const Col* c = find_col(cols, name);
+      if (!c) {
+        return fail("unknown column '" + name + "' on table " + table_name(spec.table));
+      }
+      projected.push_back(c);
+    }
+  }
+  util::Json result = util::Json::array();
+  size_t matched = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    if (!matches(i)) continue;
+    ++matched;
+    if (spec.limit != 0 && result.size() >= spec.limit) continue;
+    util::Json row = util::Json::object();
+    for (const Col* c : projected) row[c->name] = c->get(i);
+    result.push_back(std::move(row));
+  }
+  envelope["mode"] = "select";
+  envelope["matched"] = matched;
+  envelope["result"] = std::move(result);
+  return envelope;
+}
+
+}  // namespace gam::store

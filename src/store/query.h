@@ -1,0 +1,73 @@
+// store::Query — the read side of the GammaStore: column projection,
+// equality predicates, grouped counts, and source->destination flow
+// matrices over a mapped GMST file. Every analysis the CLI exposes through
+// `gamma store query` is a single scan over validated, in-place columns —
+// no study re-run, no JSON re-parse.
+//
+// Tables and columns (virtual columns in parentheses are denormalized from
+// the owning row at scan time):
+//   countries: code, unique_domains, unique_ips, traceroutes,
+//              funnel_total, funnel_unknown_ip, funnel_local,
+//              funnel_nonlocal, funnel_after_sol, funnel_after_rdns,
+//              funnel_dest_traces, sites, dest_probe_countries*
+//   sites:     country, domain, kind, loaded, total_domains,
+//              nonlocal_domains, trackers
+//   hits:      source_country, site_domain, (kind), (loaded), domain,
+//              reg_domain, ip, dest_country, dest_city, org, method,
+//              first_party
+//   (*: projection only — not filterable/groupable.)
+//
+// Predicates on dictionary-encoded columns compile to a single u32 compare
+// per row (the value is looked up in the sorted pool once; a string that
+// appears nowhere in the store short-circuits to zero matches).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/format.h"
+#include "store/reader.h"
+#include "util/json.h"
+
+namespace gam::store {
+
+enum class TableId { Countries, Sites, Hits };
+
+std::optional<TableId> table_from_name(std::string_view name);
+const char* table_name(TableId table);
+
+struct QuerySpec {
+  TableId table = TableId::Hits;
+  /// Columns to emit in select mode; empty = every column of the table.
+  std::vector<std::string> project;
+  /// AND of column == value equality predicates.
+  std::vector<std::pair<std::string, std::string>> where;
+  /// Non-empty: count matching rows per value of this column.
+  std::string group_by;
+  /// Hits only: matching hits aggregated into a source->dest matrix whose
+  /// weight is the number of *distinct sites* (the paper's flow semantics).
+  bool flows = false;
+  /// Select-mode row cap; 0 = unlimited. `matched` always reports the total.
+  size_t limit = 0;
+};
+
+class Query {
+ public:
+  explicit Query(const Reader& reader) : r_(reader) {}
+
+  /// Execute one spec. Returns a JSON envelope
+  ///   {"table": ..., "mode": "select|group|flows", "matched": N, "result": ...}
+  /// or null (with *error filled) on an unknown table/column/value. Observes
+  /// `store.query_ms` and counts `store.queries`.
+  std::optional<util::Json> run(const QuerySpec& spec, Error* error = nullptr) const;
+
+  /// Column names of a table, in schema order (for usage/error messages).
+  static std::vector<std::string> columns(TableId table);
+
+ private:
+  const Reader& r_;
+};
+
+}  // namespace gam::store

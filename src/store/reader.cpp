@@ -1,0 +1,360 @@
+#include "store/reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/metrics.h"
+
+namespace gam::store {
+
+namespace {
+
+uint16_t read_u16(const unsigned char* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t read_u32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t read_u64(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Bounds-checked LEB128. Advances *pos; nullopt on overrun or overlong.
+std::optional<uint64_t> read_varint(const unsigned char* p, uint64_t len, uint64_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < len && shift < 64) {
+    unsigned char b = p[(*pos)++];
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const Reader::BlockEntry* Reader::find_block(std::string_view name) const {
+  for (const auto& [n, e] : blocks_) {
+    if (n == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string_view Reader::dict_at(uint32_t id) const {
+  uint32_t begin = dict_offsets_.at(id);
+  uint32_t end = dict_offsets_.at(id + 1);
+  return {reinterpret_cast<const char*>(dict_bytes_) + begin, end - begin};
+}
+
+std::optional<uint32_t> Reader::dict_find(std::string_view s) const {
+  size_t lo = 0, hi = dict_count_;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    std::string_view v = dict_at(static_cast<uint32_t>(mid));
+    if (v == s) return static_cast<uint32_t>(mid);
+    if (v < s) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Reader> Reader::open(const std::string& path, Error* error) {
+  static util::Histogram& open_ms =
+      util::MetricsRegistry::instance().histogram("store.open_ms");
+  util::ScopedTimer timer(open_ms);
+  auto fail = [&](ErrorCode code, std::string detail) -> std::unique_ptr<Reader> {
+    if (code == ErrorCode::CrcMismatch || code == ErrorCode::BadFooter) {
+      util::MetricsRegistry::instance().counter("store.crc_failures").inc();
+    }
+    if (error) *error = {code, std::move(detail)};
+    return nullptr;
+  };
+
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return fail(ErrorCode::Io, path + ": " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail(ErrorCode::Io, path + ": " + std::strerror(errno));
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size < kHeaderSize + kTrailerSize) {
+    ::close(fd);
+    return fail(ErrorCode::TooSmall,
+                path + ": " + std::to_string(size) + " bytes");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) return fail(ErrorCode::Io, path + ": mmap failed");
+
+  std::unique_ptr<Reader> r(new Reader());
+  r->path_ = path;
+  r->map_ = static_cast<const unsigned char*>(map);
+  r->size_ = size;
+  Error err = r->validate_and_index();
+  if (!err.ok()) {
+    // ~Reader munmaps.
+    return fail(err.code, std::move(err.detail));
+  }
+  util::MetricsRegistry::instance().counter("store.blocks_mapped").inc(r->blocks_.size());
+  if (error) *error = {};
+  return r;
+}
+
+Reader::~Reader() {
+  if (map_ != nullptr) ::munmap(const_cast<unsigned char*>(map_), size_);
+}
+
+Error Reader::validate_and_index() {
+  // Header: magic + version. (A big-endian host reads a byte-swapped
+  // version and lands in BadVersion — a structured refusal, not UB.)
+  if (std::memcmp(map_, kMagic, sizeof kMagic) != 0) {
+    return {ErrorCode::BadMagic, "not a GMST file"};
+  }
+  const uint32_t version = read_u32(map_ + 4);
+  if (version != kFormatVersion) {
+    return {ErrorCode::BadVersion, "version " + std::to_string(version) +
+                                       ", expected " + std::to_string(kFormatVersion)};
+  }
+
+  // Trailer: end magic, footer bounds, footer CRC.
+  const unsigned char* trailer = map_ + size_ - kTrailerSize;
+  if (std::memcmp(trailer + 12, kEndMagic, sizeof kEndMagic) != 0) {
+    return {ErrorCode::BadTrailer, "end magic mismatch (truncated or overwritten?)"};
+  }
+  const uint64_t footer_offset = read_u64(trailer);
+  if (footer_offset < kHeaderSize || footer_offset > size_ - kTrailerSize) {
+    return {ErrorCode::BadTrailer, "footer offset outside file"};
+  }
+  const unsigned char* footer = map_ + footer_offset;
+  const uint64_t footer_len = size_ - kTrailerSize - footer_offset;
+  if (util::crc32(footer, footer_len) != read_u32(trailer + 8)) {
+    return {ErrorCode::BadFooter, "footer CRC mismatch"};
+  }
+
+  // Column index: name -> {offset, length, rows, crc}.
+  uint64_t pos = 0;
+  auto need = [&](uint64_t n) { return pos + n <= footer_len; };
+  if (!need(4)) return {ErrorCode::BadFooter, "footer too short"};
+  const uint32_t block_count = read_u32(footer + pos);
+  pos += 4;
+  for (uint32_t i = 0; i < block_count; ++i) {
+    if (!need(2)) return {ErrorCode::BadFooter, "footer truncated in entry"};
+    const uint16_t name_len = read_u16(footer + pos);
+    pos += 2;
+    if (!need(name_len + 28ull)) return {ErrorCode::BadFooter, "footer truncated in entry"};
+    std::string name(reinterpret_cast<const char*>(footer + pos), name_len);
+    pos += name_len;
+    BlockEntry e;
+    e.offset = read_u64(footer + pos);
+    e.length = read_u64(footer + pos + 8);
+    e.rows = read_u64(footer + pos + 16);
+    e.crc = read_u32(footer + pos + 24);
+    pos += 28;
+    if (e.offset < kHeaderSize || e.offset % kBlockAlign != 0 ||
+        e.length > footer_offset || e.offset > footer_offset - e.length) {
+      return {ErrorCode::BadBlock, "block " + name + " outside data region"};
+    }
+    blocks_.emplace_back(std::move(name), e);
+  }
+
+  // Integrity first: every block's CRC, before any content is trusted.
+  for (const auto& [name, e] : blocks_) {
+    if (util::crc32(map_ + e.offset, e.length) != e.crc) {
+      return {ErrorCode::CrcMismatch, "block " + name};  // open() counts it
+    }
+  }
+
+  auto fixed = [&](const char* name, uint64_t width, const unsigned char** p,
+                   size_t* n) -> std::optional<Error> {
+    const BlockEntry* e = find_block(name);
+    if (!e) return Error{ErrorCode::MissingBlock, name};
+    if (e->length != e->rows * width) {
+      return Error{ErrorCode::BadBlock, std::string(name) + " length/rows mismatch"};
+    }
+    *p = map_ + e->offset;
+    *n = e->rows;
+    return std::nullopt;
+  };
+  auto u8col = [&](const char* name, U8Col* c) { return fixed(name, 1, &c->p, &c->n); };
+  auto u32col = [&](const char* name, U32Col* c) { return fixed(name, 4, &c->p, &c->n); };
+  auto u64col = [&](const char* name, U64Col* c) { return fixed(name, 8, &c->p, &c->n); };
+  auto strcol = [&](const char* name, StrCol* c) {
+    c->reader = this;
+    auto err = u32col(name, &c->ids);
+    c->n = c->ids.n;
+    return err;
+  };
+
+  // Dictionary: offsets must start at 0, ascend, and end at the pool length.
+  if (auto e = u32col(blocks::kDictOffsets, &dict_offsets_)) return *e;
+  {
+    const BlockEntry* bytes = find_block(blocks::kDictBytes);
+    if (!bytes) return {ErrorCode::MissingBlock, blocks::kDictBytes};
+    dict_bytes_ = map_ + bytes->offset;
+    dict_bytes_len_ = bytes->length;
+    if (dict_offsets_.n == 0) return {ErrorCode::Malformed, "empty dict.offsets"};
+    dict_count_ = dict_offsets_.n - 1;
+    if (dict_offsets_.at(0) != 0) return {ErrorCode::Malformed, "dict offsets not 0-based"};
+    for (size_t i = 0; i < dict_count_; ++i) {
+      if (dict_offsets_.at(i) > dict_offsets_.at(i + 1)) {
+        return {ErrorCode::Malformed, "dict offsets not monotone"};
+      }
+    }
+    if (dict_offsets_.at(dict_count_) != dict_bytes_len_) {
+      return {ErrorCode::Malformed, "dict offsets do not cover dict.bytes"};
+    }
+  }
+
+  // meta.json must parse.
+  {
+    const BlockEntry* e = find_block(blocks::kMetaJson);
+    if (!e) return {ErrorCode::MissingBlock, blocks::kMetaJson};
+    std::string_view text(reinterpret_cast<const char*>(map_ + e->offset), e->length);
+    auto doc = util::Json::parse(text);
+    if (!doc || !doc->is_object()) return {ErrorCode::Malformed, "meta.json unparsable"};
+    meta_ = std::move(*doc);
+  }
+
+  // Tables.
+  if (auto e = strcol(blocks::kCountryCode, &countries_.code)) return *e;
+  if (auto e = u64col(blocks::kCountryUniqueDomains, &countries_.unique_domains)) return *e;
+  if (auto e = u64col(blocks::kCountryUniqueIps, &countries_.unique_ips)) return *e;
+  if (auto e = u64col(blocks::kCountryTraceroutes, &countries_.traceroutes)) return *e;
+  if (auto e = u64col(blocks::kCountryFunnelTotal, &countries_.funnel_total)) return *e;
+  if (auto e = u64col(blocks::kCountryFunnelUnknownIp, &countries_.funnel_unknown_ip))
+    return *e;
+  if (auto e = u64col(blocks::kCountryFunnelLocal, &countries_.funnel_local)) return *e;
+  if (auto e = u64col(blocks::kCountryFunnelNonlocal, &countries_.funnel_nonlocal))
+    return *e;
+  if (auto e = u64col(blocks::kCountryFunnelAfterSol, &countries_.funnel_after_sol))
+    return *e;
+  if (auto e = u64col(blocks::kCountryFunnelAfterRdns, &countries_.funnel_after_rdns))
+    return *e;
+  if (auto e = u64col(blocks::kCountryFunnelDestTraces, &countries_.funnel_dest_traces))
+    return *e;
+  if (auto e = strcol(blocks::kCountryDestProbeValues, &countries_.dest_probe_values))
+    return *e;
+
+  if (auto e = strcol(blocks::kSiteCountry, &sites_.country)) return *e;
+  if (auto e = strcol(blocks::kSiteDomain, &sites_.domain)) return *e;
+  if (auto e = u8col(blocks::kSiteKind, &sites_.kind)) return *e;
+  if (auto e = u8col(blocks::kSiteLoaded, &sites_.loaded)) return *e;
+  if (auto e = u32col(blocks::kSiteTotalDomains, &sites_.total_domains)) return *e;
+  if (auto e = u32col(blocks::kSiteNonlocalDomains, &sites_.nonlocal_domains)) return *e;
+
+  if (auto e = u32col(blocks::kHitSite, &hits_.site)) return *e;
+  if (auto e = strcol(blocks::kHitDomain, &hits_.domain)) return *e;
+  if (auto e = strcol(blocks::kHitRegDomain, &hits_.reg_domain)) return *e;
+  if (auto e = u32col(blocks::kHitIp, &hits_.ip)) return *e;
+  if (auto e = strcol(blocks::kHitDestCountry, &hits_.dest_country)) return *e;
+  if (auto e = strcol(blocks::kHitDestCity, &hits_.dest_city)) return *e;
+  if (auto e = strcol(blocks::kHitOrg, &hits_.org)) return *e;
+  if (auto e = u8col(blocks::kHitMethod, &hits_.method)) return *e;
+  if (auto e = u8col(blocks::kHitFirstParty, &hits_.first_party)) return *e;
+
+  const size_t n_countries = countries_.code.n;
+  const size_t n_sites = sites_.country.n;
+  const size_t n_hits = hits_.site.n;
+
+  // Same-table columns must agree on their row count.
+  auto rows_match = [&](std::string_view prefix, uint64_t rows,
+                        std::initializer_list<const char*> except) {
+    for (const auto& [name, e] : blocks_) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      bool skip = false;
+      for (const char* x : except) skip |= name == x;
+      if (!skip && e.rows != rows) return false;
+    }
+    return true;
+  };
+  if (!rows_match("countries.", n_countries,
+                  {blocks::kCountrySiteOffsets, blocks::kCountryDestProbeOffsets,
+                   blocks::kCountryDestProbeValues}) ||
+      !rows_match("sites.", n_sites, {blocks::kSiteHitOffsets}) ||
+      !rows_match("hits.", n_hits, {})) {
+    return {ErrorCode::Malformed, "inconsistent row counts across columns"};
+  }
+
+  // Varint offset columns: rows+1 monotone values ending at the child count.
+  auto offsets = [&](const char* name, size_t parent_rows, uint64_t child_rows,
+                     std::vector<uint64_t>* out) -> std::optional<Error> {
+    const BlockEntry* e = find_block(name);
+    if (!e) return Error{ErrorCode::MissingBlock, name};
+    if (e->rows != parent_rows + 1) {
+      return Error{ErrorCode::BadBlock, std::string(name) + " rows != parent+1"};
+    }
+    out->clear();
+    out->reserve(parent_rows + 1);
+    uint64_t pos2 = 0, prev = 0;
+    for (size_t i = 0; i <= parent_rows; ++i) {
+      auto delta = read_varint(map_ + e->offset, e->length, &pos2);
+      if (!delta) return Error{ErrorCode::Malformed, std::string(name) + " varint overrun"};
+      prev = i == 0 ? *delta : prev + *delta;
+      out->push_back(prev);
+    }
+    if (pos2 != e->length) {
+      return Error{ErrorCode::Malformed, std::string(name) + " trailing bytes"};
+    }
+    if (out->front() != 0 || out->back() != child_rows) {
+      return Error{ErrorCode::Malformed, std::string(name) + " does not span children"};
+    }
+    return std::nullopt;
+  };
+  if (auto e = offsets(blocks::kCountrySiteOffsets, n_countries, n_sites,
+                       &countries_.site_offsets))
+    return *e;
+  if (auto e = offsets(blocks::kCountryDestProbeOffsets, n_countries,
+                       countries_.dest_probe_values.n, &countries_.dest_probe_offsets))
+    return *e;
+  if (auto e = offsets(blocks::kSiteHitOffsets, n_sites, n_hits, &sites_.hit_offsets))
+    return *e;
+
+  // Content invariants: every dict id resolves, every hit's site exists,
+  // every enum byte is in range. After this, accessors cannot go OOB.
+  auto ids_ok = [&](const StrCol& c) {
+    for (size_t i = 0; i < c.n; ++i) {
+      if (c.ids.at(i) >= dict_count_) return false;
+    }
+    return true;
+  };
+  for (const StrCol* c :
+       {&countries_.code, &countries_.dest_probe_values, &sites_.country, &sites_.domain,
+        &hits_.domain, &hits_.reg_domain, &hits_.dest_country, &hits_.dest_city,
+        &hits_.org}) {
+    if (!ids_ok(*c)) return {ErrorCode::Malformed, "dict id out of range"};
+  }
+  for (size_t i = 0; i < n_hits; ++i) {
+    if (hits_.site.at(i) >= n_sites) return {ErrorCode::Malformed, "hit site out of range"};
+  }
+  for (size_t i = 0; i < n_sites; ++i) {
+    if (sites_.kind.at(i) > 1 || sites_.loaded.at(i) > 1) {
+      return {ErrorCode::Malformed, "site enum byte out of range"};
+    }
+  }
+  for (size_t i = 0; i < n_hits; ++i) {
+    if (hits_.method.at(i) > 4 || hits_.first_party.at(i) > 1) {
+      return {ErrorCode::Malformed, "hit enum byte out of range"};
+    }
+  }
+  return {};
+}
+
+}  // namespace gam::store

@@ -1,0 +1,34 @@
+// Paper-figure reports computed straight from a mapped GMST store.
+//
+// Each function mirrors its analysis/ counterpart (compute_prevalence,
+// compute_policy, compute_per_site, compute_flows) loop-for-loop and
+// expression-for-expression over the store's columns: same iteration order,
+// same arithmetic, same util:: statistics kernels. Because the stored data
+// is exact (integers and dictionary strings), the resulting report structs
+// are bit-identical to the in-memory path, and their shared
+// analysis::report_json renderings are byte-identical — the store's
+// round-trip fidelity contract (ISSUE 4, tested in test_store).
+#pragma once
+
+#include "analysis/flows.h"
+#include "analysis/per_site.h"
+#include "analysis/policy.h"
+#include "analysis/prevalence.h"
+#include "store/reader.h"
+#include "util/json.h"
+
+namespace gam::store {
+
+analysis::PrevalenceReport prevalence_report(const Reader& reader);  // Figure 3
+analysis::PolicyReport policy_report(const Reader& reader);          // Table 1
+analysis::PerSiteReport per_site_report(const Reader& reader);       // Figure 4
+analysis::FlowsReport flows_report(const Reader& reader);            // Figure 5 / §6.3
+
+/// Figure 2b load-success view; matches analysis::coverage_json bytes.
+util::Json coverage_json(const Reader& reader);
+/// §5 funnel; matches analysis::funnel_json bytes.
+util::Json funnel_json(const Reader& reader);
+/// The study-summary.json body; matches the `gamma study --out` file bytes.
+util::Json summary_json(const Reader& reader);
+
+}  // namespace gam::store

@@ -1,0 +1,55 @@
+// store::Writer — serialize a completed study's analysis substrate into one
+// GMST file (see format.h / DESIGN.md §9).
+//
+// Determinism contract: the output is a pure function of the analyses and
+// meta — rows in input (country) order, one shared string dictionary in
+// sorted order, no timestamps — so the same study produces the same store
+// bytes regardless of --jobs, and two writes of the same study are
+// byte-identical (tested in test_store).
+//
+// Crash safety: the file is assembled in memory, written to `<path>.tmp`,
+// flushed, then renamed over `path` — a reader never sees a half-written
+// store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "store/format.h"
+
+namespace gam::store {
+
+/// Study-level provenance carried in the store's meta.json block.
+struct StudyMeta {
+  uint64_t seed = 0;
+  size_t targets_before_optout = 0;
+  size_t atlas_repaired_traces = 0;
+  size_t resumed_countries = 0;
+  std::vector<std::string> degraded_countries;
+};
+
+struct WriteResult {
+  Error error;
+  uint64_t bytes_written = 0;  // final file size
+  size_t blocks = 0;
+
+  bool ok() const { return error.ok(); }
+};
+
+class Writer {
+ public:
+  explicit Writer(StudyMeta meta = {}) : meta_(std::move(meta)) {}
+
+  /// Serialize `analyses` (plus the meta) to `path`. Counts
+  /// `store.bytes_written` / `store.blocks_written` on success and
+  /// `store.write_failures` on error.
+  WriteResult write(const std::string& path,
+                    const std::vector<analysis::CountryAnalysis>& analyses) const;
+
+ private:
+  StudyMeta meta_;
+};
+
+}  // namespace gam::store

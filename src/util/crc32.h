@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-block
+// integrity check behind the GMST store format. A corrupted byte anywhere in
+// a mapped column must be detected before the reader hands out views into
+// it, so the store validates every block's CRC up front (see store/reader).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gam::util {
+
+/// CRC-32 of `len` bytes. Pass a previous result as `seed` to checksum a
+/// buffer incrementally: crc32(b, nb, crc32(a, na)) == crc32(a+b).
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace gam::util

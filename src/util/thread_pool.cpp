@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/metrics.h"
+
 namespace gam::util {
 
 size_t ThreadPool::hardware_threads() {
@@ -36,6 +38,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      update_depth_gauge(queue_.size());
       ++active_;
     }
     task();  // packaged_task captures exceptions into the future
@@ -45,6 +48,16 @@ void ThreadPool::worker_loop() {
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::update_depth_gauge(size_t depth) {
+  static Gauge& gauge = MetricsRegistry::instance().gauge("pool.queue_depth");
+  gauge.set(static_cast<double>(depth));
 }
 
 void ThreadPool::wait_idle() {

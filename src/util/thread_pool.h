@@ -38,6 +38,12 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker. A point-in-time
+  /// reading — by the time the caller looks at it a worker may already have
+  /// popped the task — exported as the `pool.queue_depth` gauge so a stalled
+  /// study (depth pinned high) is visible in the metrics dump.
+  size_t queue_depth() const;
+
   /// Best-effort hardware parallelism (never 0).
   static size_t hardware_threads();
 
@@ -50,6 +56,7 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
+      update_depth_gauge(queue_.size());
     }
     cv_.notify_one();
     return fut;
@@ -60,8 +67,10 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Publish `depth` to the pool.queue_depth gauge; caller holds mu_.
+  static void update_depth_gauge(size_t depth);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;       // workers: work available / shutdown
   std::condition_variable idle_cv_;  // wait_idle: queue drained
   std::deque<std::function<void()>> queue_;

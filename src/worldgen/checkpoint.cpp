@@ -70,23 +70,34 @@ StudyJournal::StudyJournal(const std::string& dir, uint64_t seed,
     if (!header_ok) completed_.clear();
   }
 
-  // Rewrite the usable prefix (drops any truncated tail) and leave the file
-  // open-for-append semantics to append(): from here on the journal is
-  // header + every loaded record, each on its own flushed line.
-  std::ofstream out(path_, std::ios::trunc);
-  out << header.dump_exact() << "\n";
-  for (const auto& [code, rec] : completed_) {
-    util::Json j = util::Json::object();
-    j["country"] = rec.country;
-    j["atlas_repaired"] = rec.atlas_repaired;
-    j["degraded"] = rec.degraded;
-    j["degraded_reason"] = rec.degraded_reason;
-    j["dataset"] = core::dataset_to_json(rec.dataset);
-    // dump_exact: journal doubles must restore bit-identically, or resumed
-    // analysis could flip marginal SOL verdicts vs the uninterrupted run.
-    out << j.dump_exact() << "\n";
+  // Rewrite the usable prefix (drops any truncated tail) crash-atomically:
+  // build the new journal beside the old one and rename() it into place, so
+  // a kill during the rewrite leaves either the old journal or the new one,
+  // never a half-truncated file that would erase every completed country.
+  // From here on append() extends the published file line by line.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << header.dump_exact() << "\n";
+    for (const auto& [code, rec] : completed_) {
+      util::Json j = util::Json::object();
+      j["country"] = rec.country;
+      j["atlas_repaired"] = rec.atlas_repaired;
+      j["degraded"] = rec.degraded;
+      j["degraded_reason"] = rec.degraded_reason;
+      j["dataset"] = core::dataset_to_json(rec.dataset);
+      // dump_exact: journal doubles must restore bit-identically, or resumed
+      // analysis could flip marginal SOL verdicts vs the uninterrupted run.
+      out << j.dump_exact() << "\n";
+    }
+    out.flush();
+    if (!out) {
+      util::log_info("checkpoint", "cannot write journal: " + tmp);
+      return;
+    }
   }
-  out.flush();
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) util::log_info("checkpoint", "cannot publish journal: " + ec.message());
 }
 
 void StudyJournal::append(const CheckpointRecord& rec) {

@@ -8,6 +8,7 @@
 #include "net/ip.h"
 #include "geoloc/pipeline.h"
 #include "probe/traceroute.h"
+#include "store/writer.h"
 #include "trackers/identify.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -193,6 +194,23 @@ StudyResult run_study(World& world, const StudyOptions& options) {
 
   if (options.anonymize) {
     for (auto& dataset : result.datasets) core::anonymize(dataset);
+  }
+
+  if (!options.store_out.empty()) {
+    store::StudyMeta meta;
+    meta.seed = options.seed;
+    meta.targets_before_optout = result.targets_before_optout;
+    meta.atlas_repaired_traces = result.atlas_repaired_traces;
+    meta.resumed_countries = result.resumed_countries;
+    meta.degraded_countries = result.degraded_countries;
+    store::WriteResult written =
+        store::Writer(meta).write(options.store_out, result.analyses);
+    if (!written.ok()) {
+      throw std::runtime_error("store write failed: " + written.error.to_string());
+    }
+    util::log_info("study", "wrote store " + options.store_out + " (" +
+                                std::to_string(written.bytes_written) + " bytes, " +
+                                std::to_string(written.blocks) + " blocks)");
   }
   return result;
 }

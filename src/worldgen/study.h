@@ -55,6 +55,11 @@ struct StudyOptions {
   /// byte-identical to an uninterrupted run.
   std::string checkpoint_dir;
   bool resume = false;
+  /// Serialize the finished study's analysis substrate to this GMST store
+  /// file ("" = no store). The store is written once, after the merge, so
+  /// its bytes are identical for any `jobs` value; a write failure throws
+  /// std::runtime_error — the caller asked for a store and did not get one.
+  std::string store_out;
 };
 
 StudyResult run_study(World& world, const StudyOptions& options = {});

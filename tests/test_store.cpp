@@ -1,0 +1,331 @@
+// GammaStore (.gmst) round-trip, determinism, corruption, and query tests.
+//
+// The two contracts under test (ISSUE 4):
+//  - Fidelity: every paper report computed from a mapped store is
+//    byte-identical to the same report computed from the in-memory analyses
+//    the store was written from.
+//  - Safety: a truncated, corrupted, or foreign file produces a structured
+//    store::Error — never a crash, never UB (this suite runs under
+//    ASan/UBSan in tools/check.sh).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/flows.h"
+#include "analysis/per_site.h"
+#include "analysis/policy.h"
+#include "analysis/prevalence.h"
+#include "analysis/report_json.h"
+#include "store/format.h"
+#include "store/query.h"
+#include "store/reader.h"
+#include "store/reports.h"
+#include "store/writer.h"
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+namespace gam {
+namespace {
+
+/// One shared two-country study: enough structure (both site kinds, several
+/// destination countries, funnel activity) to exercise every column, small
+/// enough to run once per test binary.
+const worldgen::StudyResult& shared_study() {
+  static const worldgen::StudyResult study = [] {
+    auto world = worldgen::generate_world({});
+    worldgen::StudyOptions options;
+    options.seed = 23;
+    options.countries = {"US", "GB"};
+    return worldgen::run_study(*world, options);
+  }();
+  return study;
+}
+
+std::string store_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Write the shared study's store once and cache the path.
+const std::string& shared_store() {
+  static const std::string path = [] {
+    std::string p = store_path("shared.gmst");
+    store::StudyMeta meta;
+    meta.seed = 23;
+    store::WriteResult written = store::Writer(meta).write(p, shared_study().analyses);
+    EXPECT_TRUE(written.ok()) << written.error.to_string();
+    return p;
+  }();
+  return path;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// Open `bytes` as a store and expect a structured failure with `code`.
+void expect_open_fails(const std::string& name, const std::string& bytes,
+                       store::ErrorCode code) {
+  std::string path = store_path(name);
+  write_bytes(path, bytes);
+  store::Error error;
+  std::unique_ptr<store::Reader> reader = store::Reader::open(path, &error);
+  EXPECT_EQ(reader, nullptr);
+  EXPECT_EQ(error.code, code) << error.to_string();
+  EXPECT_FALSE(error.to_string().empty());
+}
+
+TEST(StoreWriter, IsDeterministic) {
+  std::string a = store_path("det-a.gmst"), b = store_path("det-b.gmst");
+  ASSERT_TRUE(store::Writer().write(a, shared_study().analyses).ok());
+  ASSERT_TRUE(store::Writer().write(b, shared_study().analyses).ok());
+  std::string bytes_a = read_bytes(a), bytes_b = read_bytes(b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(StoreWriter, BytesAreJobsInvariant) {
+  // The determinism contract's store half: the serialized bytes are a pure
+  // function of the study, and the study is jobs-invariant, so the store
+  // written by a parallel run must equal the serial one bit for bit.
+  auto world = worldgen::generate_world({});
+  worldgen::StudyOptions options;
+  options.seed = 23;
+  options.countries = {"US", "GB"};
+  options.store_out = store_path("jobs1.gmst");
+  worldgen::run_study(*world, options);
+  options.jobs = 4;
+  options.store_out = store_path("jobs4.gmst");
+  worldgen::run_study(*world, options);
+  std::string serial = read_bytes(store_path("jobs1.gmst"));
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, read_bytes(store_path("jobs4.gmst")));
+}
+
+TEST(StoreWriter, ReportsWriteFailureAsError) {
+  store::WriteResult written =
+      store::Writer().write("/nonexistent-dir/x.gmst", shared_study().analyses);
+  EXPECT_FALSE(written.ok());
+  EXPECT_EQ(written.error.code, store::ErrorCode::Io);
+}
+
+TEST(StoreReader, MetaAndCountsSurviveRoundTrip) {
+  store::Error error;
+  auto reader = store::Reader::open(shared_store(), &error);
+  ASSERT_NE(reader, nullptr) << error.to_string();
+
+  const auto& analyses = shared_study().analyses;
+  size_t sites = 0, hits = 0;
+  for (const auto& c : analyses) {
+    sites += c.sites.size();
+    for (const auto& s : c.sites) hits += s.trackers.size();
+  }
+  EXPECT_EQ(reader->num_countries(), analyses.size());
+  EXPECT_EQ(reader->num_sites(), sites);
+  EXPECT_EQ(reader->num_hits(), hits);
+  EXPECT_EQ(reader->meta().get_string("seed"), "23");
+  EXPECT_EQ(reader->meta().get_string("format"), "gmst");
+
+  const store::CountriesView& c = reader->countries();
+  for (size_t i = 0; i < analyses.size(); ++i) {
+    EXPECT_EQ(c.code.at(i), analyses[i].country);
+    EXPECT_EQ(c.unique_domains.at(i), analyses[i].unique_domains);
+    EXPECT_EQ(c.traceroutes.at(i), analyses[i].traceroutes);
+    EXPECT_EQ(c.funnel_total.at(i), analyses[i].funnel.total);
+  }
+}
+
+TEST(StoreReports, AreByteIdenticalToInMemoryAnalysis) {
+  // The golden round-trip: study -> store -> report == analyses -> report,
+  // compared as rendered JSON bytes through the shared emitters.
+  store::Error error;
+  auto reader = store::Reader::open(shared_store(), &error);
+  ASSERT_NE(reader, nullptr) << error.to_string();
+  const auto& analyses = shared_study().analyses;
+
+  EXPECT_EQ(analysis::to_json(store::prevalence_report(*reader)).dump(2),
+            analysis::to_json(analysis::compute_prevalence(analyses)).dump(2));
+  EXPECT_EQ(analysis::to_json(store::policy_report(*reader)).dump(2),
+            analysis::to_json(analysis::compute_policy(analyses)).dump(2));
+  EXPECT_EQ(analysis::to_json(store::per_site_report(*reader)).dump(2),
+            analysis::to_json(analysis::compute_per_site(analyses)).dump(2));
+  EXPECT_EQ(analysis::to_json(store::flows_report(*reader)).dump(2),
+            analysis::to_json(analysis::compute_flows(analyses)).dump(2));
+  EXPECT_EQ(store::coverage_json(*reader).dump(2),
+            analysis::coverage_json(analyses).dump(2));
+  EXPECT_EQ(store::funnel_json(*reader).dump(2), analysis::funnel_json(analyses).dump(2));
+  EXPECT_EQ(store::summary_json(*reader).dump(2),
+            analysis::study_summary_json(analyses.size(),
+                                         analysis::compute_prevalence(analyses),
+                                         analysis::compute_flows(analyses))
+                .dump(2));
+}
+
+TEST(StoreCorruption, StructuredErrorsNeverCrashes) {
+  const std::string good = read_bytes(shared_store());
+  ASSERT_GT(good.size(), 200u);
+
+  expect_open_fails("missing.gmst.unwritten", "", store::ErrorCode::TooSmall);
+  {
+    store::Error error;
+    EXPECT_EQ(store::Reader::open(store_path("never-written.gmst"), &error), nullptr);
+    EXPECT_EQ(error.code, store::ErrorCode::Io);
+  }
+
+  // Wrong magic: a foreign file is rejected before anything is parsed.
+  std::string bad = good;
+  bad[0] = 'X';
+  expect_open_fails("magic.gmst", bad, store::ErrorCode::BadMagic);
+
+  // Unsupported version (bytes 4..7, little-endian u32).
+  bad = good;
+  bad[4] = '\x7f';
+  expect_open_fails("version.gmst", bad, store::ErrorCode::BadVersion);
+
+  // Truncations: shorter than a header+trailer, and mid-footer.
+  expect_open_fails("tiny.gmst", good.substr(0, 10), store::ErrorCode::TooSmall);
+  expect_open_fails("trunc.gmst", good.substr(0, good.size() - 17),
+                    store::ErrorCode::BadTrailer);
+
+  // A flipped data byte (inside the first block, past the 16-byte header)
+  // must fail that block's CRC.
+  bad = good;
+  bad[100] ^= '\x40';
+  expect_open_fails("flip.gmst", bad, store::ErrorCode::CrcMismatch);
+
+  // A flipped footer byte must fail the footer CRC stored in the trailer.
+  uint64_t footer_offset = 0;
+  for (int i = 7; i >= 0; --i) {
+    footer_offset = (footer_offset << 8) |
+                    static_cast<uint8_t>(good[good.size() - 16 + i]);
+  }
+  ASSERT_LT(footer_offset, good.size());
+  bad = good;
+  bad[footer_offset + 2] ^= '\x01';
+  expect_open_fails("footer.gmst", bad, store::ErrorCode::BadFooter);
+}
+
+TEST(StoreQuery, SelectGroupAndFlowsMatchTheAnalyses) {
+  store::Error error;
+  auto reader = store::Reader::open(shared_store(), &error);
+  ASSERT_NE(reader, nullptr) << error.to_string();
+  store::Query query(*reader);
+  const auto& analyses = shared_study().analyses;
+
+  // select over hits: matched == total hit rows; limit caps emitted rows only.
+  store::QuerySpec spec;
+  spec.table = store::TableId::Hits;
+  spec.limit = 3;
+  auto result = query.run(spec, &error);
+  ASSERT_TRUE(result.has_value()) << error.to_string();
+  EXPECT_EQ(static_cast<size_t>(result->get_number("matched")), reader->num_hits());
+  EXPECT_LE(result->find("result")->size(), 3u);
+
+  // group-by source country == per-country tracker-hit totals.
+  spec = {};
+  spec.table = store::TableId::Hits;
+  spec.group_by = "source_country";
+  result = query.run(spec, &error);
+  ASSERT_TRUE(result.has_value()) << error.to_string();
+  for (const auto& c : analyses) {
+    size_t hits = 0;
+    for (const auto& s : c.sites) hits += s.trackers.size();
+    const util::Json* count = result->find("result")->find(c.country);
+    if (hits == 0) {
+      EXPECT_EQ(count, nullptr) << c.country;
+    } else {
+      ASSERT_NE(count, nullptr) << c.country;
+      EXPECT_EQ(static_cast<size_t>(count->as_number()), hits) << c.country;
+    }
+  }
+
+  // where org=Google over sites' hits, counted by hand from the analyses.
+  spec = {};
+  spec.table = store::TableId::Hits;
+  spec.where.emplace_back("org", "Google");
+  result = query.run(spec, &error);
+  ASSERT_TRUE(result.has_value()) << error.to_string();
+  size_t google = 0;
+  for (const auto& c : analyses) {
+    for (const auto& s : c.sites) {
+      for (const auto& t : s.trackers) google += t.org == "Google" ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(static_cast<size_t>(result->get_number("matched")), google);
+
+  // A where-value absent from the dictionary matches nothing (and does not
+  // error: it is a valid query with an empty result).
+  spec.where = {{"org", "NoSuchOrg"}};
+  result = query.run(spec, &error);
+  ASSERT_TRUE(result.has_value()) << error.to_string();
+  EXPECT_EQ(result->get_number("matched"), 0.0);
+
+  // flows == the distinct-site source->dest matrix from compute_flows input.
+  spec = {};
+  spec.table = store::TableId::Hits;
+  spec.flows = true;
+  result = query.run(spec, &error);
+  ASSERT_TRUE(result.has_value()) << error.to_string();
+  std::map<std::string, std::map<std::string, std::set<std::string>>> expected;
+  for (const auto& c : analyses) {
+    for (const auto& s : c.sites) {
+      for (const auto& t : s.trackers) {
+        expected[c.country][t.dest_country].insert(s.site_domain);
+      }
+    }
+  }
+  const util::Json* matrix = result->find("result");
+  ASSERT_NE(matrix, nullptr);
+  EXPECT_EQ(matrix->size(), expected.size());
+  for (const auto& [src, dests] : expected) {
+    const util::Json* row = matrix->find(src);
+    ASSERT_NE(row, nullptr) << src;
+    for (const auto& [dest, sites] : dests) {
+      ASSERT_NE(row->find(dest), nullptr) << src << "->" << dest;
+      EXPECT_EQ(static_cast<size_t>(row->find(dest)->as_number()), sites.size());
+    }
+  }
+}
+
+TEST(StoreQuery, RejectsUnknownColumnsWithBadQuery) {
+  store::Error error;
+  auto reader = store::Reader::open(shared_store(), &error);
+  ASSERT_NE(reader, nullptr) << error.to_string();
+  store::Query query(*reader);
+
+  store::QuerySpec spec;
+  spec.table = store::TableId::Sites;
+  spec.where.emplace_back("no_such_column", "x");
+  EXPECT_FALSE(query.run(spec, &error).has_value());
+  EXPECT_EQ(error.code, store::ErrorCode::BadQuery);
+
+  spec = {};
+  spec.table = store::TableId::Countries;
+  spec.group_by = "no_such_column";
+  EXPECT_FALSE(query.run(spec, &error).has_value());
+  EXPECT_EQ(error.code, store::ErrorCode::BadQuery);
+
+  // flows only makes sense over hits.
+  spec = {};
+  spec.table = store::TableId::Sites;
+  spec.flows = true;
+  EXPECT_FALSE(query.run(spec, &error).has_value());
+  EXPECT_EQ(error.code, store::ErrorCode::BadQuery);
+
+  EXPECT_FALSE(store::table_from_name("no_such_table").has_value());
+}
+
+}  // namespace
+}  // namespace gam

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace gam {
@@ -65,6 +66,28 @@ TEST(ThreadPool, WaitIdleDrainsQueue) {
   }
   pool.wait_idle();
   EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, QueueDepthDrainsToZeroAndDrivesGauge) {
+  util::Gauge& gauge = util::MetricsRegistry::instance().gauge("pool.queue_depth");
+  {
+    // A single blocked worker: everything behind the gate is measurably
+    // queued, so depth (and the gauge) must reach the backlog size.
+    util::ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    pool.submit([open] { open.wait(); });
+    std::vector<std::future<void>> rest;
+    for (int i = 0; i < 8; ++i) rest.push_back(pool.submit([open] { open.wait(); }));
+    // The worker holds at most one task; at least 7 of the 8 are queued.
+    EXPECT_GE(pool.queue_depth(), 7u);
+    EXPECT_GE(gauge.value(), 7.0);
+    gate.set_value();
+    for (auto& f : rest) f.get();
+    pool.wait_idle();
+    EXPECT_EQ(pool.queue_depth(), 0u);
+  }
+  EXPECT_EQ(gauge.value(), 0.0);
 }
 
 TEST(ThreadPool, DestructorDrainsPendingTasks) {

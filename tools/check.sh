@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate for Gamma: configure, build, run the full test suite, then a
-# kill-mid-study --resume smoke test against the CLI, then rebuild under the
+# kill-mid-study --resume smoke test against the CLI, then a GammaStore smoke
+# (build a .gmst, query it, corrupt a copy), then rebuild under the
 # sanitizers and run the suites each one is best at catching:
 #   tsan  -> shared-state suites (thread pool, parallel study runner, metrics)
-#   asan  -> fault-plane + parser suites (heap misuse in degraded paths)
-#   ubsan -> the same suites (UB in backoff arithmetic, hop parsing)
+#   asan  -> fault-plane + parser + store suites (heap misuse in degraded paths)
+#   ubsan -> the same suites (UB in backoff arithmetic, hop parsing, mmap reads)
 #
 # Usage: tools/check.sh [--skip-san]
 #   --skip-san   run only the plain build + ctest + resume smoke
@@ -59,6 +60,27 @@ echo "   killed after ~1s; journal holds $JOURNALED lines (incl. header)"
 diff -r "$SMOKE/uninterrupted" "$SMOKE/resumed"
 echo "   resumed output identical to uninterrupted run"
 
+echo "== store smoke: build a .gmst, query it, corrupt a copy =="
+mkdir -p "$SMOKE/store"
+"$GAMMA" study --seed 41 --jobs 2 --country US --country GB --country IN \
+  --out "$SMOKE/store" --store-out "$SMOKE/store/study.gmst" >/dev/null
+# The mapped store must answer the summary with the exact bytes the JSON
+# analysis path wrote.
+"$GAMMA" store query "$SMOKE/store/study.gmst" --report summary \
+  --out "$SMOKE/store/store-summary.json" >/dev/null
+diff "$SMOKE/store/study-summary.json" "$SMOKE/store/store-summary.json"
+echo "   store summary byte-identical to the JSON analysis path"
+# A flipped data byte must be a structured diagnosis, never a crash.
+cp "$SMOKE/store/study.gmst" "$SMOKE/store/corrupt.gmst"
+printf '\xff' | dd of="$SMOKE/store/corrupt.gmst" bs=1 seek=100 conv=notrunc status=none
+if "$GAMMA" store query "$SMOKE/store/corrupt.gmst" --report summary \
+    >"$SMOKE/store/corrupt.out" 2>"$SMOKE/store/corrupt.err"; then
+  echo "   ERROR: corrupted store was accepted" >&2
+  exit 1
+fi
+grep -q "crc_mismatch" "$SMOKE/store/corrupt.err"
+echo "   corrupted store rejected with a structured crc_mismatch error"
+
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "== sanitizers: skipped (--skip-san) =="
   exit 0
@@ -73,7 +95,7 @@ for t in test_thread_pool test_parallel_study test_metrics; do
   "./build-tsan/tests/$t"
 done
 
-RESILIENCE_SUITES=(test_fault test_formats test_resilience)
+RESILIENCE_SUITES=(test_fault test_formats test_resilience test_store)
 for san in address undefined; do
   tree="build-asan"
   [[ "$san" == "undefined" ]] && tree="build-ubsan"

@@ -18,13 +18,19 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/flows.h"
 #include "analysis/prevalence.h"
+#include "analysis/report_json.h"
 #include "analysis/study.h"
 #include "core/recorder.h"
+#include "store/query.h"
+#include "store/reader.h"
+#include "store/reports.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -38,15 +44,25 @@ using namespace gam;
 
 struct Args {
   std::string command;
+  std::string subcommand;   // store only: build | query
   std::vector<std::string> countries;
   std::string site;
   std::string out;
   std::string metrics_out;
   std::string fault_plan;   // JSON file; arms the fault plane
   std::string checkpoint;   // journal directory; "" = no checkpointing
+  std::string store_out;    // GMST store file; "" = no store
   bool resume = false;
   uint64_t seed = 7;
   size_t jobs = 1;
+  // store query
+  std::string store_file;   // positional FILE.gmst
+  std::string table = "hits";
+  std::vector<std::string> wheres;  // "col=value" predicates, ANDed
+  std::string group_by;
+  std::string report;
+  bool flows = false;
+  size_t limit = 0;         // 0 = unlimited
 };
 
 void usage() {
@@ -54,7 +70,14 @@ void usage() {
                "usage: gamma <command> [options]\n"
                "  run    --country CC [--out DIR] [--seed N]   one volunteer session\n"
                "  study  [--country CC ...] [--out DIR] [--seed N] [--jobs N]\n"
-               "         [--fault-plan FILE] [--checkpoint DIR] [--resume]   the full study\n"
+               "         [--fault-plan FILE] [--checkpoint DIR] [--resume]\n"
+               "         [--store-out FILE.gmst]                    the full study\n"
+               "  store  build --out FILE.gmst [--country CC ...] [--seed N] [--jobs N]\n"
+               "             run the study once, serialize its analysis substrate\n"
+               "  store  query FILE.gmst [--report R] [--table T] [--where col=val ...]\n"
+               "             [--group-by col] [--flows] [--limit N] [--out FILE]\n"
+               "             sub-millisecond scans over the mapped store; reports:\n"
+               "             summary|prevalence|policy|per-site|flows|coverage|funnel\n"
                "  har    --site DOMAIN --country CC [--out FILE]     HAR export\n"
                "  audit                                              IPmap error audit\n"
                "study resilience options:\n"
@@ -74,7 +97,13 @@ void usage() {
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first = 2;
+  if (args.command == "store") {
+    if (argc < 3 || argv[2][0] == '-') return false;
+    args.subcommand = argv[2];
+    first = 3;
+  }
+  for (int i = first; i < argc; ++i) {
     std::string flag = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
     if (flag == "--country") {
@@ -109,8 +138,37 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.checkpoint = v;
+    } else if (flag == "--store-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.store_out = v;
     } else if (flag == "--resume") {
       args.resume = true;
+    } else if (flag == "--table") {
+      const char* v = next();
+      if (!v) return false;
+      args.table = v;
+    } else if (flag == "--where") {
+      const char* v = next();
+      if (!v) return false;
+      args.wheres.push_back(v);
+    } else if (flag == "--group-by") {
+      const char* v = next();
+      if (!v) return false;
+      args.group_by = v;
+    } else if (flag == "--report") {
+      const char* v = next();
+      if (!v) return false;
+      args.report = v;
+    } else if (flag == "--flows") {
+      args.flows = true;
+    } else if (flag == "--limit") {
+      const char* v = next();
+      if (!v) return false;
+      args.limit = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (!flag.empty() && flag[0] != '-' && args.command == "store" &&
+               args.store_file.empty()) {
+      args.store_file = flag;  // positional FILE.gmst for `store query`
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -203,6 +261,7 @@ int cmd_study(const Args& args) {
   }
   options.checkpoint_dir = args.checkpoint;
   options.resume = args.resume;
+  options.store_out = args.store_out;
   if (args.resume && args.checkpoint.empty()) {
     std::fprintf(stderr, "study: --resume requires --checkpoint DIR\n");
     return 1;
@@ -244,17 +303,109 @@ int cmd_study(const Args& args) {
       return 1;
     }
   }
-  util::Json summary = util::Json::object();
-  summary["countries"] = study.analyses.size();
-  summary["sites_with_nonlocal"] = flows.sites_with_nonlocal;
-  summary["mean_reg_prevalence"] = prev.mean_reg;
-  summary["mean_gov_prevalence"] = prev.mean_gov;
-  util::Json dests = util::Json::object();
-  for (const auto& [dest, pct] : flows.dest_pct) dests[dest] = pct;
-  summary["destination_pct"] = std::move(dests);
+  util::Json summary = analysis::study_summary_json(study.analyses.size(), prev, flows);
   if (!write_file(args.out + "/study-summary.json", summary.dump(2))) return 1;
   std::printf("wrote %zu datasets + analyses + study-summary.json to %s\n",
               study.datasets.size(), args.out.c_str());
+  return 0;
+}
+
+// `gamma store build` — run the study once and serialize its analysis
+// substrate; `gamma store query` — mapped-store scans and paper reports.
+// Structured store errors (crc_mismatch, bad_magic, ...) go to stderr and
+// exit non-zero; a corrupted store is a diagnosis, never a crash.
+int cmd_store(const Args& args) {
+  if (args.subcommand == "build") {
+    if (args.out.empty()) {
+      std::fprintf(stderr, "store build: need --out FILE.gmst\n");
+      return 1;
+    }
+    auto world = worldgen::generate_world({});
+    worldgen::StudyOptions options;
+    options.countries = args.countries;
+    options.seed = args.seed;
+    options.jobs = args.jobs;
+    options.store_out = args.out;
+    worldgen::StudyResult study = worldgen::run_study(*world, options);
+    std::printf("wrote %s (%zu countries)\n", args.out.c_str(), study.analyses.size());
+    return 0;
+  }
+  if (args.subcommand != "query") {
+    std::fprintf(stderr, "store: unknown subcommand '%s' (build|query)\n",
+                 args.subcommand.c_str());
+    return 1;
+  }
+  if (args.store_file.empty()) {
+    std::fprintf(stderr, "store query: need a FILE.gmst argument\n");
+    return 1;
+  }
+  store::Error error;
+  std::unique_ptr<store::Reader> reader = store::Reader::open(args.store_file, &error);
+  if (!reader) {
+    std::fprintf(stderr, "store query: cannot open %s: %s\n", args.store_file.c_str(),
+                 error.to_string().c_str());
+    return 1;
+  }
+
+  util::Json doc;
+  if (!args.report.empty()) {
+    if (args.report == "summary") {
+      doc = store::summary_json(*reader);
+    } else if (args.report == "prevalence") {
+      doc = analysis::to_json(store::prevalence_report(*reader));
+    } else if (args.report == "policy") {
+      doc = analysis::to_json(store::policy_report(*reader));
+    } else if (args.report == "per-site") {
+      doc = analysis::to_json(store::per_site_report(*reader));
+    } else if (args.report == "flows") {
+      doc = analysis::to_json(store::flows_report(*reader));
+    } else if (args.report == "coverage") {
+      doc = store::coverage_json(*reader);
+    } else if (args.report == "funnel") {
+      doc = store::funnel_json(*reader);
+    } else {
+      std::fprintf(stderr,
+                   "store query: unknown report '%s' "
+                   "(summary|prevalence|policy|per-site|flows|coverage|funnel)\n",
+                   args.report.c_str());
+      return 1;
+    }
+  } else {
+    store::QuerySpec spec;
+    auto table = store::table_from_name(args.table);
+    if (!table) {
+      std::fprintf(stderr, "store query: unknown table '%s' (countries|sites|hits)\n",
+                   args.table.c_str());
+      return 1;
+    }
+    spec.table = *table;
+    for (const std::string& w : args.wheres) {
+      size_t eq = w.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "store query: --where expects col=value, got '%s'\n",
+                     w.c_str());
+        return 1;
+      }
+      spec.where.emplace_back(w.substr(0, eq), w.substr(eq + 1));
+    }
+    spec.group_by = args.group_by;
+    spec.flows = args.flows;
+    spec.limit = args.limit;
+    std::optional<util::Json> result = store::Query(*reader).run(spec, &error);
+    if (!result) {
+      std::fprintf(stderr, "store query: %s\n", error.to_string().c_str());
+      return 1;
+    }
+    doc = std::move(*result);
+  }
+
+  std::string json = doc.dump(2);
+  if (!args.out.empty()) {
+    if (!write_file(args.out, json)) return 1;
+    std::printf("wrote %s\n", args.out.c_str());
+  } else {
+    std::printf("%s\n", json.c_str());
+  }
   return 0;
 }
 
@@ -357,6 +508,7 @@ int main(int argc, char** argv) {
   int rc = 2;
   if (args.command == "run") rc = cmd_run(args);
   else if (args.command == "study") rc = cmd_study(args);
+  else if (args.command == "store") rc = cmd_store(args);
   else if (args.command == "har") rc = cmd_har(args);
   else if (args.command == "audit") rc = cmd_audit(args);
   else {
