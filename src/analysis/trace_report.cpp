@@ -1,0 +1,202 @@
+#include "analysis/trace_report.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace gam::analysis {
+
+namespace {
+
+using util::trace::Span;
+
+struct CategoryAgg {
+  size_t spans = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;
+};
+
+struct FlameAgg {
+  size_t spans = 0;
+  double self_ms = 0.0;
+};
+
+}  // namespace
+
+util::Json trace_report_json(const std::vector<Span>& spans, size_t top_n) {
+  // Stream order: the deterministic (root_ordinal, root, seq) sort the
+  // JSONL export uses; a parent always precedes its children under a root.
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const Span& x = spans[a];
+    const Span& y = spans[b];
+    if (x.root_ordinal != y.root_ordinal) return x.root_ordinal < y.root_ordinal;
+    if (x.root != y.root) return x.root < y.root;
+    if (x.seq != y.seq) return x.seq < y.seq;
+    return x.id < y.id;
+  });
+
+  // Pick the clock: simulated when the stream carries one, else wall.
+  bool has_sim = false;
+  for (const Span& s : spans) {
+    if (s.sim_dur_ns > 0) {
+      has_sim = true;
+      break;
+    }
+  }
+  auto dur_ms = [&](const Span& s) {
+    return has_sim ? static_cast<double>(s.sim_dur_ns) / 1e6
+                   : static_cast<double>(s.wall_dur_us) / 1e3;
+  };
+
+  std::unordered_map<uint64_t, size_t> by_id;
+  by_id.reserve(spans.size());
+  for (size_t i : order) by_id.emplace(spans[i].id, i);
+  std::unordered_map<uint64_t, std::vector<size_t>> children;  // parent id -> span idx
+  std::unordered_map<uint64_t, double> child_ms;               // parent id -> sum of children
+  std::vector<size_t> root_idx;
+  for (size_t i : order) {
+    const Span& s = spans[i];
+    if (s.parent != 0 && by_id.count(s.parent)) {
+      children[s.parent].push_back(i);
+      child_ms[s.parent] += dur_ms(s);
+    } else {
+      root_idx.push_back(i);
+    }
+  }
+
+  // --- Per-category self/total. ---
+  std::map<std::string, CategoryAgg> cats;  // map: deterministic emit order
+  double roots_total_ms = 0.0;
+  for (size_t i : order) {
+    const Span& s = spans[i];
+    CategoryAgg& agg = cats[s.category];
+    agg.spans += 1;
+    double d = dur_ms(s);
+    agg.total_ms += d;
+    auto it = child_ms.find(s.id);
+    double self = d - (it == child_ms.end() ? 0.0 : it->second);
+    agg.self_ms += std::max(0.0, self);
+  }
+  for (size_t i : root_idx) roots_total_ms += dur_ms(spans[i]);
+
+  util::Json categories = util::Json::array();
+  {
+    std::vector<std::pair<std::string, CategoryAgg>> rows(cats.begin(), cats.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second.self_ms != b.second.self_ms) return a.second.self_ms > b.second.self_ms;
+      return a.first < b.first;
+    });
+    for (const auto& [name, agg] : rows) {
+      util::Json row = util::Json::object();
+      row["category"] = name;
+      row["spans"] = agg.spans;
+      row["total_ms"] = agg.total_ms;
+      row["self_ms"] = agg.self_ms;
+      categories.push_back(std::move(row));
+    }
+  }
+
+  // --- Critical path per root: repeatedly descend into the most expensive
+  // child (ties to the earliest seq, which the sorted child list gives). ---
+  util::Json critical_paths = util::Json::array();
+  for (size_t i : root_idx) {
+    const Span& root = spans[i];
+    util::Json entry = util::Json::object();
+    entry["root"] = root.root.empty() ? root.name : root.root;
+    entry["total_ms"] = dur_ms(root);
+    util::Json steps = util::Json::array();
+    uint64_t at = root.id;
+    for (int depth = 0; depth < 32; ++depth) {
+      auto it = children.find(at);
+      if (it == children.end() || it->second.empty()) break;
+      size_t best = it->second.front();
+      for (size_t c : it->second) {
+        if (dur_ms(spans[c]) > dur_ms(spans[best])) best = c;
+      }
+      const Span& step = spans[best];
+      util::Json srow = util::Json::object();
+      srow["name"] = step.name;
+      srow["ms"] = dur_ms(step);
+      steps.push_back(std::move(srow));
+      at = step.id;
+    }
+    entry["steps"] = std::move(steps);
+    critical_paths.push_back(std::move(entry));
+  }
+
+  // --- Top-N slowest sites (the per-site "site" spans from core::Session).---
+  util::Json slowest = util::Json::array();
+  {
+    std::vector<size_t> sites;
+    for (size_t i : order) {
+      if (spans[i].name == "site") sites.push_back(i);
+    }
+    std::stable_sort(sites.begin(), sites.end(),
+                     [&](size_t a, size_t b) { return dur_ms(spans[a]) > dur_ms(spans[b]); });
+    if (sites.size() > top_n) sites.resize(top_n);
+    for (size_t i : sites) {
+      const Span& s = spans[i];
+      std::string domain;
+      for (const auto& [k, v] : s.args) {
+        if (k == "domain") domain = v;
+      }
+      util::Json row = util::Json::object();
+      row["site"] = domain.empty() ? s.name : domain;
+      row["root"] = s.root;
+      row["ms"] = dur_ms(s);
+      slowest.push_back(std::move(row));
+    }
+  }
+
+  // --- Flame-style aggregation: merge stacks by span name (root label
+  // replaced by "<root>" so all countries merge), weighted by self time. ---
+  util::Json flame = util::Json::array();
+  {
+    std::unordered_map<uint64_t, std::string> stack_of;  // span id -> stack key
+    std::map<std::string, FlameAgg> stacks;
+    for (size_t i : order) {
+      const Span& s = spans[i];
+      std::string key;
+      if (s.parent != 0 && by_id.count(s.parent)) {
+        key = stack_of[spans[by_id[s.parent]].id] + ";" + s.name;
+      } else {
+        key = s.parent == 0 && s.category == "study" ? "<root>" : s.name;
+      }
+      stack_of[s.id] = key;
+      FlameAgg& agg = stacks[key];
+      agg.spans += 1;
+      auto it = child_ms.find(s.id);
+      double self = dur_ms(s) - (it == child_ms.end() ? 0.0 : it->second);
+      agg.self_ms += std::max(0.0, self);
+    }
+    std::vector<std::pair<std::string, FlameAgg>> rows(stacks.begin(), stacks.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second.self_ms != b.second.self_ms) return a.second.self_ms > b.second.self_ms;
+      return a.first < b.first;
+    });
+    if (rows.size() > 2 * top_n) rows.resize(2 * top_n);
+    for (const auto& [key, agg] : rows) {
+      util::Json row = util::Json::object();
+      row["stack"] = key;
+      row["spans"] = agg.spans;
+      row["self_ms"] = agg.self_ms;
+      flame.push_back(std::move(row));
+    }
+  }
+
+  util::Json doc = util::Json::object();
+  doc["clock"] = has_sim ? "sim" : "wall";
+  doc["spans"] = spans.size();
+  doc["roots"] = root_idx.size();
+  doc["total_ms"] = roots_total_ms;
+  doc["categories"] = std::move(categories);
+  doc["critical_paths"] = std::move(critical_paths);
+  doc["slowest_sites"] = std::move(slowest);
+  doc["flame"] = std::move(flame);
+  return doc;
+}
+
+}  // namespace gam::analysis

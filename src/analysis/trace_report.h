@@ -1,0 +1,32 @@
+// Aggregation over a recorded span stream: what `gamma trace FILE` prints.
+//
+// Works on the output of util::trace::parse_spans — either export format —
+// and answers the questions the raw Perfetto view makes you hunt for:
+// which category owns the time (self vs total), what the longest chain of
+// child spans per country is (the critical path), which sites were slowest,
+// and where the merged flame stacks concentrate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/json.h"
+#include "util/trace.h"
+
+namespace gam::analysis {
+
+/// Build the full report document:
+///   {"clock", "spans", "roots", "total_ms",
+///    "categories":     [{category, spans, total_ms, self_ms} ...],
+///    "critical_paths": [{root, total_ms, steps: [{name, ms} ...]} ...],
+///    "slowest_sites":  [{site, root, ms} ...]            (top_n),
+///    "flame":          [{stack, spans, self_ms} ...]     (top 2*top_n)}
+/// Durations come from the simulated clock when the stream carries one
+/// (any nonzero sim duration), falling back to the wall clock otherwise.
+/// total_ms for a category counts each span's full duration (nested spans
+/// of the same category count more than once, as in any total-time table);
+/// self_ms subtracts the span's direct children and never double-counts.
+util::Json trace_report_json(const std::vector<util::trace::Span>& spans,
+                             size_t top_n = 10);
+
+}  // namespace gam::analysis

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace gam::core {
 
@@ -52,8 +53,14 @@ class ParallelStudyRunner {
       -> std::vector<std::invoke_result_t<Fn&, size_t, const std::string&>> {
     using R = std::invoke_result_t<Fn&, size_t, const std::string&>;
     std::vector<std::optional<R>> slots(countries.size());
-    util::parallel_for(pool_, countries.size(),
-                       [&](size_t i) { slots[i].emplace(stage(i, countries[i])); });
+    util::parallel_for(pool_, countries.size(), [&](size_t i) {
+      // Per-country root span: the input index is the root ordinal, so the
+      // exported sim-time span stream is identical for any `jobs` value.
+      // Opened around the whole stage, so breaker retries and the degraded
+      // fallback land under the same root.
+      util::trace::ScopedSpan root(countries[i], "study", static_cast<uint32_t>(i));
+      slots[i].emplace(stage(i, countries[i]));
+    });
     std::vector<R> out;
     out.reserve(slots.size());
     for (auto& slot : slots) out.push_back(std::move(*slot));

@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 #include "world/country.h"
 
 namespace gam::core {
@@ -70,9 +71,12 @@ void GammaSession::run_all() {
 }
 
 void GammaSession::measure_site(const std::string& domain) {
+  util::trace::ScopedSpan span("site", "session");
+  span.arg("domain", domain);
   const web::Website* site = env_.universe->find(domain);
   SiteMeasurement m;
   if (!site) {
+    span.arg("unknown_site", true);
     // Target list entry that no longer resolves to a site: record the
     // failure, exactly what the tool would see as an unloadable page.
     m.page.site_domain = domain;
@@ -150,6 +154,7 @@ void GammaSession::measure_site(const std::string& domain) {
     }
   }
 
+  span.arg("loaded", m.page.loaded);
   dataset_.sites.push_back(std::move(m));
 }
 

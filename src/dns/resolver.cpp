@@ -2,6 +2,7 @@
 
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace gam::dns {
 
@@ -17,6 +18,23 @@ std::string_view dns_error_name(DnsError e) {
 Answer Resolver::resolve(std::string_view name, std::string_view client_country,
                          const util::FaultInjector* faults,
                          std::string_view fault_key) const {
+  util::trace::ScopedSpan span("resolve", "dns");
+  Answer ans = resolve_impl(name, client_country, faults, fault_key);
+  if (span.active()) {
+    span.arg("qname", name);
+    if (ans.failed()) {
+      span.arg("error", dns_error_name(ans.error));
+    } else {
+      span.arg("answers", ans.ips.size());
+      if (!ans.chain.empty()) span.arg("cname_hops", ans.chain.size());
+    }
+  }
+  return ans;
+}
+
+Answer Resolver::resolve_impl(std::string_view name, std::string_view client_country,
+                              const util::FaultInjector* faults,
+                              std::string_view fault_key) const {
   static util::Counter& lookups =
       util::MetricsRegistry::instance().counter("dns.lookups");
   static util::Counter& nxdomain =

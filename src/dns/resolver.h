@@ -60,6 +60,10 @@ class Resolver {
   std::optional<std::string> reverse(net::IPv4 ip) const;
 
  private:
+  Answer resolve_impl(std::string_view name, std::string_view client_country,
+                      const util::FaultInjector* faults,
+                      std::string_view fault_key) const;
+
   static constexpr int kMaxCnameDepth = 8;
   const ZoneStore& zones_;
 };

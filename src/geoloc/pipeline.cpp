@@ -4,6 +4,7 @@
 
 #include "net/ip.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 #include "world/country.h"
 
 namespace gam::geoloc {
@@ -104,11 +105,20 @@ GeoVerdict MultiConstraintGeolocator::classify(const ServerObservation& obs,
       util::MetricsRegistry::instance().counter("geoloc.dest_traceroutes");
   static util::Counter& degraded =
       util::MetricsRegistry::instance().counter("geoloc.degraded");
+  util::trace::ScopedSpan span("classify", "geoloc");
   GeoVerdict v = classify_impl(obs, rng);
   classified.inc();
   stage_counter(v.stage).inc();
   if (v.dest_trace_launched) dest_traces.inc();
   if (v.confidence == GeoConfidence::Degraded) degraded.inc();
+  // Funnel verdict on the span: which stage the observation exited at, the
+  // structured error, and whether the verdict is degraded evidence.
+  if (span.active()) {
+    span.arg("ip", net::ip_to_string(obs.ip));
+    span.arg("stage", geo_stage_name(v.stage));
+    if (v.error != GeoErrorCode::None) span.arg("error", geo_error_name(v.error));
+    if (v.confidence == GeoConfidence::Degraded) span.arg("degraded", true);
+  }
   return v;
 }
 
@@ -132,6 +142,7 @@ GeoVerdict MultiConstraintGeolocator::classify_impl(const ServerObservation& obs
 
   // --- Stage 1: source-based constraint (§4.1.1). ---
   if (config_.source_constraint) {
+    util::trace::ScopedSpan stage("source_constraint", "geoloc");
     bool source_usable = obs.src_trace_attempted && obs.src_trace_reached;
     if (!source_usable && obs.src_trace_fault) {
       // The trace was killed by the fault plane, not by the network: the
@@ -168,6 +179,7 @@ GeoVerdict MultiConstraintGeolocator::classify_impl(const ServerObservation& obs
 
   // --- Stage 2: destination-based constraint (§4.1.2). ---
   if (config_.dest_constraint) {
+    util::trace::ScopedSpan stage("dest_constraint", "geoloc");
     // Fault plane: the probe fleet in the claimed country may be injected as
     // unavailable. That is an infrastructure outage, not evidence about the
     // claim — skip the destination constraint and degrade.
@@ -223,6 +235,7 @@ GeoVerdict MultiConstraintGeolocator::classify_impl(const ServerObservation& obs
   }
 
   // --- Stage 3: reverse-DNS constraint (§4.1.3). ---
+  util::trace::ScopedSpan rdns_stage("rdns_constraint", "geoloc");
   if (CheckResult rd = check_rdns(obs.rdns, claim->country);
       config_.rdns_constraint && !rd.pass) {
     v.stage = GeoStage::RdnsMismatch;

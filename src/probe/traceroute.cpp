@@ -1,9 +1,11 @@
 #include "probe/traceroute.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "util/metrics.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace gam::probe {
 
@@ -25,6 +27,30 @@ TracerouteResult TracerouteEngine::trace(net::NodeId from, net::IPv4 dest,
                                          const TracerouteOptions& opts,
                                          util::Rng& rng, const util::FaultInjector* faults,
                                          std::string_view fault_scope) const {
+  util::trace::ScopedSpan span("traceroute", "probe");
+  TracerouteResult result = trace_impl(from, dest, opts, rng, faults, fault_scope);
+  // Simulated cost of the probe run: the deepest responding hop's RTT (the
+  // per-TTL probes overlap in the real tool, so the deepest response bounds
+  // the run). Deterministic — derived only from the seeded samples.
+  double deepest_ms = 0.0;
+  for (const auto& h : result.hops) {
+    if (h.ip != 0 && !h.rtts_ms.empty()) deepest_ms = std::max(deepest_ms, h.avg_rtt_ms());
+  }
+  util::trace::advance_sim_ms(deepest_ms);
+  if (span.active()) {
+    span.arg("dest", result.target);
+    span.arg("reached", result.reached);
+    span.arg("hops", result.hops.size());
+    if (result.fault_injected) span.arg("fault_injected", true);
+  }
+  return result;
+}
+
+TracerouteResult TracerouteEngine::trace_impl(net::NodeId from, net::IPv4 dest,
+                                              const TracerouteOptions& opts,
+                                              util::Rng& rng,
+                                              const util::FaultInjector* faults,
+                                              std::string_view fault_scope) const {
   static util::Counter& traces =
       util::MetricsRegistry::instance().counter("probe.traceroutes");
   static util::Counter& reached_total =

@@ -75,6 +75,11 @@ class TracerouteEngine {
                          std::string_view fault_scope) const;
 
  private:
+  TracerouteResult trace_impl(net::NodeId from, net::IPv4 dest,
+                              const TracerouteOptions& opts, util::Rng& rng,
+                              const util::FaultInjector* faults,
+                              std::string_view fault_scope) const;
+
   const net::Topology& topology_;
   const dns::Resolver& resolver_;
 };

@@ -11,6 +11,7 @@
 
 #include "util/crc32.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace gam::store {
 
@@ -79,6 +80,8 @@ std::unique_ptr<Reader> Reader::open(const std::string& path, Error* error) {
   static util::Histogram& open_ms =
       util::MetricsRegistry::instance().histogram("store.open_ms");
   util::ScopedTimer timer(open_ms);
+  util::trace::ScopedSpan span("store_open", "store");
+  span.arg("path", path);
   auto fail = [&](ErrorCode code, std::string detail) -> std::unique_ptr<Reader> {
     if (code == ErrorCode::CrcMismatch || code == ErrorCode::BadFooter) {
       util::MetricsRegistry::instance().counter("store.crc_failures").inc();

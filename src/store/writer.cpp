@@ -10,6 +10,7 @@
 #include "util/crc32.h"
 #include "util/json.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace gam::store {
 
@@ -116,6 +117,8 @@ util::Json meta_json(const StudyMeta& meta, size_t countries, size_t sites, size
 
 WriteResult Writer::write(const std::string& path,
                           const std::vector<analysis::CountryAnalysis>& analyses) const {
+  util::trace::ScopedSpan span("store_write", "store");
+  span.arg("path", path);
   WriteResult result;
   auto fail = [&](ErrorCode code, std::string detail) {
     util::MetricsRegistry::instance().counter("store.write_failures").inc();
@@ -295,6 +298,8 @@ WriteResult Writer::write(const std::string& path,
 
   result.bytes_written = file.size();
   result.blocks = entries.size();
+  span.arg("bytes", result.bytes_written);
+  span.arg("blocks", result.blocks);
   util::MetricsRegistry::instance().counter("store.bytes_written").inc(result.bytes_written);
   util::MetricsRegistry::instance().counter("store.blocks_written").inc(result.blocks);
   return result;

@@ -2,10 +2,14 @@
 
 #include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace gam::trackers {
 
 size_t FilterEngine::load_list(std::string_view text) {
+  // match() is far too hot to trace per call; list compilation is the
+  // traceable unit for the filter engine.
+  util::trace::ScopedSpan span("compile_list", "trackers");
   size_t loaded = 0;
   for (auto line : util::split_view(text, '\n')) {
     if (auto rule = FilterRule::parse(line)) {
@@ -13,6 +17,7 @@ size_t FilterEngine::load_list(std::string_view text) {
       ++loaded;
     }
   }
+  span.arg("rules", loaded);
   return loaded;
 }
 

@@ -2,6 +2,7 @@
 
 #include "trackers/lists.h"
 #include "trackers/org_db.h"
+#include "util/trace.h"
 
 namespace gam::trackers {
 
@@ -28,6 +29,18 @@ TrackerIdentifier::TrackerIdentifier() {
 
 IdentifyResult TrackerIdentifier::identify(const RequestContext& ctx,
                                            std::string_view source_country) const {
+  util::trace::ScopedSpan span("identify", "trackers");
+  IdentifyResult out = identify_impl(ctx, source_country);
+  if (span.active()) {
+    span.arg("host", ctx.host);
+    span.arg("tracker", out.is_tracker);
+    if (out.is_tracker) span.arg("method", id_method_name(out.method));
+  }
+  return out;
+}
+
+IdentifyResult TrackerIdentifier::identify_impl(const RequestContext& ctx,
+                                                std::string_view source_country) const {
   IdentifyResult out;
   auto fill_org = [&] {
     if (const Organization* org = OrgDb::instance().org_of_host(ctx.host)) {

@@ -41,6 +41,9 @@ class TrackerIdentifier {
   const FilterEngine& easyprivacy() const { return easyprivacy_; }
 
  private:
+  IdentifyResult identify_impl(const RequestContext& ctx,
+                               std::string_view source_country) const;
+
   FilterEngine easylist_;
   FilterEngine easyprivacy_;
   std::map<std::string, FilterEngine, std::less<>> regional_;

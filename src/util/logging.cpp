@@ -2,11 +2,22 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+
+#include "util/json.h"
+#include "util/trace.h"
 
 namespace gam::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// The JSONL sink. g_json_active mirrors the FILE* so the common no-sink case
+// stays a single relaxed load; the mutex serializes writes so records from
+// pool workers never interleave mid-line.
+std::atomic<bool> g_json_active{false};
+std::mutex g_json_mu;
+FILE* g_json = nullptr;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -18,16 +29,70 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
+const char* level_slug(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+void write_json_record(LogLevel level, std::string_view component,
+                       std::string_view message) {
+  // Snapshot the trace linkage outside the lock; it is thread-local.
+  uint64_t span = trace::current_span_id();
+  std::string root = trace::current_root_label();
+  uint64_t sim_us = trace::current_sim_us();
+  std::lock_guard<std::mutex> lock(g_json_mu);
+  if (g_json == nullptr) return;
+  std::fprintf(g_json, "{\"component\":%s,\"level\":\"%s\",\"message\":%s",
+               json_escape(component).c_str(), level_slug(level),
+               json_escape(message).c_str());
+  if (span != 0) {
+    std::fprintf(g_json, ",\"root\":%s,\"sim_us\":%llu,\"span\":%llu",
+                 json_escape(root).c_str(),
+                 static_cast<unsigned long long>(sim_us),
+                 static_cast<unsigned long long>(span));
+  }
+  std::fputs("}\n", g_json);
+  // Per-record flush, same rationale as the checkpoint journal: a killed
+  // study leaves a readable prefix, not a truncated JSON fragment.
+  std::fflush(g_json);
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+bool set_log_json_file(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_json_mu);
+  if (g_json != nullptr) {
+    std::fclose(g_json);
+    g_json = nullptr;
+    g_json_active.store(false, std::memory_order_relaxed);
+  }
+  if (path.empty()) return true;
+  g_json = std::fopen(path.c_str(), "w");
+  g_json_active.store(g_json != nullptr, std::memory_order_relaxed);
+  return g_json != nullptr;
+}
+
+bool log_json_active() { return g_json_active.load(std::memory_order_relaxed); }
+
 void log(LogLevel level, std::string_view component, std::string_view message) {
-  if (level < log_level()) return;
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  bool to_stderr = level >= log_level() && level != LogLevel::Off;
+  bool to_json = level >= LogLevel::Info && level != LogLevel::Off && log_json_active();
+  if (!to_stderr && !to_json) return;
+  if (to_stderr) {
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  }
+  if (to_json) write_json_record(level, component, message);
 }
 
 void log_debug(std::string_view c, std::string_view m) { log(LogLevel::Debug, c, m); }

@@ -4,6 +4,13 @@
 // benchmarks stay quiet. Examples raise the level to Info to narrate what
 // Gamma is doing, mirroring the progress output the real tool shows
 // volunteers.
+//
+// An optional structured sink (set_log_json_file) mirrors every record at or
+// above Info into a JSONL file, independent of the stderr threshold. Each
+// record carries level, component, and message; when emitted inside an
+// active trace span (util::trace) it also carries the span id, root label,
+// and simulated timestamp, so log lines can be joined against the span
+// stream from `gamma study --trace-jsonl`.
 #pragma once
 
 #include <string>
@@ -17,7 +24,14 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line to stderr as "[LEVEL] component: message".
+/// Route a structured JSONL copy of every record at or above Info to `path`
+/// (truncates). An empty path closes the sink. Returns false when the file
+/// cannot be opened (the sink stays closed); the caller owns reporting.
+bool set_log_json_file(const std::string& path);
+bool log_json_active();
+
+/// Emit one line to stderr as "[LEVEL] component: message" (subject to the
+/// threshold) and, independently, one JSONL record to the structured sink.
 void log(LogLevel level, std::string_view component, std::string_view message);
 
 void log_debug(std::string_view component, std::string_view message);

@@ -85,6 +85,13 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// sum()/count(), 0 when empty. Each accessor is a separate relaxed load,
+  /// so the ratio is approximate under concurrent observes — fine for
+  /// reporting, not for invariants.
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
   /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
   std::vector<uint64_t> bucket_counts() const;
   void reset();

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace gam::util {
 
@@ -67,10 +68,16 @@ void ThreadPool::wait_idle() {
 
 void parallel_for(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  // Propagate the caller's trace context into every task so spans opened on
+  // worker threads keep correct parent links (an empty context is free).
+  trace::SpanContext ctx = trace::current_context();
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+    futures.push_back(pool.submit([&fn, i, ctx] {
+      trace::ContextGuard guard(ctx);
+      fn(i);
+    }));
   }
   std::exception_ptr first;
   for (auto& f : futures) {

@@ -82,6 +82,9 @@ class ThreadPool {
 /// Run fn(i) for i in [0, n) across the pool and block until all complete.
 /// The first exception thrown by any iteration is rethrown here (the rest
 /// still run to completion, so shared state is quiescent afterwards).
+/// The caller's trace context (util::trace) is captured here and installed
+/// around every iteration, so spans opened inside fn keep correct parent
+/// links across the pool boundary.
 void parallel_for(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn);
 
 }  // namespace gam::util

@@ -1,0 +1,460 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace gam::util::trace {
+
+namespace {
+
+uint64_t wall_now_us() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count());
+}
+
+std::atomic<uint64_t> g_next_id{0};
+// Ordinal space for auto-roots (spans opened with no ambient context). They
+// sort after every explicit study root and, because auto-roots are only ever
+// opened from deterministic single-threaded phases, their allocation order is
+// itself deterministic.
+constexpr uint32_t kAutoRootBase = 1u << 30;
+std::atomic<uint32_t> g_next_auto_root{0};
+
+thread_local SpanContext t_ctx;
+
+}  // namespace
+
+void set_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+SpanContext current_context() { return t_ctx; }
+uint64_t current_span_id() { return t_ctx.span_id; }
+
+std::string current_root_label() {
+  return t_ctx.root ? t_ctx.root->label : std::string();
+}
+
+uint64_t current_sim_us() {
+  return t_ctx.root ? t_ctx.root->sim_ns.load(std::memory_order_relaxed) / 1000 : 0;
+}
+
+void advance_sim_ms(double ms) {
+  if (!t_ctx.root || !(ms > 0.0)) return;
+  // llround gives a deterministic integer advance; float accumulation order
+  // never enters the clock.
+  auto ns = static_cast<uint64_t>(std::llround(ms * 1e6));
+  t_ctx.root->sim_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+ContextGuard::ContextGuard(SpanContext ctx) : prev_(std::move(t_ctx)) {
+  t_ctx = std::move(ctx);
+}
+
+ContextGuard::~ContextGuard() { t_ctx = std::move(prev_); }
+
+// ---------------------------------------------------------------------------
+// Per-thread buffers: a singly linked chain of fixed chunks. The owning
+// thread appends into the tail chunk's next free slot, then publishes with a
+// release store on `used`; collect() walks the chain with acquire loads and
+// sees every fully constructed span (a clean prefix of the stream).
+
+namespace detail {
+
+struct SpanChunk {
+  static constexpr size_t kCap = 1024;
+  Span slots[kCap];
+  std::atomic<size_t> used{0};
+  std::atomic<SpanChunk*> next{nullptr};
+};
+
+struct ThreadBuffer {
+  uint32_t index = 0;
+  size_t total = 0;  // owner-thread bookkeeping for the per-thread cap
+  std::unique_ptr<SpanChunk> head;
+  SpanChunk* tail = nullptr;
+
+  ThreadBuffer() : head(std::make_unique<SpanChunk>()), tail(head.get()) {}
+};
+
+}  // namespace detail
+
+namespace {
+
+struct TracerState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers;
+  std::atomic<uint64_t> epoch{0};
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState();  // leaked: outlives worker threads
+  return *s;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+detail::ThreadBuffer* Tracer::buffer() {
+  struct Ref {
+    detail::ThreadBuffer* buf = nullptr;
+    uint64_t epoch = ~0ull;
+  };
+  thread_local Ref ref;
+  TracerState& s = state();
+  uint64_t epoch = s.epoch.load(std::memory_order_acquire);
+  if (ref.buf == nullptr || ref.epoch != epoch) {
+    auto owned = std::make_unique<detail::ThreadBuffer>();
+    detail::ThreadBuffer* raw = owned.get();
+    std::lock_guard<std::mutex> lock(s.mu);
+    raw->index = static_cast<uint32_t>(s.buffers.size());
+    s.buffers.push_back(std::move(owned));
+    ref.buf = raw;
+    ref.epoch = epoch;
+  }
+  return ref.buf;
+}
+
+void Tracer::record(Span&& span) {
+  static Counter& recorded = MetricsRegistry::instance().counter("trace.spans_recorded");
+  static Counter& dropped = MetricsRegistry::instance().counter("trace.dropped_spans");
+  detail::ThreadBuffer* buf = buffer();
+  if (buf->total >= kMaxSpansPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped.inc();
+    return;
+  }
+  detail::SpanChunk* tail = buf->tail;
+  size_t used = tail->used.load(std::memory_order_relaxed);
+  if (used == detail::SpanChunk::kCap) {
+    auto* fresh = new detail::SpanChunk();
+    tail->next.store(fresh, std::memory_order_release);
+    buf->tail = fresh;
+    tail = fresh;
+    used = 0;
+  }
+  span.thread = buf->index;
+  tail->slots[used] = std::move(span);
+  tail->used.store(used + 1, std::memory_order_release);
+  ++buf->total;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  recorded.inc();
+}
+
+std::vector<Span> Tracer::collect() {
+  static Histogram& flush_ms = MetricsRegistry::instance().histogram("trace.flush_ms");
+  ScopedTimer timer(flush_ms);
+  std::vector<Span> out;
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& buf : s.buffers) {
+    for (detail::SpanChunk* c = buf->head.get(); c != nullptr;
+         c = c->next.load(std::memory_order_acquire)) {
+      size_t n = c->used.load(std::memory_order_acquire);
+      for (size_t i = 0; i < n; ++i) out.push_back(c->slots[i]);
+    }
+  }
+  return out;
+}
+
+void Tracer::reset() {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& buf : s.buffers) {
+    // Free the owner-linked overflow chunks; the head is owned by unique_ptr.
+    detail::SpanChunk* c = buf->head->next.load(std::memory_order_acquire);
+    while (c != nullptr) {
+      detail::SpanChunk* next = c->next.load(std::memory_order_acquire);
+      delete c;
+      c = next;
+    }
+  }
+  s.buffers.clear();
+  s.epoch.fetch_add(1, std::memory_order_release);
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  // Re-zero the auto-root ordinal space so two traced runs inside one
+  // process (the byte-identity test) number their main-thread roots alike.
+  g_next_auto_root.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSpan
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category) {
+  if (!enabled()) return;
+  open(name, category, /*new_root=*/false, 0);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category,
+                       uint32_t root_ordinal) {
+  if (!enabled()) return;
+  open(name, category, /*new_root=*/true, root_ordinal);
+}
+
+void ScopedSpan::open(std::string_view name, std::string_view category,
+                      bool new_root, uint32_t root_ordinal) {
+  if (new_root || !t_ctx.root) {
+    root_ = std::make_shared<RootState>();
+    root_->label.assign(name.data(), name.size());
+    root_->ordinal = new_root
+                         ? root_ordinal
+                         : kAutoRootBase +
+                               g_next_auto_root.fetch_add(1, std::memory_order_relaxed);
+    span_.parent = 0;
+  } else {
+    root_ = t_ctx.root;
+    span_.parent = t_ctx.span_id;
+  }
+  span_.id = g_next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  span_.root_ordinal = root_->ordinal;
+  span_.seq = root_->next_seq.fetch_add(1, std::memory_order_relaxed);
+  span_.root = root_->label;
+  span_.name.assign(name.data(), name.size());
+  span_.category.assign(category.data(), category.size());
+  span_.wall_start_us = wall_now_us();
+  span_.sim_start_ns = root_->sim_ns.load(std::memory_order_relaxed);
+  prev_ = std::move(t_ctx);
+  t_ctx = SpanContext{span_.id, root_};
+  active_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  span_.wall_dur_us = wall_now_us() - span_.wall_start_us;
+  span_.sim_dur_ns =
+      root_->sim_ns.load(std::memory_order_relaxed) - span_.sim_start_ns;
+  Tracer::instance().record(std::move(span_));
+  t_ctx = std::move(prev_);
+}
+
+void ScopedSpan::arg(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  span_.args.emplace_back(std::string(key), std::string(value));
+}
+
+void ScopedSpan::arg(std::string_view key, uint64_t value) {
+  if (!active_) return;
+  span_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+// ---------------------------------------------------------------------------
+// Export / parse
+
+namespace {
+
+// Deterministic total order for the exported stream. seq ties are broken by
+// id to keep the sort stable even for malformed streams.
+void sort_spans(std::vector<Span>& spans) {
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.root_ordinal != b.root_ordinal) return a.root_ordinal < b.root_ordinal;
+    if (a.root != b.root) return a.root < b.root;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.id < b.id;
+  });
+}
+
+Json args_json(const Span& s) {
+  Json obj = Json::object();
+  for (const auto& [k, v] : s.args) obj[k] = v;
+  return obj;
+}
+
+}  // namespace
+
+Json chrome_trace_json(const std::vector<Span>& spans, Clock clock) {
+  std::vector<Span> sorted = spans;
+  sort_spans(sorted);
+  // Rebase wall timestamps so the numbers stay inside dump()'s 10 significant
+  // digits (steady_clock since process start is already small; rebasing to
+  // the first span makes the trace open at t=0 regardless).
+  uint64_t wall_min = ~0ull;
+  for (const auto& s : sorted) wall_min = std::min(wall_min, s.wall_start_us);
+  if (sorted.empty()) wall_min = 0;
+
+  JsonArray events;
+  events.reserve(sorted.size());
+  std::vector<std::pair<long, std::string>> lanes;  // tid -> lane name
+  for (const auto& s : sorted) {
+    JsonObject ev;
+    ev["ph"] = "X";
+    ev["pid"] = 1;
+    ev["name"] = s.name;
+    ev["cat"] = s.category;
+    if (clock == Clock::Wall) {
+      ev["ts"] = static_cast<double>(s.wall_start_us - wall_min);
+      ev["dur"] = static_cast<double>(s.wall_dur_us);
+      ev["tid"] = static_cast<long>(s.thread);
+      lanes.emplace_back(static_cast<long>(s.thread),
+                         "worker-" + std::to_string(s.thread));
+    } else {
+      ev["ts"] = static_cast<double>(s.sim_start_ns / 1000);
+      ev["dur"] = static_cast<double>(s.sim_dur_ns / 1000);
+      ev["tid"] = static_cast<long>(s.root_ordinal);
+      lanes.emplace_back(static_cast<long>(s.root_ordinal), s.root);
+    }
+    Json args = args_json(s);
+    // Span identity and the other clock ride along so parse_spans() can
+    // rebuild the tree from a Chrome file.
+    args["id"] = static_cast<double>(s.id);
+    args["parent"] = static_cast<double>(s.parent);
+    args["root"] = s.root;
+    args["root_ordinal"] = static_cast<double>(s.root_ordinal);
+    args["seq"] = static_cast<double>(s.seq);
+    args["sim_us"] = static_cast<double>(s.sim_start_ns / 1000);
+    args["sim_dur_us"] = static_cast<double>(s.sim_dur_ns / 1000);
+    ev["args"] = std::move(args);
+    events.push_back(Json(std::move(ev)));
+  }
+
+  // Name the lanes (metadata events) so Perfetto shows country codes /
+  // worker ids instead of bare numbers.
+  std::sort(lanes.begin(), lanes.end());
+  lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+  JsonArray all;
+  {
+    JsonObject meta;
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = 0;
+    meta["name"] = "process_name";
+    Json margs = Json::object();
+    margs["name"] = "gamma";
+    meta["args"] = std::move(margs);
+    all.push_back(Json(std::move(meta)));
+  }
+  for (const auto& [tid, label] : lanes) {
+    JsonObject meta;
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = tid;
+    meta["name"] = "thread_name";
+    Json margs = Json::object();
+    margs["name"] = label;
+    meta["args"] = std::move(margs);
+    all.push_back(Json(std::move(meta)));
+  }
+  for (auto& ev : events) all.push_back(std::move(ev));
+
+  JsonObject doc;
+  doc["displayTimeUnit"] = "ms";
+  doc["traceEvents"] = Json(std::move(all));
+  return Json(std::move(doc));
+}
+
+std::string spans_to_jsonl(std::vector<Span> spans) {
+  sort_spans(spans);
+  // Dense deterministic ids in stream order; parents remapped through the
+  // same table (a parent always sorts before its children under one root,
+  // since the parent's seq is smaller).
+  std::unordered_map<uint64_t, uint64_t> renumber;
+  renumber.reserve(spans.size());
+  uint64_t next = 1;
+  for (const auto& s : spans) renumber[s.id] = next++;
+  std::string out;
+  for (const auto& s : spans) {
+    JsonObject line;
+    line["args"] = args_json(s);
+    line["cat"] = s.category;
+    line["id"] = static_cast<double>(renumber[s.id]);
+    line["name"] = s.name;
+    auto parent = renumber.find(s.parent);
+    line["parent"] = static_cast<double>(parent == renumber.end() ? 0 : parent->second);
+    line["root"] = s.root;
+    line["root_ordinal"] = static_cast<double>(s.root_ordinal);
+    line["seq"] = static_cast<double>(s.seq);
+    line["sim_dur_us"] = static_cast<double>(s.sim_dur_ns / 1000);
+    line["sim_us"] = static_cast<double>(s.sim_start_ns / 1000);
+    out += Json(std::move(line)).dump(-1);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+Span span_from_fields(const Json& obj, bool chrome) {
+  Span s;
+  s.name = obj.get_string("name");
+  s.category = obj.get_string("cat");
+  const Json* args = obj.find("args");
+  Json empty = Json::object();
+  if (args == nullptr || !args->is_object()) args = &empty;
+  s.id = static_cast<uint64_t>(args->get_number("id", obj.get_number("id")));
+  s.parent =
+      static_cast<uint64_t>(args->get_number("parent", obj.get_number("parent")));
+  s.root = args->get_string("root", obj.get_string("root"));
+  s.root_ordinal = static_cast<uint32_t>(
+      args->get_number("root_ordinal", obj.get_number("root_ordinal")));
+  s.seq = static_cast<uint32_t>(args->get_number("seq", obj.get_number("seq")));
+  double sim_us = args->get_number("sim_us", obj.get_number("sim_us"));
+  double sim_dur_us = args->get_number("sim_dur_us", obj.get_number("sim_dur_us"));
+  s.sim_start_ns = static_cast<uint64_t>(sim_us) * 1000;
+  s.sim_dur_ns = static_cast<uint64_t>(sim_dur_us) * 1000;
+  if (chrome) {
+    s.wall_start_us = static_cast<uint64_t>(obj.get_number("ts"));
+    s.wall_dur_us = static_cast<uint64_t>(obj.get_number("dur"));
+    s.thread = static_cast<uint32_t>(obj.get_number("tid"));
+  }
+  // Everything else in args is a user annotation; keep it (in map order,
+  // which matches the deterministic export order).
+  for (const auto& [k, v] : args->fields()) {
+    if (k == "id" || k == "parent" || k == "root" || k == "root_ordinal" ||
+        k == "seq" || k == "sim_us" || k == "sim_dur_us") {
+      continue;
+    }
+    s.args.emplace_back(k, v.is_string() ? v.as_string() : v.dump(-1));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::vector<Span>> parse_spans(std::string_view text) {
+  // A whole-document parse that yields an object with "traceEvents" is a
+  // Chrome trace; otherwise treat the input as JSONL (one object per line).
+  if (auto doc = Json::parse(text); doc && doc->is_object() && doc->has("traceEvents")) {
+    const Json* events = doc->find("traceEvents");
+    if (!events->is_array()) return std::nullopt;
+    std::vector<Span> spans;
+    spans.reserve(events->size());
+    for (const auto& ev : events->items()) {
+      if (!ev.is_object() || ev.get_string("ph") != "X") continue;
+      spans.push_back(span_from_fields(ev, /*chrome=*/true));
+    }
+    return spans;
+  }
+  std::vector<Span> spans;
+  size_t pos = 0;
+  bool saw_line = false;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Tolerate blank lines and trailing whitespace, nothing else.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) continue;
+    auto obj = Json::parse(line);
+    if (!obj || !obj->is_object()) return std::nullopt;
+    spans.push_back(span_from_fields(*obj, /*chrome=*/false));
+    saw_line = true;
+  }
+  if (!saw_line) return std::nullopt;
+  return spans;
+}
+
+}  // namespace gam::util::trace

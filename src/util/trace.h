@@ -1,0 +1,221 @@
+// util::trace — deterministic span tracing for the measurement pipeline.
+//
+// The metrics layer (metrics.h) says how many and how long in aggregate;
+// this module says *where the time went inside one site load or one country
+// run*. Every instrumented operation opens a ScopedSpan; spans nest through
+// a thread-local context, fan out across ThreadPool tasks via explicit
+// SpanContext propagation, and land in per-thread buffers that are merged at
+// flush time. Two clocks per span:
+//
+//   * wall  — steady_clock microseconds, for real profiling. Opens directly
+//     in Perfetto / chrome://tracing via chrome_trace_json().
+//   * sim   — the study's simulated timeline (nanosecond integers advanced
+//     by the Rng-driven durations the substrate computes: page-load seconds,
+//     traceroute RTTs). The sim clock restarts at zero per root span and a
+//     country's chain runs sequentially inside one task, so the sorted
+//     sim-time span stream (spans_to_jsonl) is byte-identical for any
+//     --jobs value — the same determinism contract the store and the
+//     checkpoint journal obey.
+//
+// Design constraints, mirroring metrics.h:
+//   1. Disabled is the default and costs one relaxed atomic load per span;
+//      the disabled ScopedSpan allocates nothing (asserted in test_trace).
+//   2. Appends are lock-free: each thread owns a chunked buffer; the owner
+//      publishes entries with a release store on the chunk's `used` counter
+//      and readers walk with acquire loads, so collect() may run
+//      concurrently with emission (it observes a clean prefix).
+//   3. The tracer observes itself: trace.spans_recorded /
+//      trace.dropped_spans counters and a trace.flush_ms histogram.
+//
+// Determinism contract for the exported sim stream: spans under one root
+// must be emitted sequentially (one task = one country = one root), root
+// ordinals must be stable (the runner uses the input country index), and
+// span names/args must be pure functions of the seeded measurement — never
+// of wall time or thread identity. Under that contract spans_to_jsonl()
+// sorts by (root_ordinal, root, seq), renumbers ids densely, drops the wall
+// clock, and emits byte-identical output for --jobs 1..N.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gam::util {
+
+class Json;
+
+namespace trace {
+
+namespace detail {
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+/// Process-global kill switch, mirroring metrics::set_enabled. Off by
+/// default: the suite is a library first, and tracing is opt-in per run.
+inline bool enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// One finished span. `id` is process-unique but nondeterministic (atomic
+/// allocation order); deterministic identity is (root_ordinal, root, seq),
+/// which spans_to_jsonl() uses to renumber. Wall fields are profiling-only
+/// and excluded from the deterministic export.
+struct Span {
+  uint64_t id = 0;
+  uint64_t parent = 0;      // 0 = root span
+  uint32_t root_ordinal = 0;
+  uint32_t seq = 0;         // emission order within the root
+  uint32_t thread = 0;      // buffer registration index (wall export only)
+  std::string root;         // root label, e.g. the country code
+  std::string name;
+  std::string category;
+  uint64_t wall_start_us = 0;
+  uint64_t wall_dur_us = 0;
+  uint64_t sim_start_ns = 0;
+  uint64_t sim_dur_ns = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Shared identity of a root span: its label, its stable ordinal, the seq
+/// counter its spans draw from, and the simulated clock they advance.
+struct RootState {
+  std::string label;
+  uint32_t ordinal = 0;
+  std::atomic<uint32_t> next_seq{0};
+  std::atomic<uint64_t> sim_ns{0};
+};
+
+/// The ambient trace position of a thread: active span + owning root.
+/// Copy it with current_context() and install it in a pool task with
+/// ContextGuard so spans created there keep correct parent links.
+struct SpanContext {
+  uint64_t span_id = 0;
+  std::shared_ptr<RootState> root;
+};
+
+SpanContext current_context();
+/// Active span id (0 when none) — what the JSONL log sink records.
+uint64_t current_span_id();
+/// Label of the ambient root ("" when none).
+std::string current_root_label();
+/// Simulated clock of the ambient root, microseconds (0 when none).
+uint64_t current_sim_us();
+
+/// Advance the ambient root's simulated clock. No-op outside a span or when
+/// tracing is disabled. Call while the span covering the work is open so
+/// its sim duration absorbs the advance.
+void advance_sim_ms(double ms);
+
+/// RAII install/restore of a propagated context (see SpanContext).
+/// util::parallel_for installs the caller's context automatically.
+class ContextGuard {
+ public:
+  explicit ContextGuard(SpanContext ctx);
+  ~ContextGuard();
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  SpanContext prev_;
+};
+
+/// RAII span. The two-argument form nests under the ambient span (starting
+/// a fresh auto-root when there is none); the three-argument form always
+/// starts a new root with the given stable ordinal and label = name — the
+/// per-country form the study runner uses. Inert when tracing is disabled:
+/// no allocation, no clock reads.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, std::string_view category);
+  ScopedSpan(std::string_view name, std::string_view category, uint32_t root_ordinal);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a key/value annotation. Values are stored as strings; numeric
+  /// overloads format deterministically (integers, never floats).
+  void arg(std::string_view key, std::string_view value);
+  void arg(std::string_view key, const char* value) { arg(key, std::string_view(value)); }
+  void arg(std::string_view key, uint64_t value);
+  void arg(std::string_view key, int value) { arg(key, static_cast<uint64_t>(value < 0 ? 0 : value)); }
+  void arg(std::string_view key, bool value) { arg(key, std::string_view(value ? "true" : "false")); }
+
+  uint64_t id() const { return span_.id; }
+  bool active() const { return active_; }
+
+ private:
+  void open(std::string_view name, std::string_view category, bool new_root,
+            uint32_t root_ordinal);
+
+  Span span_;
+  std::shared_ptr<RootState> root_;
+  SpanContext prev_;
+  bool active_ = false;
+};
+
+namespace detail {
+struct ThreadBuffer;
+}  // namespace detail
+
+/// Process-wide span sink. Per-thread chunked buffers, registered on first
+/// use; collect() merges them (safe concurrently with emission — it sees a
+/// published prefix); reset() requires quiescence (no spans in flight),
+/// same spirit as MetricsRegistry::reset.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Merge every thread buffer into one vector (unsorted). Observes
+  /// trace.flush_ms.
+  std::vector<Span> collect();
+
+  /// Drop all buffered spans and re-home every thread. Test-only in spirit;
+  /// must not run concurrently with span emission.
+  void reset();
+
+  uint64_t spans_recorded() const { return recorded_.load(std::memory_order_relaxed); }
+  uint64_t dropped_spans() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Per-thread span cap; beyond it spans are counted as dropped, never
+  /// buffered. Generous: a full 23-country study records well under 10%.
+  static constexpr size_t kMaxSpansPerThread = 1u << 21;
+
+ private:
+  friend class ScopedSpan;
+  Tracer() = default;
+  void record(Span&& span);
+  detail::ThreadBuffer* buffer();
+
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+enum class Clock { Wall, Sim };
+
+/// Chrome trace-event document ({"traceEvents": [...]}) loadable by
+/// Perfetto / chrome://tracing. Wall clock: ts/dur are microseconds since
+/// process start and tid is the recording thread — the real profile. Sim
+/// clock: ts/dur are simulated microseconds and tid is the root ordinal —
+/// one deterministic lane per country. Span identity (id/parent/root/seq)
+/// and the other clock ride along in args, so parse_spans() round-trips.
+Json chrome_trace_json(const std::vector<Span>& spans, Clock clock = Clock::Wall);
+
+/// The deterministic simulated-time span stream: sorted by
+/// (root_ordinal, root, seq), ids renumbered densely, wall clock and thread
+/// ids omitted. One compact JSON object per line. Byte-identical across
+/// --jobs under the determinism contract above.
+std::string spans_to_jsonl(std::vector<Span> spans);
+
+/// Parse either export (auto-detected: a document with "traceEvents" is
+/// Chrome format, anything else is treated as JSONL). Returns nullopt when
+/// the text is neither.
+std::optional<std::vector<Span>> parse_spans(std::string_view text);
+
+}  // namespace trace
+}  // namespace gam::util

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "util/metrics.h"
+#include "util/trace.h"
 #include "web/url.h"
 
 namespace gam::web {
@@ -135,6 +136,23 @@ NetworkRequest Browser::fetch(std::string_view url, ResourceType type,
 PageLoadRecord Browser::load(const Website& site, net::NodeId client_node,
                              std::string_view client_country, double failure_rate,
                              util::Rng& rng) const {
+  util::trace::ScopedSpan span("page_load", "web");
+  PageLoadRecord rec = load_impl(site, client_node, client_country, failure_rate, rng);
+  // The page's Rng-derived wall time is the simulated cost of this span;
+  // advancing while the span is open charges it to page_load.
+  util::trace::advance_sim_ms(rec.total_time_s * 1000.0);
+  if (span.active()) {
+    span.arg("site", site.domain);
+    span.arg("loaded", rec.loaded);
+    if (!rec.loaded) span.arg("failure", rec.failure_reason);
+    span.arg("requests", rec.requests.size());
+  }
+  return rec;
+}
+
+PageLoadRecord Browser::load_impl(const Website& site, net::NodeId client_node,
+                                  std::string_view client_country, double failure_rate,
+                                  util::Rng& rng) const {
   static util::Counter& loads =
       util::MetricsRegistry::instance().counter("web.page_loads");
   static util::Counter& failures =

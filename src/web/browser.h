@@ -108,6 +108,9 @@ class Browser {
   const BrowserOptions& options() const { return options_; }
 
  private:
+  PageLoadRecord load_impl(const Website& site, net::NodeId client_node,
+                           std::string_view client_country, double failure_rate,
+                           util::Rng& rng) const;
   NetworkRequest fetch(std::string_view url, ResourceType type, net::NodeId client_node,
                        std::string_view client_country, util::Rng& rng) const;
 

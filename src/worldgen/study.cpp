@@ -13,6 +13,7 @@
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 #include "util/strings.h"
 #include "worldgen/checkpoint.h"
 
@@ -73,6 +74,8 @@ StudyResult run_study(World& world, const StudyOptions& options) {
   // deterministic given (dataset, analyze substream), which keeps the
   // journal small (datasets only) and the resumed output byte-identical.
   auto analyze_outcome = [&](const std::string& code, CountryOutcome& out) {
+    util::trace::ScopedSpan span("analyze", "analysis");
+    span.arg("country", code);
     util::Rng analyze_rng = util::Rng::substream(options.seed, "analyze-" + code);
     out.analysis = analyzer.analyze(out.dataset, analyze_rng);
   };
@@ -96,6 +99,8 @@ StudyResult run_study(World& world, const StudyOptions& options) {
 
     if (journal) {
       if (auto it = journal->completed().find(code); it != journal->completed().end()) {
+        util::trace::ScopedSpan span("resume", "study");
+        span.arg("country", code);
         out.dataset = it->second.dataset;
         out.atlas_repaired = it->second.atlas_repaired;
         out.degraded = it->second.degraded;
@@ -117,11 +122,16 @@ StudyResult run_study(World& world, const StudyOptions& options) {
     }
 
     const core::VolunteerProfile& profile = world.volunteer(code);
-    core::GammaSession session(
-        env, profile, world.targets.at(code), config,
-        util::Rng::substream(options.seed, "session-" + code).next());
-    session.run_all();
-    out.dataset = session.take_dataset();
+    {
+      util::trace::ScopedSpan span("session", "core");
+      span.arg("country", code);
+      core::GammaSession session(
+          env, profile, world.targets.at(code), config,
+          util::Rng::substream(options.seed, "session-" + code).next());
+      session.run_all();
+      out.dataset = session.take_dataset();
+      span.arg("sites", out.dataset.sites.size());
+    }
 
     // §5 cleaning: drop the chromedriver background requests.
     core::scrub_webdriver_noise(out.dataset);
@@ -131,10 +141,13 @@ StudyResult run_study(World& world, const StudyOptions& options) {
     bool needs_repair =
         profile.traceroute_opt_out || profile.traceroute_blocked_prob > 0.5;
     if (needs_repair) {
+      util::trace::ScopedSpan span("atlas_repair", "core");
+      span.arg("country", code);
       util::Rng repair_rng = util::Rng::substream(options.seed, "repair-" + code);
       probe::TracerouteOptions opts = config.traceroute;
       out.atlas_repaired = core::augment_with_atlas_traceroutes(
           out.dataset, env, world.atlas, opts, repair_rng);
+      span.arg("repaired", out.atlas_repaired);
     }
     util::log_info("study", "collected " + code);
 
@@ -150,6 +163,9 @@ StudyResult run_study(World& world, const StudyOptions& options) {
   // metadata-only dataset (zero sites, zero traces) through the same
   // analysis path — partial coverage, deterministic, never a wedged worker.
   auto fallback = [&](size_t, const std::string& code, const std::string& error) {
+    util::trace::ScopedSpan span("degraded", "study");
+    span.arg("country", code);
+    span.arg("reason", error);
     CountryOutcome out;
     out.degraded = true;
     out.degraded_reason = error;

@@ -1,0 +1,403 @@
+// The trace plane's contract, end to end: disabled spans allocate nothing,
+// parent links survive the ThreadPool boundary, concurrent emission and
+// collection are race-free (this binary runs under TSan in check.sh), the
+// simulated-time JSONL stream is byte-identical for any --jobs value, both
+// export formats round-trip through util::Json including escapes, and the
+// `gamma trace` report aggregates a real study's spans.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <new>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "analysis/trace_report.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Replacing operator new binary-wide lets the
+// disabled-path test assert "allocates nothing" literally instead of trusting
+// the implementation comment.
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace gam {
+namespace {
+
+namespace tr = util::trace;
+
+const worldgen::World& shared_world() {
+  static const std::unique_ptr<worldgen::World> world = worldgen::generate_world({});
+  return *world;
+}
+
+const tr::Span* find_span(const std::vector<tr::Span>& spans, std::string_view name) {
+  for (const auto& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string arg_of(const tr::Span& s, std::string_view key) {
+  for (const auto& [k, v] : s.args) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+TEST(Trace, DisabledSpanAllocatesNothing) {
+  tr::set_enabled(false);
+  uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    tr::ScopedSpan span("site", "session");
+    span.arg("domain", "example.com");
+    span.arg("requests", uint64_t{42});
+    span.arg("loaded", true);
+    tr::advance_sim_ms(1.5);
+    tr::ContextGuard guard(tr::current_context());
+    EXPECT_FALSE(span.active());
+  }
+  uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after);
+}
+
+TEST(Trace, SpanTreeArgsAndSimClock) {
+  tr::Tracer& tracer = tr::Tracer::instance();
+  tracer.reset();
+  tr::set_enabled(true);
+  {
+    tr::ScopedSpan root("US", "study", 0);
+    tr::advance_sim_ms(1.0);
+    {
+      tr::ScopedSpan child("page_load", "web");
+      child.arg("site", "example.com");
+      tr::advance_sim_ms(2.5);
+    }
+    {
+      tr::ScopedSpan child("resolve", "dns");
+      tr::advance_sim_ms(0.5);
+    }
+    EXPECT_EQ(tr::current_root_label(), "US");
+    EXPECT_EQ(tr::current_sim_us(), 4000u);
+    EXPECT_EQ(tr::current_span_id(), root.id());
+  }
+  tr::set_enabled(false);
+  std::vector<tr::Span> spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(tracer.spans_recorded(), 3u);
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+
+  const tr::Span* root = find_span(spans, "US");
+  const tr::Span* load = find_span(spans, "page_load");
+  const tr::Span* resolve = find_span(spans, "resolve");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(load, nullptr);
+  ASSERT_NE(resolve, nullptr);
+
+  EXPECT_EQ(root->parent, 0u);
+  EXPECT_EQ(root->root_ordinal, 0u);
+  EXPECT_EQ(root->seq, 0u);
+  EXPECT_EQ(root->sim_start_ns, 0u);
+  EXPECT_EQ(root->sim_dur_ns, 4'000'000u);
+
+  EXPECT_EQ(load->parent, root->id);
+  EXPECT_EQ(load->root, "US");
+  EXPECT_EQ(load->seq, 1u);
+  EXPECT_EQ(load->sim_start_ns, 1'000'000u);
+  EXPECT_EQ(load->sim_dur_ns, 2'500'000u);
+  EXPECT_EQ(arg_of(*load, "site"), "example.com");
+
+  EXPECT_EQ(resolve->parent, root->id);
+  EXPECT_EQ(resolve->seq, 2u);
+  EXPECT_EQ(resolve->sim_start_ns, 3'500'000u);
+  EXPECT_EQ(resolve->sim_dur_ns, 500'000u);
+}
+
+TEST(Trace, ParentLinksAcrossPoolTasks) {
+  tr::Tracer& tracer = tr::Tracer::instance();
+  tracer.reset();
+  tr::set_enabled(true);
+  uint64_t outer_id = 0;
+  {
+    tr::ScopedSpan outer("fanout", "test", 7);
+    outer_id = outer.id();
+    util::ThreadPool pool(4);
+    util::parallel_for(pool, 16, [](size_t i) {
+      tr::ScopedSpan task("task", "test");
+      task.arg("i", static_cast<uint64_t>(i));
+    });
+  }
+  tr::set_enabled(false);
+  std::vector<tr::Span> spans = tracer.collect();
+  size_t tasks = 0;
+  std::vector<bool> seq_seen(17, false);
+  for (const auto& s : spans) {
+    if (s.name != "task") continue;
+    ++tasks;
+    EXPECT_EQ(s.parent, outer_id);
+    EXPECT_EQ(s.root, "fanout");
+    EXPECT_EQ(s.root_ordinal, 7u);
+    ASSERT_LT(s.seq, 17u);  // root took seq 0; tasks take 1..16 in some order
+    EXPECT_FALSE(seq_seen[s.seq]);
+    seq_seen[s.seq] = true;
+  }
+  EXPECT_EQ(tasks, 16u);
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+}
+
+TEST(Trace, ConcurrentEmissionAndCollect) {
+  tr::Tracer& tracer = tr::Tracer::instance();
+  tracer.reset();
+  tr::set_enabled(true);
+  // A reader hammering collect() while pool tasks emit: collect must only
+  // ever observe fully published spans (TSan verifies the handshake).
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<tr::Span> snapshot = tr::Tracer::instance().collect();
+      for (const auto& s : snapshot) {
+        ASSERT_FALSE(s.name.empty());
+      }
+    }
+  });
+  {
+    util::ThreadPool pool(4);
+    util::parallel_for(pool, 3000, [](size_t i) {
+      tr::ScopedSpan span("work", "test");
+      span.arg("i", static_cast<uint64_t>(i));
+    });
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  tr::set_enabled(false);
+
+  std::vector<tr::Span> spans = tracer.collect();
+  size_t works = 0;
+  for (const auto& s : spans) works += s.name == "work";
+  EXPECT_EQ(works, 3000u);
+  EXPECT_EQ(tracer.spans_recorded(), spans.size());
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+}
+
+std::string study_jsonl(size_t jobs) {
+  // World construction is never traced: only the study itself is compared.
+  worldgen::World& world = const_cast<worldgen::World&>(shared_world());
+  tr::Tracer& tracer = tr::Tracer::instance();
+  tracer.reset();
+  tr::set_enabled(true);
+  worldgen::StudyOptions options;
+  options.seed = 7;
+  options.jobs = jobs;
+  options.countries = {"US", "GB", "IN"};
+  worldgen::run_study(world, options);
+  tr::set_enabled(false);
+  std::vector<tr::Span> spans = tracer.collect();
+  EXPECT_GT(spans.size(), 100u);
+  // Satellite guarantee: a full traced study never drops a span.
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+  return tr::spans_to_jsonl(std::move(spans));
+}
+
+TEST(Trace, JsonlByteIdenticalAcrossJobs) {
+  std::string serial = study_jsonl(1);
+  std::string four = study_jsonl(4);
+  std::string eight = study_jsonl(8);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial.size(), four.size());
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, eight);
+
+  // The flush path observed itself while we were at it.
+  util::Histogram& flush = util::MetricsRegistry::instance().histogram("trace.flush_ms");
+  EXPECT_GT(flush.count(), 0u);
+  EXPECT_GE(flush.sum(), 0.0);
+  EXPECT_GE(flush.mean(), 0.0);
+
+  // And the stream parses back to the same bytes (JSONL round-trip).
+  auto parsed = tr::parse_spans(serial);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(tr::spans_to_jsonl(*parsed), serial);
+}
+
+TEST(Trace, ChromeJsonEscapesRoundTrip) {
+  tr::Tracer& tracer = tr::Tracer::instance();
+  tracer.reset();
+  tr::set_enabled(true);
+  const std::string nasty_name = "we\"ird\\name\nwith\tctrl\x01";
+  const std::string nasty_value = "va\\lue\n\"quoted\"\x02";
+  {
+    tr::ScopedSpan root("root \"R\"", "study", 3);
+    tr::advance_sim_ms(1.0);
+    tr::ScopedSpan child(nasty_name, "cat/1");
+    child.arg("k\"ey", nasty_value);
+    tr::advance_sim_ms(0.25);
+  }
+  tr::set_enabled(false);
+  std::vector<tr::Span> spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 2u);
+
+  // Chrome export: must be valid JSON and parse back to the same spans.
+  std::string chrome = tr::chrome_trace_json(spans).dump(2);
+  ASSERT_TRUE(util::Json::parse(chrome).has_value());
+  auto back = tr::parse_spans(chrome);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  const tr::Span* child = find_span(*back, nasty_name);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->category, "cat/1");
+  EXPECT_EQ(child->root, "root \"R\"");
+  EXPECT_EQ(arg_of(*child, "k\"ey"), nasty_value);
+  EXPECT_EQ(child->sim_dur_ns, 250'000u);
+
+  // JSONL export: same round-trip, byte-stable under re-export.
+  std::string jsonl = tr::spans_to_jsonl(spans);
+  auto back2 = tr::parse_spans(jsonl);
+  ASSERT_TRUE(back2.has_value());
+  ASSERT_EQ(back2->size(), 2u);
+  EXPECT_EQ(tr::spans_to_jsonl(*back2), jsonl);
+  const tr::Span* child2 = find_span(*back2, nasty_name);
+  ASSERT_NE(child2, nullptr);
+  EXPECT_EQ(arg_of(*child2, "k\"ey"), nasty_value);
+
+  // Garbage is rejected, not misparsed.
+  EXPECT_FALSE(tr::parse_spans("not a trace").has_value());
+  EXPECT_FALSE(tr::parse_spans("").has_value());
+}
+
+TEST(Trace, ReportAggregatesStudySpans) {
+  worldgen::World& world = const_cast<worldgen::World&>(shared_world());
+  tr::Tracer& tracer = tr::Tracer::instance();
+  tracer.reset();
+  tr::set_enabled(true);
+  worldgen::StudyOptions options;
+  options.seed = 11;
+  options.jobs = 2;
+  options.countries = {"US", "GB"};
+  worldgen::run_study(world, options);
+  tr::set_enabled(false);
+  std::vector<tr::Span> spans = tracer.collect();
+  ASSERT_FALSE(spans.empty());
+
+  util::Json report = analysis::trace_report_json(spans, 5);
+  EXPECT_EQ(report.get_string("clock"), "sim");
+  EXPECT_EQ(static_cast<size_t>(report.get_number("spans")), spans.size());
+  EXPECT_GT(report.get_number("total_ms"), 0.0);
+
+  const util::Json* cats = report.find("categories");
+  ASSERT_NE(cats, nullptr);
+  ASSERT_GT(cats->size(), 0u);
+  bool saw_session = false;
+  for (const auto& row : cats->items()) {
+    EXPECT_LE(row.get_number("self_ms"), row.get_number("total_ms") + 1e-9);
+    if (row.get_string("category") == "session") saw_session = true;
+  }
+  EXPECT_TRUE(saw_session);
+
+  // One critical path per root, each country root among them, with steps.
+  const util::Json* paths = report.find("critical_paths");
+  ASSERT_NE(paths, nullptr);
+  size_t country_paths = 0;
+  for (const auto& p : paths->items()) {
+    std::string root = p.get_string("root");
+    if (root == "US" || root == "GB") {
+      ++country_paths;
+      const util::Json* steps = p.find("steps");
+      ASSERT_NE(steps, nullptr);
+      EXPECT_GT(steps->size(), 0u);
+    }
+  }
+  EXPECT_EQ(country_paths, 2u);
+
+  const util::Json* slowest = report.find("slowest_sites");
+  ASSERT_NE(slowest, nullptr);
+  EXPECT_GT(slowest->size(), 0u);
+  EXPECT_LE(slowest->size(), 5u);
+
+  const util::Json* flame = report.find("flame");
+  ASSERT_NE(flame, nullptr);
+  EXPECT_GT(flame->size(), 0u);
+  EXPECT_LE(flame->size(), 10u);
+}
+
+TEST(Trace, StructuredLogSinkCarriesSpanLinkage) {
+  const std::string path = ::testing::TempDir() + "gamma_test_log.jsonl";
+  ASSERT_TRUE(util::set_log_json_file(path));
+  EXPECT_TRUE(util::log_json_active());
+
+  tr::Tracer& tracer = tr::Tracer::instance();
+  tracer.reset();
+  util::log_info("test", "outside \"span\"\nline");
+  util::log_debug("test", "debug is not mirrored");
+  tr::set_enabled(true);
+  {
+    tr::ScopedSpan root("US", "study", 0);
+    tr::advance_sim_ms(2.0);
+    util::log_info("test", "inside span");
+  }
+  tr::set_enabled(false);
+  ASSERT_TRUE(util::set_log_json_file(""));  // close + flush
+  EXPECT_FALSE(util::log_json_active());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<util::Json> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto obj = util::Json::parse(line);
+    ASSERT_TRUE(obj.has_value()) << line;
+    records.push_back(*obj);
+  }
+  ASSERT_EQ(records.size(), 2u);  // debug record filtered out
+
+  EXPECT_EQ(records[0].get_string("level"), "info");
+  EXPECT_EQ(records[0].get_string("component"), "test");
+  EXPECT_EQ(records[0].get_string("message"), "outside \"span\"\nline");
+  EXPECT_FALSE(records[0].has("span"));
+
+  EXPECT_EQ(records[1].get_string("message"), "inside span");
+  EXPECT_EQ(records[1].get_string("root"), "US");
+  EXPECT_GT(records[1].get_number("span"), 0.0);
+  EXPECT_EQ(records[1].get_number("sim_us"), 2000.0);
+
+  std::remove(path.c_str());
+
+  // Unopenable path: reported via the return value, sink stays closed.
+  EXPECT_FALSE(util::set_log_json_file("/nonexistent-gamma-dir/x/log.jsonl"));
+  EXPECT_FALSE(util::log_json_active());
+}
+
+}  // namespace
+}  // namespace gam

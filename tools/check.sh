@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate for Gamma: configure, build, run the full test suite, then a
 # kill-mid-study --resume smoke test against the CLI, then a GammaStore smoke
-# (build a .gmst, query it, corrupt a copy), then rebuild under the
-# sanitizers and run the suites each one is best at catching:
-#   tsan  -> shared-state suites (thread pool, parallel study runner, metrics)
+# (build a .gmst, query it, corrupt a copy), then a trace smoke (record a
+# study with --trace-out/--trace-jsonl/--log-json, aggregate it with
+# `gamma trace`, and diff the span stream across --jobs for byte identity),
+# then rebuild under the sanitizers and run the suites each one is best at
+# catching:
+#   tsan  -> shared-state suites (thread pool, parallel study runner,
+#            metrics, tracer)
 #   asan  -> fault-plane + parser + store suites (heap misuse in degraded paths)
 #   ubsan -> the same suites (UB in backoff arithmetic, hop parsing, mmap reads)
 #
@@ -81,6 +85,24 @@ fi
 grep -q "crc_mismatch" "$SMOKE/store/corrupt.err"
 echo "   corrupted store rejected with a structured crc_mismatch error"
 
+echo "== trace smoke: record, report, byte-identical across --jobs =="
+mkdir -p "$SMOKE/trace"
+"$GAMMA" study --seed 21 --jobs 1 --country US --country GB --country IN \
+  --trace-out "$SMOKE/trace/t1.json" --trace-jsonl "$SMOKE/trace/s1.jsonl" \
+  --log-json "$SMOKE/trace/log.jsonl" >/dev/null
+test -s "$SMOKE/trace/log.jsonl"
+# The Chrome export must be valid JSON that the reporter can aggregate.
+"$GAMMA" trace "$SMOKE/trace/t1.json" --out "$SMOKE/trace/report.json" >/dev/null
+grep -q '"categories"' "$SMOKE/trace/report.json"
+grep -q '"critical_paths"' "$SMOKE/trace/report.json"
+# The JSONL stream parses through the same reporter ...
+"$GAMMA" trace "$SMOKE/trace/s1.jsonl" >/dev/null
+# ... and a parallel rerun must reproduce it byte-for-byte.
+"$GAMMA" study --seed 21 --jobs 4 --country US --country GB --country IN \
+  --trace-jsonl "$SMOKE/trace/s4.jsonl" >/dev/null
+diff "$SMOKE/trace/s1.jsonl" "$SMOKE/trace/s4.jsonl"
+echo "   span stream byte-identical for --jobs 1 and --jobs 4; report valid"
+
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "== sanitizers: skipped (--skip-san) =="
   exit 0
@@ -89,9 +111,9 @@ fi
 echo "== tsan: configure + build concurrency suites =="
 cmake -B build-tsan -S . -DGAMMA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" \
-  --target test_thread_pool test_parallel_study test_metrics
+  --target test_thread_pool test_parallel_study test_metrics test_trace
 echo "== tsan: run concurrency suites =="
-for t in test_thread_pool test_parallel_study test_metrics; do
+for t in test_thread_pool test_parallel_study test_metrics test_trace; do
   "./build-tsan/tests/$t"
 done
 

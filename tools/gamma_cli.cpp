@@ -15,9 +15,11 @@
 //   gamma audit
 //       Print the geolocation pipeline's verdict for every injected IPmap
 //       error visible from each volunteer (regulator-style evidence trail).
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,6 +29,7 @@
 #include "analysis/prevalence.h"
 #include "analysis/report_json.h"
 #include "analysis/study.h"
+#include "analysis/trace_report.h"
 #include "core/recorder.h"
 #include "store/query.h"
 #include "store/reader.h"
@@ -34,6 +37,7 @@
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 #include "web/har.h"
 #include "worldgen/study.h"
 #include "worldgen/world.h"
@@ -55,6 +59,11 @@ struct Args {
   bool resume = false;
   uint64_t seed = 7;
   size_t jobs = 1;
+  // tracing / structured logs
+  std::string trace_out;    // Chrome trace-event JSON (Perfetto-loadable)
+  std::string trace_jsonl;  // deterministic simulated-time span JSONL
+  std::string log_json;     // structured JSONL log sink
+  std::string trace_file;   // positional FILE for `gamma trace`
   // store query
   std::string store_file;   // positional FILE.gmst
   std::string table = "hits";
@@ -80,6 +89,15 @@ void usage() {
                "             summary|prevalence|policy|per-site|flows|coverage|funnel\n"
                "  har    --site DOMAIN --country CC [--out FILE]     HAR export\n"
                "  audit                                              IPmap error audit\n"
+               "  trace  FILE [--limit N] [--out FILE]\n"
+               "             analyze a recorded trace (either --trace-out or\n"
+               "             --trace-jsonl format): per-category self/total time,\n"
+               "             per-country critical path, slowest sites, flame stacks\n"
+               "study tracing options:\n"
+               "  --trace-out FILE     write a Chrome trace-event JSON of the study\n"
+               "                       (open in Perfetto / chrome://tracing)\n"
+               "  --trace-jsonl FILE   write the deterministic simulated-time span\n"
+               "                       stream (byte-identical for any --jobs)\n"
                "study resilience options:\n"
                "  --fault-plan FILE    arm the deterministic fault plane with the JSON\n"
                "                       plan in FILE (see DESIGN.md); the study degrades\n"
@@ -91,7 +109,9 @@ void usage() {
                "                       an uninterrupted run\n"
                "common options:\n"
                "  --metrics-out FILE   after the command, dump pipeline metrics as\n"
-               "                       JSON to FILE and Prometheus text to FILE.prom\n");
+               "                       JSON to FILE and Prometheus text to FILE.prom\n"
+               "  --log-json FILE      mirror Info+ log records to FILE as JSONL\n"
+               "                       (each record links to the active trace span)\n");
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -142,6 +162,18 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.store_out = v;
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.trace_out = v;
+    } else if (flag == "--trace-jsonl") {
+      const char* v = next();
+      if (!v) return false;
+      args.trace_jsonl = v;
+    } else if (flag == "--log-json") {
+      const char* v = next();
+      if (!v) return false;
+      args.log_json = v;
     } else if (flag == "--resume") {
       args.resume = true;
     } else if (flag == "--table") {
@@ -169,6 +201,9 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (!flag.empty() && flag[0] != '-' && args.command == "store" &&
                args.store_file.empty()) {
       args.store_file = flag;  // positional FILE.gmst for `store query`
+    } else if (!flag.empty() && flag[0] != '-' && args.command == "trace" &&
+               args.trace_file.empty()) {
+      args.trace_file = flag;  // positional FILE for `gamma trace`
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -178,12 +213,22 @@ bool parse_args(int argc, char** argv, Args& args) {
 }
 
 bool write_file(const std::string& path, const std::string& content) {
+  errno = 0;
   std::ofstream out(path);
   if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    // errno comes from the underlying open(2); "Unknown error" only if the
+    // stream failed without touching the OS.
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 errno != 0 ? std::strerror(errno) : "stream open failed");
     return false;
   }
   out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 errno != 0 ? std::strerror(errno) : "short write");
+    return false;
+  }
   return true;
 }
 
@@ -244,6 +289,39 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+// Collect the recorded spans and write the requested export files. Each
+// failure is reported once (with errno text, via write_file) and taints the
+// returned rc; a successful study with a failed trace write exits non-zero.
+int export_traces(const Args& args) {
+  if (args.trace_out.empty() && args.trace_jsonl.empty()) return 0;
+  std::vector<util::trace::Span> spans = util::trace::Tracer::instance().collect();
+  uint64_t dropped = util::trace::Tracer::instance().dropped_spans();
+  if (dropped > 0) {
+    std::fprintf(stderr, "trace: %llu spans dropped (per-thread buffer cap)\n",
+                 static_cast<unsigned long long>(dropped));
+  }
+  int rc = 0;
+  if (!args.trace_out.empty()) {
+    std::string doc = util::trace::chrome_trace_json(spans).dump(2);
+    doc += '\n';
+    if (write_file(args.trace_out, doc)) {
+      std::printf("wrote trace: %s (%zu spans; open in Perfetto)\n",
+                  args.trace_out.c_str(), spans.size());
+    } else {
+      rc = 1;
+    }
+  }
+  if (!args.trace_jsonl.empty()) {
+    if (write_file(args.trace_jsonl, util::trace::spans_to_jsonl(spans))) {
+      std::printf("wrote span log: %s (%zu spans, deterministic)\n",
+                  args.trace_jsonl.c_str(), spans.size());
+    } else {
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 int cmd_study(const Args& args) {
   auto world = worldgen::generate_world({});
   worldgen::StudyOptions options;
@@ -266,7 +344,17 @@ int cmd_study(const Args& args) {
     std::fprintf(stderr, "study: --resume requires --checkpoint DIR\n");
     return 1;
   }
+  // Tracing covers the study itself, not world generation: spans start at
+  // the first per-country root, and the files are written right after the
+  // run so a later failure in the report path cannot lose them.
+  bool tracing = !args.trace_out.empty() || !args.trace_jsonl.empty();
+  if (tracing) util::trace::set_enabled(true);
   worldgen::StudyResult study = worldgen::run_study(*world, options);
+  int trace_rc = 0;
+  if (tracing) {
+    util::trace::set_enabled(false);
+    trace_rc = export_traces(args);
+  }
 
   analysis::PrevalenceReport prev = analysis::compute_prevalence(study.analyses);
   analysis::FlowsReport flows = analysis::compute_flows(study.analyses);
@@ -290,7 +378,7 @@ int cmd_study(const Args& args) {
     std::printf("top destination: %s (%.1f%% of tracked sites)\n", ranked[0].first.c_str(),
                 ranked[0].second);
   }
-  if (args.out.empty()) return 0;
+  if (args.out.empty()) return trace_rc;
 
   for (size_t i = 0; i < study.datasets.size(); ++i) {
     const auto& ds = study.datasets[i];
@@ -307,6 +395,39 @@ int cmd_study(const Args& args) {
   if (!write_file(args.out + "/study-summary.json", summary.dump(2))) return 1;
   std::printf("wrote %zu datasets + analyses + study-summary.json to %s\n",
               study.datasets.size(), args.out.c_str());
+  return trace_rc;
+}
+
+// `gamma trace FILE` — parse a recorded trace (either export format) and
+// print the aggregate report: per-category self/total time, per-country
+// critical path, slowest sites, merged flame stacks.
+int cmd_trace(const Args& args) {
+  if (args.trace_file.empty()) {
+    std::fprintf(stderr, "trace: need a trace FILE (--trace-out or --trace-jsonl output)\n");
+    return 1;
+  }
+  errno = 0;
+  std::ifstream in(args.trace_file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace: cannot read %s: %s\n", args.trace_file.c_str(),
+                 errno != 0 ? std::strerror(errno) : "stream open failed");
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  auto spans = util::trace::parse_spans(text);
+  if (!spans) {
+    std::fprintf(stderr, "trace: %s is neither a Chrome trace-event file nor span JSONL\n",
+                 args.trace_file.c_str());
+    return 1;
+  }
+  size_t top_n = args.limit == 0 ? 10 : args.limit;
+  std::string json = analysis::trace_report_json(*spans, top_n).dump(2);
+  if (!args.out.empty()) {
+    if (!write_file(args.out, json + "\n")) return 1;
+    std::printf("wrote trace report %s (%zu spans)\n", args.out.c_str(), spans->size());
+  } else {
+    std::printf("%s\n", json.c_str());
+  }
   return 0;
 }
 
@@ -505,19 +626,32 @@ int main(int argc, char** argv) {
     return 2;
   }
   gam::util::set_log_level(gam::util::LogLevel::Warn);
+  if (!args.log_json.empty()) {
+    errno = 0;
+    if (!gam::util::set_log_json_file(args.log_json)) {
+      std::fprintf(stderr, "cannot open log file %s: %s\n", args.log_json.c_str(),
+                   errno != 0 ? std::strerror(errno) : "stream open failed");
+      return 2;
+    }
+  }
   int rc = 2;
   if (args.command == "run") rc = cmd_run(args);
   else if (args.command == "study") rc = cmd_study(args);
   else if (args.command == "store") rc = cmd_store(args);
   else if (args.command == "har") rc = cmd_har(args);
   else if (args.command == "audit") rc = cmd_audit(args);
+  else if (args.command == "trace") rc = cmd_trace(args);
   else {
     usage();
     return 2;
   }
   if (!args.metrics_out.empty()) {
+    // A failed metrics dump is reported once (inside write_file, with the
+    // failing path and errno) and fails the invocation even when the
+    // command itself succeeded.
     int metrics_rc = write_metrics(args.metrics_out);
     if (rc == 0) rc = metrics_rc;
   }
+  if (!args.log_json.empty()) gam::util::set_log_json_file("");
   return rc;
 }
