@@ -1,0 +1,227 @@
+// GammaServe benchmark: what does the socket hop cost, and does the daemon
+// hold up under concurrent clients?
+//
+// Builds a small three-country store, starts an in-process serve::Server on
+// an ephemeral port, then measures the `query report=summary` round trip at
+// C in {1, 8, 64} concurrent clients:
+//
+//   - throughput (requests/s) per concurrency level,
+//   - a latency histogram plus p50 / p90 / p99 / max per level,
+//   - and, before any timing, the ISSUE 6 acceptance assert: the bytes a
+//     served query returns are identical to what the direct `gamma store
+//     query` path produces (the bench exits 1 on any divergence, so CI can
+//     run it as a correctness check too).
+//
+// Every request is independently verified cheap (ok + result present); any
+// error reply — including resource_exhausted backpressure rejections —
+// fails the bench, which pins down the queue sizing below as sufficient
+// for 64 synchronous clients.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/report_json.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "store/reader.h"
+#include "store/reports.h"
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+namespace {
+
+using namespace gam;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+struct LoadResult {
+  std::vector<double> latencies_ms;  // one entry per successful request
+  size_t errors = 0;
+  double wall_ms = 0;
+};
+
+/// `clients` threads, each with its own connection, each issuing
+/// `per_client` synchronous summary queries back to back.
+LoadResult run_load(const serve::Server& server, size_t clients, size_t per_client) {
+  std::vector<std::vector<double>> lats(clients);
+  std::vector<size_t> errs(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = serve::Client::connect_tcp("127.0.0.1", server.port());
+      if (!client.ok()) {
+        errs[c] = per_client;
+        return;
+      }
+      (*client)->set_recv_timeout_ms(30000);
+      lats[c].reserve(per_client);
+      for (size_t i = 0; i < per_client; ++i) {
+        util::Json params = util::Json::object();
+        params["report"] = "summary";
+        auto r0 = std::chrono::steady_clock::now();
+        auto reply = (*client)->call("query", std::move(params));
+        double ms = ms_since(r0);
+        if (reply.ok() && reply->get_bool("ok")) {
+          lats[c].push_back(ms);
+        } else {
+          ++errs[c];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult out;
+  out.wall_ms = ms_since(t0);
+  for (size_t c = 0; c < clients; ++c) {
+    out.latencies_ms.insert(out.latencies_ms.end(), lats[c].begin(), lats[c].end());
+    out.errors += errs[c];
+  }
+  std::sort(out.latencies_ms.begin(), out.latencies_ms.end());
+  return out;
+}
+
+void print_histogram(const std::vector<double>& sorted_ms) {
+  static const double kEdges[] = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+  constexpr size_t kBuckets = sizeof(kEdges) / sizeof(kEdges[0]) + 1;
+  size_t counts[kBuckets] = {0};
+  for (double ms : sorted_ms) {
+    size_t b = 0;
+    while (b < kBuckets - 1 && ms >= kEdges[b]) ++b;
+    counts[b]++;
+  }
+  size_t peak = 1;
+  for (size_t b = 0; b < kBuckets; ++b) peak = std::max(peak, counts[b]);
+  for (size_t b = 0; b < kBuckets; ++b) {
+    char label[32];
+    if (b == 0) {
+      std::snprintf(label, sizeof(label), "< %.2f ms", kEdges[0]);
+    } else if (b == kBuckets - 1) {
+      std::snprintf(label, sizeof(label), ">= %.2f ms", kEdges[kBuckets - 2]);
+    } else {
+      std::snprintf(label, sizeof(label), "%.2f - %.2f ms", kEdges[b - 1], kEdges[b]);
+    }
+    int bar = static_cast<int>(40.0 * static_cast<double>(counts[b]) /
+                               static_cast<double>(peak));
+    std::printf("    %-16s %6zu  %.*s\n", label, counts[b], bar,
+                "########################################");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("GammaServe — daemon query round-trip benchmark\n\n");
+
+  // A small store: big enough that a summary query does real column work,
+  // small enough that the bench is dominated by serve overhead, not I/O.
+  const std::string store_path = "bench_serve.gmst";
+  {
+    auto world = worldgen::generate_world({});
+    worldgen::StudyOptions options;
+    options.seed = 29;
+    options.countries = {"US", "GB", "AU"};
+    options.store_out = store_path;
+    auto t0 = std::chrono::steady_clock::now();
+    worldgen::run_study(*world, options);
+    std::printf("store build (3 countries, seed 29): %.0f ms -> %s\n",
+                ms_since(t0), store_path.c_str());
+  }
+
+  serve::ServerOptions options;
+  options.port = 0;  // ephemeral — parallel bench runs cannot collide
+  options.workers = 4;
+  // 64 synchronous clients keep at most 64 requests outstanding; a queue of
+  // 256 guarantees the bench never measures backpressure rejections.
+  options.max_queue = 256;
+  options.service.store_path = store_path;
+  auto server = serve::Server::start(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("daemon listening on 127.0.0.1:%u\n\n", (*server)->port());
+
+  // Acceptance assert before timing anything: served bytes == direct bytes.
+  {
+    auto client = serve::Client::connect_tcp("127.0.0.1", (*server)->port());
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", client.status().to_string().c_str());
+      return 1;
+    }
+    (*client)->set_recv_timeout_ms(30000);
+    util::Json params = util::Json::object();
+    params["report"] = "summary";
+    auto reply = (*client)->call("query", std::move(params));
+    if (!reply.ok() || !reply->get_bool("ok")) {
+      std::fprintf(stderr, "served query failed\n");
+      return 1;
+    }
+    const util::Json* served = reply->find("result");
+    store::Error error;
+    auto reader = store::Reader::open(store_path, &error);
+    if (!reader) {
+      std::fprintf(stderr, "direct open failed: %s\n", error.to_string().c_str());
+      return 1;
+    }
+    util::Json direct = store::summary_json(*reader);
+    if (!served || served->dump(2) != direct.dump(2)) {
+      std::fprintf(stderr, "BYTE IDENTITY VIOLATION: served summary != direct\n");
+      return 1;
+    }
+    std::printf("byte identity: served summary == `gamma store query` summary (%zu bytes)\n\n",
+                direct.dump(2).size());
+  }
+
+  // Warm up (mmap pages, first-query report caches, thread pools).
+  run_load(**server, 2, 25);
+
+  const size_t kTotalRequests = 2048;
+  bool failed = false;
+  std::printf("%-10s %10s %10s %10s %10s %10s %10s\n", "clients", "requests",
+              "qps", "p50 ms", "p90 ms", "p99 ms", "max ms");
+  std::vector<std::pair<size_t, LoadResult>> runs;
+  for (size_t clients : {size_t{1}, size_t{8}, size_t{64}}) {
+    size_t per_client = std::max<size_t>(8, kTotalRequests / clients);
+    LoadResult r = run_load(**server, clients, per_client);
+    if (r.errors != 0) {
+      std::fprintf(stderr, "C=%zu: %zu requests failed\n", clients, r.errors);
+      failed = true;
+    }
+    double qps = 1000.0 * static_cast<double>(r.latencies_ms.size()) / r.wall_ms;
+    std::printf("%-10zu %10zu %10.0f %10.3f %10.3f %10.3f %10.3f\n", clients,
+                r.latencies_ms.size(), qps, percentile(r.latencies_ms, 0.50),
+                percentile(r.latencies_ms, 0.90), percentile(r.latencies_ms, 0.99),
+                r.latencies_ms.empty() ? 0.0 : r.latencies_ms.back());
+    runs.emplace_back(clients, std::move(r));
+  }
+
+  for (const auto& [clients, r] : runs) {
+    std::printf("\n  latency histogram, C=%zu:\n", clients);
+    print_histogram(r.latencies_ms);
+  }
+
+  (*server)->request_shutdown();
+  (*server)->drain();
+  std::remove(store_path.c_str());
+  std::remove((store_path + ".lock").c_str());
+  if (failed) return 1;
+  std::printf("\nall requests ok; byte identity held\n");
+  return 0;
+}

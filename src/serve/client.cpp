@@ -1,0 +1,143 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gam::serve {
+
+namespace {
+
+util::Status errno_status(const std::string& what) {
+  return util::Status::unavailable(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<Client>> Client::connect_tcp(const std::string& host,
+                                                            uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::invalid_argument("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    util::Status status = errno_status("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+util::StatusOr<std::unique_ptr<Client>> Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return util::Status::invalid_argument("unix socket path too long: " + path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    util::Status status = errno_status("connect " + path);
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::set_recv_timeout_ms(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+util::Status Client::send_bytes(const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return util::Status();
+}
+
+util::Status Client::send_request(util::Json request, double* id_out) {
+  if (!request.find("id")) request["id"] = static_cast<double>(next_id_++);
+  if (id_out) *id_out = request.get_number("id");
+  return send_bytes(encode_frame(request));
+}
+
+util::StatusOr<util::Json> Client::read_reply() {
+  char chunk[4096];
+  for (;;) {
+    util::Json frame;
+    std::string detail;
+    switch (decoder_.next(&frame, &detail)) {
+      case FrameDecoder::Result::Frame:
+        return frame;
+      case FrameDecoder::Result::BadLength:
+        return util::Status::internal("reply frame oversized: " + detail);
+      case FrameDecoder::Result::BadJson:
+        return util::Status::internal("reply is not JSON: " + detail);
+      case FrameDecoder::Result::NeedMore:
+        break;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return util::Status::unavailable("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return util::Status::deadline_exceeded("timed out waiting for a reply");
+      }
+      return errno_status("recv");
+    }
+    decoder_.feed(chunk, static_cast<size_t>(n));
+  }
+}
+
+util::StatusOr<util::Json> Client::call_raw(util::Json request) {
+  double id = 0;
+  util::Status sent = send_request(std::move(request), &id);
+  if (!sent.ok()) return sent;
+  // Pipelined callers may have left replies to other ids in flight; stash
+  // rather than drop them so interleaved call()/read_reply() use stays sane.
+  auto stashed = stashed_.find(id);
+  if (stashed != stashed_.end()) {
+    util::Json reply = std::move(stashed->second);
+    stashed_.erase(stashed);
+    return reply;
+  }
+  for (;;) {
+    auto reply = read_reply();
+    if (!reply.ok()) return reply.status();
+    if (reply->get_number("id", -1.0) == id) return std::move(*reply);
+    stashed_[reply->get_number("id", -1.0)] = std::move(*reply);
+  }
+}
+
+util::StatusOr<util::Json> Client::call(const std::string& kind, util::Json params) {
+  util::Json request = std::move(params);
+  request["kind"] = kind;
+  return call_raw(std::move(request));
+}
+
+}  // namespace gam::serve

@@ -1,0 +1,63 @@
+// serve::Client — a minimal blocking client for the GammaServe protocol.
+//
+// This is deliberately a *test driver*, not an SDK: `gamma client`, the
+// serve test harness, and bench_serve all speak through it. call() is one
+// synchronous round trip; the raw send_bytes()/read_reply() surface exists
+// so the protocol-fuzzing tests can put arbitrary garbage on the wire and
+// pipeline requests without replies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace gam::serve {
+
+class Client {
+ public:
+  static util::StatusOr<std::unique_ptr<Client>> connect_tcp(const std::string& host,
+                                                             uint16_t port);
+  static util::StatusOr<std::unique_ptr<Client>> connect_unix(const std::string& path);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Cap every read; 0 = block forever. A hung server then fails a test
+  /// with a structured deadline_exceeded instead of wedging the run.
+  void set_recv_timeout_ms(int ms);
+
+  /// Fill in "id" (unless the caller set one), send, and wait for the reply
+  /// with the matching id. Returns the full reply envelope
+  /// ({"id", "ok", "result"|"error"}); transport failures are a Status.
+  /// Replies to other (pipelined) ids are buffered, not dropped.
+  util::StatusOr<util::Json> call_raw(util::Json request);
+
+  /// Build-and-call convenience: {"kind": kind, ...params}.
+  util::StatusOr<util::Json> call(const std::string& kind,
+                                  util::Json params = util::Json::object());
+
+  /// Raw wire access for fuzzing: exactly `bytes`, no framing added.
+  util::Status send_bytes(const std::string& bytes);
+  /// Send one well-framed request without waiting (pipelining).
+  util::Status send_request(util::Json request, double* id_out = nullptr);
+  /// Read the next reply frame, whatever its id.
+  util::StatusOr<util::Json> read_reply();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_id_ = 0;
+  FrameDecoder decoder_;
+  std::map<double, util::Json> stashed_;  // out-of-order replies by id
+};
+
+}  // namespace gam::serve

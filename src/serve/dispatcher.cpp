@@ -1,0 +1,54 @@
+#include "serve/dispatcher.h"
+
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace gam::serve {
+
+namespace {
+
+void publish_depth(size_t depth) {
+  static util::Gauge& gauge =
+      util::MetricsRegistry::instance().gauge("serve.queue_depth");
+  gauge.set(static_cast<double>(depth));
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(size_t workers, size_t max_queue)
+    : max_queue_(max_queue), pool_(workers == 0 ? 1 : workers) {}
+
+Dispatcher::Submit Dispatcher::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return Submit::Draining;
+    if (pending_ >= max_queue_) return Submit::QueueFull;
+    ++pending_;
+    publish_depth(pending_);
+  }
+  pool_.submit([this, task = std::move(task)] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      publish_depth(pending_);
+    }
+    task();
+  });
+  return Submit::Accepted;
+}
+
+void Dispatcher::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  pool_.wait_idle();
+}
+
+size_t Dispatcher::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+}  // namespace gam::serve

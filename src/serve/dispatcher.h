@@ -1,0 +1,47 @@
+// serve::Dispatcher — the bounded request queue in front of the worker pool.
+//
+// Connection reader threads produce requests; util::ThreadPool workers
+// consume them. The bound is the backpressure contract: when `max_queue`
+// requests are already waiting, submit() refuses immediately and the caller
+// replies `resource_exhausted` — the daemon sheds load instead of buffering
+// an unbounded flood ("millions of users" must meet a full queue, not an
+// OOM). The count is tracked here (not read from the pool) so the bound is
+// exact: a request is "pending" from submit() until a worker picks it up.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace gam::serve {
+
+class Dispatcher {
+ public:
+  enum class Submit { Accepted, QueueFull, Draining };
+
+  Dispatcher(size_t workers, size_t max_queue);
+
+  /// Enqueue `task` onto the pool unless the queue is at its bound or the
+  /// dispatcher is draining. Never blocks.
+  Submit submit(std::function<void()> task);
+
+  /// Stop accepting, then block until every accepted task has finished.
+  /// Idempotent; callable from any thread except a worker.
+  void drain();
+
+  /// Requests accepted but not yet picked up by a worker (the
+  /// `serve.queue_depth` gauge).
+  size_t depth() const;
+  size_t workers() const { return pool_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  size_t pending_ = 0;
+  size_t max_queue_;
+  bool draining_ = false;
+  util::ThreadPool pool_;  // declared last: destroyed first, joins workers
+};
+
+}  // namespace gam::serve

@@ -1,0 +1,76 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace gam::serve {
+
+std::string encode_frame(const util::Json& doc) {
+  std::string payload = doc.dump();
+  std::string out;
+  out.reserve(4 + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  // Little-endian byte-by-byte, matching the GMST emitters: no host-order
+  // assumptions on the wire.
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out += payload;
+  return out;
+}
+
+util::Json ok_reply(double id, util::Json result) {
+  util::Json doc = util::Json::object();
+  doc["id"] = id;
+  doc["ok"] = true;
+  doc["result"] = std::move(result);
+  return doc;
+}
+
+util::Json error_reply(double id, std::string_view code, std::string_view message) {
+  util::Json doc = util::Json::object();
+  doc["id"] = id;
+  doc["ok"] = false;
+  util::Json err = util::Json::object();
+  err["code"] = code;
+  err["message"] = message;
+  doc["error"] = std::move(err);
+  return doc;
+}
+
+util::Json error_reply(double id, const util::Status& status) {
+  return error_reply(id, status.code_name(), status.message());
+}
+
+FrameDecoder::Result FrameDecoder::next(util::Json* frame, std::string* detail) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow the buffer without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < 4) return Result::NeedMore;
+  uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) {
+    len = (len << 8) | static_cast<unsigned char>(buf_[pos_ + static_cast<size_t>(i)]);
+  }
+  if (len > max_frame_bytes_) {
+    if (detail) {
+      *detail = "frame length " + std::to_string(len) + " exceeds cap " +
+                std::to_string(max_frame_bytes_);
+    }
+    return Result::BadLength;
+  }
+  if (buf_.size() - pos_ - 4 < len) return Result::NeedMore;
+  std::string_view payload(buf_.data() + pos_ + 4, len);
+  pos_ += 4 + len;  // the frame is consumed either way — framing stays intact
+  auto doc = util::Json::parse(payload);
+  if (!doc) {
+    if (detail) *detail = "payload is not valid JSON";
+    return Result::BadJson;
+  }
+  *frame = std::move(*doc);
+  return Result::Frame;
+}
+
+}  // namespace gam::serve

@@ -1,0 +1,66 @@
+// GammaServe wire protocol: length-prefixed JSON frames.
+//
+// One frame = a u32 little-endian payload length followed by exactly that
+// many bytes of UTF-8 JSON. Length-prefixing (rather than newline-delimited
+// JSON) keeps framing independent of payload content and makes truncation
+// detectable: a reader that sees a length it cannot satisfy knows the frame
+// is incomplete, and a length above the cap is rejected before a single
+// payload byte is buffered — a four-byte garbage prefix cannot make the
+// server allocate 4 GB.
+//
+// Requests are JSON objects: {"id": N, "kind": "...", ...params}. Replies
+// echo the id: {"id": N, "ok": true, "result": {...}} on success,
+// {"id": N, "ok": false, "error": {"code": "...", "message": "..."}} on
+// failure. Error codes are util::status_code_name strings for service
+// errors, plus the protocol-layer codes "oversized_frame" and "bad_json".
+// DESIGN.md §11 is the normative description.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace gam::serve {
+
+/// Hard cap on one frame's payload. Large enough for a full study summary,
+/// small enough that a hostile length prefix cannot balloon memory.
+inline constexpr uint32_t kMaxFrameBytes = 4u << 20;
+
+/// Length prefix + compact JSON payload.
+std::string encode_frame(const util::Json& doc);
+
+/// Build the two reply envelopes.
+util::Json ok_reply(double id, util::Json result);
+util::Json error_reply(double id, std::string_view code, std::string_view message);
+util::Json error_reply(double id, const util::Status& status);
+
+/// Incremental frame decoder: feed() raw bytes as they arrive, then drain
+/// next() until it returns NeedMore. BadLength is unrecoverable (the stream
+/// position is garbage — close the connection); BadJson consumed a complete,
+/// well-delimited frame whose payload failed to parse, so the stream is
+/// still framed and decoding may continue.
+class FrameDecoder {
+ public:
+  enum class Result { NeedMore, Frame, BadLength, BadJson };
+
+  explicit FrameDecoder(size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// On Frame, *frame holds the parsed payload. On BadLength/BadJson,
+  /// *detail (if non-null) describes the violation.
+  Result next(util::Json* frame, std::string* detail = nullptr);
+
+  /// Bytes buffered but not yet consumed (incomplete trailing frame).
+  size_t pending_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix; compacted when it grows
+};
+
+}  // namespace gam::serve

@@ -1,0 +1,376 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace gam::serve {
+
+namespace {
+
+util::Counter& protocol_errors() {
+  static util::Counter& c =
+      util::MetricsRegistry::instance().counter("serve.protocol_errors");
+  return c;
+}
+
+/// Write all of `bytes` to `fd`. MSG_NOSIGNAL: a peer that vanished between
+/// our poll and our write must surface as EPIPE, not kill the daemon.
+bool send_all(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      service_(options_.service),
+      dispatcher_(options_.workers, options_.max_queue) {}
+
+util::StatusOr<std::unique_ptr<Server>> Server::start(ServerOptions options) {
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  util::Status status = server->service_.init();
+  if (!status.ok()) return status;
+  status = server->listen_on_socket();
+  if (!status.ok()) return status;
+
+  Server* raw = server.get();
+  server->service_.set_shutdown_handler([raw] { raw->request_shutdown(); });
+  server->service_.set_health_provider([raw] { return raw->health_json(); });
+  server->accept_thread_ = std::thread([raw] { raw->accept_loop(); });
+  util::log_info("serve", "listening on " +
+                              (server->options_.unix_path.empty()
+                                   ? server->options_.host + ":" +
+                                         std::to_string(server->port_)
+                                   : server->options_.unix_path));
+  return server;
+}
+
+util::Status Server::listen_on_socket() {
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return util::Status::invalid_argument("unix socket path too long: " +
+                                            options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      return util::Status::internal(std::string("socket: ") + std::strerror(errno));
+    }
+    ::unlink(options_.unix_path.c_str());  // a previous daemon's stale node
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      util::Status s = util::Status::unavailable("bind " + options_.unix_path + ": " +
+                                                 std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return s;
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      return util::Status::invalid_argument("bad listen host: " + options_.host);
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      return util::Status::internal(std::string("socket: ") + std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      util::Status s = util::Status::unavailable(
+          "bind " + options_.host + ":" + std::to_string(options_.port) + ": " +
+          std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return s;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    util::Status s = util::Status::internal(std::string("listen: ") +
+                                            std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  return util::Status();
+}
+
+void Server::accept_loop() {
+  static util::Counter& connections =
+      util::MetricsRegistry::instance().counter("serve.connections");
+  static util::Gauge& active = util::MetricsRegistry::instance().gauge("serve.sessions");
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down: drain started
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    connections.inc();
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      session->id = ++next_session_id_;
+      sessions_.emplace(session->id, session);
+      conn_threads_.emplace(session->id,
+                            std::thread([this, session] { connection_loop(session); }));
+      active.set(static_cast<double>(sessions_.size()));
+    }
+    reap_finished();
+  }
+}
+
+void Server::reap_finished() {
+  std::vector<uint64_t> done;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    done.swap(finished_);
+  }
+  for (uint64_t id : done) {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      auto it = conn_threads_.find(id);
+      if (it == conn_threads_.end()) continue;  // drain() already took it
+      t = std::move(it->second);
+      conn_threads_.erase(it);
+    }
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<Session> session) {
+  static util::Gauge& active = util::MetricsRegistry::instance().gauge("serve.sessions");
+  FrameDecoder decoder(options_.max_frame_bytes);
+  char buf[64 * 1024];
+  bool fatal = false;
+  while (!fatal) {
+    ssize_t n = ::recv(session->fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // peer closed (or drain shut the socket down)
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    decoder.feed(buf, static_cast<size_t>(n));
+    for (;;) {
+      util::Json frame;
+      std::string detail;
+      FrameDecoder::Result res = decoder.next(&frame, &detail);
+      if (res == FrameDecoder::Result::NeedMore) break;
+      if (res == FrameDecoder::Result::BadLength) {
+        // The stream position is garbage from here on; diagnose and hang up.
+        protocol_errors().inc();
+        write_reply(*session, error_reply(0, "oversized_frame", detail));
+        fatal = true;
+        break;
+      }
+      if (res == FrameDecoder::Result::BadJson) {
+        // The frame was well-delimited, so framing survives; keep reading.
+        protocol_errors().inc();
+        write_reply(*session, error_reply(0, "bad_json", detail));
+        continue;
+      }
+      handle_frame(session, std::move(frame));
+    }
+  }
+  // Drop this session. The fd stays open until the last Session reference
+  // dies (a queued worker may still be writing its reply through it).
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(session->id);
+    finished_.push_back(session->id);
+    active.set(static_cast<double>(sessions_.size()));
+  }
+}
+
+void Server::handle_frame(const std::shared_ptr<Session>& session, util::Json frame) {
+  if (!frame.is_object()) {
+    protocol_errors().inc();
+    write_reply(*session,
+                error_reply(0, "invalid_argument", "request must be a JSON object"));
+    return;
+  }
+  double id = frame.get_number("id", 0.0);
+  std::string kind = frame.get_string("kind");
+  if (kind.empty()) {
+    write_reply(*session,
+                error_reply(id, "invalid_argument", "missing request \"kind\""));
+    return;
+  }
+
+  // Control plane: answered on the reader thread, never queued — health and
+  // shutdown must work precisely when the data plane is saturated.
+  if (Service::is_inline_kind(kind)) {
+    execute(session, id, kind, frame);
+    return;
+  }
+
+  if (draining_.load(std::memory_order_acquire)) {
+    write_reply(*session, error_reply(id, "unavailable", "server is draining"));
+    return;
+  }
+  Dispatcher::Submit submitted = dispatcher_.submit(
+      [this, session, id, kind, frame = std::move(frame)] {
+        execute(session, id, kind, frame);
+      });
+  if (submitted == Dispatcher::Submit::QueueFull) {
+    static util::Counter& rejected =
+        util::MetricsRegistry::instance().counter("serve.rejected");
+    rejected.inc();
+    write_reply(*session,
+                error_reply(id, "resource_exhausted", "request queue full"));
+  } else if (submitted == Dispatcher::Submit::Draining) {
+    write_reply(*session, error_reply(id, "unavailable", "server is draining"));
+  }
+}
+
+void Server::execute(const std::shared_ptr<Session>& session, double id,
+                     const std::string& kind, const util::Json& frame) {
+  static util::Histogram& request_ms =
+      util::MetricsRegistry::instance().histogram("serve.request_ms");
+  util::ScopedTimer timer(request_ms);
+  util::trace::ScopedSpan span("serve.request", "serve");
+  span.arg("kind", kind);
+  span.arg("session", static_cast<uint64_t>(session->id));
+  util::StatusOr<util::Json> result = service_.handle(*session, kind, frame);
+  if (result.ok()) {
+    write_reply(*session, ok_reply(id, std::move(*result)));
+    // Shutdown triggers only after its reply is on the wire — the drain
+    // must not race the requesting client's read of the acknowledgement.
+    if (kind == "shutdown") request_shutdown();
+  } else {
+    span.arg("error", result.status().code_name());
+    write_reply(*session, error_reply(id, result.status()));
+  }
+}
+
+void Server::write_reply(Session& session, const util::Json& reply) {
+  std::string bytes = encode_frame(reply);
+  std::lock_guard<std::mutex> lock(session.write_mu);
+  send_all(session.fd, bytes);  // a vanished peer is the peer's problem
+}
+
+size_t Server::active_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+util::Json Server::health_json() {
+  util::Json doc = util::Json::object();
+  doc["state"] = draining_.load(std::memory_order_acquire) ? "draining" : "serving";
+  doc["queue_depth"] = dispatcher_.depth();
+  doc["workers"] = dispatcher_.workers();
+  size_t sessions;
+  uint64_t session_requests = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions = sessions_.size();
+    for (const auto& [id, s] : sessions_) {
+      session_requests += s->requests.load(std::memory_order_relaxed);
+    }
+  }
+  doc["sessions"] = sessions;
+  doc["session_requests"] = static_cast<size_t>(session_requests);
+  return doc;
+}
+
+void Server::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+bool Server::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  return shutdown_requested_;
+}
+
+bool Server::wait_shutdown(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  return shutdown_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [this] { return shutdown_requested_; });
+}
+
+void Server::drain() {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (drained_) return;
+  util::trace::ScopedSpan span("serve.drain", "serve");
+  draining_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting: shut the listen socket down (wakes accept(2) with
+  // EINVAL on Linux), join the accept thread, then release the fd/path.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+
+  // 2. Let the data plane run dry: everything already accepted executes to
+  // completion and its reply is flushed (reader threads are still alive and
+  // only reject new work). In-flight studies finish here — and had the
+  // process been killed instead, their journal would carry the completed
+  // countries into the next daemon.
+  dispatcher_.drain();
+
+  // 3. Unblock every reader and join. Sockets are shut down, not closed:
+  // the Session destructor closes the fd when the last reference drops.
+  std::vector<std::shared_ptr<Session>> sessions;
+  std::map<uint64_t, std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& [id, s] : sessions_) sessions.push_back(s);
+    threads.swap(conn_threads_);
+  }
+  for (const auto& s : sessions) ::shutdown(s->fd, SHUT_RDWR);
+  for (auto& [id, t] : threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.clear();
+    finished_.clear();
+    util::MetricsRegistry::instance().gauge("serve.sessions").set(0.0);
+  }
+  drained_ = true;
+  util::log_info("serve", "drained");
+}
+
+Server::~Server() { drain(); }
+
+}  // namespace gam::serve

@@ -1,0 +1,133 @@
+// serve::Server — the GammaServe listener and connection plane.
+//
+// One accept thread; one reader thread per connection; request execution on
+// the Dispatcher's bounded queue + worker pool. The split keeps the
+// blocking surface honest: reader threads only ever block on their own
+// socket, workers only on request work, and the accept thread only on
+// accept(2) — so graceful drain is a sequence of targeted unblocks rather
+// than a prayer:
+//
+//   Serving -> Draining:  stop accepting (listen socket shut down), new
+//                         requests on live connections answered
+//                         `unavailable: draining`, control-plane kinds
+//                         (ping/health/stats/shutdown) still answered;
+//   Draining -> Drained:  bounded queue runs dry (in-flight studies finish —
+//                         checkpointing per country as they always do —
+//                         and in-flight queries complete and their replies
+//                         flush), then every session socket is shut down,
+//                         reader threads observe EOF and exit, and the
+//                         worker pool joins.
+//
+// A SIGKILL instead of drain loses nothing durable: submitted studies
+// journal per-country through worldgen::checkpoint, and a restarted daemon
+// resumes them byte-identically (test-asserted).
+//
+// Observability: serve.connections / serve.sessions / serve.requests[.kind]
+// / serve.queue_depth / serve.request_ms / serve.rejected /
+// serve.protocol_errors, plus `serve.request` and `serve.drain` trace spans.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/dispatcher.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "serve/session.h"
+#include "util/status.h"
+
+namespace gam::serve {
+
+struct ServerOptions {
+  /// TCP listen address. Port 0 binds an ephemeral port — the
+  /// GAMMA_SERVE_PORT=0 convention parallel test runners rely on; read the
+  /// bound port back from Server::port().
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Non-empty: listen on this AF_UNIX path instead of TCP.
+  std::string unix_path;
+  size_t workers = 4;
+  /// Bounded queue depth; request N+1 is refused with `resource_exhausted`.
+  size_t max_queue = 64;
+  size_t max_frame_bytes = kMaxFrameBytes;
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  /// Bind, listen, and start serving. On failure nothing is left running.
+  static util::StatusOr<std::unique_ptr<Server>> start(ServerOptions options);
+
+  /// Drains (if the caller has not already) and joins everything.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bound TCP port (0 when listening on a unix socket).
+  uint16_t port() const { return port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  Service& service() { return service_; }
+
+  /// Flag a shutdown request (signal handler, shutdown RPC, or test) and
+  /// wake wait_shutdown(). Does not drain — the owning thread does that.
+  void request_shutdown();
+  bool shutdown_requested() const;
+  /// Block until a shutdown is requested or `timeout_ms` elapses; true when
+  /// requested. The `gamma serve` main loop's only job.
+  bool wait_shutdown(int timeout_ms);
+
+  /// Run the drain state machine to completion. Idempotent, callable from
+  /// any thread that is not a worker or connection thread.
+  void drain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  size_t active_sessions() const;
+
+ private:
+  explicit Server(ServerOptions options);
+
+  util::Status listen_on_socket();
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Session> session);
+  void handle_frame(const std::shared_ptr<Session>& session, util::Json frame);
+  void execute(const std::shared_ptr<Session>& session, double id,
+               const std::string& kind, const util::Json& frame);
+  void write_reply(Session& session, const util::Json& reply);
+  /// Join connection threads whose loop has returned (called from the
+  /// accept loop so a churn of short connections cannot pile up handles).
+  void reap_finished();
+  util::Json health_json();
+
+  ServerOptions options_;
+  Service service_;
+  Dispatcher dispatcher_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::atomic<bool> draining_{false};
+  bool drained_ = false;       // guarded by drain_mu_
+  std::mutex drain_mu_;        // serializes drain()
+
+  mutable std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  mutable std::mutex sessions_mu_;
+  uint64_t next_session_id_ = 0;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::map<uint64_t, std::thread> conn_threads_;
+  std::vector<uint64_t> finished_;  // conn loops that returned, to reap
+};
+
+}  // namespace gam::serve

@@ -1,0 +1,310 @@
+#include "serve/service.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "analysis/flows.h"
+#include "analysis/prevalence.h"
+#include "analysis/report_json.h"
+#include "store/query.h"
+#include "store/reports.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "world/country.h"
+
+namespace gam::serve {
+
+Session::~Session() {
+  if (fd >= 0) ::close(fd);
+}
+
+namespace {
+
+/// Ceiling on the test/bench `sleep` kind, so a typo cannot wedge a worker
+/// past any reasonable drain timeout.
+constexpr double kMaxSleepMs = 5000.0;
+
+util::Counter& kind_counter(const std::string& kind) {
+  return util::MetricsRegistry::instance().counter("serve.requests." + kind);
+}
+
+}  // namespace
+
+util::StatusOr<std::shared_ptr<store::Reader>> StoreRegistry::get(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = stores_.find(path);
+    if (it != stores_.end()) return it->second;
+  }
+  // Open outside the lock: mapping + CRC-validating a store is milliseconds
+  // of work that must not stall every other session's lookup.
+  store::Error error;
+  std::shared_ptr<store::Reader> reader = store::Reader::open_shared(path, &error);
+  if (!reader) {
+    return util::Status::not_found("cannot open store " + path + ": " +
+                                   error.to_string());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = stores_.emplace(path, std::move(reader));
+  return it->second;  // a racing open of the same path keeps the first mapping
+}
+
+util::Status StoreRegistry::set_default(const std::string& path) {
+  auto reader = get(path);
+  if (!reader.ok()) return reader.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  stores_[""] = *reader;
+  return util::Status();
+}
+
+size_t StoreRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_.size();
+}
+
+Service::Service(ServiceOptions options) : options_(std::move(options)) {}
+
+util::Status Service::init() {
+  if (options_.store_path.empty()) return util::Status();
+  return registry_.set_default(options_.store_path);
+}
+
+bool Service::is_inline_kind(const std::string& kind) {
+  // The control plane bypasses the bounded queue: health/stats must answer
+  // while the data plane is saturated, and shutdown must be deliverable
+  // under exactly that condition.
+  return kind == "ping" || kind == "health" || kind == "stats" || kind == "shutdown";
+}
+
+util::StatusOr<util::Json> Service::handle(Session& session, const std::string& kind,
+                                           const util::Json& params) {
+  static util::Counter& requests =
+      util::MetricsRegistry::instance().counter("serve.requests");
+  requests.inc();
+  session.requests.fetch_add(1, std::memory_order_relaxed);
+
+  if (kind == "ping") {
+    kind_counter("ping").inc();
+    util::Json result = util::Json::object();
+    result["pong"] = true;
+    result["session"] = static_cast<size_t>(session.id);
+    return result;
+  }
+  if (kind == "health") {
+    kind_counter("health").inc();
+    util::Json result = health_provider_ ? health_provider_() : util::Json::object();
+    result["stores"] = registry_.size();
+    return result;
+  }
+  if (kind == "stats") {
+    kind_counter("stats").inc();
+    return handle_stats();
+  }
+  if (kind == "shutdown") {
+    kind_counter("shutdown").inc();
+    if (!on_shutdown_) {
+      return util::Status::failed_precondition("no shutdown handler installed");
+    }
+    // The handler is NOT invoked here: the transport triggers it after the
+    // reply is on the wire, or the drain would race the client's read.
+    util::Json result = util::Json::object();
+    result["draining"] = true;
+    return result;
+  }
+  if (kind == "open") {
+    kind_counter("open").inc();
+    return handle_open(session, params);
+  }
+  if (kind == "query") {
+    kind_counter("query").inc();
+    return handle_query(session, params);
+  }
+  if (kind == "submit_study") {
+    kind_counter("submit_study").inc();
+    return handle_submit_study(params);
+  }
+  if (kind == "sleep") {
+    kind_counter("sleep").inc();
+    return handle_sleep(params);
+  }
+  return util::Status::invalid_argument("unknown request kind '" + kind + "'");
+}
+
+util::StatusOr<std::shared_ptr<store::Reader>> Service::resolve_store(
+    Session& session, const util::Json& params) {
+  std::string name = params.get_string("store");
+  auto reader = registry_.get(name);
+  if (!reader.ok() && name.empty()) {
+    return util::Status::failed_precondition(
+        "no default store — start the daemon with --store, or name one with "
+        "\"store\"");
+  }
+  if (reader.ok() && !name.empty()) {
+    std::lock_guard<std::mutex> lock(session.opened_mu);
+    session.opened.emplace(name, *reader);
+  }
+  return reader;
+}
+
+util::StatusOr<util::Json> Service::handle_open(Session& session,
+                                                const util::Json& params) {
+  std::string path = params.get_string("path");
+  if (path.empty()) return util::Status::invalid_argument("open: need \"path\"");
+  auto reader = registry_.get(path);
+  if (!reader.ok()) return reader.status();
+  {
+    std::lock_guard<std::mutex> lock(session.opened_mu);
+    session.opened.emplace(path, *reader);
+  }
+  util::Json result = util::Json::object();
+  result["path"] = path;
+  result["countries"] = (*reader)->num_countries();
+  result["sites"] = (*reader)->num_sites();
+  result["hits"] = (*reader)->num_hits();
+  result["bytes"] = static_cast<size_t>((*reader)->file_size());
+  return result;
+}
+
+util::StatusOr<util::Json> Service::handle_query(Session& session,
+                                                 const util::Json& params) {
+  auto reader = resolve_store(session, params);
+  if (!reader.ok()) return reader.status();
+  const store::Reader& r = **reader;
+
+  // Report mode mirrors `gamma store query --report R` — and must keep
+  // producing the identical document, because test_serve and the check.sh
+  // serve arm diff the two paths byte-for-byte.
+  std::string report = params.get_string("report");
+  if (!report.empty()) {
+    if (report == "summary") return store::summary_json(r);
+    if (report == "prevalence") return analysis::to_json(store::prevalence_report(r));
+    if (report == "policy") return analysis::to_json(store::policy_report(r));
+    if (report == "per-site") return analysis::to_json(store::per_site_report(r));
+    if (report == "flows") return analysis::to_json(store::flows_report(r));
+    if (report == "coverage") return store::coverage_json(r);
+    if (report == "funnel") return store::funnel_json(r);
+    return util::Status::invalid_argument(
+        "unknown report '" + report +
+        "' (summary|prevalence|policy|per-site|flows|coverage|funnel)");
+  }
+
+  store::QuerySpec spec;
+  std::string table = params.get_string("table", "hits");
+  auto table_id = store::table_from_name(table);
+  if (!table_id) {
+    return util::Status::invalid_argument("unknown table '" + table +
+                                          "' (countries|sites|hits)");
+  }
+  spec.table = *table_id;
+  if (const util::Json* project = params.find("project")) {
+    for (const util::Json& col : project->items()) {
+      if (!col.is_string()) {
+        return util::Status::invalid_argument("\"project\" must be an array of strings");
+      }
+      spec.project.push_back(col.as_string());
+    }
+  }
+  if (const util::Json* where = params.find("where")) {
+    for (const util::Json& pred : where->items()) {
+      if (!pred.is_array() || pred.size() != 2 || !pred.at(0).is_string() ||
+          !pred.at(1).is_string()) {
+        return util::Status::invalid_argument(
+            "\"where\" must be an array of [column, value] string pairs");
+      }
+      spec.where.emplace_back(pred.at(0).as_string(), pred.at(1).as_string());
+    }
+  }
+  spec.group_by = params.get_string("group_by");
+  spec.flows = params.get_bool("flows");
+  double limit = params.get_number("limit", 0.0);
+  if (limit < 0) return util::Status::invalid_argument("\"limit\" must be >= 0");
+  spec.limit = static_cast<size_t>(limit);
+
+  store::Error error;
+  std::optional<util::Json> result = store::Query(r).run(spec, &error);
+  if (!result) return util::Status::invalid_argument(error.to_string());
+  return std::move(*result);
+}
+
+util::StatusOr<util::Json> Service::handle_submit_study(const util::Json& params) {
+  worldgen::StudyOptions options;
+  options.seed = static_cast<uint64_t>(params.get_number("seed", 7.0));
+  options.jobs = static_cast<size_t>(params.get_number("jobs", 1.0));
+  if (const util::Json* countries = params.find("countries")) {
+    for (const util::Json& c : countries->items()) {
+      if (!c.is_string() || !world::is_source_country(c.as_string())) {
+        return util::Status::invalid_argument(
+            "submit_study: unknown source country '" + c.as_string() + "'");
+      }
+      options.countries.push_back(c.as_string());
+    }
+  }
+  options.store_out = params.get_string("store_out");
+  options.checkpoint_dir = options_.checkpoint_dir;
+  // Resume unconditionally when journaled: that is the daemon restart
+  // contract — a killed study's countries are reused, byte-identically.
+  options.resume = !options_.checkpoint_dir.empty();
+
+  std::lock_guard<std::mutex> study_lock(study_mu_);
+  {
+    std::lock_guard<std::mutex> lock(world_mu_);
+    if (!options_.world) options_.world = worldgen::generate_world({});
+  }
+  static util::Counter& studies =
+      util::MetricsRegistry::instance().counter("serve.studies");
+  studies.inc();
+
+  worldgen::StudyResult study;
+  try {
+    study = worldgen::run_study(*options_.world, options);
+  } catch (const std::exception& e) {
+    std::string what = e.what();
+    // run_study throws exactly two structured failures: a journal held by a
+    // concurrent study (retryable) and a failed store write (not).
+    if (what.find("locked") != std::string::npos) {
+      return util::Status::unavailable(what);
+    }
+    return util::Status::internal(what);
+  }
+
+  analysis::PrevalenceReport prev = analysis::compute_prevalence(study.analyses);
+  analysis::FlowsReport flows = analysis::compute_flows(study.analyses);
+  util::Json result = util::Json::object();
+  result["countries"] = study.analyses.size();
+  result["resumed_countries"] = study.resumed_countries;
+  util::Json degraded = util::Json::array();
+  for (const std::string& c : study.degraded_countries) degraded.push_back(c);
+  result["degraded"] = std::move(degraded);
+  result["summary"] = analysis::study_summary_json(study.analyses.size(), prev, flows);
+  if (!options.store_out.empty()) result["store"] = options.store_out;
+  util::log_info("serve", "study done: " + std::to_string(study.analyses.size()) +
+                              " countries, " +
+                              std::to_string(study.resumed_countries) + " resumed");
+  return result;
+}
+
+util::StatusOr<util::Json> Service::handle_sleep(const util::Json& params) {
+  double ms = params.get_number("ms", 0.0);
+  if (ms < 0) return util::Status::invalid_argument("\"ms\" must be >= 0");
+  if (ms > kMaxSleepMs) ms = kMaxSleepMs;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
+  util::Json result = util::Json::object();
+  result["slept_ms"] = ms;
+  return result;
+}
+
+util::StatusOr<util::Json> Service::handle_stats() {
+  util::MetricsSnapshot snap = util::MetricsRegistry::instance().snapshot();
+  util::Json result = util::Json::object();
+  result["json"] = snap.to_json();
+  result["prometheus"] = snap.to_prometheus();
+  return result;
+}
+
+}  // namespace gam::serve

@@ -1,0 +1,62 @@
+// serve::Session — one connected client's state, and the shared store
+// registry every session resolves store names through.
+//
+// A session is created by the listener at accept time and lives until the
+// connection closes. It owns the socket write side (replies from worker
+// threads and protocol errors from the reader thread interleave through
+// write_mu), a monotone id used as the per-client metrics label, and the
+// set of stores this client opened. Store readers themselves are shared
+// process-wide: the registry hands out shared_ptr<store::Reader> handles,
+// so 64 clients querying the same .gmst map it exactly once.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "store/reader.h"
+#include "util/status.h"
+
+namespace gam::serve {
+
+/// Process-wide cache of mapped stores, keyed by path. Readers are
+/// immutable after open (see store::Reader::open_shared), so one mapping
+/// safely serves every session concurrently.
+class StoreRegistry {
+ public:
+  /// Find-or-open. A failed open is NOT cached — a store that is being
+  /// rewritten (tmp + rename) becomes visible on the next request.
+  util::StatusOr<std::shared_ptr<store::Reader>> get(const std::string& path);
+
+  /// Register `path` under the reserved default name "" as well, so
+  /// requests without a "store" param hit the store the daemon was started
+  /// with.
+  util::Status set_default(const std::string& path);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<store::Reader>> stores_;
+};
+
+struct Session {
+  ~Session();  // closes fd — the last reference (reader or worker) hangs up
+
+  uint64_t id = 0;
+  int fd = -1;
+  /// Serializes frame writes: worker replies and reader-thread protocol
+  /// errors must not interleave bytes on the socket.
+  std::mutex write_mu;
+  /// Paths this client opened (diagnostics; handles live in the registry).
+  std::map<std::string, std::shared_ptr<store::Reader>> opened;
+  std::mutex opened_mu;
+  /// Requests observed on this session (per-client metrics label
+  /// `serve.session.requests` is summed from these at health time).
+  std::atomic<uint64_t> requests{0};
+};
+
+}  // namespace gam::serve

@@ -97,6 +97,17 @@ class Reader {
   /// and observes `store.open_ms`.
   static std::unique_ptr<Reader> open(const std::string& path, Error* error = nullptr);
 
+  /// open() wrapped for shared ownership — the serve plane's sessions hold
+  /// one mapped Reader per store across many concurrent clients. Safe to
+  /// share: after open() the Reader is immutable (every accessor is a const
+  /// read of the mapped bytes; the only mutation queries perform is to the
+  /// process-wide atomic metrics), so concurrent Query::run calls need no
+  /// external locking.
+  static std::shared_ptr<Reader> open_shared(const std::string& path,
+                                             Error* error = nullptr) {
+    return std::shared_ptr<Reader>(open(path, error));
+  }
+
   ~Reader();
   Reader(const Reader&) = delete;
   Reader& operator=(const Reader&) = delete;

@@ -27,6 +27,7 @@ constexpr Field kFields[] = {
     {"browser", "slow", &FaultPlan::browser_slow},
     {"atlas", "unavailable", &FaultPlan::atlas_unavailable},
     {"session", "abort", &FaultPlan::session_abort},
+    {"journal", "write_fail", &FaultPlan::journal_write_fail},
 };
 
 }  // namespace

@@ -45,6 +45,8 @@ struct FaultPlan {
   double atlas_unavailable = 0.0;  // no probe answers the measurement request
   // core::Session / ParallelStudyRunner circuit breaker
   double session_abort = 0.0;  // the volunteer's whole run dies
+  // worldgen::StudyJournal
+  double journal_write_fail = 0.0;  // the resume-time journal rewrite fails
 
   /// True when any probability is non-zero.
   bool any() const;

@@ -1,0 +1,30 @@
+#include "util/status.h"
+
+namespace gam::util {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kAborted: return "aborted";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string s = code_name();
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace gam::util

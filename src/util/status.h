@@ -1,0 +1,113 @@
+// util::Status / util::StatusOr<T> — error plumbing for service boundaries.
+//
+// The measurement pipeline's internal layers already have precise,
+// domain-specific error types (store::Error, geoloc::GeoErrorCode, the
+// browser's LoadFailure taxonomy). What they lack is a common currency for
+// the places where subsystems meet a *caller* that must route, retry, or
+// report the failure without understanding its internals — the serve plane's
+// request handlers, the checkpoint journal's single-writer lock, the CLI.
+// Status is that currency: a closed code enum plus a human message, cheap to
+// copy, never throwing. StatusOr<T> carries either a value or the Status
+// explaining its absence, so handler signatures read as
+// `StatusOr<Json> handle(...)` instead of bool-plus-out-param.
+//
+// The code set is deliberately small (a subset of the well-known gRPC
+// vocabulary) and closed: protocol replies serialize `code_name()`, so tests
+// can assert exact strings and clients can switch on them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gam::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // the request itself is wrong; retrying is pointless
+  kNotFound,            // named resource (store, table, report) absent
+  kResourceExhausted,   // bounded queue full — backpressure, retry later
+  kUnavailable,         // draining / locked by another owner — retry elsewhere
+  kFailedPrecondition,  // valid request, wrong state (e.g. no default store)
+  kDeadlineExceeded,    // gave up waiting
+  kAborted,             // in-flight work cancelled by shutdown
+  kInternal,            // invariant broke on our side
+};
+
+/// Stable lower_snake name ("invalid_argument", ...) — the wire form.
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status invalid_argument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status not_found(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status resource_exhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status failed_precondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status deadline_exceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const char* code_name() const { return status_code_name(code_); }
+
+  /// "ok" or "<code_name>: <message>" — the log/stderr form.
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a T or the Status explaining why there is none. Constructing from
+/// an OK status is a usage bug and is normalized to kInternal so a broken
+/// call site surfaces as a structured error instead of UB.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::internal("StatusOr constructed from OK status without a value");
+    }
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). The checked accessor pattern mirrors std::optional.
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;  // OK iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace gam::util

@@ -1,5 +1,11 @@
 #include "worldgen/checkpoint.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -35,6 +41,26 @@ StudyJournal::StudyJournal(const std::string& dir, uint64_t seed,
   std::filesystem::create_directories(dir, ec);  // best effort; open() reports
   path_ = path_for(dir, seed);
   const util::Json header = header_json(seed, plan);
+
+  // Single-writer lock. The lock file is separate from the journal because
+  // the rewrite below rename()s a fresh inode over the journal — a lock on
+  // the journal itself would silently detach at that moment. flock is
+  // per-open-file-description, so two journals in one process conflict just
+  // like two processes do.
+  const std::string lock_path = path_ + ".lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    status_ = util::Status::internal("cannot open journal lock " + lock_path + ": " +
+                                     std::strerror(errno));
+    return;
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    status_ = util::Status::unavailable("journal " + path_ +
+                                        " is locked by another study");
+    return;
+  }
 
   if (resume) {
     std::ifstream in(path_);
@@ -76,6 +102,14 @@ StudyJournal::StudyJournal(const std::string& dir, uint64_t seed,
   // never a half-truncated file that would erase every completed country.
   // From here on append() extends the published file line by line.
   const std::string tmp = path_ + ".tmp";
+  util::FaultInjector faults(plan, seed);
+  if (faults.roll("journal", "rewrite", plan.journal_write_fail)) {
+    // Injected write failure: behave exactly as if the tmp write died —
+    // nothing renamed, the previous journal byte-intact, appends disabled.
+    status_ = util::Status::internal("injected journal write failure: " + tmp);
+    util::log_info("checkpoint", status_.message());
+    return;
+  }
   {
     std::ofstream out(tmp, std::ios::trunc);
     out << header.dump_exact() << "\n";
@@ -92,15 +126,27 @@ StudyJournal::StudyJournal(const std::string& dir, uint64_t seed,
     }
     out.flush();
     if (!out) {
-      util::log_info("checkpoint", "cannot write journal: " + tmp);
+      status_ = util::Status::internal("cannot write journal: " + tmp);
+      util::log_info("checkpoint", status_.message());
       return;
     }
   }
   std::filesystem::rename(tmp, path_, ec);
-  if (ec) util::log_info("checkpoint", "cannot publish journal: " + ec.message());
+  if (ec) {
+    status_ = util::Status::internal("cannot publish journal: " + ec.message());
+    util::log_info("checkpoint", status_.message());
+  }
+}
+
+StudyJournal::~StudyJournal() {
+  if (lock_fd_ >= 0) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+  }
 }
 
 void StudyJournal::append(const CheckpointRecord& rec) {
+  if (!status_.ok()) return;  // lockless read: status_ is set once, pre-append
   static util::Counter& checkpointed =
       util::MetricsRegistry::instance().counter("study.checkpointed_countries");
   util::Json j = util::Json::object();

@@ -14,6 +14,16 @@
 // the same Rng::substream(seed, "analyze-" + country) stream the original
 // run used, so a resumed study's output is byte-identical to an
 // uninterrupted one (JSON numbers round-trip exactly — see util/json.cpp).
+//
+// Single-writer contract: the journal takes an exclusive flock(2) on
+// `<journal>.lock` for its lifetime. Two studies (processes or threads)
+// racing for the same (dir, seed) journal cannot interleave appends into a
+// torn file — the loser's journal constructs with status() ==
+// kUnavailable and never touches the file; worldgen::run_study turns that
+// into a structured failure. The resume-time rewrite that drops a truncated
+// tail is crash-atomic (tmp + rename), so a kill — or an injected
+// `journal.write_fail` fault — during the rewrite leaves the previous
+// journal byte-intact.
 #pragma once
 
 #include <map>
@@ -22,6 +32,7 @@
 
 #include "core/session.h"
 #include "util/fault.h"
+#include "util/status.h"
 
 namespace gam::worldgen {
 
@@ -46,8 +57,21 @@ class StudyJournal {
   /// a matching header is loaded into completed(); a header mismatch
   /// (different seed or plan — the records would not reproduce) discards
   /// the stale file. Without `resume` the journal starts fresh.
+  ///
+  /// Check status() afterwards: kUnavailable means another study holds the
+  /// journal lock (completed() is empty and the file was not touched); any
+  /// other non-OK code means the rewrite failed and appends are disabled,
+  /// but the previous journal on disk is intact.
   StudyJournal(const std::string& dir, uint64_t seed, const util::FaultPlan& plan,
                bool resume);
+  ~StudyJournal();
+
+  StudyJournal(const StudyJournal&) = delete;
+  StudyJournal& operator=(const StudyJournal&) = delete;
+
+  /// OK when the journal owns the lock and the on-disk file matches
+  /// completed(); structured error otherwise (see constructor docs).
+  const util::Status& status() const { return status_; }
 
   /// Countries already finished by a previous run, keyed by country code.
   const std::map<std::string, CheckpointRecord>& completed() const {
@@ -55,8 +79,8 @@ class StudyJournal {
   }
 
   /// Append one finished country and flush. Thread-safe: worker tasks call
-  /// this concurrently as countries complete. Counts
-  /// `study.checkpointed_countries`.
+  /// this concurrently as countries complete. A no-op on a journal whose
+  /// status() is non-OK. Counts `study.checkpointed_countries`.
   void append(const CheckpointRecord& rec);
 
   const std::string& path() const { return path_; }
@@ -65,6 +89,8 @@ class StudyJournal {
   std::string path_;
   std::map<std::string, CheckpointRecord> completed_;
   std::mutex mu_;
+  util::Status status_;
+  int lock_fd_ = -1;  // exclusive flock on <path>.lock; -1 = not held
 };
 
 }  // namespace gam::worldgen

@@ -68,6 +68,13 @@ StudyResult run_study(World& world, const StudyOptions& options) {
   if (!options.checkpoint_dir.empty()) {
     journal.emplace(options.checkpoint_dir, options.seed,
                     options.fault_plan.value_or(util::FaultPlan{}), options.resume);
+    // A journal locked by a concurrent study is a structured failure: the
+    // loser must not run (its appends would be dropped and its resume view
+    // is empty). Other journal failures stay best-effort — the study still
+    // runs, it just isn't checkpointed (status was logged by the journal).
+    if (journal->status().code() == util::StatusCode::kUnavailable) {
+      throw std::runtime_error("checkpoint: " + journal->status().to_string());
+    }
   }
 
   // Analysis is recomputed even for resumed countries: it is pure and

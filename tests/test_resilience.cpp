@@ -6,11 +6,13 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/recorder.h"
@@ -236,6 +238,114 @@ TEST(Resilience, StaleJournalSeedMismatchIsDiscarded) {
   worldgen::StudyOptions clean = subset_options({"EG", "AU"});
   clean.seed = 1234;
   EXPECT_EQ(fingerprint(resumed), fingerprint(run(clean)));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// The single-writer contract (ISSUE 6): two studies racing for the same
+// (dir, seed) journal cannot interleave appends into a torn file. The loser
+// gets a structured kUnavailable and never touches the journal.
+TEST(Resilience, JournalLockRefusesSecondWriterWithoutTouchingFile) {
+  CheckpointDir dir("locked");
+  worldgen::StudyOptions partial = subset_options({"EG"});
+  partial.checkpoint_dir = dir.path();
+  run(partial);
+  const std::string journal_path = worldgen::StudyJournal::path_for(dir.path(), 21);
+
+  worldgen::StudyJournal winner(dir.path(), 21, {}, /*resume=*/true);
+  ASSERT_TRUE(winner.status().ok()) << winner.status().to_string();
+  EXPECT_EQ(winner.completed().size(), 1u);
+  const std::string held = slurp(journal_path);
+  ASSERT_FALSE(held.empty());
+
+  worldgen::StudyJournal loser(dir.path(), 21, {}, /*resume=*/true);
+  EXPECT_EQ(loser.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_TRUE(loser.completed().empty());
+  EXPECT_EQ(slurp(journal_path), held);  // the loser never touched the file
+  worldgen::CheckpointRecord rec;
+  rec.country = "AU";
+  loser.append(rec);  // no-op on a non-OK journal
+  EXPECT_EQ(slurp(journal_path), held);
+
+  // The study driver surfaces the conflict as a structured failure instead
+  // of running uncheckpointed or corrupting the winner's journal.
+  worldgen::StudyOptions contender = subset_options({"AU"});
+  contender.checkpoint_dir = dir.path();
+  try {
+    run(contender);
+    FAIL() << "run_study with a held journal should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("locked"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Resilience, ConcurrentJournalRacersGetOneWinnerStructuredLosers) {
+  CheckpointDir dir("race");
+  constexpr int kRacers = 4;
+  std::atomic<int> constructed{0};
+  std::atomic<int> winners{0}, losers{0}, other{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRacers);
+  for (int t = 0; t < kRacers; ++t) {
+    threads.emplace_back([&] {
+      worldgen::StudyJournal journal(dir.path(), 77, {}, /*resume=*/true);
+      if (journal.status().ok()) {
+        winners.fetch_add(1);
+      } else if (journal.status().code() == util::StatusCode::kUnavailable) {
+        losers.fetch_add(1);
+      } else {
+        other.fetch_add(1);
+      }
+      // Hold the journal until every racer has constructed, so winners
+      // cannot succeed sequentially — the exclusion must be concurrent.
+      constructed.fetch_add(1);
+      while (constructed.load() < kRacers) std::this_thread::yield();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_EQ(losers.load(), kRacers - 1);
+  EXPECT_EQ(other.load(), 0);
+  // The one winner published a well-formed journal: header parses.
+  std::string bytes = slurp(worldgen::StudyJournal::path_for(dir.path(), 77));
+  ASSERT_FALSE(bytes.empty());
+  auto header = util::Json::parse(bytes.substr(0, bytes.find('\n')));
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->get_string("checkpoint"), "gamma-study");
+}
+
+// Crash-atomicity of the resume-time rewrite, proven with the fault plane:
+// an injected write failure disables the journal (structured kInternal,
+// appends become no-ops) but the previous journal on disk stays byte-intact
+// and a later clean resume still restores its countries.
+TEST(Resilience, InjectedJournalRewriteFailureLeavesJournalIntact) {
+  CheckpointDir dir("write-fail");
+  worldgen::StudyOptions partial = subset_options({"EG"});
+  partial.checkpoint_dir = dir.path();
+  run(partial);
+  const std::string journal_path = worldgen::StudyJournal::path_for(dir.path(), 21);
+  const std::string before = slurp(journal_path);
+  ASSERT_FALSE(before.empty());
+
+  util::FaultPlan plan;
+  plan.journal_write_fail = 1.0;
+  {
+    worldgen::StudyJournal journal(dir.path(), 21, plan, /*resume=*/true);
+    EXPECT_EQ(journal.status().code(), util::StatusCode::kInternal);
+    worldgen::CheckpointRecord rec;
+    rec.country = "AU";
+    journal.append(rec);  // disabled: must not extend a failed journal
+  }
+  EXPECT_EQ(slurp(journal_path), before);
+
+  worldgen::StudyOptions resumed = subset_options({"EG", "AU"});
+  resumed.checkpoint_dir = dir.path();
+  resumed.resume = true;
+  EXPECT_EQ(run(resumed).resumed_countries, 1u);
 }
 
 TEST(Resilience, BrowserFailuresAlwaysCarryClosedEnumReason) {

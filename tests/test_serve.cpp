@@ -1,0 +1,730 @@
+// GammaServe: protocol, concurrency, backpressure, drain, and resume tests.
+//
+// The contracts under test (ISSUE 6):
+//  - Protocol safety: any byte sequence a client sends — hostile length
+//    prefixes, truncated JSON, raw garbage — produces a structured error or
+//    a clean close, never UB (this suite runs under ASan/UBSan and TSan in
+//    tools/check.sh).
+//  - Determinism: a query answered through the serve plane is byte-identical
+//    to `gamma store query` against the same store, for every report and
+//    spec, under any interleaving of concurrent clients.
+//  - Backpressure: a full bounded queue rejects with `resource_exhausted`;
+//    it never deadlocks and never drops a reply.
+//  - Drain: in-flight work finishes and its replies flush; new work is
+//    refused; a killed-and-restarted daemon resumes journaled studies
+//    byte-identically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/report_json.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "store/query.h"
+#include "store/reports.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+namespace gam {
+namespace {
+
+using serve::Client;
+using serve::FrameDecoder;
+using serve::Server;
+using serve::ServerOptions;
+
+// ---------------------------------------------------------------------------
+// Shared fixtures. World generation and the reference study run once per
+// test binary; every server shares the same World through ServiceOptions so
+// submit_study tests do not regenerate it.
+
+std::shared_ptr<worldgen::World> shared_world() {
+  static std::shared_ptr<worldgen::World> world = worldgen::generate_world({});
+  return world;
+}
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// A small two-country store, built once: the query byte-identity target.
+const std::string& shared_store() {
+  static const std::string path = [] {
+    std::string p = temp_path("serve_shared.gmst");
+    worldgen::StudyOptions options;
+    options.seed = 23;
+    options.countries = {"US", "GB"};
+    options.store_out = p;
+    worldgen::run_study(*shared_world(), options);
+    return p;
+  }();
+  return path;
+}
+
+std::unique_ptr<Server> start_server(ServerOptions options = {}) {
+  options.service.world = shared_world();
+  auto server = Server::start(std::move(options));
+  EXPECT_TRUE(server.ok()) << server.status().to_string();
+  return std::move(*server);
+}
+
+std::unique_ptr<Client> connect(const Server& server) {
+  auto client = Client::connect_tcp("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().to_string();
+  (*client)->set_recv_timeout_ms(30000);  // a wedged server fails, not hangs
+  return std::move(*client);
+}
+
+/// Unwrap an ok reply's result, failing the test on transport or service
+/// error.
+util::Json must_result(util::StatusOr<util::Json> reply) {
+  EXPECT_TRUE(reply.ok()) << reply.status().to_string();
+  if (!reply.ok()) return util::Json();
+  EXPECT_TRUE(reply->get_bool("ok")) << reply->dump();
+  const util::Json* result = reply->find("result");
+  return result ? *result : util::Json();
+}
+
+/// Unwrap an error reply's code, failing the test if the call succeeded.
+std::string must_error_code(util::StatusOr<util::Json> reply) {
+  EXPECT_TRUE(reply.ok()) << reply.status().to_string();
+  if (!reply.ok()) return "";
+  EXPECT_FALSE(reply->get_bool("ok")) << reply->dump();
+  const util::Json* error = reply->find("error");
+  return error ? error->get_string("code") : "";
+}
+
+// ---------------------------------------------------------------------------
+// Status plumbing.
+
+TEST(Status, CodeNamesAreTheWireVocabulary) {
+  EXPECT_STREQ(util::status_code_name(util::StatusCode::kOk), "ok");
+  EXPECT_STREQ(util::status_code_name(util::StatusCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(util::status_code_name(util::StatusCode::kResourceExhausted),
+               "resource_exhausted");
+  EXPECT_STREQ(util::status_code_name(util::StatusCode::kUnavailable), "unavailable");
+  util::Status s = util::Status::not_found("no such store");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.to_string(), "not_found: no such store");
+  EXPECT_TRUE(util::Status().ok());
+  EXPECT_EQ(util::Status().to_string(), "ok");
+}
+
+TEST(Status, StatusOrHoldsValueOrStatusNeverBoth) {
+  util::StatusOr<int> value(7);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 7);
+  EXPECT_TRUE(value.status().ok());
+
+  util::StatusOr<int> error(util::Status::unavailable("later"));
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), util::StatusCode::kUnavailable);
+
+  // Constructing from an OK status without a value is a usage bug that must
+  // surface as a structured kInternal, not UB.
+  util::StatusOr<int> broken((util::Status()));
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), util::StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+
+TEST(Protocol, FrameRoundTripsByteByByte) {
+  util::Json doc = util::Json::object();
+  doc["kind"] = "ping";
+  doc["id"] = 42;
+  doc["payload"] = "π ≈ 3.14159";  // multi-byte UTF-8 crosses feed boundaries
+  std::string wire = serve::encode_frame(doc);
+
+  FrameDecoder decoder;
+  util::Json frame;
+  // Worst-case fragmentation: one byte per feed.
+  for (size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::NeedMore);
+    decoder.feed(wire.data() + i, 1);
+  }
+  ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::Frame);
+  EXPECT_TRUE(frame == doc);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Protocol, ManyFramesInOneFeed) {
+  std::string wire;
+  for (int i = 0; i < 5; ++i) {
+    util::Json doc = util::Json::object();
+    doc["id"] = i;
+    wire += serve::encode_frame(doc);
+  }
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  util::Json frame;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::Frame);
+    EXPECT_EQ(frame.get_number("id"), i);
+  }
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::NeedMore);
+}
+
+TEST(Protocol, OversizedLengthIsRejectedBeforeBuffering) {
+  // 0xFFFFFFFF little-endian: a hostile prefix claiming a 4 GB payload.
+  const char evil[4] = {'\xff', '\xff', '\xff', '\xff'};
+  FrameDecoder decoder;
+  decoder.feed(evil, sizeof(evil));
+  util::Json frame;
+  std::string detail;
+  EXPECT_EQ(decoder.next(&frame, &detail), FrameDecoder::Result::BadLength);
+  EXPECT_NE(detail.find("4294967295"), std::string::npos) << detail;
+}
+
+TEST(Protocol, BadJsonKeepsTheStreamFramed) {
+  std::string wire;
+  {  // frame 1: well-delimited, unparseable payload
+    std::string payload = "{broken";
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    char prefix[4] = {static_cast<char>(len & 0xff), static_cast<char>((len >> 8) & 0xff),
+                      static_cast<char>((len >> 16) & 0xff),
+                      static_cast<char>((len >> 24) & 0xff)};
+    wire.append(prefix, 4);
+    wire += payload;
+  }
+  util::Json good = util::Json::object();
+  good["id"] = 9;
+  wire += serve::encode_frame(good);
+
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  util::Json frame;
+  EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::BadJson);
+  // The bad frame was consumed whole; the next frame decodes normally.
+  ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::Frame);
+  EXPECT_EQ(frame.get_number("id"), 9);
+}
+
+TEST(Protocol, ReplyEnvelopes) {
+  util::Json ok = serve::ok_reply(3, util::Json::object());
+  EXPECT_TRUE(ok.get_bool("ok"));
+  EXPECT_EQ(ok.get_number("id"), 3);
+  util::Json err = serve::error_reply(4, util::Status::not_found("gone"));
+  EXPECT_FALSE(err.get_bool("ok"));
+  EXPECT_EQ(err.find("error")->get_string("code"), "not_found");
+  EXPECT_EQ(err.find("error")->get_string("message"), "gone");
+}
+
+// ---------------------------------------------------------------------------
+// Service unit tests (no sockets): the dispatch table and its error taxonomy.
+
+TEST(Service, ControlPlaneKindsAreInline) {
+  EXPECT_TRUE(serve::Service::is_inline_kind("ping"));
+  EXPECT_TRUE(serve::Service::is_inline_kind("health"));
+  EXPECT_TRUE(serve::Service::is_inline_kind("stats"));
+  EXPECT_TRUE(serve::Service::is_inline_kind("shutdown"));
+  EXPECT_FALSE(serve::Service::is_inline_kind("query"));
+  EXPECT_FALSE(serve::Service::is_inline_kind("submit_study"));
+  EXPECT_FALSE(serve::Service::is_inline_kind("sleep"));
+}
+
+TEST(Service, StructuredErrorsForBadRequests) {
+  serve::Service service({});
+  ASSERT_TRUE(service.init().ok());
+  serve::Session session;
+
+  auto unknown = service.handle(session, "explode", util::Json::object());
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), util::StatusCode::kInvalidArgument);
+
+  auto no_store = service.handle(session, "query", util::Json::object());
+  ASSERT_FALSE(no_store.ok());
+  EXPECT_EQ(no_store.status().code(), util::StatusCode::kFailedPrecondition);
+
+  util::Json bad_country = util::Json::object();
+  util::Json countries = util::Json::array();
+  countries.push_back("XX");
+  bad_country["countries"] = std::move(countries);
+  auto submit = service.handle(session, "submit_study", bad_country);
+  ASSERT_FALSE(submit.ok());
+  EXPECT_EQ(submit.status().code(), util::StatusCode::kInvalidArgument);
+
+  util::Json negative = util::Json::object();
+  negative["ms"] = -1;
+  auto sleep = service.handle(session, "sleep", negative);
+  ASSERT_FALSE(sleep.ok());
+  EXPECT_EQ(sleep.status().code(), util::StatusCode::kInvalidArgument);
+
+  auto shutdown = service.handle(session, "shutdown", util::Json::object());
+  ASSERT_FALSE(shutdown.ok());  // no transport installed a handler
+  EXPECT_EQ(shutdown.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(Service, MissingStoreIsNotFoundAndNotCached) {
+  serve::Service service({});
+  ASSERT_TRUE(service.init().ok());
+  serve::Session session;
+  util::Json params = util::Json::object();
+  params["store"] = temp_path("nonexistent.gmst");
+  auto reply = service.handle(session, "query", params);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(service.registry().size(), 0u);  // failed opens are not cached
+}
+
+// ---------------------------------------------------------------------------
+// Live server: control plane, query byte-identity, concurrency.
+
+TEST(Serve, PingHealthStats) {
+  auto server = start_server();
+  auto client = connect(*server);
+
+  util::Json pong = must_result(client->call("ping"));
+  EXPECT_TRUE(pong.get_bool("pong"));
+
+  util::Json health = must_result(client->call("health"));
+  EXPECT_EQ(health.get_string("state"), "serving");
+  EXPECT_EQ(health.get_number("sessions"), 1);
+
+  util::Json stats = must_result(client->call("stats"));
+  ASSERT_TRUE(stats.find("json") != nullptr);
+  // The Prometheus exposition carries the serve counters.
+  EXPECT_NE(stats.get_string("prometheus").find("serve_requests"), std::string::npos);
+}
+
+TEST(Serve, QueryMatchesDirectStoreBytes) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  auto server = start_server(std::move(options));
+  auto client = connect(*server);
+
+  store::Error error;
+  auto reader = store::Reader::open(shared_store(), &error);
+  ASSERT_TRUE(reader) << error.to_string();
+
+  const char* reports[] = {"summary", "prevalence", "policy",
+                           "per-site", "flows",      "coverage", "funnel"};
+  for (const char* report : reports) {
+    util::Json params = util::Json::object();
+    params["report"] = report;
+    util::Json served = must_result(client->call("query", std::move(params)));
+
+    util::Json direct;
+    std::string name = report;
+    if (name == "summary") direct = store::summary_json(*reader);
+    else if (name == "prevalence") direct = analysis::to_json(store::prevalence_report(*reader));
+    else if (name == "policy") direct = analysis::to_json(store::policy_report(*reader));
+    else if (name == "per-site") direct = analysis::to_json(store::per_site_report(*reader));
+    else if (name == "flows") direct = analysis::to_json(store::flows_report(*reader));
+    else if (name == "coverage") direct = store::coverage_json(*reader);
+    else direct = store::funnel_json(*reader);
+
+    // Byte identity, not structural equality: the serve path's serialized
+    // report must be indistinguishable from `gamma store query`'s.
+    EXPECT_EQ(served.dump(2), direct.dump(2)) << report;
+  }
+}
+
+TEST(Serve, QuerySpecMatchesDirectStoreBytes) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  auto server = start_server(std::move(options));
+  auto client = connect(*server);
+
+  util::Json params = util::Json::object();
+  params["table"] = "hits";
+  util::Json where = util::Json::array();
+  util::Json pred = util::Json::array();
+  pred.push_back("first_party");
+  pred.push_back("true");
+  where.push_back(std::move(pred));
+  params["where"] = std::move(where);
+  params["group_by"] = "dest_country";
+  util::Json served = must_result(client->call("query", std::move(params)));
+
+  store::Error error;
+  auto reader = store::Reader::open(shared_store(), &error);
+  ASSERT_TRUE(reader) << error.to_string();
+  store::QuerySpec spec;
+  spec.table = *store::table_from_name("hits");
+  spec.where.emplace_back("first_party", "true");
+  spec.group_by = "dest_country";
+  auto direct = store::Query(*reader).run(spec, &error);
+  ASSERT_TRUE(direct) << error.to_string();
+  EXPECT_EQ(served.dump(2), direct->dump(2));
+}
+
+TEST(Serve, QueryErrorsAreStructured) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  auto server = start_server(std::move(options));
+  auto client = connect(*server);
+
+  util::Json bad_report = util::Json::object();
+  bad_report["report"] = "nope";
+  EXPECT_EQ(must_error_code(client->call("query", std::move(bad_report))),
+            "invalid_argument");
+
+  util::Json bad_table = util::Json::object();
+  bad_table["table"] = "nope";
+  EXPECT_EQ(must_error_code(client->call("query", std::move(bad_table))),
+            "invalid_argument");
+}
+
+TEST(Serve, ConcurrentClientsGetIdenticalBytes) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  options.workers = 4;
+  auto server = start_server(std::move(options));
+
+  // The single-threaded answer every concurrent client must reproduce.
+  std::string reference;
+  {
+    auto client = connect(*server);
+    util::Json params = util::Json::object();
+    params["report"] = "prevalence";
+    reference = must_result(client->call("query", std::move(params))).dump(2);
+  }
+  ASSERT_FALSE(reference.empty());
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 25;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      auto client = Client::connect_tcp("127.0.0.1", server->port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      (*client)->set_recv_timeout_ms(30000);
+      for (int i = 0; i < kRequests; ++i) {
+        util::Json params = util::Json::object();
+        params["report"] = "prevalence";
+        auto reply = (*client)->call("query", std::move(params));
+        if (!reply.ok() || !reply->get_bool("ok")) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (reply->find("result")->dump(2) != reference) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Serve, SixtyFourClientStress) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  options.workers = 8;
+  options.max_queue = 256;
+  auto server = start_server(std::move(options));
+
+  constexpr int kClients = 64;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = Client::connect_tcp("127.0.0.1", server->port());
+      if (!client.ok()) return;
+      (*client)->set_recv_timeout_ms(60000);
+      // Mix of kinds so inline and queued paths interleave.
+      util::Json params = util::Json::object();
+      params["report"] = (t % 2 == 0) ? "summary" : "funnel";
+      auto query = (*client)->call("query", std::move(params));
+      auto ping = (*client)->call("ping");
+      auto health = (*client)->call("health");
+      if (query.ok() && query->get_bool("ok") && ping.ok() && ping->get_bool("ok") &&
+          health.ok() && health->get_bool("ok")) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol fuzzing against the live server: hostile bytes produce structured
+// errors or clean closes; the server keeps serving.
+
+TEST(ServeFuzz, OversizedLengthGetsErrorThenClose) {
+  auto server = start_server();
+  auto client = connect(*server);
+
+  ASSERT_TRUE(client->send_bytes(std::string("\xff\xff\xff\xff", 4)).ok());
+  auto reply = client->read_reply();
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_FALSE(reply->get_bool("ok"));
+  EXPECT_EQ(reply->find("error")->get_string("code"), "oversized_frame");
+  // BadLength is unrecoverable: the server hangs up after the error reply.
+  auto after = client->read_reply();
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), util::StatusCode::kUnavailable);
+
+  // ...but the *server* is fine: a new connection works.
+  auto fresh = connect(*server);
+  EXPECT_TRUE(must_result(fresh->call("ping")).get_bool("pong"));
+}
+
+TEST(ServeFuzz, TruncatedJsonGetsErrorAndConnectionSurvives) {
+  auto server = start_server();
+  auto client = connect(*server);
+
+  std::string payload = "{\"kind\": \"ping\", \"id\":";  // cut mid-document
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string wire;
+  wire.push_back(static_cast<char>(len & 0xff));
+  wire.push_back(static_cast<char>((len >> 8) & 0xff));
+  wire.push_back(static_cast<char>((len >> 16) & 0xff));
+  wire.push_back(static_cast<char>((len >> 24) & 0xff));
+  wire += payload;
+  ASSERT_TRUE(client->send_bytes(wire).ok());
+
+  auto reply = client->read_reply();
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_EQ(reply->find("error")->get_string("code"), "bad_json");
+  // BadJson is recoverable — the framing held, so the same connection works.
+  EXPECT_TRUE(must_result(client->call("ping")).get_bool("pong"));
+}
+
+TEST(ServeFuzz, NonObjectAndMissingKindAreInvalidArgument) {
+  auto server = start_server();
+  auto client = connect(*server);
+
+  ASSERT_TRUE(client->send_bytes(serve::encode_frame(util::Json(42))).ok());
+  auto reply = client->read_reply();
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_EQ(reply->find("error")->get_string("code"), "invalid_argument");
+
+  EXPECT_EQ(must_error_code(client->call_raw(util::Json::object())), "invalid_argument");
+  EXPECT_EQ(must_error_code(client->call("no_such_kind")), "invalid_argument");
+}
+
+TEST(ServeFuzz, SeededGarbageNeverKillsTheServer) {
+  auto server = start_server();
+  util::Rng rng = util::Rng::substream(4242, "serve-fuzz");
+  for (int round = 0; round < 20; ++round) {
+    auto client = Client::connect_tcp("127.0.0.1", server->port());
+    ASSERT_TRUE(client.ok()) << client.status().to_string();
+    size_t n = 1 + static_cast<size_t>(rng.uniform(64));
+    std::string garbage(n, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.uniform(256));
+    ASSERT_TRUE((*client)->send_bytes(garbage).ok());
+    // Whatever the garbage decoded to — oversized length, bad JSON, an
+    // incomplete frame — dropping the connection must leave the server
+    // serving. (No read: an incomplete frame would block forever.)
+  }
+  auto probe = connect(*server);
+  EXPECT_TRUE(must_result(probe->call("ping")).get_bool("pong"));
+  util::Json health = must_result(probe->call("health"));
+  EXPECT_EQ(health.get_string("state"), "serving");
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: the bounded queue rejects, bounded and structured, and
+// every request — accepted or refused — gets exactly one reply.
+
+TEST(Serve, BackpressureRejectsWithResourceExhausted) {
+  ServerOptions options;
+  options.workers = 1;
+  options.max_queue = 2;
+  auto server = start_server(std::move(options));
+  auto client = connect(*server);
+
+  // Occupy the single worker, then flood the 2-deep queue without reading.
+  constexpr int kFlood = 10;
+  util::Json sleeper = util::Json::object();
+  sleeper["kind"] = "sleep";
+  sleeper["ms"] = 300;
+  ASSERT_TRUE(client->send_request(std::move(sleeper)).ok());
+  for (int i = 0; i < kFlood; ++i) {
+    util::Json ping = util::Json::object();
+    ping["kind"] = "sleep";
+    ping["ms"] = 1;
+    ASSERT_TRUE(client->send_request(std::move(ping)).ok());
+  }
+
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < kFlood + 1; ++i) {
+    auto reply = client->read_reply();
+    ASSERT_TRUE(reply.ok()) << "reply " << i << ": " << reply.status().to_string();
+    if (reply->get_bool("ok")) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(reply->find("error")->get_string("code"), "resource_exhausted");
+      ++rejected;
+    }
+  }
+  // Exactly one reply per request; the queue really was bounded (the flood
+  // outran a 1-worker/2-slot server), and rejection is bounded too — the
+  // sleeper and everything the queue had room for ran to completion.
+  EXPECT_EQ(accepted + rejected, kFlood + 1);
+  EXPECT_GE(rejected, 1);
+  // The sleeper always fits (the queue was empty), and at least one flood
+  // request fits beside or behind it — whether the worker had dequeued the
+  // sleeper yet is a scheduling race the bound must not depend on.
+  EXPECT_GE(accepted, 2);
+
+  // The control plane answers inline even while the data plane is saturated.
+  EXPECT_TRUE(must_result(client->call("ping")).get_bool("pong"));
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain.
+
+TEST(Serve, DrainFlushesInFlightWorkThenRefusesNew) {
+  ServerOptions options;
+  options.workers = 2;
+  auto server = start_server(std::move(options));
+  auto client = connect(*server);
+
+  // Put a request in flight, then drain while it sleeps. The metrics
+  // registry is process-global, so earlier tests' sleeps are in the
+  // baseline; wait for the *delta* before draining — draining first would
+  // (correctly) refuse the request, which is not the path under test.
+  auto probe = connect(*server);  // separate connection: keep `client`'s
+                                  // reply stream exclusively for the sleeper
+  auto sleep_count = [&] {
+    util::Json stats = must_result(probe->call("stats"));
+    return stats.find("json")->find("counters")->get_number("serve.requests.sleep");
+  };
+  double before = sleep_count();
+  util::Json sleeper = util::Json::object();
+  sleeper["kind"] = "sleep";
+  sleeper["ms"] = 300;
+  double id = 0;
+  ASSERT_TRUE(client->send_request(std::move(sleeper), &id).ok());
+  while (sleep_count() <= before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  std::thread drainer([&] { server->drain(); });
+  // The in-flight sleep completes and its reply flushes before the drain
+  // closes the session.
+  auto reply = client->read_reply();
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_EQ(reply->get_number("id", -1), id);
+  EXPECT_TRUE(reply->get_bool("ok"));
+  drainer.join();
+
+  EXPECT_TRUE(server->draining());
+  EXPECT_EQ(server->active_sessions(), 0u);
+  // The listener is gone: new connections are refused.
+  auto late = Client::connect_tcp("127.0.0.1", server->port());
+  EXPECT_FALSE(late.ok());
+}
+
+TEST(Serve, ShutdownRpcAcknowledgesBeforeDraining) {
+  auto server = start_server();
+  auto client = connect(*server);
+  util::Json ack = must_result(client->call("shutdown"));
+  EXPECT_TRUE(ack.get_bool("draining"));
+  // The flag is raised *after* the ack reaches the wire (the drain must not
+  // race the client's read), so wait rather than asserting immediately.
+  ASSERT_TRUE(server->wait_shutdown(1000));
+  EXPECT_TRUE(server->shutdown_requested());
+  server->drain();
+}
+
+// ---------------------------------------------------------------------------
+// Kill-during-study + restart: a journaled study resumes byte-identically
+// through the serve plane. (The SIGKILL variant of this test — a real child
+// process killed mid-study — runs in tools/check.sh's serve arm; here the
+// journal is populated in-process so the suite stays fork-free for TSan.)
+
+TEST(Serve, SubmitStudyResumesFromJournalByteIdentically) {
+  const uint64_t seed = 39;
+
+  // Reference: the same study through a serve plane with no checkpointing.
+  std::string reference;
+  {
+    auto server = start_server();
+    auto client = connect(*server);
+    util::Json params = util::Json::object();
+    params["seed"] = seed;
+    util::Json countries = util::Json::array();
+    countries.push_back("US");
+    countries.push_back("GB");
+    params["countries"] = std::move(countries);
+    util::Json result = must_result(client->call("submit_study", std::move(params)));
+    EXPECT_EQ(result.get_number("resumed_countries"), 0);
+    reference = result.find("summary")->dump(2);
+  }
+  ASSERT_FALSE(reference.empty());
+
+  // A "killed" earlier run: only US reached the journal.
+  std::string ckpt = temp_path("serve_resume_ckpt");
+  {
+    worldgen::StudyOptions options;
+    options.seed = seed;
+    options.countries = {"US"};
+    options.checkpoint_dir = ckpt;
+    worldgen::run_study(*shared_world(), options);
+  }
+
+  // The restarted daemon picks the journal up and re-measures only GB.
+  ServerOptions options;
+  options.service.checkpoint_dir = ckpt;
+  auto server = start_server(std::move(options));
+  auto client = connect(*server);
+  util::Json params = util::Json::object();
+  params["seed"] = seed;
+  util::Json countries = util::Json::array();
+  countries.push_back("US");
+  countries.push_back("GB");
+  params["countries"] = std::move(countries);
+  util::Json result = must_result(client->call("submit_study", std::move(params)));
+  EXPECT_EQ(result.get_number("resumed_countries"), 1);
+  EXPECT_EQ(result.find("summary")->dump(2), reference);
+}
+
+// ---------------------------------------------------------------------------
+// Transport variants and churn.
+
+TEST(Serve, UnixSocketServesTheSameProtocol) {
+  ServerOptions options;
+  options.unix_path = temp_path("gamma_serve_test.sock");
+  options.service.store_path = shared_store();
+  auto server = start_server(std::move(options));
+  EXPECT_EQ(server->port(), 0u);
+
+  auto client = Client::connect_unix(server->unix_path());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  (*client)->set_recv_timeout_ms(30000);
+  EXPECT_TRUE(must_result((*client)->call("ping")).get_bool("pong"));
+  util::Json params = util::Json::object();
+  params["report"] = "summary";
+  util::Json summary = must_result((*client)->call("query", std::move(params)));
+  EXPECT_EQ(summary.get_number("countries"), 2);
+}
+
+TEST(Serve, ConnectionChurnLeavesNoSessionsBehind) {
+  auto server = start_server();
+  for (int i = 0; i < 100; ++i) {
+    auto client = connect(*server);
+    ASSERT_TRUE(must_result(client->call("ping")).get_bool("pong"));
+  }
+  // Sessions unwind asynchronously after the client hangs up; poll briefly.
+  for (int i = 0; i < 100 && server->active_sessions() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server->active_sessions(), 0u);
+}
+
+}  // namespace
+}  // namespace gam

@@ -1,21 +1,40 @@
 #!/usr/bin/env bash
-# Tier-1 gate for Gamma: configure, build, run the full test suite, then a
-# kill-mid-study --resume smoke test against the CLI, then a GammaStore smoke
-# (build a .gmst, query it, corrupt a copy), then a trace smoke (record a
-# study with --trace-out/--trace-jsonl/--log-json, aggregate it with
-# `gamma trace`, and diff the span stream across --jobs for byte identity),
-# then rebuild under the sanitizers and run the suites each one is best at
-# catching:
+# Tier-1 gate for Gamma: configure, build, run the full test suite, then the
+# smoke arms, then rebuild under the sanitizers and run the suites each one
+# is best at catching.
+#
+# Smoke arms (each runs even if an earlier arm failed; any failure makes the
+# final exit nonzero):
+#   resume  kill a study mid-run with SIGKILL, --resume must reproduce the
+#           uninterrupted output byte-for-byte
+#   store   build a .gmst, query it (bytes == JSON analysis path), corrupt a
+#           copy (structured crc_mismatch, never a crash)
+#   trace   record spans, aggregate with `gamma trace`, span stream
+#           byte-identical across --jobs
+#   serve   start the daemon on an ephemeral port, query it through `gamma
+#           client` (bytes == `gamma store query`), SIGTERM, assert a clean
+#           drain and exit 0
+#
+# Sanitizers:
 #   tsan  -> shared-state suites (thread pool, parallel study runner,
-#            metrics, tracer)
-#   asan  -> fault-plane + parser + store suites (heap misuse in degraded paths)
-#   ubsan -> the same suites (UB in backoff arithmetic, hop parsing, mmap reads)
+#            metrics, tracer, serve daemon)
+#   asan  -> fault-plane + parser + store + serve suites (heap misuse in
+#            degraded paths)
+#   ubsan -> the same suites (UB in backoff arithmetic, hop parsing, mmap
+#            reads, frame decoding)
 #
 # Usage: tools/check.sh [--skip-san]
-#   --skip-san   run only the plain build + ctest + resume smoke
+#   --skip-san   run only the plain build + ctest + smoke arms
 #   --skip-tsan  (historical alias for --skip-san)
 #
-# Exits non-zero on the first failure. Build trees:
+# Build + ctest failures abort immediately; smoke-arm and sanitizer failures
+# are collected so one broken arm cannot mask another, and the script exits
+# nonzero if ANY arm failed — even when every later arm passed. (The old
+# layout leaned on `set -e` alone, which is silently disabled inside any
+# function or subshell called from an `if`/`&&`/`||` context, so a
+# mid-arm failure could fall through and the run still exit 0.)
+#
+# Build trees:
 #   build/        plain tier-1 build (reused if already configured)
 #   build-tsan/   GAMMA_SANITIZE=thread    (concurrency suites)
 #   build-asan/   GAMMA_SANITIZE=address   (resilience suites)
@@ -27,17 +46,31 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIP_SAN=0
 [[ "${1:-}" == "--skip-san" || "${1:-}" == "--skip-tsan" ]] && SKIP_SAN=1
 
-echo "== tier-1: configure + build =="
-cmake -B build -S . >/dev/null
-cmake --build build -j"$JOBS"
-
-echo "== tier-1: ctest =="
-ctest --test-dir build --output-on-failure -j"$JOBS"
-
-echo "== resume smoke: kill mid-study, then --resume =="
+GAMMA=build/tools/gamma
 SMOKE="$(mktemp -d)"
 trap 'rm -rf "$SMOKE"' EXIT
-cat > "$SMOKE/plan.json" <<'EOF'
+FAILURES=()
+
+# Run one arm in a subshell with errexit live, without letting the parent's
+# errexit kill the script before we record the result. The subshell must NOT
+# be the condition of an `if` — that would suppress errexit inside it and
+# reintroduce exactly the propagation bug this structure exists to fix.
+run_arm() {
+  local name="$1"; shift
+  echo "== ${name} =="
+  set +e
+  ( set -euo pipefail; "$@" )
+  local rc=$?
+  set -e
+  if [[ $rc -ne 0 ]]; then
+    echo "   ARM FAILED: ${name} (exit ${rc})" >&2
+    FAILURES+=("$name")
+  fi
+  return 0
+}
+
+arm_resume() {
+  cat > "$SMOKE/plan.json" <<'EOF'
 {
   "dns": {"timeout": 0.1},
   "traceroute": {"timeout": 0.2, "hop_loss": 0.1},
@@ -45,90 +78,159 @@ cat > "$SMOKE/plan.json" <<'EOF'
   "atlas": {"unavailable": 0.2}
 }
 EOF
-GAMMA=build/tools/gamma
-mkdir -p "$SMOKE/uninterrupted" "$SMOKE/resumed"
-"$GAMMA" study --seed 33 --jobs 1 --fault-plan "$SMOKE/plan.json" \
-  --out "$SMOKE/uninterrupted" >/dev/null
-# SIGKILL the same study partway through (no destructors, no flush beyond the
-# journal's own per-record flush) ...
-timeout -s KILL 1 "$GAMMA" study --seed 33 --jobs 1 \
-  --fault-plan "$SMOKE/plan.json" --checkpoint "$SMOKE/ckpt" >/dev/null || true
-JOURNALED=0
-if [[ -f "$SMOKE/ckpt/study-33.jsonl" ]]; then
-  JOURNALED="$(wc -l < "$SMOKE/ckpt/study-33.jsonl")"
-fi
-echo "   killed after ~1s; journal holds $JOURNALED lines (incl. header)"
-# ... then --resume must reproduce the uninterrupted output byte-for-byte.
-"$GAMMA" study --seed 33 --jobs 1 --fault-plan "$SMOKE/plan.json" \
-  --checkpoint "$SMOKE/ckpt" --resume --out "$SMOKE/resumed" | sed 's/^/   /'
-diff -r "$SMOKE/uninterrupted" "$SMOKE/resumed"
-echo "   resumed output identical to uninterrupted run"
+  mkdir -p "$SMOKE/uninterrupted" "$SMOKE/resumed"
+  "$GAMMA" study --seed 33 --jobs 1 --fault-plan "$SMOKE/plan.json" \
+    --out "$SMOKE/uninterrupted" >/dev/null
+  # SIGKILL the same study partway through (no destructors, no flush beyond
+  # the journal's own per-record flush) ...
+  timeout -s KILL 1 "$GAMMA" study --seed 33 --jobs 1 \
+    --fault-plan "$SMOKE/plan.json" --checkpoint "$SMOKE/ckpt" >/dev/null || true
+  local journaled=0
+  if [[ -f "$SMOKE/ckpt/study-33.jsonl" ]]; then
+    journaled="$(wc -l < "$SMOKE/ckpt/study-33.jsonl")"
+  fi
+  echo "   killed after ~1s; journal holds $journaled lines (incl. header)"
+  # ... then --resume must reproduce the uninterrupted output byte-for-byte.
+  "$GAMMA" study --seed 33 --jobs 1 --fault-plan "$SMOKE/plan.json" \
+    --checkpoint "$SMOKE/ckpt" --resume --out "$SMOKE/resumed" | sed 's/^/   /'
+  diff -r "$SMOKE/uninterrupted" "$SMOKE/resumed"
+  echo "   resumed output identical to uninterrupted run"
+}
 
-echo "== store smoke: build a .gmst, query it, corrupt a copy =="
-mkdir -p "$SMOKE/store"
-"$GAMMA" study --seed 41 --jobs 2 --country US --country GB --country IN \
-  --out "$SMOKE/store" --store-out "$SMOKE/store/study.gmst" >/dev/null
-# The mapped store must answer the summary with the exact bytes the JSON
-# analysis path wrote.
-"$GAMMA" store query "$SMOKE/store/study.gmst" --report summary \
-  --out "$SMOKE/store/store-summary.json" >/dev/null
-diff "$SMOKE/store/study-summary.json" "$SMOKE/store/store-summary.json"
-echo "   store summary byte-identical to the JSON analysis path"
-# A flipped data byte must be a structured diagnosis, never a crash.
-cp "$SMOKE/store/study.gmst" "$SMOKE/store/corrupt.gmst"
-printf '\xff' | dd of="$SMOKE/store/corrupt.gmst" bs=1 seek=100 conv=notrunc status=none
-if "$GAMMA" store query "$SMOKE/store/corrupt.gmst" --report summary \
-    >"$SMOKE/store/corrupt.out" 2>"$SMOKE/store/corrupt.err"; then
-  echo "   ERROR: corrupted store was accepted" >&2
-  exit 1
-fi
-grep -q "crc_mismatch" "$SMOKE/store/corrupt.err"
-echo "   corrupted store rejected with a structured crc_mismatch error"
+arm_store() {
+  mkdir -p "$SMOKE/store"
+  "$GAMMA" study --seed 41 --jobs 2 --country US --country GB --country IN \
+    --out "$SMOKE/store" --store-out "$SMOKE/store/study.gmst" >/dev/null
+  # The mapped store must answer the summary with the exact bytes the JSON
+  # analysis path wrote.
+  "$GAMMA" store query "$SMOKE/store/study.gmst" --report summary \
+    --out "$SMOKE/store/store-summary.json" >/dev/null
+  diff "$SMOKE/store/study-summary.json" "$SMOKE/store/store-summary.json"
+  echo "   store summary byte-identical to the JSON analysis path"
+  # A flipped data byte must be a structured diagnosis, never a crash.
+  cp "$SMOKE/store/study.gmst" "$SMOKE/store/corrupt.gmst"
+  printf '\xff' | dd of="$SMOKE/store/corrupt.gmst" bs=1 seek=100 conv=notrunc status=none
+  if "$GAMMA" store query "$SMOKE/store/corrupt.gmst" --report summary \
+      >"$SMOKE/store/corrupt.out" 2>"$SMOKE/store/corrupt.err"; then
+    echo "   ERROR: corrupted store was accepted" >&2
+    return 1
+  fi
+  grep -q "crc_mismatch" "$SMOKE/store/corrupt.err"
+  echo "   corrupted store rejected with a structured crc_mismatch error"
+}
 
-echo "== trace smoke: record, report, byte-identical across --jobs =="
-mkdir -p "$SMOKE/trace"
-"$GAMMA" study --seed 21 --jobs 1 --country US --country GB --country IN \
-  --trace-out "$SMOKE/trace/t1.json" --trace-jsonl "$SMOKE/trace/s1.jsonl" \
-  --log-json "$SMOKE/trace/log.jsonl" >/dev/null
-test -s "$SMOKE/trace/log.jsonl"
-# The Chrome export must be valid JSON that the reporter can aggregate.
-"$GAMMA" trace "$SMOKE/trace/t1.json" --out "$SMOKE/trace/report.json" >/dev/null
-grep -q '"categories"' "$SMOKE/trace/report.json"
-grep -q '"critical_paths"' "$SMOKE/trace/report.json"
-# The JSONL stream parses through the same reporter ...
-"$GAMMA" trace "$SMOKE/trace/s1.jsonl" >/dev/null
-# ... and a parallel rerun must reproduce it byte-for-byte.
-"$GAMMA" study --seed 21 --jobs 4 --country US --country GB --country IN \
-  --trace-jsonl "$SMOKE/trace/s4.jsonl" >/dev/null
-diff "$SMOKE/trace/s1.jsonl" "$SMOKE/trace/s4.jsonl"
-echo "   span stream byte-identical for --jobs 1 and --jobs 4; report valid"
+arm_trace() {
+  mkdir -p "$SMOKE/trace"
+  "$GAMMA" study --seed 21 --jobs 1 --country US --country GB --country IN \
+    --trace-out "$SMOKE/trace/t1.json" --trace-jsonl "$SMOKE/trace/s1.jsonl" \
+    --log-json "$SMOKE/trace/log.jsonl" >/dev/null
+  test -s "$SMOKE/trace/log.jsonl"
+  # The Chrome export must be valid JSON that the reporter can aggregate.
+  "$GAMMA" trace "$SMOKE/trace/t1.json" --out "$SMOKE/trace/report.json" >/dev/null
+  grep -q '"categories"' "$SMOKE/trace/report.json"
+  grep -q '"critical_paths"' "$SMOKE/trace/report.json"
+  # The JSONL stream parses through the same reporter ...
+  "$GAMMA" trace "$SMOKE/trace/s1.jsonl" >/dev/null
+  # ... and a parallel rerun must reproduce it byte-for-byte.
+  "$GAMMA" study --seed 21 --jobs 4 --country US --country GB --country IN \
+    --trace-jsonl "$SMOKE/trace/s4.jsonl" >/dev/null
+  diff "$SMOKE/trace/s1.jsonl" "$SMOKE/trace/s4.jsonl"
+  echo "   span stream byte-identical for --jobs 1 and --jobs 4; report valid"
+}
+
+arm_serve() {
+  mkdir -p "$SMOKE/serve"
+  "$GAMMA" study --seed 47 --jobs 2 --country US --country GB \
+    --store-out "$SMOKE/serve/study.gmst" >/dev/null
+  # Ephemeral port (GAMMA_SERVE_PORT=0 convention): parallel check runs can
+  # never collide on a listen address.
+  "$GAMMA" serve --port 0 --port-file "$SMOKE/serve/port" \
+    --store "$SMOKE/serve/study.gmst" --checkpoint "$SMOKE/serve/ckpt" \
+    > "$SMOKE/serve/daemon.log" 2>&1 &
+  local daemon=$!
+  trap 'kill -9 '"$daemon"' 2>/dev/null || true' EXIT
+  # Wait for the daemon to publish its bound port.
+  local tries=0
+  until [[ -s "$SMOKE/serve/port" ]]; do
+    if ! kill -0 "$daemon" 2>/dev/null; then
+      echo "   ERROR: daemon died before binding:" >&2
+      sed 's/^/   | /' "$SMOKE/serve/daemon.log" >&2
+      return 1
+    fi
+    tries=$((tries + 1))
+    [[ $tries -gt 100 ]] && { echo "   ERROR: no port file after 10s" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "   daemon up on port $(cat "$SMOKE/serve/port")"
+  "$GAMMA" client ping --port-file "$SMOKE/serve/port" >/dev/null
+  # A served query must be byte-identical to the direct store path.
+  "$GAMMA" client query --port-file "$SMOKE/serve/port" --report summary \
+    --out "$SMOKE/serve/served.json" >/dev/null
+  "$GAMMA" store query "$SMOKE/serve/study.gmst" --report summary \
+    --out "$SMOKE/serve/direct.json" >/dev/null
+  diff "$SMOKE/serve/served.json" "$SMOKE/serve/direct.json"
+  echo "   served summary byte-identical to \`gamma store query\`"
+  # SIGTERM must drain gracefully: flush, close, exit 0.
+  kill -TERM "$daemon"
+  local rc=0
+  wait "$daemon" || rc=$?
+  trap - EXIT
+  if [[ $rc -ne 0 ]]; then
+    echo "   ERROR: daemon exited $rc on SIGTERM:" >&2
+    sed 's/^/   | /' "$SMOKE/serve/daemon.log" >&2
+    return 1
+  fi
+  grep -q "drained" "$SMOKE/serve/daemon.log"
+  echo "   SIGTERM drained cleanly; daemon exited 0"
+}
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+run_arm "resume smoke: kill mid-study, then --resume" arm_resume
+run_arm "store smoke: build a .gmst, query it, corrupt a copy" arm_store
+run_arm "trace smoke: record, report, byte-identical across --jobs" arm_trace
+run_arm "serve smoke: daemon up, client query, SIGTERM drain" arm_serve
+
+finish() {
+  if [[ ${#FAILURES[@]} -gt 0 ]]; then
+    echo "== check.sh: FAILED arms: ${FAILURES[*]} ==" >&2
+    exit 1
+  fi
+  echo "== check.sh: all green =="
+  exit 0
+}
 
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "== sanitizers: skipped (--skip-san) =="
-  exit 0
+  finish
 fi
 
-echo "== tsan: configure + build concurrency suites =="
-cmake -B build-tsan -S . -DGAMMA_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$JOBS" \
-  --target test_thread_pool test_parallel_study test_metrics test_trace
-echo "== tsan: run concurrency suites =="
-for t in test_thread_pool test_parallel_study test_metrics test_trace; do
-  "./build-tsan/tests/$t"
-done
+TSAN_SUITES=(test_thread_pool test_parallel_study test_metrics test_trace test_serve)
+tsan_arm() {
+  cmake -B build-tsan -S . -DGAMMA_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$JOBS" --target "${TSAN_SUITES[@]}"
+  for t in "${TSAN_SUITES[@]}"; do
+    "./build-tsan/tests/$t"
+  done
+}
+run_arm "tsan: build + run concurrency suites" tsan_arm
 
-RESILIENCE_SUITES=(test_fault test_formats test_resilience test_store)
-for san in address undefined; do
-  tree="build-asan"
-  [[ "$san" == "undefined" ]] && tree="build-ubsan"
-  echo "== ${san}: configure + build resilience suites =="
+RESILIENCE_SUITES=(test_fault test_formats test_resilience test_store test_serve)
+san_arm() {
+  local san="$1" tree="$2"
   cmake -B "$tree" -S . -DGAMMA_SANITIZE="$san" >/dev/null
   cmake --build "$tree" -j"$JOBS" --target "${RESILIENCE_SUITES[@]}"
-  echo "== ${san}: run resilience suites =="
   for t in "${RESILIENCE_SUITES[@]}"; do
     # UBSan recovers by default; halt_on_error turns any report into a failure.
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" "./$tree/tests/$t"
   done
-done
+}
+run_arm "asan: build + run resilience suites" san_arm address build-asan
+run_arm "ubsan: build + run resilience suites" san_arm undefined build-ubsan
 
-echo "== check.sh: all green =="
+finish

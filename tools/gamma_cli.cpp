@@ -16,7 +16,9 @@
 //       Print the geolocation pipeline's verdict for every injected IPmap
 //       error visible from each volunteer (regulator-style evidence trail).
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -31,6 +33,8 @@
 #include "analysis/study.h"
 #include "analysis/trace_report.h"
 #include "core/recorder.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "store/query.h"
 #include "store/reader.h"
 #include "store/reports.h"
@@ -48,7 +52,7 @@ using namespace gam;
 
 struct Args {
   std::string command;
-  std::string subcommand;   // store only: build | query
+  std::string subcommand;   // store: build | query; client: request kind
   std::vector<std::string> countries;
   std::string site;
   std::string out;
@@ -72,6 +76,14 @@ struct Args {
   std::string report;
   bool flows = false;
   size_t limit = 0;         // 0 = unlimited
+  // serve / client
+  std::string host = "127.0.0.1";
+  int port = -1;            // -1 = unset: GAMMA_SERVE_PORT env, then default
+  std::string socket_path;  // AF_UNIX listen/connect path (instead of TCP)
+  std::string serve_store;  // serve: default store; client: "store" param
+  std::string port_file;    // serve writes the bound port here; client reads it
+  size_t workers = 4;
+  size_t queue = 64;
 };
 
 void usage() {
@@ -87,6 +99,18 @@ void usage() {
                "             [--group-by col] [--flows] [--limit N] [--out FILE]\n"
                "             sub-millisecond scans over the mapped store; reports:\n"
                "             summary|prevalence|policy|per-site|flows|coverage|funnel\n"
+               "  serve  [--store FILE.gmst] [--checkpoint DIR] [--host H] [--port P]\n"
+               "             [--socket PATH] [--workers N] [--queue N] [--port-file FILE]\n"
+               "             long-lived daemon: studies + store queries over a\n"
+               "             length-prefixed JSON socket protocol; --port 0 (or\n"
+               "             GAMMA_SERVE_PORT=0) binds an ephemeral port; SIGTERM\n"
+               "             drains gracefully (in-flight studies checkpoint)\n"
+               "  client <kind> [--host H] [--port P | --port-file FILE | --socket PATH]\n"
+               "             kinds: ping | health | stats | shutdown | submit |\n"
+               "             query [--report R | --table T --where col=val ...\n"
+               "                    --group-by col --flows --limit N] [--store NAME]\n"
+               "             submit: [--country CC ...] [--seed N] [--jobs N]\n"
+               "                     [--store-out FILE.gmst]\n"
                "  har    --site DOMAIN --country CC [--out FILE]     HAR export\n"
                "  audit                                              IPmap error audit\n"
                "  trace  FILE [--limit N] [--out FILE]\n"
@@ -118,7 +142,7 @@ bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
   int first = 2;
-  if (args.command == "store") {
+  if (args.command == "store" || args.command == "client") {
     if (argc < 3 || argv[2][0] == '-') return false;
     args.subcommand = argv[2];
     first = 3;
@@ -198,6 +222,34 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.limit = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--host") {
+      const char* v = next();
+      if (!v) return false;
+      args.host = v;
+    } else if (flag == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      args.port = std::atoi(v);
+    } else if (flag == "--socket") {
+      const char* v = next();
+      if (!v) return false;
+      args.socket_path = v;
+    } else if (flag == "--store") {
+      const char* v = next();
+      if (!v) return false;
+      args.serve_store = v;
+    } else if (flag == "--port-file") {
+      const char* v = next();
+      if (!v) return false;
+      args.port_file = v;
+    } else if (flag == "--workers") {
+      const char* v = next();
+      if (!v) return false;
+      args.workers = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--queue") {
+      const char* v = next();
+      if (!v) return false;
+      args.queue = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (!flag.empty() && flag[0] != '-' && args.command == "store" &&
                args.store_file.empty()) {
       args.store_file = flag;  // positional FILE.gmst for `store query`
@@ -530,6 +582,173 @@ int cmd_store(const Args& args) {
   return 0;
 }
 
+// `gamma serve` / `gamma client` — the serve plane. The daemon runs until a
+// SIGTERM/SIGINT or a `shutdown` RPC, then drains: the listener closes,
+// in-flight work finishes (studies checkpoint per-country as they always
+// do), replies flush, and the process exits 0.
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+void on_stop_signal(int sig) { g_stop_signal = sig; }
+
+int cmd_serve(const Args& args) {
+  serve::ServerOptions options;
+  options.host = args.host;
+  options.unix_path = args.socket_path;
+  options.workers = args.workers == 0 ? 1 : args.workers;
+  options.max_queue = args.queue;
+  options.service.store_path = args.serve_store;
+  options.service.checkpoint_dir = args.checkpoint;
+  if (args.port >= 0) {
+    options.port = args.port;
+  } else if (const char* env = std::getenv("GAMMA_SERVE_PORT")) {
+    options.port = std::atoi(env);
+  }  // else ephemeral (0): the GAMMA_SERVE_PORT=0 convention is the default
+
+  auto server = serve::Server::start(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "serve: %s\n", server.status().to_string().c_str());
+    return 1;
+  }
+  if (!args.port_file.empty() &&
+      !write_file(args.port_file, std::to_string((*server)->port()) + "\n")) {
+    return 1;
+  }
+  if (!args.socket_path.empty()) {
+    std::printf("listening on %s\n", args.socket_path.c_str());
+  } else {
+    std::printf("listening on %s:%u\n", args.host.c_str(), (*server)->port());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGINT, on_stop_signal);
+  // The main thread's only job: sleep until someone — signal handler,
+  // shutdown RPC, or nobody — asks us to stop. The handler cannot call into
+  // the server (async-signal-safety), so it sets the flag and this loop
+  // forwards it.
+  while (!(*server)->wait_shutdown(/*timeout_ms=*/200)) {
+    if (g_stop_signal != 0) (*server)->request_shutdown();
+  }
+  std::printf("draining (%zu active sessions)...\n", (*server)->active_sessions());
+  std::fflush(stdout);
+  (*server)->drain();
+  std::printf("drained; exiting\n");
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  // Resolve the endpoint: --socket, else --port, else --port-file, else
+  // GAMMA_SERVE_PORT.
+  std::unique_ptr<serve::Client> client;
+  if (!args.socket_path.empty()) {
+    auto c = serve::Client::connect_unix(args.socket_path);
+    if (!c.ok()) {
+      std::fprintf(stderr, "client: %s\n", c.status().to_string().c_str());
+      return 1;
+    }
+    client = std::move(*c);
+  } else {
+    int port = args.port;
+    if (port < 0 && !args.port_file.empty()) {
+      std::ifstream in(args.port_file);
+      if (!(in >> port)) {
+        std::fprintf(stderr, "client: cannot read a port from %s\n",
+                     args.port_file.c_str());
+        return 1;
+      }
+    }
+    if (port < 0) {
+      if (const char* env = std::getenv("GAMMA_SERVE_PORT")) port = std::atoi(env);
+    }
+    if (port <= 0 || port > 65535) {
+      std::fprintf(stderr,
+                   "client: need a daemon port (--port, --port-file, or "
+                   "GAMMA_SERVE_PORT)\n");
+      return 1;
+    }
+    auto c = serve::Client::connect_tcp(args.host, static_cast<uint16_t>(port));
+    if (!c.ok()) {
+      std::fprintf(stderr, "client: %s\n", c.status().to_string().c_str());
+      return 1;
+    }
+    client = std::move(*c);
+  }
+  // Studies take seconds, not minutes; anything past this is a hung daemon
+  // and the structured deadline_exceeded beats a wedged script.
+  client->set_recv_timeout_ms(120000);
+
+  std::string kind = args.subcommand;
+  util::Json params = util::Json::object();
+  if (kind == "query") {
+    if (!args.serve_store.empty()) params["store"] = args.serve_store;
+    if (!args.report.empty()) {
+      params["report"] = args.report;
+    } else {
+      params["table"] = args.table;
+      if (!args.wheres.empty()) {
+        util::Json where = util::Json::array();
+        for (const std::string& w : args.wheres) {
+          size_t eq = w.find('=');
+          if (eq == std::string::npos || eq == 0) {
+            std::fprintf(stderr, "client query: --where expects col=value, got '%s'\n",
+                         w.c_str());
+            return 1;
+          }
+          util::Json pred = util::Json::array();
+          pred.push_back(w.substr(0, eq));
+          pred.push_back(w.substr(eq + 1));
+          where.push_back(std::move(pred));
+        }
+        params["where"] = std::move(where);
+      }
+      if (!args.group_by.empty()) params["group_by"] = args.group_by;
+      if (args.flows) params["flows"] = true;
+      if (args.limit > 0) params["limit"] = args.limit;
+    }
+  } else if (kind == "submit" || kind == "submit_study") {
+    kind = "submit_study";
+    params["seed"] = args.seed;
+    params["jobs"] = args.jobs;
+    if (!args.countries.empty()) {
+      util::Json countries = util::Json::array();
+      for (const std::string& c : args.countries) countries.push_back(c);
+      params["countries"] = std::move(countries);
+    }
+    if (!args.store_out.empty()) params["store_out"] = args.store_out;
+  } else if (kind != "ping" && kind != "health" && kind != "stats" &&
+             kind != "shutdown") {
+    std::fprintf(stderr,
+                 "client: unknown kind '%s' "
+                 "(ping|health|stats|shutdown|query|submit)\n",
+                 kind.c_str());
+    return 1;
+  }
+
+  auto reply = client->call(kind, std::move(params));
+  if (!reply.ok()) {
+    std::fprintf(stderr, "client: %s\n", reply.status().to_string().c_str());
+    return 1;
+  }
+  if (!reply->get_bool("ok")) {
+    const util::Json* error = reply->find("error");
+    std::fprintf(stderr, "client: %s: %s\n",
+                 error ? error->get_string("code", "internal").c_str() : "internal",
+                 error ? error->get_string("message").c_str() : "malformed reply");
+    return 1;
+  }
+  const util::Json* result = reply->find("result");
+  // Output semantics mirror `gamma store query` exactly: the serve smoke arm
+  // and test harness diff the two paths' --out files byte-for-byte.
+  std::string json = result ? result->dump(2) : "{}";
+  if (!args.out.empty()) {
+    if (!write_file(args.out, json)) return 1;
+    std::printf("wrote %s\n", args.out.c_str());
+  } else {
+    std::printf("%s\n", json.c_str());
+  }
+  return 0;
+}
+
 int cmd_har(const Args& args) {
   if (args.site.empty() || args.countries.size() != 1) {
     std::fprintf(stderr, "har: need --site DOMAIN and exactly one --country CC\n");
@@ -638,6 +857,8 @@ int main(int argc, char** argv) {
   if (args.command == "run") rc = cmd_run(args);
   else if (args.command == "study") rc = cmd_study(args);
   else if (args.command == "store") rc = cmd_store(args);
+  else if (args.command == "serve") rc = cmd_serve(args);
+  else if (args.command == "client") rc = cmd_client(args);
   else if (args.command == "har") rc = cmd_har(args);
   else if (args.command == "audit") rc = cmd_audit(args);
   else if (args.command == "trace") rc = cmd_trace(args);
