@@ -3,10 +3,14 @@
 //
 // Builds a small three-country store, starts an in-process serve::Server on
 // an ephemeral port, then measures the `query report=summary` round trip at
-// C in {1, 8, 64} concurrent clients:
+// C in {1, 8, 64, 256, 1024} concurrent clients (the reactor-plane arms —
+// a thread-per-connection daemon would burn a thread per client here):
 //
 //   - throughput (requests/s) per concurrency level,
 //   - a latency histogram plus p50 / p90 / p99 / max per level,
+//   - a slow-reader arm: one client pipelines large queries it never reads
+//     while a C=8 load runs — the load must see zero errors and the daemon
+//     must still report `serving` (ISSUE 7: a stalled peer stalls nobody),
 //   - and, before any timing, the ISSUE 6 acceptance assert: the bytes a
 //     served query returns are identical to what the direct `gamma store
 //     query` path produces (the bench exits 1 on any divergence, so CI can
@@ -15,10 +19,16 @@
 // Every request is independently verified cheap (ok + result present); any
 // error reply — including resource_exhausted backpressure rejections —
 // fails the bench, which pins down the queue sizing below as sufficient
-// for 64 synchronous clients.
+// for 1024 synchronous clients. RLIMIT_NOFILE is raised to its hard cap at
+// startup; arms that still do not fit the fd budget are dropped loudly,
+// never silently shrunk. Results land in BENCH_serve.json for trend diffing.
+#include <sys/resource.h>
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -123,6 +133,19 @@ void print_histogram(const std::vector<double>& sorted_ms) {
   }
 }
 
+/// Raise RLIMIT_NOFILE to its hard cap and return the resulting soft limit.
+/// 1024 clients need ~2k fds (client + accepted side, same process).
+size_t raise_fd_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 1024;
+  if (lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+  }
+  return static_cast<size_t>(lim.rlim_cur);
+}
+
 }  // namespace
 
 int main() {
@@ -143,12 +166,16 @@ int main() {
                 ms_since(t0), store_path.c_str());
   }
 
+  size_t fd_limit = raise_fd_limit();
+  std::printf("RLIMIT_NOFILE: %zu\n", fd_limit);
+
   serve::ServerOptions options;
   options.port = 0;  // ephemeral — parallel bench runs cannot collide
   options.workers = 4;
-  // 64 synchronous clients keep at most 64 requests outstanding; a queue of
-  // 256 guarantees the bench never measures backpressure rejections.
-  options.max_queue = 256;
+  // N synchronous clients keep at most N requests outstanding; a queue of
+  // 2048 guarantees the bench never measures backpressure rejections even
+  // at the C=1024 arm.
+  options.max_queue = 2048;
   options.service.store_path = store_path;
   auto server = serve::Server::start(std::move(options));
   if (!server.ok()) {
@@ -197,7 +224,16 @@ int main() {
   std::printf("%-10s %10s %10s %10s %10s %10s %10s\n", "clients", "requests",
               "qps", "p50 ms", "p90 ms", "p99 ms", "max ms");
   std::vector<std::pair<size_t, LoadResult>> runs;
-  for (size_t clients : {size_t{1}, size_t{8}, size_t{64}}) {
+  util::Json arms = util::Json::array();
+  for (size_t clients : {size_t{1}, size_t{8}, size_t{64}, size_t{256},
+                         size_t{1024}}) {
+    // Each client costs two fds in this process (connecting + accepted
+    // side) plus headroom for the store, reactors, and stdio.
+    if (clients * 2 + 64 > fd_limit) {
+      std::printf("%-10zu   SKIPPED: needs ~%zu fds, limit is %zu\n", clients,
+                  clients * 2 + 64, fd_limit);
+      continue;
+    }
     size_t per_client = std::max<size_t>(8, kTotalRequests / clients);
     LoadResult r = run_load(**server, clients, per_client);
     if (r.errors != 0) {
@@ -209,6 +245,16 @@ int main() {
                 r.latencies_ms.size(), qps, percentile(r.latencies_ms, 0.50),
                 percentile(r.latencies_ms, 0.90), percentile(r.latencies_ms, 0.99),
                 r.latencies_ms.empty() ? 0.0 : r.latencies_ms.back());
+    util::Json arm = util::Json::object();
+    arm["clients"] = clients;
+    arm["requests"] = r.latencies_ms.size();
+    arm["errors"] = r.errors;
+    arm["qps"] = qps;
+    arm["p50_ms"] = percentile(r.latencies_ms, 0.50);
+    arm["p90_ms"] = percentile(r.latencies_ms, 0.90);
+    arm["p99_ms"] = percentile(r.latencies_ms, 0.99);
+    arm["max_ms"] = r.latencies_ms.empty() ? 0.0 : r.latencies_ms.back();
+    arms.push_back(std::move(arm));
     runs.emplace_back(clients, std::move(r));
   }
 
@@ -216,6 +262,60 @@ int main() {
     std::printf("\n  latency histogram, C=%zu:\n", clients);
     print_histogram(r.latencies_ms);
   }
+
+  // Slow-reader arm: one peer pipelines large unread queries while a C=8
+  // load runs. The reactor plane must keep every healthy request error-free
+  // and the control plane answering — a blocking-send daemon wedges here.
+  util::Json slow = util::Json::object();
+  {
+    std::printf("\nslow-reader arm: 64 unread large queries pipelined...\n");
+    auto stalled = serve::Client::connect_tcp("127.0.0.1", (*server)->port());
+    if (!stalled.ok()) {
+      std::fprintf(stderr, "stalled connect failed\n");
+      return 1;
+    }
+    int rcvbuf = 4096;
+    ::setsockopt((*stalled)->fd(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    for (int i = 0; i < 64; ++i) {
+      util::Json params = util::Json::object();
+      params["kind"] = "query";
+      params["table"] = "hits";
+      params["limit"] = 1000000;
+      if (!(*stalled)->send_request(std::move(params)).ok()) break;
+    }
+    LoadResult r = run_load(**server, 8, 64);
+    double qps = 1000.0 * static_cast<double>(r.latencies_ms.size()) / r.wall_ms;
+    std::string health_state = "unreachable";
+    auto probe = serve::Client::connect_tcp("127.0.0.1", (*server)->port());
+    if (probe.ok()) {
+      (*probe)->set_recv_timeout_ms(10000);
+      auto health = (*probe)->call("health");
+      if (health.ok() && health->get_bool("ok")) {
+        health_state = health->find("result")->get_string("state");
+      }
+    }
+    std::printf("  healthy load beside the stalled peer: %zu ok, %zu errors, "
+                "%.0f qps; daemon health: %s\n",
+                r.latencies_ms.size(), r.errors, qps, health_state.c_str());
+    if (r.errors != 0 || health_state != "serving") failed = true;
+    slow["stalled_pipelined"] = 64;
+    slow["healthy_clients"] = size_t{8};
+    slow["healthy_ok"] = r.latencies_ms.size();
+    slow["healthy_errors"] = r.errors;
+    slow["healthy_qps"] = qps;
+    slow["health_state"] = health_state;
+  }
+
+  util::Json doc = util::Json::object();
+  doc["bench"] = "serve";
+  doc["fd_limit"] = fd_limit;
+  doc["arms"] = std::move(arms);
+  doc["slow_reader"] = std::move(slow);
+  {
+    std::ofstream out("BENCH_serve.json");
+    out << doc.dump(2) << "\n";
+  }
+  std::printf("\nwrote BENCH_serve.json\n");
 
   (*server)->request_shutdown();
   (*server)->drain();

@@ -114,6 +114,34 @@ util::StatusOr<util::Json> Client::read_reply() {
   }
 }
 
+util::StatusOr<util::Json> Client::absorb_chunk(const util::Json& frame) {
+  // Keep a runaway server from ballooning the client: the reassembled
+  // result may be big (that is the point of chunking) but not unbounded.
+  constexpr size_t kMaxReassembledBytes = 256u << 20;
+  double id = frame.get_number("id", -1.0);
+  Partial& partial = partials_[id];
+  size_t chunk = static_cast<size_t>(frame.get_number("chunk", 0.0));
+  if (chunk != partial.next_chunk) {
+    partials_.erase(id);
+    return util::Status::internal("chunked reply gap: got chunk " +
+                                  std::to_string(chunk) + ", expected " +
+                                  std::to_string(partial.next_chunk));
+  }
+  partial.data += frame.get_string("data");
+  partial.next_chunk = chunk + 1;
+  if (partial.data.size() > kMaxReassembledBytes) {
+    partials_.erase(id);
+    return util::Status::internal("chunked reply exceeds reassembly cap");
+  }
+  if (!frame.get_bool("last")) return util::Json();  // more chunks coming
+  auto result = util::Json::parse(partial.data);
+  partials_.erase(id);
+  if (!result) {
+    return util::Status::internal("chunked reply reassembly failed to parse");
+  }
+  return ok_reply(id, std::move(*result));
+}
+
 util::StatusOr<util::Json> Client::call_raw(util::Json request) {
   double id = 0;
   util::Status sent = send_request(std::move(request), &id);
@@ -127,10 +155,19 @@ util::StatusOr<util::Json> Client::call_raw(util::Json request) {
     return reply;
   }
   for (;;) {
-    auto reply = read_reply();
-    if (!reply.ok()) return reply.status();
-    if (reply->get_number("id", -1.0) == id) return std::move(*reply);
-    stashed_[reply->get_number("id", -1.0)] = std::move(*reply);
+    auto frame = read_reply();
+    if (!frame.ok()) return frame.status();
+    util::Json reply;
+    if (frame->find("chunk") != nullptr) {
+      auto whole = absorb_chunk(*frame);
+      if (!whole.ok()) return whole.status();
+      if (whole->is_null()) continue;  // mid-reassembly
+      reply = std::move(*whole);
+    } else {
+      reply = std::move(*frame);
+    }
+    if (reply.get_number("id", -1.0) == id) return reply;
+    stashed_[reply.get_number("id", -1.0)] = std::move(reply);
   }
 }
 

@@ -35,7 +35,9 @@ class Client {
   /// Fill in "id" (unless the caller set one), send, and wait for the reply
   /// with the matching id. Returns the full reply envelope
   /// ({"id", "ok", "result"|"error"}); transport failures are a Status.
-  /// Replies to other (pipelined) ids are buffered, not dropped.
+  /// Replies to other (pipelined) ids are buffered, not dropped. Chunked
+  /// replies (see protocol.h) are reassembled transparently: the caller
+  /// always sees the plain single-envelope shape, whatever the wire did.
   util::StatusOr<util::Json> call_raw(util::Json request);
 
   /// Build-and-call convenience: {"kind": kind, ...params}.
@@ -54,10 +56,22 @@ class Client {
  private:
   explicit Client(int fd) : fd_(fd) {}
 
+  /// Fold one chunk frame into its id's partial buffer. Returns the
+  /// synthesized complete reply envelope once the last chunk lands, a null
+  /// Json while more chunks are expected, or a Status on a malformed
+  /// sequence (gapped index, unparseable reassembly, runaway size).
+  util::StatusOr<util::Json> absorb_chunk(const util::Json& frame);
+
   int fd_ = -1;
   uint64_t next_id_ = 0;
   FrameDecoder decoder_;
   std::map<double, util::Json> stashed_;  // out-of-order replies by id
+
+  struct Partial {
+    std::string data;
+    size_t next_chunk = 0;
+  };
+  std::map<double, Partial> partials_;  // chunked replies mid-reassembly
 };
 
 }  // namespace gam::serve

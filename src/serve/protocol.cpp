@@ -1,6 +1,8 @@
 #include "serve/protocol.h"
 
+#include <algorithm>
 #include <cstring>
+#include <string_view>
 
 namespace gam::serve {
 
@@ -40,6 +42,40 @@ util::Json error_reply(double id, std::string_view code, std::string_view messag
 
 util::Json error_reply(double id, const util::Status& status) {
   return error_reply(id, status.code_name(), status.message());
+}
+
+util::Json chunk_reply(double id, size_t chunk, bool last, std::string_view data) {
+  util::Json doc = util::Json::object();
+  doc["id"] = id;
+  doc["ok"] = true;
+  doc["chunk"] = static_cast<double>(chunk);
+  doc["last"] = last;
+  doc["data"] = data;
+  return doc;
+}
+
+std::string encode_reply_frames(double id, const util::Json& result,
+                                size_t chunk_bytes, size_t* chunks_out) {
+  // The payload each path serializes is the same dump(): a reassembled
+  // chunked result parses to exactly the document a single-frame reply
+  // would have carried, so byte identity with `gamma store query` survives
+  // chunking untouched.
+  std::string payload = result.dump();
+  if (chunk_bytes == 0 || payload.size() <= chunk_bytes) {
+    if (chunks_out) *chunks_out = 1;
+    return encode_frame(ok_reply(id, result));
+  }
+  std::string wire;
+  std::string_view rest(payload);
+  size_t k = 0;
+  for (; !rest.empty(); ++k) {
+    size_t n = std::min(chunk_bytes, rest.size());
+    bool last = n == rest.size();
+    wire += encode_frame(chunk_reply(id, k, last, rest.substr(0, n)));
+    rest.remove_prefix(n);
+  }
+  if (chunks_out) *chunks_out = k;
+  return wire;
 }
 
 FrameDecoder::Result FrameDecoder::next(util::Json* frame, std::string* detail) {

@@ -12,7 +12,16 @@
 // echo the id: {"id": N, "ok": true, "result": {...}} on success,
 // {"id": N, "ok": false, "error": {"code": "...", "message": "..."}} on
 // failure. Error codes are util::status_code_name strings for service
-// errors, plus the protocol-layer codes "oversized_frame" and "bad_json".
+// errors, plus the protocol-layer codes "oversized_frame", "bad_json", and
+// "rate_limited".
+//
+// Large results stream as a chunk sequence instead of one giant frame:
+// {"id": N, "ok": true, "chunk": k, "last": bool, "data": "..."} where the
+// concatenated "data" strings across chunks 0..K re-form the serialized
+// result JSON. Chunk indices are consecutive from 0 and only the final
+// frame carries last=true; the client reassembles before parsing, so a
+// multi-megabyte `--report flows` result never needs a frame anywhere near
+// kMaxFrameBytes. Small results keep the plain single-frame envelope.
 // DESIGN.md §11 is the normative description.
 #pragma once
 
@@ -35,6 +44,18 @@ std::string encode_frame(const util::Json& doc);
 util::Json ok_reply(double id, util::Json result);
 util::Json error_reply(double id, std::string_view code, std::string_view message);
 util::Json error_reply(double id, const util::Status& status);
+
+/// One frame of a streamed (chunked) ok reply: `data` is a slice of the
+/// serialized result; chunks are numbered consecutively from 0 and the
+/// final one carries last=true.
+util::Json chunk_reply(double id, size_t chunk, bool last, std::string_view data);
+
+/// Serialize an ok reply as wire bytes, chunking the result whenever its
+/// serialized form exceeds `chunk_bytes` (0 falls back to one frame).
+/// Returns the concatenated frame sequence ready for the outbound buffer;
+/// `chunks_out` (if non-null) receives the frame count (1 = unchunked).
+std::string encode_reply_frames(double id, const util::Json& result,
+                                size_t chunk_bytes, size_t* chunks_out = nullptr);
 
 /// Incremental frame decoder: feed() raw bytes as they arrive, then drain
 /// next() until it returns NeedMore. BadLength is unrecoverable (the stream

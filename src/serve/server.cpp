@@ -1,13 +1,18 @@
 #include "serve/server.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <arpa/inet.h>
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -17,6 +22,33 @@
 
 namespace gam::serve {
 
+/// One I/O multiplexing thread's world: an epoll set, an eventfd other
+/// threads write to wake it, the sessions it owns, and a queue of teardown
+/// requests from worker threads (the reactor is the only thread allowed to
+/// remove a session from its epoll set). Registered wake events carry
+/// data.u64 == 0; session ids start at 1.
+struct Reactor {
+  int epfd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+  std::mutex mu;  // guards sessions + teardowns; never held across out_mu
+  std::map<uint64_t, std::shared_ptr<Session>> sessions;
+  std::vector<uint64_t> teardowns;
+
+  ~Reactor() {
+    if (epfd >= 0) ::close(epfd);
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+
+  void wake() const {
+    uint64_t one = 1;
+    // An EAGAIN here means the counter is already nonzero — the reactor is
+    // waking anyway, which is all a wake needs.
+    [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+};
+
 namespace {
 
 util::Counter& protocol_errors() {
@@ -25,20 +57,31 @@ util::Counter& protocol_errors() {
   return c;
 }
 
-/// Write all of `bytes` to `fd`. MSG_NOSIGNAL: a peer that vanished between
-/// our poll and our write must surface as EPIPE, not kill the daemon.
-bool send_all(int fd, const std::string& bytes) {
-  size_t off = 0;
-  while (off < bytes.size()) {
-    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
+util::Counter& send_failures() {
+  static util::Counter& c =
+      util::MetricsRegistry::instance().counter("serve.send_failures");
+  return c;
 }
+
+util::Counter& slow_reader_disconnects() {
+  static util::Counter& c =
+      util::MetricsRegistry::instance().counter("serve.slow_reader_disconnects");
+  return c;
+}
+
+util::Gauge& sessions_gauge() {
+  static util::Gauge& g = util::MetricsRegistry::instance().gauge("serve.sessions");
+  return g;
+}
+
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// How long drain waits for the reactors to flush buffered replies before
+/// cutting the remaining (necessarily slow or dead) peers loose.
+constexpr int kDrainFlushTimeoutMs = 5000;
 
 }  // namespace
 
@@ -48,11 +91,28 @@ Server::Server(ServerOptions options)
       dispatcher_(options_.workers, options_.max_queue) {}
 
 util::StatusOr<std::unique_ptr<Server>> Server::start(ServerOptions options) {
+  if (options.reactors == 0) options.reactors = 1;
+  if (options.chunk_bytes == 0) options.chunk_bytes = 256u << 10;
+  // Chunk frames must clear the frame cap with room for envelope + JSON
+  // string escaping (worst case 2x for the dump()'d payload we slice).
+  options.chunk_bytes = std::min(options.chunk_bytes, options.max_frame_bytes / 4);
+  if (options.write_buf_cap == 0) options.write_buf_cap = 8u << 20;
+
   std::unique_ptr<Server> server(new Server(std::move(options)));
   util::Status status = server->service_.init();
   if (!status.ok()) return status;
   status = server->listen_on_socket();
   if (!status.ok()) return status;
+  status = server->start_reactors();
+  if (!status.ok()) {
+    ::close(server->listen_fd_);
+    server->listen_fd_ = -1;
+    if (server->unix_bound_) {
+      ::unlink(server->options_.unix_path.c_str());
+      server->unix_bound_ = false;
+    }
+    return status;
+  }
 
   Server* raw = server.get();
   server->service_.set_shutdown_handler([raw] { raw->request_shutdown(); });
@@ -62,7 +122,9 @@ util::StatusOr<std::unique_ptr<Server>> Server::start(ServerOptions options) {
                               (server->options_.unix_path.empty()
                                    ? server->options_.host + ":" +
                                          std::to_string(server->port_)
-                                   : server->options_.unix_path));
+                                   : server->options_.unix_path) +
+                              " (" + std::to_string(server->reactors_.size()) +
+                              " reactors)");
   return server;
 }
 
@@ -75,11 +137,25 @@ util::Status Server::listen_on_socket() {
                                             options_.unix_path);
     }
     std::strncpy(addr.sun_path, options_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    // A node that still answers connect(2) belongs to a live daemon;
+    // unlinking it would silently steal that daemon's socket. Only a stale
+    // node — connect refused (dead listener) or no node at all — is ours to
+    // reclaim.
+    int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (probe >= 0) {
+      bool alive = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) == 0;
+      ::close(probe);
+      if (alive) {
+        return util::Status::unavailable("daemon already running at " +
+                                         options_.unix_path);
+      }
+    }
     listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (listen_fd_ < 0) {
       return util::Status::internal(std::string("socket: ") + std::strerror(errno));
     }
-    ::unlink(options_.unix_path.c_str());  // a previous daemon's stale node
+    ::unlink(options_.unix_path.c_str());  // stale node from a dead daemon
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       util::Status s = util::Status::unavailable("bind " + options_.unix_path + ": " +
                                                  std::strerror(errno));
@@ -87,6 +163,7 @@ util::Status Server::listen_on_socket() {
       listen_fd_ = -1;
       return s;
     }
+    unix_bound_ = true;
   } else {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -110,15 +187,48 @@ util::Status Server::listen_on_socket() {
     }
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      util::Status s = util::Status::internal(std::string("getsockname: ") +
+                                              std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return s;
+    }
     port_ = ntohs(bound.sin_port);
   }
-  if (::listen(listen_fd_, 128) != 0) {
+  if (::listen(listen_fd_, 512) != 0) {
     util::Status s = util::Status::internal(std::string("listen: ") +
                                             std::strerror(errno));
     ::close(listen_fd_);
     listen_fd_ = -1;
+    if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
     return s;
+  }
+  return util::Status();
+}
+
+util::Status Server::start_reactors() {
+  for (size_t i = 0; i < options_.reactors; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (r->epfd < 0) {
+      return util::Status::internal(std::string("epoll_create1: ") +
+                                    std::strerror(errno));
+    }
+    r->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (r->wake_fd < 0) {
+      return util::Status::internal(std::string("eventfd: ") + std::strerror(errno));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0;  // the wake token; session ids start at 1
+    if (::epoll_ctl(r->epfd, EPOLL_CTL_ADD, r->wake_fd, &ev) != 0) {
+      return util::Status::internal(std::string("epoll_ctl(wake): ") +
+                                    std::strerror(errno));
+    }
+    Reactor* raw = r.get();
+    r->thread = std::thread([this, raw] { reactor_loop(*raw); });
+    reactors_.push_back(std::move(r));
   }
   return util::Status();
 }
@@ -126,92 +236,220 @@ util::Status Server::listen_on_socket() {
 void Server::accept_loop() {
   static util::Counter& connections =
       util::MetricsRegistry::instance().counter("serve.connections");
-  static util::Gauge& active = util::MetricsRegistry::instance().gauge("serve.sessions");
   for (;;) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listen socket shut down: drain started
     }
-    if (draining_.load(std::memory_order_acquire)) {
+    if (draining_.load(std::memory_order_acquire) || !set_nonblocking(fd)) {
       ::close(fd);
       continue;
     }
+    if (options_.unix_path.empty()) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+    }
     connections.inc();
+
+    Reactor& r = *reactors_[next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+                            reactors_.size()];
     auto session = std::make_shared<Session>();
     session->fd = fd;
+    session->decoder = FrameDecoder(options_.max_frame_bytes);
+    session->reactor = &r;
+    session->reactor_epfd = r.epfd;
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
       session->id = ++next_session_id_;
       sessions_.emplace(session->id, session);
-      conn_threads_.emplace(session->id,
-                            std::thread([this, session] { connection_loop(session); }));
-      active.set(static_cast<double>(sessions_.size()));
+      sessions_gauge().set(static_cast<double>(sessions_.size()));
     }
-    reap_finished();
-  }
-}
-
-void Server::reap_finished() {
-  std::vector<uint64_t> done;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    done.swap(finished_);
-  }
-  for (uint64_t id : done) {
-    std::thread t;
     {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
-      auto it = conn_threads_.find(id);
-      if (it == conn_threads_.end()) continue;  // drain() already took it
-      t = std::move(it->second);
-      conn_threads_.erase(it);
+      std::lock_guard<std::mutex> lock(r.mu);
+      r.sessions.emplace(session->id, session);
     }
-    if (t.joinable()) t.join();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = session->id;
+    if (::epoll_ctl(r.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      {
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.sessions.erase(session->id);
+      }
+      session_closed(session->id);
+      // The Session destructor closes the fd when the last reference drops.
+    }
   }
 }
 
-void Server::connection_loop(std::shared_ptr<Session> session) {
-  static util::Gauge& active = util::MetricsRegistry::instance().gauge("serve.sessions");
-  FrameDecoder decoder(options_.max_frame_bytes);
-  char buf[64 * 1024];
-  bool fatal = false;
-  while (!fatal) {
-    ssize_t n = ::recv(session->fd, buf, sizeof(buf), 0);
-    if (n == 0) break;  // peer closed (or drain shut the socket down)
+void Server::reactor_loop(Reactor& r) {
+  epoll_event events[64];
+  while (!r.stop.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(r.epfd, events, 64, -1);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    decoder.feed(buf, static_cast<size_t>(n));
-    for (;;) {
-      util::Json frame;
-      std::string detail;
-      FrameDecoder::Result res = decoder.next(&frame, &detail);
-      if (res == FrameDecoder::Result::NeedMore) break;
-      if (res == FrameDecoder::Result::BadLength) {
-        // The stream position is garbage from here on; diagnose and hang up.
-        protocol_errors().inc();
-        write_reply(*session, error_reply(0, "oversized_frame", detail));
-        fatal = true;
-        break;
-      }
-      if (res == FrameDecoder::Result::BadJson) {
-        // The frame was well-delimited, so framing survives; keep reading.
-        protocol_errors().inc();
-        write_reply(*session, error_reply(0, "bad_json", detail));
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.u64 == 0) {
+        uint64_t drainv;
+        while (::read(r.wake_fd, &drainv, sizeof(drainv)) > 0) {
+        }
         continue;
       }
-      handle_frame(session, std::move(frame));
+      std::shared_ptr<Session> session;
+      {
+        std::lock_guard<std::mutex> lock(r.mu);
+        auto it = r.sessions.find(ev.data.u64);
+        if (it != r.sessions.end()) session = it->second;
+      }
+      if (!session) continue;
+      if (session->dead.load(std::memory_order_acquire)) {
+        teardown(r, session);
+        continue;
+      }
+      if (ev.events & EPOLLOUT) {
+        std::lock_guard<std::mutex> lock(session->out_mu);
+        flush_locked(*session);
+      }
+      if (session->dead.load(std::memory_order_acquire)) {
+        teardown(r, session);
+        continue;
+      }
+      if (ev.events & (EPOLLERR | EPOLLHUP)) {
+        // The transport is gone in at least one direction we need; replies
+        // still buffered are undeliverable.
+        bool had_pending;
+        {
+          std::lock_guard<std::mutex> lock(session->out_mu);
+          had_pending = session->out_off < session->outbuf.size();
+        }
+        if (had_pending) send_failures().inc();
+        teardown(r, session);
+        continue;
+      }
+      if (ev.events & EPOLLIN) handle_readable(session);
+      if (session->dead.load(std::memory_order_acquire)) teardown(r, session);
     }
+    // Cross-thread teardown requests (send failures, buffer-cap
+    // disconnects, flushed half-closes) land here: only this thread may
+    // remove a session from this epoll set.
+    std::vector<std::shared_ptr<Session>> doomed;
+    {
+      std::lock_guard<std::mutex> lock(r.mu);
+      for (uint64_t id : r.teardowns) {
+        auto it = r.sessions.find(id);
+        if (it != r.sessions.end()) doomed.push_back(it->second);
+      }
+      r.teardowns.clear();
+    }
+    for (const auto& s : doomed) teardown(r, s);
   }
-  // Drop this session. The fd stays open until the last Session reference
-  // dies (a queued worker may still be writing its reply through it).
+}
+
+void Server::teardown(Reactor& r, const std::shared_ptr<Session>& session) {
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    sessions_.erase(session->id);
-    finished_.push_back(session->id);
-    active.set(static_cast<double>(sessions_.size()));
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (r.sessions.erase(session->id) == 0) return;  // already torn down
+  }
+  ::epoll_ctl(r.epfd, EPOLL_CTL_DEL, session->fd, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(session->out_mu);
+    session->dead.store(true, std::memory_order_release);
+  }
+  ::shutdown(session->fd, SHUT_RDWR);
+  session_closed(session->id);
+  // The fd itself closes when the last Session reference (possibly a queued
+  // worker's) drops.
+}
+
+void Server::request_teardown(Session& session) {
+  Reactor* r = session.reactor;
+  if (r == nullptr) return;  // unit-test session with no transport
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    r->teardowns.push_back(session.id);
+  }
+  r->wake();
+}
+
+void Server::handle_readable(const std::shared_ptr<Session>& session) {
+  char buf[64 * 1024];
+  // Level-triggered epoll re-fires while data remains, so the cap here is
+  // fairness, not correctness: one chatty session cannot starve the rest of
+  // this reactor's sessions for a whole flood.
+  for (int round = 0; round < 8; ++round) {
+    ssize_t n = ::recv(session->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      session->decoder.feed(buf, static_cast<size_t>(n));
+      for (;;) {
+        util::Json frame;
+        std::string detail;
+        FrameDecoder::Result res = session->decoder.next(&frame, &detail);
+        if (res == FrameDecoder::Result::NeedMore) break;
+        if (res == FrameDecoder::Result::BadLength) {
+          // The stream position is garbage from here on; diagnose, flush,
+          // and hang up. The flags go up before the reply is enqueued so
+          // the flush-completion path sees them.
+          protocol_errors().inc();
+          {
+            std::lock_guard<std::mutex> lock(session->out_mu);
+            session->read_closed = true;
+            session->close_after_flush = true;
+            set_interest_locked(*session, session->epollout);
+          }
+          enqueue_bytes(*session,
+                        encode_frame(error_reply(0, "oversized_frame", detail)));
+          return;
+        }
+        if (res == FrameDecoder::Result::BadJson) {
+          // The frame was well-delimited, so framing survives; keep reading.
+          protocol_errors().inc();
+          write_reply(*session, error_reply(0, "bad_json", detail));
+          continue;
+        }
+        handle_frame(session, std::move(frame));
+      }
+      if (session->dead.load(std::memory_order_acquire)) return;
+      // A short read means the socket is (almost certainly) drained; skip
+      // the confirming recv. If more bytes did arrive meanwhile,
+      // level-triggered epoll re-fires immediately — correctness never
+      // depended on reading to EAGAIN here.
+      if (static_cast<size_t>(n) < sizeof(buf)) return;
+      continue;
+    }
+    if (n == 0) {
+      // Peer EOF. Replies already in flight (queued work, buffered bytes)
+      // still get delivered before the session unwinds; only then is it
+      // reaped — the phase-1 plane got the same effect from its per-
+      // connection reader refcount.
+      std::lock_guard<std::mutex> lock(session->out_mu);
+      session->read_closed = true;
+      if (session->inflight.load(std::memory_order_acquire) == 0 &&
+          session->out_off == session->outbuf.size()) {
+        session->dead.store(true, std::memory_order_release);
+      } else {
+        // Drop EPOLLIN interest or the EOF would re-fire forever.
+        set_interest_locked(*session, session->epollout);
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    // Hard transport error (ECONNRESET and friends): whatever we still
+    // owed this peer is undeliverable.
+    {
+      std::lock_guard<std::mutex> lock(session->out_mu);
+      if (session->out_off < session->outbuf.size()) send_failures().inc();
+      session->dead.store(true, std::memory_order_release);
+    }
+    return;
   }
 }
 
@@ -230,8 +468,9 @@ void Server::handle_frame(const std::shared_ptr<Session>& session, util::Json fr
     return;
   }
 
-  // Control plane: answered on the reader thread, never queued — health and
-  // shutdown must work precisely when the data plane is saturated.
+  // Control plane: answered on the reactor thread, never queued — health
+  // and shutdown must work precisely when the data plane is saturated, and
+  // they are exempt from the rate limit for the same reason.
   if (Service::is_inline_kind(kind)) {
     execute(session, id, kind, frame);
     return;
@@ -241,19 +480,50 @@ void Server::handle_frame(const std::shared_ptr<Session>& session, util::Json fr
     write_reply(*session, error_reply(id, "unavailable", "server is draining"));
     return;
   }
+  if (options_.rate_limit > 0.0 && !take_token(*session)) {
+    static util::Counter& rate_limited =
+        util::MetricsRegistry::instance().counter("serve.rate_limited");
+    rate_limited.inc();
+    write_reply(*session,
+                error_reply(id, "rate_limited", "per-client rate limit exceeded"));
+    return;
+  }
+  session->inflight.fetch_add(1, std::memory_order_acq_rel);
   Dispatcher::Submit submitted = dispatcher_.submit(
       [this, session, id, kind, frame = std::move(frame)] {
         execute(session, id, kind, frame);
+        session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+        maybe_finish_half_closed(session);
       });
+  if (submitted == Dispatcher::Submit::Accepted) return;
+  session->inflight.fetch_sub(1, std::memory_order_acq_rel);
   if (submitted == Dispatcher::Submit::QueueFull) {
     static util::Counter& rejected =
         util::MetricsRegistry::instance().counter("serve.rejected");
     rejected.inc();
     write_reply(*session,
                 error_reply(id, "resource_exhausted", "request queue full"));
-  } else if (submitted == Dispatcher::Submit::Draining) {
+  } else {
     write_reply(*session, error_reply(id, "unavailable", "server is draining"));
   }
+}
+
+bool Server::take_token(Session& session) {
+  auto now = std::chrono::steady_clock::now();
+  double burst = options_.rate_burst > 0.0 ? options_.rate_burst
+                                           : std::max(options_.rate_limit, 1.0);
+  if (!session.bucket_primed) {
+    session.bucket_primed = true;
+    session.tokens = burst;
+    session.last_refill = now;
+  } else {
+    double elapsed = std::chrono::duration<double>(now - session.last_refill).count();
+    session.last_refill = now;
+    session.tokens = std::min(burst, session.tokens + elapsed * options_.rate_limit);
+  }
+  if (session.tokens < 1.0) return false;
+  session.tokens -= 1.0;
+  return true;
 }
 
 void Server::execute(const std::shared_ptr<Session>& session, double id,
@@ -267,8 +537,9 @@ void Server::execute(const std::shared_ptr<Session>& session, double id,
   util::StatusOr<util::Json> result = service_.handle(*session, kind, frame);
   if (result.ok()) {
     write_reply(*session, ok_reply(id, std::move(*result)));
-    // Shutdown triggers only after its reply is on the wire — the drain
-    // must not race the requesting client's read of the acknowledgement.
+    // Shutdown triggers only after its reply is buffered — drain flushes
+    // every outbound buffer before closing sessions, so the requesting
+    // client always reads the acknowledgement.
     if (kind == "shutdown") request_shutdown();
   } else {
     span.arg("error", result.status().code_name());
@@ -277,9 +548,123 @@ void Server::execute(const std::shared_ptr<Session>& session, double id,
 }
 
 void Server::write_reply(Session& session, const util::Json& reply) {
-  std::string bytes = encode_frame(reply);
-  std::lock_guard<std::mutex> lock(session.write_mu);
-  send_all(session.fd, bytes);  // a vanished peer is the peer's problem
+  // Serialize the envelope once — the overwhelmingly common small-reply
+  // path pays exactly what the phase-1 plane paid. Only an envelope already
+  // past the chunk threshold is re-serialized as a chunk sequence.
+  std::string wire = encode_frame(reply);
+  if (wire.size() > options_.chunk_bytes) {
+    const util::Json* result = reply.find("result");
+    if (result != nullptr && reply.get_bool("ok")) {
+      size_t chunks = 1;
+      wire = encode_reply_frames(reply.get_number("id", 0.0), *result,
+                                 options_.chunk_bytes, &chunks);
+      if (chunks > 1) {
+        static util::Counter& chunked =
+            util::MetricsRegistry::instance().counter("serve.chunked_replies");
+        chunked.inc();
+      }
+    }
+  }
+  enqueue_bytes(session, std::move(wire));
+}
+
+bool Server::enqueue_bytes(Session& session, std::string bytes) {
+  std::lock_guard<std::mutex> lock(session.out_mu);
+  if (session.dead.load(std::memory_order_acquire)) {
+    // The peer died (or was cut loose) before this reply: surfaced, counted,
+    // dropped — never silently swallowed into a broken socket.
+    send_failures().inc();
+    return false;
+  }
+  size_t buffered = session.outbuf.size() - session.out_off;
+  if (buffered >= options_.write_buf_cap) {
+    // The cap is a high-water mark, not a hard allocation bound: any single
+    // reply enqueues whole (a multi-MB chunked result must not kill a
+    // healthy reader), but a buffer still full when the NEXT reply arrives
+    // means the peer has stopped reading. Disconnect it instead of wedging
+    // a worker or buffering without bound.
+    slow_reader_disconnects().inc();
+    mark_dead_locked(session);
+    return false;
+  }
+  if (buffered == 0) {
+    session.outbuf = std::move(bytes);
+    session.out_off = 0;
+  } else {
+    session.outbuf += bytes;
+  }
+  flush_locked(session);
+  return !session.dead.load(std::memory_order_acquire);
+}
+
+void Server::flush_locked(Session& session) {
+  while (session.out_off < session.outbuf.size()) {
+    ssize_t n = ::send(session.fd, session.outbuf.data() + session.out_off,
+                       session.outbuf.size() - session.out_off,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      session.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EPIPE / ECONNRESET / anything else: the peer is gone mid-reply.
+    send_failures().inc();
+    mark_dead_locked(session);
+    return;
+  }
+  if (session.out_off == session.outbuf.size()) {
+    session.outbuf.clear();
+    session.out_off = 0;
+    if (session.epollout) set_interest_locked(session, false);
+    if (session.close_after_flush ||
+        (session.read_closed &&
+         session.inflight.load(std::memory_order_acquire) == 0)) {
+      mark_dead_locked(session);
+    }
+    return;
+  }
+  // Kernel buffer full: compact the consumed prefix if it dominates, then
+  // let the reactor resume when the socket turns writable.
+  if (session.out_off > (1u << 16) && session.out_off >= session.outbuf.size() / 2) {
+    session.outbuf.erase(0, session.out_off);
+    session.out_off = 0;
+  }
+  if (!session.epollout) set_interest_locked(session, true);
+}
+
+void Server::mark_dead_locked(Session& session) {
+  if (session.dead.exchange(true, std::memory_order_acq_rel)) return;
+  // Wake the peer's pending reads, then hand the epoll/bookkeeping removal
+  // to the owning reactor — the only thread allowed to do it.
+  ::shutdown(session.fd, SHUT_RDWR);
+  request_teardown(session);
+}
+
+void Server::set_interest_locked(Session& session, bool want_write) {
+  if (session.reactor_epfd < 0) return;
+  epoll_event ev{};
+  ev.events = (session.read_closed ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.u64 = session.id;
+  ::epoll_ctl(session.reactor_epfd, EPOLL_CTL_MOD, session.fd, &ev);
+  session.epollout = want_write;
+}
+
+void Server::maybe_finish_half_closed(const std::shared_ptr<Session>& session) {
+  std::lock_guard<std::mutex> lock(session->out_mu);
+  if (session->dead.load(std::memory_order_acquire)) return;
+  if (session->read_closed &&
+      session->inflight.load(std::memory_order_acquire) == 0 &&
+      session->out_off == session->outbuf.size()) {
+    mark_dead_locked(*session);
+  }
+}
+
+void Server::session_closed(uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(id);
+  sessions_gauge().set(static_cast<double>(sessions_.size()));
 }
 
 size_t Server::active_sessions() const {
@@ -292,6 +677,7 @@ util::Json Server::health_json() {
   doc["state"] = draining_.load(std::memory_order_acquire) ? "draining" : "serving";
   doc["queue_depth"] = dispatcher_.depth();
   doc["workers"] = dispatcher_.workers();
+  doc["reactors"] = reactors_.size();
   size_t sessions;
   uint64_t session_requests = 0;
   {
@@ -339,33 +725,60 @@ void Server::drain() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  if (unix_bound_) ::unlink(options_.unix_path.c_str());
 
   // 2. Let the data plane run dry: everything already accepted executes to
-  // completion and its reply is flushed (reader threads are still alive and
-  // only reject new work). In-flight studies finish here — and had the
-  // process been killed instead, their journal would carry the completed
-  // countries into the next daemon.
+  // completion and its reply lands in a session buffer (the reactors are
+  // still alive, answering control-plane requests and flushing). In-flight
+  // studies finish here — and had the process been killed instead, their
+  // journal would carry the completed countries into the next daemon.
   dispatcher_.drain();
 
-  // 3. Unblock every reader and join. Sockets are shut down, not closed:
-  // the Session destructor closes the fd when the last reference drops.
-  std::vector<std::shared_ptr<Session>> sessions;
-  std::map<uint64_t, std::thread> threads;
+  // 3. Flush: wait (bounded) until every live session's outbound buffer has
+  // drained. A peer that has stopped reading cannot wedge the drain — after
+  // the deadline it simply loses the tail it never read.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(kDrainFlushTimeoutMs);
+  for (;;) {
+    std::vector<std::shared_ptr<Session>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (const auto& [id, s] : sessions_) snapshot.push_back(s);
+    }
+    bool pending = false;
+    for (const auto& s : snapshot) {
+      if (s->dead.load(std::memory_order_acquire)) continue;
+      std::lock_guard<std::mutex> lock(s->out_mu);
+      if (s->out_off < s->outbuf.size()) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // 4. Unblock every peer and stop the reactors. Sockets are shut down, not
+  // closed: the Session destructor closes the fd when the last reference
+  // (possibly a live Client's reply in a test) drops.
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (const auto& [id, s] : sessions_) sessions.push_back(s);
-    threads.swap(conn_threads_);
+    for (const auto& [id, s] : sessions_) ::shutdown(s->fd, SHUT_RDWR);
   }
-  for (const auto& s : sessions) ::shutdown(s->fd, SHUT_RDWR);
-  for (auto& [id, t] : threads) {
-    if (t.joinable()) t.join();
+  for (auto& r : reactors_) {
+    r->stop.store(true, std::memory_order_release);
+    r->wake();
+  }
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+    std::lock_guard<std::mutex> lock(r->mu);
+    r->sessions.clear();
+    r->teardowns.clear();
   }
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_.clear();
-    finished_.clear();
-    util::MetricsRegistry::instance().gauge("serve.sessions").set(0.0);
+    sessions_gauge().set(0.0);
   }
   drained_ = true;
   util::log_info("serve", "drained");

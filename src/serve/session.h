@@ -1,26 +1,32 @@
 // serve::Session — one connected client's state, and the shared store
 // registry every session resolves store names through.
 //
-// A session is created by the listener at accept time and lives until the
-// connection closes. It owns the socket write side (replies from worker
-// threads and protocol errors from the reader thread interleave through
-// write_mu), a monotone id used as the per-client metrics label, and the
-// set of stores this client opened. Store readers themselves are shared
-// process-wide: the registry hands out shared_ptr<store::Reader> handles,
-// so 64 clients querying the same .gmst map it exactly once.
+// A session is created by the listener at accept time, assigned to exactly
+// one reactor, and lives until the connection is torn down. The read side
+// (frame decoder, EOF flag) is touched only by the owning reactor thread;
+// the write side is a bounded outbound buffer guarded by `out_mu` that
+// worker threads append to and the reactor (or an opportunistic
+// nonblocking flush at enqueue time) drains — no thread ever blocks in
+// send(2) on a session. Store readers themselves are shared process-wide:
+// the registry hands out shared_ptr<store::Reader> handles, so 64 clients
+// querying the same .gmst map it exactly once.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "serve/protocol.h"
 #include "store/reader.h"
 #include "util/status.h"
 
 namespace gam::serve {
+
+struct Reactor;  // defined in server.cpp — sessions only carry the handle
 
 /// Process-wide cache of mapped stores, keyed by path. Readers are
 /// immutable after open (see store::Reader::open_shared), so one mapping
@@ -44,13 +50,52 @@ class StoreRegistry {
 };
 
 struct Session {
-  ~Session();  // closes fd — the last reference (reader or worker) hangs up
+  ~Session();  // closes fd — the last reference (reactor or worker) hangs up
 
   uint64_t id = 0;
   int fd = -1;
-  /// Serializes frame writes: worker replies and reader-thread protocol
-  /// errors must not interleave bytes on the socket.
-  std::mutex write_mu;
+
+  // --- read side: owned by the session's reactor thread -------------------
+  /// Incremental frame decoder; partial frames persist across epoll wakes.
+  FrameDecoder decoder;
+
+  // --- write side: guarded by out_mu ---------------------------------------
+  /// Serializes the outbound buffer: worker replies, reactor-thread protocol
+  /// errors, and the reactor's writability flushes all append/drain through
+  /// here. Nothing blocks while holding it — sends are MSG_DONTWAIT.
+  std::mutex out_mu;
+  /// Bytes accepted from handlers but not yet accepted by the kernel.
+  /// `out_off` is the consumed prefix (compacted as it grows). When the
+  /// buffered remainder is already >= the server's write_buf_cap and another
+  /// reply arrives, the peer is a slow reader and the session is cut loose.
+  std::string outbuf;
+  size_t out_off = 0;
+  /// EPOLLOUT currently armed on the owning reactor (avoid redundant MODs).
+  bool epollout = false;
+  /// Peer sent EOF, or a fatal protocol error stopped the read side.
+  bool read_closed = false;
+  /// Flush whatever is buffered, then tear the session down (the
+  /// BadLength goodbye: diagnose, flush, hang up).
+  bool close_after_flush = false;
+
+  /// Owning reactor. Set once at accept, before the session is published;
+  /// valid for the server's lifetime (reactors are joined only at drain,
+  /// after the worker pool).
+  Reactor* reactor = nullptr;
+  int reactor_epfd = -1;
+
+  /// Torn down (or marked for teardown). A reply enqueued to a dead session
+  /// is dropped and counted as serve.send_failures.
+  std::atomic<bool> dead{false};
+  /// Dispatcher-queued requests not yet replied — a half-closed session is
+  /// only reaped once this hits zero and the outbuf has drained.
+  std::atomic<int> inflight{0};
+
+  // --- rate limiting: touched only by the owning reactor thread ------------
+  double tokens = 0.0;
+  bool bucket_primed = false;
+  std::chrono::steady_clock::time_point last_refill;
+
   /// Paths this client opened (diagnostics; handles live in the registry).
   std::map<std::string, std::shared_ptr<store::Reader>> opened;
   std::mutex opened_mu;

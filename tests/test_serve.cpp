@@ -13,7 +13,25 @@
 //  - Drain: in-flight work finishes and its replies flush; new work is
 //    refused; a killed-and-restarted daemon resumes journaled studies
 //    byte-identically.
+//
+// Phase 2 (ISSUE 7) adds the reactor-plane contracts:
+//  - Dead peers: a reply to a vanished peer is a counted send failure and a
+//    torn-down session, never a silent drop.
+//  - Slow readers: a peer whose outbound buffer sits at the cap when the
+//    next reply arrives is disconnected — and while stalled it must not
+//    stall any other client.
+//  - Chunked replies: large results stream as consecutive chunk frames the
+//    client reassembles to the exact single-frame bytes.
+//  - Rate limits: the per-client token bucket sheds with a structured
+//    `rate_limited` error; control-plane kinds are exempt.
+//  - No per-connection threads: connection churn leaves the process thread
+//    count where it started.
 #include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -724,6 +742,308 @@ TEST(Serve, ConnectionChurnLeavesNoSessionsBehind) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_EQ(server->active_sessions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: the reactor write plane — dead peers, slow readers, chunked
+// replies, rate limits, and the no-thread-per-connection invariant.
+
+/// Read one process-global counter through a live connection's stats RPC.
+/// The registry is shared across tests, so callers compare deltas.
+double counter_value(Client& probe, const std::string& name) {
+  util::Json stats = must_result(probe.call("stats"));
+  return stats.find("json")->find("counters")->get_number(name, 0.0);
+}
+
+TEST(ServeReactor, KillPeerMidReplyCountsSendFailure) {
+  ServerOptions options;
+  options.workers = 2;
+  auto server = start_server(std::move(options));
+  auto probe = connect(*server);
+  double failures_before = counter_value(*probe, "serve.send_failures");
+  double sleeps_before = counter_value(*probe, "serve.requests.sleep");
+
+  // Put a sleep in flight, then vanish with an RST (SO_LINGER 0) before the
+  // reply exists. The worker's reply must surface as a counted send
+  // failure, not a silent drop into a dead socket.
+  auto victim = connect(*server);
+  util::Json sleeper = util::Json::object();
+  sleeper["kind"] = "sleep";
+  sleeper["ms"] = 300;
+  ASSERT_TRUE(victim->send_request(std::move(sleeper)).ok());
+  while (counter_value(*probe, "serve.requests.sleep") <= sleeps_before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ASSERT_EQ(::setsockopt(victim->fd(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard)),
+            0);
+  victim.reset();  // close -> RST
+
+  bool counted = false;
+  for (int i = 0; i < 500 && !counted; ++i) {
+    counted = counter_value(*probe, "serve.send_failures") > failures_before;
+    if (!counted) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(counted);
+  // The victim's session is torn down, not leaked.
+  for (int i = 0; i < 200 && server->active_sessions() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server->active_sessions(), 1u);  // just the probe
+}
+
+/// Turn `client` into a deliberately slow reader: shrink its kernel receive
+/// buffer (so the server's sends clog fast) and pipeline `n` full-table
+/// queries — tens of KB per reply — without ever reading one.
+void pipeline_unread_queries(Client& client, int n) {
+  int rcvbuf = 4096;
+  ::setsockopt(client.fd(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  for (int i = 0; i < n; ++i) {
+    util::Json params = util::Json::object();
+    params["kind"] = "query";
+    params["table"] = "hits";
+    params["limit"] = 1000000;
+    ASSERT_TRUE(client.send_request(std::move(params)).ok());
+  }
+}
+
+TEST(ServeReactor, SlowReaderIsDisconnectedAtBufferCap) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  options.workers = 2;
+  options.sndbuf_bytes = 4096;      // tiny kernel buffer: backpressure is real
+  options.write_buf_cap = 16u << 10;  // tiny cap: triggers without megabytes
+  auto server = start_server(std::move(options));
+  auto probe = connect(*server);
+  double before = counter_value(*probe, "serve.slow_reader_disconnects");
+
+  auto stalled = connect(*server);
+  pipeline_unread_queries(*stalled, 50);
+
+  // Replies overflow the kernel buffer, then the session buffer; the next
+  // reply after the cap cuts the session loose.
+  bool disconnected = false;
+  for (int i = 0; i < 1000 && !disconnected; ++i) {
+    disconnected =
+        counter_value(*probe, "serve.slow_reader_disconnects") > before;
+    if (!disconnected) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(disconnected);
+  for (int i = 0; i < 200 && server->active_sessions() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server->active_sessions(), 1u);
+}
+
+TEST(ServeReactor, SlowReaderDoesNotStallOtherClients) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  options.workers = 4;
+  options.max_queue = 256;  // the stalled pipeline must not eat the healthy
+                            // clients' queue slots — backpressure is a
+                            // different contract, tested elsewhere
+  options.sndbuf_bytes = 4096;
+  options.write_buf_cap = 64u << 10;
+  auto server = start_server(std::move(options));
+
+  // The single-threaded reference bytes every healthy client must see.
+  std::string reference;
+  {
+    auto client = connect(*server);
+    util::Json params = util::Json::object();
+    params["report"] = "prevalence";
+    reference = must_result(client->call("query", std::move(params))).dump(2);
+  }
+  ASSERT_FALSE(reference.empty());
+
+  auto stalled = connect(*server);
+  pipeline_unread_queries(*stalled, 30);
+
+  // Four healthy clients keep querying with a hard timeout. A blocking-send
+  // plane would wedge a worker on the stalled peer and starve these.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> healthy;
+  for (int c = 0; c < 4; ++c) {
+    healthy.emplace_back([&] {
+      auto client = connect(*server);
+      client->set_recv_timeout_ms(10000);
+      for (int i = 0; i < 20; ++i) {
+        util::Json params = util::Json::object();
+        params["report"] = "prevalence";
+        auto reply = client->call("query", std::move(params));
+        if (!reply.ok() || !reply->get_bool("ok") ||
+            reply->find("result")->dump(2) != reference) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : healthy) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // The control plane is alive too, and the daemon still reports serving.
+  auto probe = connect(*server);
+  probe->set_recv_timeout_ms(10000);
+  EXPECT_EQ(must_result(probe->call("health")).get_string("state"), "serving");
+}
+
+TEST(ServeReactor, ChunkedReplyReassemblesByteIdentically) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  options.chunk_bytes = 256;  // every report chunks: exercise reassembly hard
+  auto server = start_server(std::move(options));
+  auto client = connect(*server);
+  double chunked_before = counter_value(*client, "serve.chunked_replies");
+
+  store::Error error;
+  auto reader = store::Reader::open(shared_store(), &error);
+  ASSERT_TRUE(reader) << error.to_string();
+  std::string direct = analysis::to_json(store::flows_report(*reader)).dump(2);
+
+  // Through call(): reassembly is transparent and byte-identical.
+  util::Json params = util::Json::object();
+  params["report"] = "flows";
+  util::Json served = must_result(client->call("query", std::move(params)));
+  EXPECT_EQ(served.dump(2), direct);
+  EXPECT_GT(counter_value(*client, "serve.chunked_replies"), chunked_before);
+
+  // On the wire: consecutive chunk frames from 0, exactly one final
+  // last=true, data concatenating to the serialized result.
+  util::Json raw_request = util::Json::object();
+  raw_request["kind"] = "query";
+  raw_request["report"] = "flows";
+  double id = 0;
+  ASSERT_TRUE(client->send_request(std::move(raw_request), &id).ok());
+  std::string reassembled;
+  size_t expect_chunk = 0;
+  for (;;) {
+    auto frame = client->read_reply();
+    ASSERT_TRUE(frame.ok()) << frame.status().to_string();
+    ASSERT_TRUE(frame->find("chunk") != nullptr) << frame->dump();
+    EXPECT_EQ(frame->get_number("id", -1.0), id);
+    EXPECT_TRUE(frame->get_bool("ok"));
+    ASSERT_EQ(static_cast<size_t>(frame->get_number("chunk", -1.0)), expect_chunk);
+    ++expect_chunk;
+    reassembled += frame->get_string("data");
+    if (frame->get_bool("last")) break;
+  }
+  EXPECT_GT(expect_chunk, 1u);
+  auto parsed = util::Json::parse(reassembled);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(2), direct);
+}
+
+TEST(ServeReactor, RateLimitedRequestsCarryRateLimitedCode) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  options.rate_limit = 0.05;  // refill is negligible within the test
+  options.rate_burst = 3;
+  auto server = start_server(std::move(options));
+  auto client = connect(*server);
+  double limited_before = counter_value(*client, "serve.rate_limited");
+
+  // The bucket admits exactly the burst...
+  for (int i = 0; i < 3; ++i) {
+    util::Json params = util::Json::object();
+    params["report"] = "summary";
+    util::Json result = must_result(client->call("query", std::move(params)));
+    EXPECT_EQ(result.get_number("countries"), 2) << "request " << i;
+  }
+  // ...then sheds with the structured code.
+  util::Json params = util::Json::object();
+  params["report"] = "summary";
+  EXPECT_EQ(must_error_code(client->call("query", std::move(params))),
+            "rate_limited");
+  EXPECT_GT(counter_value(*client, "serve.rate_limited"), limited_before);
+
+  // Control-plane kinds are exempt: a throttled client can still be probed
+  // and told to shut down.
+  EXPECT_TRUE(must_result(client->call("ping")).get_bool("pong"));
+  EXPECT_EQ(must_result(client->call("health")).get_string("state"), "serving");
+}
+
+TEST(ServeReactor, SecondDaemonRefusesLiveUnixSocket) {
+  ServerOptions first;
+  first.unix_path = temp_path("gamma_serve_live.sock");
+  auto server = start_server(std::move(first));
+
+  // The node answers connect(2): a second daemon must refuse, not steal it.
+  ServerOptions second;
+  second.unix_path = server->unix_path();
+  second.service.world = shared_world();
+  auto refused = Server::start(std::move(second));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_NE(refused.status().message().find("already running"), std::string::npos);
+
+  // And the first daemon is unharmed.
+  auto client = Client::connect_unix(server->unix_path());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  (*client)->set_recv_timeout_ms(30000);
+  EXPECT_TRUE(must_result((*client)->call("ping")).get_bool("pong"));
+}
+
+TEST(ServeReactor, StaleUnixSocketNodeIsReclaimed) {
+  std::string path = temp_path("gamma_serve_stale.sock");
+  // A dead daemon's leftover: a bound node nobody is listening on.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ::unlink(path.c_str());
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);  // node stays on disk; connect() now gets ECONNREFUSED
+
+  ServerOptions options;
+  options.unix_path = path;
+  auto server = start_server(std::move(options));
+  auto client = Client::connect_unix(path);
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  (*client)->set_recv_timeout_ms(30000);
+  EXPECT_TRUE(must_result((*client)->call("ping")).get_bool("pong"));
+}
+
+/// Threads in this process, per /proc/self/task.
+size_t thread_count() {
+  size_t n = 0;
+  DIR* dir = ::opendir("/proc/self/task");
+  if (!dir) return 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++n;
+  }
+  ::closedir(dir);
+  return n;
+}
+
+TEST(ServeReactor, ChurnLeavesNoUnjoinedThreads) {
+  auto server = start_server();
+  // Settle: one round trip, then wait for its session to unwind so the
+  // baseline is the steady state (accept + reactors + workers).
+  {
+    auto client = connect(*server);
+    ASSERT_TRUE(must_result(client->call("ping")).get_bool("pong"));
+  }
+  for (int i = 0; i < 200 && server->active_sessions() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  size_t baseline = thread_count();
+  ASSERT_GT(baseline, 0u);
+
+  for (int i = 0; i < 100; ++i) {
+    auto client = connect(*server);
+    ASSERT_TRUE(must_result(client->call("ping")).get_bool("pong"));
+  }
+  for (int i = 0; i < 200 && server->active_sessions() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // The reactor plane spawns nothing per connection: 100 accepted-and-gone
+  // connections leave the thread count exactly where it started.
+  EXPECT_EQ(server->active_sessions(), 0u);
+  EXPECT_EQ(thread_count(), baseline);
 }
 
 }  // namespace

@@ -144,8 +144,11 @@ arm_serve() {
     --store-out "$SMOKE/serve/study.gmst" >/dev/null
   # Ephemeral port (GAMMA_SERVE_PORT=0 convention): parallel check runs can
   # never collide on a listen address.
+  # --chunk-bytes 256: force even mid-size reports onto the chunked-reply
+  # wire path so the flows diff below covers reassembly.
   "$GAMMA" serve --port 0 --port-file "$SMOKE/serve/port" \
     --store "$SMOKE/serve/study.gmst" --checkpoint "$SMOKE/serve/ckpt" \
+    --chunk-bytes 256 \
     > "$SMOKE/serve/daemon.log" 2>&1 &
   local daemon=$!
   trap 'kill -9 '"$daemon"' 2>/dev/null || true' EXIT
@@ -170,6 +173,26 @@ arm_serve() {
     --out "$SMOKE/serve/direct.json" >/dev/null
   diff "$SMOKE/serve/served.json" "$SMOKE/serve/direct.json"
   echo "   served summary byte-identical to \`gamma store query\`"
+  # The daemon was started with a small --chunk-bytes, so the flows report
+  # streams as chunked frames — this diff exercises the client's reassembly
+  # path end to end, not just the single-frame envelope.
+  "$GAMMA" client query --port-file "$SMOKE/serve/port" --report flows \
+    --out "$SMOKE/serve/served_flows.json" >/dev/null
+  "$GAMMA" store query "$SMOKE/serve/study.gmst" --report flows \
+    --out "$SMOKE/serve/direct_flows.json" >/dev/null
+  diff "$SMOKE/serve/served_flows.json" "$SMOKE/serve/direct_flows.json"
+  echo "   served flows (chunked wire) byte-identical after reassembly"
+  # Slow-reader probe: pour garbage at the daemon from a client that never
+  # reads its replies, for up to 3 seconds. The reactor plane must shed it
+  # (bad_json floods to a non-reader become a slow-reader disconnect) while
+  # the daemon keeps answering everyone else.
+  timeout 3 bash -c "cat /dev/zero > /dev/tcp/127.0.0.1/$(cat "$SMOKE/serve/port")" \
+    2>/dev/null || true
+  "$GAMMA" client ping --port-file "$SMOKE/serve/port" >/dev/null
+  "$GAMMA" client query --port-file "$SMOKE/serve/port" --report summary \
+    --out "$SMOKE/serve/served2.json" >/dev/null
+  diff "$SMOKE/serve/served2.json" "$SMOKE/serve/direct.json"
+  echo "   daemon healthy after a 3s slow-reader/garbage flood"
   # SIGTERM must drain gracefully: flush, close, exit 0.
   kill -TERM "$daemon"
   local rc=0

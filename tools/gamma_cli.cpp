@@ -84,6 +84,10 @@ struct Args {
   std::string port_file;    // serve writes the bound port here; client reads it
   size_t workers = 4;
   size_t queue = 64;
+  size_t reactors = 2;      // serve: epoll reactor (I/O) threads
+  size_t chunk_bytes = 0;   // serve: chunked-reply threshold (0 = default)
+  double rate = 0.0;        // serve: per-client requests/sec (0 = unlimited)
+  double burst = 0.0;       // serve: token bucket size (0 = max(rate, 1))
 };
 
 void usage() {
@@ -100,11 +104,15 @@ void usage() {
                "             sub-millisecond scans over the mapped store; reports:\n"
                "             summary|prevalence|policy|per-site|flows|coverage|funnel\n"
                "  serve  [--store FILE.gmst] [--checkpoint DIR] [--host H] [--port P]\n"
-               "             [--socket PATH] [--workers N] [--queue N] [--port-file FILE]\n"
+               "             [--socket PATH] [--workers N] [--queue N] [--reactors N]\n"
+               "             [--rate R] [--burst B] [--chunk-bytes N]\n"
+               "             [--port-file FILE]\n"
                "             long-lived daemon: studies + store queries over a\n"
                "             length-prefixed JSON socket protocol; --port 0 (or\n"
                "             GAMMA_SERVE_PORT=0) binds an ephemeral port; SIGTERM\n"
-               "             drains gracefully (in-flight studies checkpoint)\n"
+               "             drains gracefully (in-flight studies checkpoint);\n"
+               "             --rate R throttles each client to R data requests/sec\n"
+               "             (burst B), large results stream as chunked frames\n"
                "  client <kind> [--host H] [--port P | --port-file FILE | --socket PATH]\n"
                "             kinds: ping | health | stats | shutdown | submit |\n"
                "             query [--report R | --table T --where col=val ...\n"
@@ -250,6 +258,22 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.queue = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--reactors") {
+      const char* v = next();
+      if (!v) return false;
+      args.reactors = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--chunk-bytes") {
+      const char* v = next();
+      if (!v) return false;
+      args.chunk_bytes = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--rate") {
+      const char* v = next();
+      if (!v) return false;
+      args.rate = std::strtod(v, nullptr);
+    } else if (flag == "--burst") {
+      const char* v = next();
+      if (!v) return false;
+      args.burst = std::strtod(v, nullptr);
     } else if (!flag.empty() && flag[0] != '-' && args.command == "store" &&
                args.store_file.empty()) {
       args.store_file = flag;  // positional FILE.gmst for `store query`
@@ -596,6 +620,10 @@ int cmd_serve(const Args& args) {
   options.unix_path = args.socket_path;
   options.workers = args.workers == 0 ? 1 : args.workers;
   options.max_queue = args.queue;
+  options.reactors = args.reactors == 0 ? 1 : args.reactors;
+  if (args.chunk_bytes > 0) options.chunk_bytes = args.chunk_bytes;
+  options.rate_limit = args.rate;
+  options.rate_burst = args.burst;
   options.service.store_path = args.serve_store;
   options.service.checkpoint_dir = args.checkpoint;
   if (args.port >= 0) {
