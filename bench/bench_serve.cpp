@@ -36,6 +36,7 @@
 
 #include "analysis/report_json.h"
 #include "serve/client.h"
+#include "util/io.h"
 #include "serve/server.h"
 #include "store/reader.h"
 #include "store/reports.h"
@@ -311,11 +312,13 @@ int main() {
   doc["fd_limit"] = fd_limit;
   doc["arms"] = std::move(arms);
   doc["slow_reader"] = std::move(slow);
-  {
-    std::ofstream out("BENCH_serve.json");
-    out << doc.dump(2) << "\n";
+  if (util::Status s = util::io::atomic_write_file("BENCH_serve.json", doc.dump(2) + "\n");
+      !s.ok()) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json: %s\n", s.message().c_str());
+    failed = true;
+  } else {
+    std::printf("\nwrote BENCH_serve.json\n");
   }
-  std::printf("\nwrote BENCH_serve.json\n");
 
   (*server)->request_shutdown();
   (*server)->drain();

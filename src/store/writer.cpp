@@ -2,12 +2,11 @@
 
 #include <cstdio>
 #include <deque>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <set>
 
 #include "util/crc32.h"
+#include "util/io.h"
 #include "util/json.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -280,20 +279,15 @@ WriteResult Writer::write(const std::string& path,
   put_u32(file, util::crc32(footer.data(), footer.size()));
   file.append(kEndMagic, sizeof kEndMagic);
 
-  // Crash-atomic publish: temp file, flush, rename.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return fail(ErrorCode::Io, "cannot open " + tmp);
-    out.write(file.data(), static_cast<std::streamsize>(file.size()));
-    out.flush();
-    if (!out) return fail(ErrorCode::Io, "short write to " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return fail(ErrorCode::Io, "rename to " + path + " failed");
+  // Crash-atomic durable publish (DESIGN.md §12): checked writes, fsync,
+  // rename, parent-dir fsync. On any failure util::io has already unlinked
+  // the tmp file and the structured message carries strerror(errno).
+  util::io::WriteOptions wopts;
+  wopts.sync = sync_;
+  wopts.faults = faults_;
+  wopts.fault_key = "store";
+  if (util::Status s = util::io::atomic_write_file(path, file, wopts); !s.ok()) {
+    return fail(ErrorCode::Io, s.message());
   }
 
   result.bytes_written = file.size();

@@ -7,9 +7,11 @@
 // bytes regardless of --jobs, and two writes of the same study are
 // byte-identical (tested in test_store).
 //
-// Crash safety: the file is assembled in memory, written to `<path>.tmp`,
-// flushed, then renamed over `path` — a reader never sees a half-written
-// store.
+// Crash safety: the file is assembled in memory, then published through
+// util::io::atomic_write_file — checked write(2) loop, fsync(fd), rename,
+// fsync(parent dir) — so a reader never sees a half-written store and a
+// crash at any instant leaves either the old file or the new one, durably
+// (DESIGN.md §12).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +20,10 @@
 
 #include "analysis/dataset.h"
 #include "store/format.h"
+
+namespace gam::util {
+class FaultInjector;
+}
 
 namespace gam::store {
 
@@ -42,6 +48,13 @@ class Writer {
  public:
   explicit Writer(StudyMeta meta = {}) : meta_(std::move(meta)) {}
 
+  /// Inject faults into the publish path (io fault family, key "store").
+  /// nullptr (default) falls back to the process-global injector.
+  void set_faults(const util::FaultInjector* faults) { faults_ = faults; }
+  /// Skip the fsync steps — the bench's no-sync arm. Output bytes are
+  /// identical either way; only the durability of the publish changes.
+  void set_sync(bool sync) { sync_ = sync; }
+
   /// Serialize `analyses` (plus the meta) to `path`. Counts
   /// `store.bytes_written` / `store.blocks_written` on success and
   /// `store.write_failures` on error.
@@ -50,6 +63,8 @@ class Writer {
 
  private:
   StudyMeta meta_;
+  const util::FaultInjector* faults_ = nullptr;
+  bool sync_ = true;
 };
 
 }  // namespace gam::store

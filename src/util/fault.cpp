@@ -28,6 +28,12 @@ constexpr Field kFields[] = {
     {"atlas", "unavailable", &FaultPlan::atlas_unavailable},
     {"session", "abort", &FaultPlan::session_abort},
     {"journal", "write_fail", &FaultPlan::journal_write_fail},
+    {"io", "short_write", &FaultPlan::io_short_write},
+    {"io", "enospc", &FaultPlan::io_enospc},
+    {"io", "eio", &FaultPlan::io_eio},
+    {"io", "crash_before_rename", &FaultPlan::io_crash_before_rename},
+    {"io", "crash_after_rename", &FaultPlan::io_crash_after_rename},
+    {"io", "crash_before_dir_sync", &FaultPlan::io_crash_before_dir_sync},
 };
 
 }  // namespace

@@ -47,6 +47,15 @@ struct FaultPlan {
   double session_abort = 0.0;  // the volunteer's whole run dies
   // worldgen::StudyJournal
   double journal_write_fail = 0.0;  // the resume-time journal rewrite fails
+  // util::io — durable artifact writes (see src/util/io.h)
+  double io_short_write = 0.0;  // write loop tears mid-file and fails
+  double io_enospc = 0.0;       // write(2) fails with ENOSPC
+  double io_eio = 0.0;          // fsync(fd) fails with EIO
+  // Named crash points: when one fires the process raises SIGKILL at
+  // exactly that step of the commit sequence (no destructors, no flushes).
+  double io_crash_before_rename = 0.0;
+  double io_crash_after_rename = 0.0;
+  double io_crash_before_dir_sync = 0.0;
 
   /// True when any probability is non-zero.
   bool any() const;

@@ -1,7 +1,10 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 
 #include "util/json.h"
@@ -18,6 +21,9 @@ std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::atomic<bool> g_json_active{false};
 std::mutex g_json_mu;
 FILE* g_json = nullptr;
+std::string* g_json_path = nullptr;       // under g_json_mu; leaked singleton
+bool g_json_fail_reported = false;        // under g_json_mu; reset per sink
+std::atomic<uint64_t> g_json_failures{0};
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -61,7 +67,23 @@ void write_json_record(LogLevel level, std::string_view component,
   std::fputs("}\n", g_json);
   // Per-record flush, same rationale as the checkpoint journal: a killed
   // study leaves a readable prefix, not a truncated JSON fragment.
-  std::fflush(g_json);
+  errno = 0;
+  if (std::fflush(g_json) != 0 || std::ferror(g_json)) {
+    // Disk full / I/O error: the record is lost. Say so once — to stderr,
+    // never to the broken sink — then keep counting quietly (a full disk
+    // would otherwise turn every log line into a stderr line).
+    int err = errno;
+    g_json_failures.fetch_add(1, std::memory_order_relaxed);
+    if (!g_json_fail_reported) {
+      g_json_fail_reported = true;
+      std::fprintf(stderr,
+                   "[ERROR] log: cannot write JSONL sink %s: %s "
+                   "(later sink failures are counted, not reported)\n",
+                   g_json_path ? g_json_path->c_str() : "?",
+                   err != 0 ? std::strerror(err) : "write error");
+    }
+    std::clearerr(g_json);
+  }
 }
 }  // namespace
 
@@ -77,11 +99,18 @@ bool set_log_json_file(const std::string& path) {
   }
   if (path.empty()) return true;
   g_json = std::fopen(path.c_str(), "w");
+  if (g_json_path == nullptr) g_json_path = new std::string;
+  *g_json_path = path;
+  g_json_fail_reported = false;
   g_json_active.store(g_json != nullptr, std::memory_order_relaxed);
   return g_json != nullptr;
 }
 
 bool log_json_active() { return g_json_active.load(std::memory_order_relaxed); }
+
+uint64_t log_json_write_failures() {
+  return g_json_failures.load(std::memory_order_relaxed);
+}
 
 void log(LogLevel level, std::string_view component, std::string_view message) {
   bool to_stderr = level >= log_level() && level != LogLevel::Off;

@@ -13,6 +13,7 @@
 // stream from `gamma study --trace-jsonl`.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -29,6 +30,13 @@ LogLevel log_level();
 /// cannot be opened (the sink stays closed); the caller owns reporting.
 bool set_log_json_file(const std::string& path);
 bool log_json_active();
+
+/// Records the sink failed to write (disk full, I/O error). The first
+/// failure per sink is reported once to stderr with path + strerror(errno);
+/// later ones only count here. The CLI taints its exit code on a non-zero
+/// value (same contract as a failed --metrics-out dump). Cumulative across
+/// set_log_json_file calls; never reset.
+uint64_t log_json_write_failures();
 
 /// Emit one line to stderr as "[LEVEL] component: message" (subject to the
 /// threshold) and, independently, one JSONL record to the structured sink.

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "core/recorder.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -36,7 +37,8 @@ std::string StudyJournal::path_for(const std::string& dir, uint64_t seed) {
 }
 
 StudyJournal::StudyJournal(const std::string& dir, uint64_t seed,
-                           const util::FaultPlan& plan, bool resume) {
+                           const util::FaultPlan& plan, bool resume)
+    : faults_(plan, seed) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);  // best effort; open() reports
   path_ = path_for(dir, seed);
@@ -96,44 +98,40 @@ StudyJournal::StudyJournal(const std::string& dir, uint64_t seed,
     if (!header_ok) completed_.clear();
   }
 
-  // Rewrite the usable prefix (drops any truncated tail) crash-atomically:
-  // build the new journal beside the old one and rename() it into place, so
-  // a kill during the rewrite leaves either the old journal or the new one,
-  // never a half-truncated file that would erase every completed country.
-  // From here on append() extends the published file line by line.
-  const std::string tmp = path_ + ".tmp";
-  util::FaultInjector faults(plan, seed);
-  if (faults.roll("journal", "rewrite", plan.journal_write_fail)) {
+  // Rewrite the usable prefix (drops any truncated tail) through the
+  // durable publish path: checked writes into <path>.tmp, fsync, rename,
+  // parent-dir fsync. A kill at any instant — including at the armed io
+  // crash points — leaves either the old journal or the new one, never a
+  // half-truncated file that would erase every completed country. From here
+  // on append() extends the published file line by line.
+  if (faults_.roll("journal", "rewrite", plan.journal_write_fail)) {
     // Injected write failure: behave exactly as if the tmp write died —
     // nothing renamed, the previous journal byte-intact, appends disabled.
-    status_ = util::Status::internal("injected journal write failure: " + tmp);
+    status_ = util::Status::internal("injected journal write failure: " + path_ + ".tmp");
     util::log_info("checkpoint", status_.message());
     return;
   }
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    out << header.dump_exact() << "\n";
-    for (const auto& [code, rec] : completed_) {
-      util::Json j = util::Json::object();
-      j["country"] = rec.country;
-      j["atlas_repaired"] = rec.atlas_repaired;
-      j["degraded"] = rec.degraded;
-      j["degraded_reason"] = rec.degraded_reason;
-      j["dataset"] = core::dataset_to_json(rec.dataset);
-      // dump_exact: journal doubles must restore bit-identically, or resumed
-      // analysis could flip marginal SOL verdicts vs the uninterrupted run.
-      out << j.dump_exact() << "\n";
-    }
-    out.flush();
-    if (!out) {
-      status_ = util::Status::internal("cannot write journal: " + tmp);
-      util::log_info("checkpoint", status_.message());
-      return;
-    }
+  util::io::WriteOptions wopts;
+  wopts.fault_key = "journal";
+  wopts.faults = &faults_;
+  util::io::AtomicFileWriter out(path_, wopts);
+  out.open();
+  out.append(header.dump_exact() + "\n");
+  for (const auto& [code, rec] : completed_) {
+    util::Json j = util::Json::object();
+    j["country"] = rec.country;
+    j["atlas_repaired"] = rec.atlas_repaired;
+    j["degraded"] = rec.degraded;
+    j["degraded_reason"] = rec.degraded_reason;
+    j["dataset"] = core::dataset_to_json(rec.dataset);
+    // dump_exact: journal doubles must restore bit-identically, or resumed
+    // analysis could flip marginal SOL verdicts vs the uninterrupted run.
+    out.append(j.dump_exact() + "\n");
   }
-  std::filesystem::rename(tmp, path_, ec);
-  if (ec) {
-    status_ = util::Status::internal("cannot publish journal: " + ec.message());
+  // AtomicFileWriter latches the first error, so one check after commit()
+  // covers every step; the tmp file is already unlinked on failure.
+  if (util::Status s = out.commit(); !s.ok()) {
+    status_ = util::Status(s.code(), "cannot publish journal: " + s.message());
     util::log_info("checkpoint", status_.message());
   }
 }
@@ -145,10 +143,11 @@ StudyJournal::~StudyJournal() {
   }
 }
 
-void StudyJournal::append(const CheckpointRecord& rec) {
-  if (!status_.ok()) return;  // lockless read: status_ is set once, pre-append
+util::Status StudyJournal::append(const CheckpointRecord& rec) {
   static util::Counter& checkpointed =
       util::MetricsRegistry::instance().counter("study.checkpointed_countries");
+  static util::Counter& write_failures =
+      util::MetricsRegistry::instance().counter("checkpoint.write_failures");
   util::Json j = util::Json::object();
   j["country"] = rec.country;
   j["atlas_repaired"] = rec.atlas_repaired;
@@ -157,13 +156,25 @@ void StudyJournal::append(const CheckpointRecord& rec) {
   j["dataset"] = core::dataset_to_json(rec.dataset);
   std::string line = j.dump_exact();
   line += "\n";
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::ofstream out(path_, std::ios::app);
-    out << line;
-    out.flush();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status_.ok()) return status_;
+  util::io::WriteOptions opts;
+  opts.fault_key = "journal";
+  opts.faults = &faults_;
+  util::Status s = util::io::durable_append(path_, line, opts);
+  if (!s.ok()) {
+    // The append may have torn the journal tail; any record written after it
+    // would sit past an unparseable line and be invisible to --resume. Latch
+    // the failure so later appends are refused and the caller knows this
+    // country is NOT durably checkpointed.
+    write_failures.inc();
+    status_ = util::Status(s.code(), "checkpoint append failed: " + s.message());
+    util::log_info("checkpoint", status_.message());
+    return status_;
   }
   checkpointed.inc();
+  return s;
 }
 
 }  // namespace gam::worldgen

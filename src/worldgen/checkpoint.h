@@ -78,18 +78,25 @@ class StudyJournal {
     return completed_;
   }
 
-  /// Append one finished country and flush. Thread-safe: worker tasks call
-  /// this concurrently as countries complete. A no-op on a journal whose
-  /// status() is non-OK. Counts `study.checkpointed_countries`.
-  void append(const CheckpointRecord& rec);
+  /// Append one finished country durably: open(O_APPEND) -> full checked
+  /// write -> fsync(fd) -> close (util::io::durable_append). OK means the
+  /// record is on disk and will be seen by --resume. Thread-safe: worker
+  /// tasks call this concurrently as countries complete. A failed append may
+  /// have torn the journal tail, so it latches status() and disables later
+  /// appends — they would be unreadable at resume anyway. Counts
+  /// `study.checkpointed_countries` on success and
+  /// `checkpoint.write_failures` on error. Returns status() unchanged (a
+  /// no-op) when the journal is already failed.
+  util::Status append(const CheckpointRecord& rec);
 
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
   std::map<std::string, CheckpointRecord> completed_;
-  std::mutex mu_;
+  std::mutex mu_;  // guards appends and post-construction status_ writes
   util::Status status_;
+  util::FaultInjector faults_;  // (plan, seed): io faults under key "journal"
   int lock_fd_ = -1;  // exclusive flock on <path>.lock; -1 = not held
 };
 

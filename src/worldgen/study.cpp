@@ -10,6 +10,7 @@
 #include "probe/traceroute.h"
 #include "store/writer.h"
 #include "trackers/identify.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/rng.h"
@@ -31,6 +32,22 @@ struct CountryOutcome {
   bool resumed = false;        // restored from the checkpoint journal
 };
 
+/// Installs `faults` as the process-global io injector for a scope,
+/// restoring whatever was there before (nesting-safe).
+class ScopedIoFaults {
+ public:
+  explicit ScopedIoFaults(const util::FaultInjector* faults)
+      : prev_(util::io::fault_injector()) {
+    util::io::set_fault_injector(faults);
+  }
+  ~ScopedIoFaults() { util::io::set_fault_injector(prev_); }
+  ScopedIoFaults(const ScopedIoFaults&) = delete;
+  ScopedIoFaults& operator=(const ScopedIoFaults&) = delete;
+
+ private:
+  const util::FaultInjector* prev_;
+};
+
 }  // namespace
 
 StudyResult run_study(World& world, const StudyOptions& options) {
@@ -47,9 +64,14 @@ StudyResult run_study(World& world, const StudyOptions& options) {
   // which case even an all-zero plan is armed — that is the retry-overhead
   // benchmark configuration. The injector outlives every task via `env`.
   util::FaultInjector injector;
+  std::optional<ScopedIoFaults> io_faults;
   if (options.fault_plan) {
     injector = util::FaultInjector(*options.fault_plan, options.seed);
     env.faults = &injector;
+    // Arm the durable-write plane for the study's lifetime too, so io faults
+    // reach artifact writes that don't take an explicit injector. Restored
+    // on every exit path (including the journal-lock throw below).
+    io_faults.emplace(&injector);
   }
 
   // Shared, immutable analysis substrate. Everything here is read-only after
@@ -161,7 +183,11 @@ StudyResult run_study(World& world, const StudyOptions& options) {
     analyze_outcome(code, out);
     util::log_info("study", "analyzed " + code);
     if (journal) {
-      journal->append({code, out.dataset, out.atlas_repaired, false, ""});
+      util::Status js = journal->append({code, out.dataset, out.atlas_repaired, false, ""});
+      if (!js.ok()) {
+        util::log_info("study", "checkpoint not durable for " + code + ": " +
+                                    js.to_string());
+      }
     }
     return out;
   };
@@ -196,7 +222,11 @@ StudyResult run_study(World& world, const StudyOptions& options) {
     }
     util::log_info("study", "degraded " + code + ": " + error);
     if (journal) {
-      journal->append({code, out.dataset, 0, true, error});
+      util::Status js = journal->append({code, out.dataset, 0, true, error});
+      if (!js.ok()) {
+        util::log_info("study", "checkpoint not durable for " + code + ": " +
+                                    js.to_string());
+      }
     }
     return out;
   };
@@ -226,8 +256,9 @@ StudyResult run_study(World& world, const StudyOptions& options) {
     meta.atlas_repaired_traces = result.atlas_repaired_traces;
     meta.resumed_countries = result.resumed_countries;
     meta.degraded_countries = result.degraded_countries;
-    store::WriteResult written =
-        store::Writer(meta).write(options.store_out, result.analyses);
+    store::Writer writer(meta);
+    writer.set_faults(env.faults);
+    store::WriteResult written = writer.write(options.store_out, result.analyses);
     if (!written.ok()) {
       throw std::runtime_error("store write failed: " + written.error.to_string());
     }

@@ -1046,5 +1046,159 @@ TEST(ServeReactor, ChurnLeavesNoUnjoinedThreads) {
   EXPECT_EQ(thread_count(), baseline);
 }
 
+// ---------------------------------------------------------------------------
+// Self-healing client (ISSUE 8): a daemon restart is invisible to armed
+// clients for idempotent kinds, and structurally fatal for in-flight
+// submit_study.
+
+util::RetryPolicy chaos_retry() {
+  util::RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.base_delay_ms = 25.0;
+  policy.max_delay_ms = 400.0;
+  policy.deadline_ms = 20000.0;
+  return policy;
+}
+
+TEST(ServeHeal, IdempotentKindsAreExactlyTheReadSet) {
+  // Reads and connection-scoped opens are safe to re-send; anything with
+  // server-side effects is not. Keep this list in sync with Client.
+  EXPECT_TRUE(Client::idempotent_kind("ping"));
+  EXPECT_TRUE(Client::idempotent_kind("health"));
+  EXPECT_TRUE(Client::idempotent_kind("stats"));
+  EXPECT_TRUE(Client::idempotent_kind("open"));
+  EXPECT_TRUE(Client::idempotent_kind("query"));
+  EXPECT_FALSE(Client::idempotent_kind("submit_study"));
+  EXPECT_FALSE(Client::idempotent_kind("shutdown"));
+  EXPECT_FALSE(Client::idempotent_kind(""));
+  EXPECT_FALSE(Client::idempotent_kind("nonsense"));
+}
+
+TEST(ServeHeal, ClientHealsAcrossServerRestart) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  auto server = start_server(std::move(options));
+  const uint16_t port = server->port();
+
+  auto client = connect(*server);
+  client->set_retry(chaos_retry());
+  ASSERT_TRUE(client->retry_armed());
+
+  util::Json params = util::Json::object();
+  params["report"] = "prevalence";
+  std::string before = must_result(client->call("query", params)).dump(2);
+  ASSERT_FALSE(before.empty());
+  EXPECT_EQ(client->reconnects(), 0u);
+
+  // Restart on the same port (SO_REUSEADDR makes the rebind immediate). The
+  // client's socket is now a corpse; it must notice, reconnect, and re-send
+  // without the caller seeing anything but the same bytes.
+  server.reset();
+  ServerOptions again;
+  again.service.store_path = shared_store();
+  again.port = port;
+  server = start_server(std::move(again));
+  ASSERT_NE(server, nullptr);
+
+  std::string after = must_result(client->call("query", params)).dump(2);
+  EXPECT_EQ(after, before) << "healed query returned different bytes";
+  EXPECT_GE(client->reconnects(), 1u);
+}
+
+TEST(ServeHeal, InFlightSubmitStudyIsAbortedNotResent) {
+  auto server = start_server();
+  auto client = connect(*server);
+  client->set_retry(chaos_retry());
+
+  // Kill the server outright: the client's next round trip dies on the
+  // wire. submit_study journals server-side before replying, so the client
+  // must NOT silently re-send — the caller gets a structured kAborted and
+  // owns the resubmit decision.
+  server.reset();
+  util::Json params = util::Json::object();
+  params["seed"] = 1.0;
+  auto reply = client->call("submit_study", std::move(params));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), util::StatusCode::kAborted);
+  EXPECT_NE(reply.status().message().find("double-journal"), std::string::npos)
+      << reply.status().message();
+  EXPECT_EQ(client->reconnects(), 0u) << "aborted submit must not have retried";
+}
+
+TEST(ServeChaos, RestartUnderConcurrentLoadIsInvisibleWithRetryArmed) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  options.workers = 4;
+  auto server = start_server(std::move(options));
+  const uint16_t port = server->port();
+
+  // The single-threaded reference every healed reply must reproduce
+  // byte-for-byte — the same identity bar `gamma store query` sets.
+  std::string reference;
+  {
+    auto client = connect(*server);
+    util::Json params = util::Json::object();
+    params["report"] = "prevalence";
+    reference = must_result(client->call("query", std::move(params))).dump(2);
+  }
+  ASSERT_FALSE(reference.empty());
+
+  constexpr int kClients = 8;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+  std::atomic<uint64_t> reconnects{0};
+  std::atomic<uint64_t> replies{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      auto client = Client::connect_tcp("127.0.0.1", port);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      (*client)->set_recv_timeout_ms(30000);
+      (*client)->set_retry(chaos_retry());
+      while (!done.load(std::memory_order_relaxed)) {
+        util::Json params = util::Json::object();
+        params["report"] = "prevalence";
+        auto reply = (*client)->call("query", std::move(params));
+        if (!reply.ok() || !reply->get_bool("ok")) {
+          failures.fetch_add(1);  // with retry armed, any surfaced error fails
+          break;
+        }
+        if (reply->find("result")->dump(2) != reference) mismatches.fetch_add(1);
+        replies.fetch_add(1);
+      }
+      reconnects.fetch_add((*client)->reconnects());
+    });
+  }
+
+  // Two full kill/restart cycles while the fleet is mid-flight. Each
+  // destruction closes every session; each restart reclaims the same port.
+  for (int round = 0; round < 2; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    server.reset();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ServerOptions again;
+    again.service.world = shared_world();
+    again.service.store_path = shared_store();
+    again.workers = 4;
+    again.port = port;
+    auto restarted = Server::start(std::move(again));
+    ASSERT_TRUE(restarted.ok()) << restarted.status().to_string();
+    server = std::move(*restarted);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  done.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0) << "a restart leaked through the healing layer";
+  EXPECT_EQ(mismatches.load(), 0) << "healed replies diverged from direct bytes";
+  EXPECT_GT(reconnects.load(), 0u) << "no client actually exercised a reconnect";
+  EXPECT_GT(replies.load(), 0u);
+}
+
 }  // namespace
 }  // namespace gam

@@ -14,6 +14,10 @@
 #   serve   start the daemon on an ephemeral port, query it through `gamma
 #           client` (bytes == `gamma store query`), SIGTERM, assert a clean
 #           drain and exit 0
+#   chaos   SIGKILL the daemon and restart it on the same port, first under
+#           a dead-port window and then under concurrent retry-armed client
+#           load; every `gamma client query --retry` must succeed with bytes
+#           identical to `gamma store query`
 #
 # Sanitizers:
 #   tsan  -> shared-state suites (thread pool, parallel study runner,
@@ -207,6 +211,84 @@ arm_serve() {
   echo "   SIGTERM drained cleanly; daemon exited 0"
 }
 
+arm_chaos() {
+  mkdir -p "$SMOKE/chaos"
+  "$GAMMA" study --seed 53 --jobs 2 --country US --country GB \
+    --store-out "$SMOKE/chaos/study.gmst" >/dev/null
+  # The byte-identity bar every healed reply must clear.
+  "$GAMMA" store query "$SMOKE/chaos/study.gmst" --report summary \
+    --out "$SMOKE/chaos/direct.json" >/dev/null
+  local retry=(--retry 12 --retry-base-ms 25 --retry-max-ms 400 --retry-deadline-ms 20000)
+
+  start_daemon() {  # $1 = port (0 = ephemeral)
+    "$GAMMA" serve --port "$1" --port-file "$SMOKE/chaos/port" \
+      --store "$SMOKE/chaos/study.gmst" >> "$SMOKE/chaos/daemon.log" 2>&1 &
+    DAEMON=$!
+    trap 'kill -9 '"$DAEMON"' 2>/dev/null || true' EXIT
+  }
+  rm -f "$SMOKE/chaos/port"
+  start_daemon 0
+  local tries=0
+  until [[ -s "$SMOKE/chaos/port" ]]; do
+    if ! kill -0 "$DAEMON" 2>/dev/null; then
+      echo "   ERROR: daemon died before binding:" >&2
+      sed 's/^/   | /' "$SMOKE/chaos/daemon.log" >&2
+      return 1
+    fi
+    tries=$((tries + 1))
+    [[ $tries -gt 100 ]] && { echo "   ERROR: no port file after 10s" >&2; return 1; }
+    sleep 0.1
+  done
+  local port; port="$(cat "$SMOKE/chaos/port")"
+  echo "   daemon up on port $port"
+
+  # Phase 1: kill the daemon FIRST, aim retry-armed clients at the dead
+  # port, restart while they back off. Deterministic coverage of the
+  # connect-retry path: every client must dial through the outage and return
+  # the exact direct-query bytes.
+  kill -9 "$DAEMON"
+  wait "$DAEMON" 2>/dev/null || true
+  local pids=() i
+  for i in 1 2 3 4 5; do
+    ( "$GAMMA" client query --port "$port" --report summary "${retry[@]}" \
+        --out "$SMOKE/chaos/dead_$i.json" >/dev/null
+      diff "$SMOKE/chaos/dead_$i.json" "$SMOKE/chaos/direct.json" ) &
+    pids+=($!)
+  done
+  sleep 0.3
+  start_daemon "$port"
+  local rc=0 p
+  for p in "${pids[@]}"; do wait "$p" || rc=1; done
+  [[ $rc -eq 0 ]] || { echo "   ERROR: a client surfaced the dead-port window" >&2; return 1; }
+  echo "   5 clients healed through a dead-port window (byte diff 0)"
+
+  # Phase 2: SIGKILL + restart mid-load. Five concurrent query loops keep
+  # running across the crash; with --retry armed none may fail and none may
+  # drift a byte from the direct store path.
+  pids=()
+  for i in 1 2 3 4 5; do
+    ( for q in $(seq 1 30); do
+        "$GAMMA" client query --port "$port" --report summary "${retry[@]}" \
+          --out "$SMOKE/chaos/live_${i}_${q}.json" >/dev/null
+        diff "$SMOKE/chaos/live_${i}_${q}.json" "$SMOKE/chaos/direct.json"
+      done ) &
+    pids+=($!)
+  done
+  sleep 0.3
+  kill -9 "$DAEMON"
+  wait "$DAEMON" 2>/dev/null || true
+  sleep 0.2
+  start_daemon "$port"
+  rc=0
+  for p in "${pids[@]}"; do wait "$p" || rc=1; done
+  [[ $rc -eq 0 ]] || { echo "   ERROR: the mid-load SIGKILL leaked through to a client" >&2; return 1; }
+  echo "   150 queries survived a mid-load SIGKILL + restart (byte diff 0)"
+
+  kill -TERM "$DAEMON"
+  wait "$DAEMON" || true
+  trap - EXIT
+}
+
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
@@ -218,6 +300,7 @@ run_arm "resume smoke: kill mid-study, then --resume" arm_resume
 run_arm "store smoke: build a .gmst, query it, corrupt a copy" arm_store
 run_arm "trace smoke: record, report, byte-identical across --jobs" arm_trace
 run_arm "serve smoke: daemon up, client query, SIGTERM drain" arm_serve
+run_arm "chaos smoke: SIGKILL + restart under retry-armed client load" arm_chaos
 
 finish() {
   if [[ ${#FAILURES[@]} -gt 0 ]]; then
@@ -233,7 +316,7 @@ if [[ "$SKIP_SAN" == "1" ]]; then
   finish
 fi
 
-TSAN_SUITES=(test_thread_pool test_parallel_study test_metrics test_trace test_serve)
+TSAN_SUITES=(test_thread_pool test_parallel_study test_metrics test_trace test_serve test_io)
 tsan_arm() {
   cmake -B build-tsan -S . -DGAMMA_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" --target "${TSAN_SUITES[@]}"
@@ -243,7 +326,7 @@ tsan_arm() {
 }
 run_arm "tsan: build + run concurrency suites" tsan_arm
 
-RESILIENCE_SUITES=(test_fault test_formats test_resilience test_store test_serve)
+RESILIENCE_SUITES=(test_fault test_formats test_resilience test_store test_serve test_io)
 san_arm() {
   local san="$1" tree="$2"
   cmake -B "$tree" -S . -DGAMMA_SANITIZE="$san" >/dev/null

@@ -15,7 +15,9 @@
 //   gamma audit
 //       Print the geolocation pipeline's verdict for every injected IPmap
 //       error visible from each volunteer (regulator-style evidence trail).
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +27,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/flows.h"
@@ -39,8 +42,10 @@
 #include "store/reader.h"
 #include "store/reports.h"
 #include "util/fault.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/retry.h"
 #include "util/trace.h"
 #include "web/har.h"
 #include "worldgen/study.h"
@@ -88,6 +93,11 @@ struct Args {
   size_t chunk_bytes = 0;   // serve: chunked-reply threshold (0 = default)
   double rate = 0.0;        // serve: per-client requests/sec (0 = unlimited)
   double burst = 0.0;       // serve: token bucket size (0 = max(rate, 1))
+  // client self-healing (serve::Client::set_retry)
+  int retry = 1;                     // total attempts; 1 = no retries
+  double retry_base_ms = 50.0;       // first backoff
+  double retry_max_ms = 2000.0;      // per-backoff cap
+  double retry_deadline_ms = 30000.0;  // total backoff budget per call
 };
 
 void usage() {
@@ -114,6 +124,13 @@ void usage() {
                "             --rate R throttles each client to R data requests/sec\n"
                "             (burst B), large results stream as chunked frames\n"
                "  client <kind> [--host H] [--port P | --port-file FILE | --socket PATH]\n"
+               "             [--retry N [--retry-base-ms MS] [--retry-max-ms MS]\n"
+               "              [--retry-deadline-ms MS]]\n"
+               "             --retry N arms the self-healing layer: up to N attempts\n"
+               "             with jittered exponential backoff, reconnecting to a\n"
+               "             restarted daemon; idempotent kinds (ping/health/stats/\n"
+               "             query) are re-sent transparently, submit is never\n"
+               "             re-sent (a lost in-flight submit exits with `aborted`)\n"
                "             kinds: ping | health | stats | shutdown | submit |\n"
                "             query [--report R | --table T --where col=val ...\n"
                "                    --group-by col --flows --limit N] [--store NAME]\n"
@@ -274,6 +291,22 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.burst = std::strtod(v, nullptr);
+    } else if (flag == "--retry") {
+      const char* v = next();
+      if (!v) return false;
+      args.retry = std::atoi(v);
+    } else if (flag == "--retry-base-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args.retry_base_ms = std::strtod(v, nullptr);
+    } else if (flag == "--retry-max-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args.retry_max_ms = std::strtod(v, nullptr);
+    } else if (flag == "--retry-deadline-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args.retry_deadline_ms = std::strtod(v, nullptr);
     } else if (!flag.empty() && flag[0] != '-' && args.command == "store" &&
                args.store_file.empty()) {
       args.store_file = flag;  // positional FILE.gmst for `store query`
@@ -289,20 +322,11 @@ bool parse_args(int argc, char** argv, Args& args) {
 }
 
 bool write_file(const std::string& path, const std::string& content) {
-  errno = 0;
-  std::ofstream out(path);
-  if (!out) {
-    // errno comes from the underlying open(2); "Unknown error" only if the
-    // stream failed without touching the OS.
-    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
-                 errno != 0 ? std::strerror(errno) : "stream open failed");
-    return false;
-  }
-  out << content;
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
-                 errno != 0 ? std::strerror(errno) : "short write");
+  // Durable publish (util::io): checked writes, fsync, rename, dir fsync.
+  // The status message already names the failing step and strerror(errno).
+  util::Status s = util::io::atomic_write_file(path, content);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(), s.message().c_str());
     return false;
   }
   return true;
@@ -665,16 +689,37 @@ int cmd_serve(const Args& args) {
 }
 
 int cmd_client(const Args& args) {
+  util::RetryPolicy retry_policy;
+  retry_policy.max_attempts = args.retry;
+  retry_policy.base_delay_ms = args.retry_base_ms;
+  retry_policy.max_delay_ms = std::max(args.retry_max_ms, args.retry_base_ms);
+  retry_policy.deadline_ms = args.retry_deadline_ms;
+  const bool healing = args.retry > 1;
+
+  // The self-healing layer covers calls on an established client; the very
+  // first dial can race a daemon restart too, so give it the same bounded
+  // backoff when --retry is armed.
+  auto dial = [&](auto&& connect) -> std::unique_ptr<serve::Client> {
+    util::Rng rng;
+    for (int attempt = 1;; ++attempt) {
+      auto c = connect();
+      if (c.ok()) return std::move(*c);
+      if (!healing || attempt >= retry_policy.max_attempts) {
+        std::fprintf(stderr, "client: %s\n", c.status().to_string().c_str());
+        return nullptr;
+      }
+      double delay = util::backoff_delay_ms(retry_policy, attempt + 1, rng);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<long long>(delay * 1000.0)));
+    }
+  };
+
   // Resolve the endpoint: --socket, else --port, else --port-file, else
   // GAMMA_SERVE_PORT.
   std::unique_ptr<serve::Client> client;
   if (!args.socket_path.empty()) {
-    auto c = serve::Client::connect_unix(args.socket_path);
-    if (!c.ok()) {
-      std::fprintf(stderr, "client: %s\n", c.status().to_string().c_str());
-      return 1;
-    }
-    client = std::move(*c);
+    client = dial([&] { return serve::Client::connect_unix(args.socket_path); });
+    if (!client) return 1;
   } else {
     int port = args.port;
     if (port < 0 && !args.port_file.empty()) {
@@ -694,16 +739,15 @@ int cmd_client(const Args& args) {
                    "GAMMA_SERVE_PORT)\n");
       return 1;
     }
-    auto c = serve::Client::connect_tcp(args.host, static_cast<uint16_t>(port));
-    if (!c.ok()) {
-      std::fprintf(stderr, "client: %s\n", c.status().to_string().c_str());
-      return 1;
-    }
-    client = std::move(*c);
+    client = dial([&] {
+      return serve::Client::connect_tcp(args.host, static_cast<uint16_t>(port));
+    });
+    if (!client) return 1;
   }
   // Studies take seconds, not minutes; anything past this is a hung daemon
   // and the structured deadline_exceeded beats a wedged script.
   client->set_recv_timeout_ms(120000);
+  if (healing) client->set_retry(retry_policy);
 
   std::string kind = args.subcommand;
   util::Json params = util::Json::object();
@@ -901,6 +945,16 @@ int main(int argc, char** argv) {
     int metrics_rc = write_metrics(args.metrics_out);
     if (rc == 0) rc = metrics_rc;
   }
-  if (!args.log_json.empty()) gam::util::set_log_json_file("");
+  if (!args.log_json.empty()) {
+    gam::util::set_log_json_file("");
+    // The sink reported its first failure when it happened; summarize the
+    // loss here and fail the invocation, matching --metrics-out semantics.
+    uint64_t lost = gam::util::log_json_write_failures();
+    if (lost > 0) {
+      std::fprintf(stderr, "log: %llu JSONL records lost to sink write failures (%s)\n",
+                   static_cast<unsigned long long>(lost), args.log_json.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
   return rc;
 }
