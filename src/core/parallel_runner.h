@@ -80,12 +80,42 @@ class ParallelStudyRunner {
   auto map_with_breaker(const std::vector<std::string>& countries, Fn&& stage,
                         Fallback&& fallback, int attempts = 2)
       -> std::vector<std::invoke_result_t<Fn&, size_t, const std::string&, int>> {
+    using R = std::invoke_result_t<Fn&, size_t, const std::string&, int>;
+    std::vector<std::optional<R>> slots(countries.size());
+    for_each_with_breaker(
+        countries, stage, fallback,
+        [&slots](size_t i, const std::string&, R&& r) { slots[i].emplace(std::move(r)); },
+        attempts);
+    std::vector<R> out;
+    out.reserve(slots.size());
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// Streaming flavor of map_with_breaker — the GammaShard fan-out. The
+  /// runner accumulates nothing: the moment a country settles (stage result
+  /// or, after the breaker opens, the fallback result),
+  /// consume(i, country, result&&) runs on that worker thread and the result
+  /// is destroyed when consume returns. With per-country artifacts published
+  /// from inside the stage, peak memory is bounded by the in-flight
+  /// countries (~jobs), not the country count. consume is called exactly
+  /// once per index, from the worker owning that index — it must be safe for
+  /// concurrent calls on distinct indices (e.g. writes to pre-sized slots)
+  /// and must not throw (a throw would escape the pool task).
+  template <typename Fn, typename Fallback, typename Consume>
+  void for_each_with_breaker(const std::vector<std::string>& countries, Fn&& stage,
+                             Fallback&& fallback, Consume&& consume, int attempts = 2) {
+    using R = std::invoke_result_t<Fn&, size_t, const std::string&, int>;
     if (attempts < 1) attempts = 1;
-    return map(countries, [&](size_t i, const std::string& country) {
+    util::parallel_for(pool_, countries.size(), [&](size_t i) {
+      // Per-country root span, as in map(): input index = root ordinal, so
+      // the exported sim-time span stream is identical for any `jobs`.
+      util::trace::ScopedSpan root(countries[i], "study", static_cast<uint32_t>(i));
       std::string last_error = "unknown failure";
-      for (int attempt = 1; attempt <= attempts; ++attempt) {
+      std::optional<R> settled;
+      for (int attempt = 1; attempt <= attempts && !settled; ++attempt) {
         try {
-          return stage(i, country, attempt);
+          settled.emplace(stage(i, countries[i], attempt));
         } catch (const std::exception& e) {
           last_error = e.what();
           breaker_count_failure();
@@ -93,8 +123,11 @@ class ParallelStudyRunner {
           breaker_count_failure();
         }
       }
-      breaker_count_open();
-      return fallback(i, country, last_error);
+      if (!settled) {
+        breaker_count_open();
+        settled.emplace(fallback(i, countries[i], last_error));
+      }
+      consume(i, countries[i], std::move(*settled));
     });
   }
 

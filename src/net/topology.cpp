@@ -97,6 +97,13 @@ std::optional<Path> Topology::shortest_path(NodeId from, NodeId to) const {
     if (cur == from) break;
   }
   std::reverse(p.nodes.begin(), p.nodes.end());
+  // Per-hop cumulative latency comes straight off the source tree. Callers
+  // that walk the path hop-by-hop (traceroute) must read these rather than
+  // query latency_ms(prev, hop): a per-hop query would root a full Dijkstra
+  // tree at every interior router it touches, and those memoized trees are
+  // what used to dominate study RSS at scale.
+  p.cum_ms.reserve(p.nodes.size());
+  for (NodeId id : p.nodes) p.cum_ms.push_back(tree->dist[id]);
   return p;
 }
 

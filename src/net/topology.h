@@ -44,7 +44,8 @@ struct Node {
 
 /// A routed path and its one-way latency.
 struct Path {
-  std::vector<NodeId> nodes;  // from -> ... -> to inclusive
+  std::vector<NodeId> nodes;   // from -> ... -> to inclusive
+  std::vector<double> cum_ms;  // one-way latency from `from` to nodes[i]
   double one_way_ms = 0.0;
 
   double rtt_ms() const { return 2.0 * one_way_ms; }

@@ -113,8 +113,9 @@ std::unique_ptr<Reader> Reader::open(const std::string& path, Error* error) {
   r->size_ = size;
   Error err = r->validate_and_index();
   if (!err.ok()) {
-    // ~Reader munmaps.
-    return fail(err.code, std::move(err.detail));
+    // ~Reader munmaps. Every corruption branch names the file: a failed
+    // multi-shard merge must say *which* shard is torn.
+    return fail(err.code, path + ": " + err.detail);
   }
   util::MetricsRegistry::instance().counter("store.blocks_mapped").inc(r->blocks_.size());
   if (error) *error = {};

@@ -106,6 +106,13 @@ util::Json meta_json(const StudyMeta& meta, size_t countries, size_t sites, size
   util::Json degraded = util::Json::array();
   for (const auto& c : meta.degraded_countries) degraded.push_back(c);
   doc["degraded_countries"] = std::move(degraded);
+  if (meta.shard) {
+    util::Json shard = util::Json::object();
+    shard["index"] = meta.shard->index;
+    shard["total"] = meta.shard->total;
+    shard["country"] = meta.shard->country;
+    doc["shard"] = std::move(shard);
+  }
   doc["countries"] = countries;
   doc["sites"] = sites;
   doc["hits"] = hits;
@@ -285,11 +292,12 @@ WriteResult Writer::write(const std::string& path,
   util::io::WriteOptions wopts;
   wopts.sync = sync_;
   wopts.faults = faults_;
-  wopts.fault_key = "store";
+  wopts.fault_key = fault_key_;
   if (util::Status s = util::io::atomic_write_file(path, file, wopts); !s.ok()) {
     return fail(ErrorCode::Io, s.message());
   }
 
+  result.content_crc = util::crc32(file.data(), file.size());
   result.bytes_written = file.size();
   result.blocks = entries.size();
   span.arg("bytes", result.bytes_written);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,15 @@ class FaultInjector;
 
 namespace gam::store {
 
+/// Marks a store as one shard of a sharded study: this file holds exactly one
+/// country (`country`, shard `index` of `total`). Absent from legacy
+/// whole-study stores — their bytes are unchanged by the shard feature.
+struct ShardInfo {
+  size_t index = 0;
+  size_t total = 0;
+  std::string country;
+};
+
 /// Study-level provenance carried in the store's meta.json block.
 struct StudyMeta {
   uint64_t seed = 0;
@@ -34,12 +44,14 @@ struct StudyMeta {
   size_t atlas_repaired_traces = 0;
   size_t resumed_countries = 0;
   std::vector<std::string> degraded_countries;
+  std::optional<ShardInfo> shard;
 };
 
 struct WriteResult {
   Error error;
   uint64_t bytes_written = 0;  // final file size
   size_t blocks = 0;
+  uint32_t content_crc = 0;  // crc32 of the whole assembled file
 
   bool ok() const { return error.ok(); }
 };
@@ -54,6 +66,9 @@ class Writer {
   /// Skip the fsync steps — the bench's no-sync arm. Output bytes are
   /// identical either way; only the durability of the publish changes.
   void set_sync(bool sync) { sync_ = sync; }
+  /// Fault key for the io fault family ("store" for whole-study stores,
+  /// "shard" for per-country shards).
+  void set_fault_key(std::string key) { fault_key_ = std::move(key); }
 
   /// Serialize `analyses` (plus the meta) to `path`. Counts
   /// `store.bytes_written` / `store.blocks_written` on success and
@@ -65,6 +80,7 @@ class Writer {
   StudyMeta meta_;
   const util::FaultInjector* faults_ = nullptr;
   bool sync_ = true;
+  std::string fault_key_ = "store";
 };
 
 }  // namespace gam::store

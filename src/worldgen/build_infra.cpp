@@ -67,8 +67,12 @@ void build_infrastructure(Builder& b) {
   const auto& db = world::CountryDb::instance();
 
   // ---- Per-country ASes and routers. ----
+  // b.map_countries is db.all() in the legacy world and db.all() + the
+  // synthetic vantage countries in scale mode; iteration order is fixed, so
+  // the legacy world's RNG stream (and bytes) are untouched.
   std::map<std::string, std::vector<net::NodeId>> city_routers;
-  for (const auto& country : db.all()) {
+  for (const auto* country_ptr : b.map_countries) {
+    const world::CountryInfo& country = *country_ptr;
     uint32_t transit_asn = b.fresh_asn();
     w.registry.add({transit_asn, "AS-TRANSIT-" + country.code,
                     country.name + " National Backbone", country.code,
@@ -105,14 +109,15 @@ void build_infrastructure(Builder& b) {
       w.topology.add_link(w.core_router.at(hubs[i]), w.core_router.at(hubs[j]), 1.25);
     }
   }
-  for (const auto& country : db.all()) {
+  for (const auto* country_ptr : b.map_countries) {
+    const world::CountryInfo& country = *country_ptr;
     bool is_hub = std::find(hubs.begin(), hubs.end(), country.code) != hubs.end();
     // Every non-hub country connects to its nearest hub and its 3 nearest
     // countries (hub or not) — coarse but connectivity-complete.
     std::vector<std::pair<double, std::string>> by_dist;
-    for (const auto& other : db.all()) {
-      if (other.code == country.code) continue;
-      by_dist.push_back({db.distance_km(country.code, other.code), other.code});
+    for (const auto* other : b.map_countries) {
+      if (other->code == country.code) continue;
+      by_dist.push_back({db.distance_km(country.code, other->code), other->code});
     }
     std::sort(by_dist.begin(), by_dist.end());
     int linked = 0;
@@ -158,10 +163,10 @@ void build_infrastructure(Builder& b) {
     w.cdn.add_provider(std::move(p));
   }
 
-  // ---- Residential ISPs + volunteer machines (source countries only). ----
-  for (const auto& code : world::source_countries()) {
+  // ---- Residential ISPs + volunteer machines (vantage countries only). ----
+  for (const auto& code : b.vantage) {
     const world::CountryInfo& country = db.at(code);
-    const CountryCalibration& cal = calibration_for(code);
+    const CountryCalibration& cal = b.cal_for(code);
     uint32_t isp_asn = b.fresh_asn();
     w.registry.add({isp_asn, "AS-ISP-" + code, country.name + " Broadband", code,
                     net::AsKind::ResidentialIsp});
@@ -211,6 +216,22 @@ void build_infrastructure(Builder& b) {
       // Probes sit close to the city's backbone router.
       net::NodeId attach = city_routers[code][i % city_routers[code].size()];
       w.topology.add_link_latency(attach, node, rng.uniform_real(0.5, 2.0));
+      w.atlas.add_probe(w.topology, node);
+    }
+  }
+
+  // Synthetic vantage countries each get one probe (the sparse Global-South
+  // pattern) so destination traceroutes can still launch near them.
+  if (b.scale.enabled) {
+    for (const auto& code : b.vantage) {
+      const world::CountryInfo& country = db.at(code);
+      const world::City& city = country.primary_city();
+      uint32_t asn = w.hosting_asn.at(code);
+      net::IPv4 ip = w.registry.allocate_address(asn);
+      net::NodeId node =
+          w.topology.add_node(net::NodeKind::Client, util::format("atlas-%s-0", code.c_str()),
+                              code, city.name, city.coord, asn, ip);
+      w.topology.add_link_latency(city_routers[code][0], node, rng.uniform_real(0.5, 2.0));
       w.atlas.add_probe(w.topology, node);
     }
   }

@@ -148,7 +148,7 @@ void build_trackers(Builder& b) {
   std::map<std::string, std::map<std::string, Steer>> org_steer;  // org -> country -> steer
   for (const auto& org : orgdb.orgs()) {
     auto exclusive = exclusive_orgs().find(org.name);
-    for (const auto& cal : calibration()) {
+    for (const auto& cal : b.cals) {
       if (exclusive != exclusive_orgs().end() && exclusive->second != cal.code) continue;
       org_steer[org.name][cal.code] = decide_steer(cal, org.name, rng);
     }
@@ -238,7 +238,7 @@ void build_trackers(Builder& b) {
                                         w.zones, w.core_router.at(hub), true);
       hub_ip[hub] = d.ip;
     }
-    for (const auto& cal : calibration()) {
+    for (const auto& cal : b.cals) {
       // Each country fetches from its geographically nearest CDN hub.
       std::string best;
       double best_km = 1e18;

@@ -192,7 +192,7 @@ void build_web(Builder& b) {
     // org's infrastructure; unaffiliated sites sit in the US.
     if (!g.rep_registrable.empty()) {
       net::IPv4 default_ip = 0;
-      for (const auto& cal : calibration()) {
+      for (const auto& cal : b.cals) {
         dns::Answer ans = resolver.resolve(g.rep_registrable, cal.code);
         if (ans.nxdomain()) continue;
         w.zones.add_steered(g.domain, cal.code, ans.primary());
@@ -205,7 +205,7 @@ void build_web(Builder& b) {
     }
 
     // Which countries list it.
-    for (const auto& cal : calibration()) {
+    for (const auto& cal : b.cals) {
       if (g.list_coverage >= 1.0 || rng.chance(g.list_coverage)) {
         toplist_globals[cal.code].push_back(g.domain);
       }
@@ -235,7 +235,7 @@ void build_web(Builder& b) {
     for (const auto& domain : google->domains) {
       if (domain == "google.com" || !util::starts_with(domain, "google.")) continue;
       // Match the ccTLD suffix to a source country.
-      for (const auto& cal : calibration()) {
+      for (const auto& cal : b.cals) {
         const world::CountryInfo& info = db.at(cal.code);
         if (util::ends_with(domain, "." + info.cctld)) {
           google_cctld_site[cal.code] = domain;
@@ -341,26 +341,38 @@ void build_web(Builder& b) {
     w.universe.add_site(std::move(site));
   };
 
-  for (const auto& cal : calibration()) {
+  for (const auto& cal : b.cals) {
     const world::CountryInfo& info = db.at(cal.code);
     std::string csuffix = commercial_suffix(info);
     std::vector<std::string> ranked;
 
-    // 70 candidate regional sites (50 for the list + replacement pool).
+    // Candidate regional sites (legacy: 70 = 50 for the list + replacement
+    // pool; scale mode sizes this from --sites).
     std::vector<std::string> names;
-    for (size_t i = 0; i < 70; ++i) {
+    for (size_t i = 0; i < b.scale.candidates; ++i) {
       const std::string& topic = topics()[i % topics().size()];
       std::string domain;
       switch (i % 3) {
         case 0: domain = util::format("%s-%zu.%s", topic.c_str(), i / 3, csuffix.c_str()); break;
-        case 1: domain = util::format("%s-%s.com", topic.c_str(), info.cctld.c_str()); break;
+        case 1:
+          // The plain form repeats once i wraps the topic pool (period
+          // 3*|topics|); suffix the wrap count past the first cycle. Legacy
+          // worlds (70 candidates) never reach the wrap, bytes unchanged.
+          if (i < 3 * topics().size()) {
+            domain = util::format("%s-%s.com", topic.c_str(), info.cctld.c_str());
+          } else {
+            domain = util::format("%s-%s-%zu.com", topic.c_str(), info.cctld.c_str(),
+                                  i / (3 * topics().size()));
+          }
+          break;
         default: domain = util::format("%s%zu.%s", topic.c_str(), i / 3, info.cctld.c_str());
       }
       names.push_back(domain);
     }
-    // Two adult sites in the raw ranking (§3.2 removes them).
-    names[10] = util::format("adult-tube.%s", csuffix.c_str());
-    names[27] = util::format("adult-cams-%s.com", info.cctld.c_str());
+    // Two adult sites in the raw ranking (§3.2 removes them). Tiny scaled
+    // countries may not have room for both.
+    if (names.size() > 10) names[10] = util::format("adult-tube.%s", csuffix.c_str());
+    if (names.size() > 27) names[27] = util::format("adult-cams-%s.com", info.cctld.c_str());
 
     // Named special sites from the paper.
     if (cal.code == "QA") names[5] = "manoramaonline.com";
@@ -394,14 +406,15 @@ void build_web(Builder& b) {
 
     // Ranking: globals interleaved near the top, then country sites.
     ranked = toplist_globals[cal.code];
-    for (size_t i = 0; i < 55 && i < names.size(); ++i) ranked.push_back(names[i]);
+    const size_t n_ranked = std::min(b.scale.ranked, names.size());
+    for (size_t i = 0; i < n_ranked; ++i) ranked.push_back(names[i]);
     // Light shuffle of the body (keep google/wikipedia near the top).
     for (size_t i = 2; i + 1 < ranked.size(); ++i) {
       size_t j = i + rng.uniform(std::min<size_t>(5, ranked.size() - i));
       std::swap(ranked[i], ranked[j]);
     }
     reg_ranking[cal.code] = ranked;
-    extras[cal.code].assign(names.begin() + 55, names.end());
+    extras[cal.code].assign(names.begin() + static_cast<long>(n_ranked), names.end());
     for (const auto& n : names) tranco_pool.push_back(n);
 
     // Government sites.
@@ -426,7 +439,7 @@ void build_web(Builder& b) {
   w.selection.semrush.provider = "semrush";
   w.selection.ahrefs.provider = "ahrefs";
   const std::set<std::string> similarweb_missing = {"RW", "UG", "DZ"};
-  for (const auto& cal : calibration()) {
+  for (const auto& cal : b.cals) {
     const auto& ranked = reg_ranking[cal.code];
     if (!similarweb_missing.count(cal.code)) {
       w.selection.similarweb.by_country[cal.code] = ranked;
@@ -452,10 +465,30 @@ void build_web(Builder& b) {
   // countries' government sites is withheld so the search-scrape fallback
   // path is exercised (§3.2).
   for (const auto& g : globals) tranco_pool.push_back(g.domain);
-  std::sort(tranco_pool.begin(), tranco_pool.end(),
-            [](const std::string& a, const std::string& x) {
-              return util::fnv1a(a) < util::fnv1a(x);
-            });
+  if (!b.scale.enabled) {
+    std::sort(tranco_pool.begin(), tranco_pool.end(),
+              [](const std::string& a, const std::string& x) {
+                return util::fnv1a(a) < util::fnv1a(x);
+              });
+  } else {
+    // Zipf-ranked Tranco: a domain's global popularity is the sum of 1/rank
+    // over every per-country toplist carrying it — the harmonic weights of a
+    // Zipf(1) traffic model — so domains near the top of many countries'
+    // lists rank globally first, exactly how the real Tranco aggregates.
+    std::map<std::string, double> score;
+    for (const auto& cal : b.cals) {
+      const auto& ranked = reg_ranking[cal.code];
+      for (size_t r = 0; r < ranked.size(); ++r) score[ranked[r]] += 1.0 / double(r + 1);
+    }
+    std::sort(tranco_pool.begin(), tranco_pool.end(),
+              [&score](const std::string& a, const std::string& x) {
+                auto ia = score.find(a), ix = score.find(x);
+                double sa = ia == score.end() ? 0.0 : ia->second;
+                double sx = ix == score.end() ? 0.0 : ix->second;
+                if (sa != sx) return sa > sx;
+                return a < x;  // deterministic tie-break (unlisted gov sites)
+              });
+  }
   const std::set<std::string> tranco_gov_holdout = {"RW", "QA"};
   for (const auto& domain : tranco_pool) {
     const web::Website* site = w.universe.find(domain);

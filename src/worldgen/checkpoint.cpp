@@ -30,6 +30,24 @@ util::Json header_json(uint64_t seed, const util::FaultPlan& plan) {
   return h;
 }
 
+util::Json record_json(const CheckpointRecord& rec) {
+  util::Json j = util::Json::object();
+  j["country"] = rec.country;
+  j["atlas_repaired"] = rec.atlas_repaired;
+  j["degraded"] = rec.degraded;
+  j["degraded_reason"] = rec.degraded_reason;
+  if (rec.is_shard()) {
+    // Shard records point at the published artifact instead of embedding
+    // the dataset; the CRC (a uint32, exact in a double) gates reuse.
+    j["shard_path"] = rec.shard_path;
+    j["shard_crc"] = static_cast<uint64_t>(rec.shard_crc);
+    j["shard_index"] = rec.shard_index;
+  } else {
+    j["dataset"] = core::dataset_to_json(rec.dataset);
+  }
+  return j;
+}
+
 }  // namespace
 
 std::string StudyJournal::path_for(const std::string& dir, uint64_t seed) {
@@ -82,16 +100,23 @@ StudyJournal::StudyJournal(const std::string& dir, uint64_t seed,
         header_ok = true;
         continue;
       }
-      const util::Json* ds = doc->find("dataset");
-      if (!ds) break;
-      auto dataset = core::dataset_from_json(*ds);
-      if (!dataset) break;
       CheckpointRecord rec;
       rec.country = doc->get_string("country");
-      rec.dataset = std::move(*dataset);
       rec.atlas_repaired = static_cast<size_t>(doc->get_number("atlas_repaired"));
       rec.degraded = doc->get_bool("degraded");
       rec.degraded_reason = doc->get_string("degraded_reason");
+      if (const util::Json* sp = doc->find("shard_path"); sp && sp->is_string()) {
+        rec.shard_path = sp->as_string();
+        rec.shard_crc = static_cast<uint32_t>(doc->get_number("shard_crc"));
+        rec.shard_index = static_cast<size_t>(doc->get_number("shard_index"));
+        if (rec.shard_path.empty()) break;
+      } else {
+        const util::Json* ds = doc->find("dataset");
+        if (!ds) break;
+        auto dataset = core::dataset_from_json(*ds);
+        if (!dataset) break;
+        rec.dataset = std::move(*dataset);
+      }
       if (rec.country.empty()) break;
       completed_[rec.country] = std::move(rec);
     }
@@ -118,15 +143,9 @@ StudyJournal::StudyJournal(const std::string& dir, uint64_t seed,
   out.open();
   out.append(header.dump_exact() + "\n");
   for (const auto& [code, rec] : completed_) {
-    util::Json j = util::Json::object();
-    j["country"] = rec.country;
-    j["atlas_repaired"] = rec.atlas_repaired;
-    j["degraded"] = rec.degraded;
-    j["degraded_reason"] = rec.degraded_reason;
-    j["dataset"] = core::dataset_to_json(rec.dataset);
     // dump_exact: journal doubles must restore bit-identically, or resumed
     // analysis could flip marginal SOL verdicts vs the uninterrupted run.
-    out.append(j.dump_exact() + "\n");
+    out.append(record_json(rec).dump_exact() + "\n");
   }
   // AtomicFileWriter latches the first error, so one check after commit()
   // covers every step; the tmp file is already unlinked on failure.
@@ -148,13 +167,7 @@ util::Status StudyJournal::append(const CheckpointRecord& rec) {
       util::MetricsRegistry::instance().counter("study.checkpointed_countries");
   static util::Counter& write_failures =
       util::MetricsRegistry::instance().counter("checkpoint.write_failures");
-  util::Json j = util::Json::object();
-  j["country"] = rec.country;
-  j["atlas_repaired"] = rec.atlas_repaired;
-  j["degraded"] = rec.degraded;
-  j["degraded_reason"] = rec.degraded_reason;
-  j["dataset"] = core::dataset_to_json(rec.dataset);
-  std::string line = j.dump_exact();
+  std::string line = record_json(rec).dump_exact();
   line += "\n";
 
   std::lock_guard<std::mutex> lock(mu_);

@@ -45,6 +45,17 @@ struct CheckpointRecord {
   size_t atlas_repaired = 0;
   bool degraded = false;          // the circuit breaker opened for this country
   std::string degraded_reason;    // last task error ("" unless degraded)
+
+  // GammaShard records: the country's results were already published as a
+  // per-country GMST shard, so the journal carries the shard's path + CRC
+  // instead of the dataset — --resume re-verifies the CRC and reuses the
+  // file outright, and the journal stays O(1) per country at any world
+  // size. shard_path empty = legacy (dataset-carrying) record.
+  std::string shard_path;
+  uint32_t shard_crc = 0;
+  size_t shard_index = 0;
+
+  bool is_shard() const { return !shard_path.empty(); }
 };
 
 class StudyJournal {

@@ -40,6 +40,7 @@ std::unique_ptr<World> generate_world(const WorldConfig& cfg) {
   b.w = w.get();
   b.rng = util::Rng(cfg.seed);
 
+  internal::prepare_scale(b);
   internal::build_infrastructure(b);
   internal::build_trackers(b);
   internal::build_web(b);
@@ -68,8 +69,8 @@ std::unique_ptr<World> generate_world(const WorldConfig& cfg) {
   w->selection.universe = &w->universe;
   core::TargetSelector selector(w->selection);
   w->targets_before_optout = 0;
-  for (const auto& code : world::source_countries()) {
-    core::TargetList targets = selector.select(code, cfg.reg_sites, cfg.gov_sites);
+  for (const auto& code : b.vantage) {
+    core::TargetList targets = selector.select(code, b.scale.reg_sites, b.scale.gov_sites);
     w->targets_before_optout += targets.all().size();
     w->targets[code] = std::move(targets);
   }

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "worldgen/calibration.h"
@@ -18,11 +19,34 @@ struct Steer {
   std::string claim_city;  // city for the wrong claim
 };
 
+/// Site-count plan for one country's web stage. Legacy values reproduce the
+/// paper's constants; scale mode derives them from --sites/--countries.
+struct ScalePlan {
+  bool enabled = false;   // true once scale_countries > 0
+  size_t reg_sites = 50;  // selector T_reg budget per country
+  size_t gov_sites = 50;  // selector T_gov budget per country
+  size_t candidates = 70; // regional candidates generated per country
+  size_t ranked = 55;     // candidates entering the ranked toplist
+};
+
 struct Builder {
   const WorldConfig* cfg = nullptr;
   World* w = nullptr;
   util::Rng rng;
   uint32_t next_asn = 100;
+
+  // Effective vantage set, filled by prepare_scale() before stage 1: the
+  // paper's 23 calibration rows in the legacy world, seed-derived synthetic
+  // rows in a scaled one. Stages iterate these — never calibration() or
+  // source_countries() directly — so one code path serves both worlds.
+  ScalePlan scale;
+  std::vector<CountryCalibration> cals;
+  std::vector<std::string> vantage;  // cals[i].code, study order
+  // Every country with routers/ASes in this world: the static CountryDb in
+  // both modes, plus the synthetic vantage countries in scale mode.
+  std::vector<const world::CountryInfo*> map_countries;
+
+  const CountryCalibration& cal_for(std::string_view code) const;
 
   // Tracker machinery (filled by build_trackers).
   // registrable domain -> its FQDNs.
@@ -53,6 +77,10 @@ struct Builder {
 
   uint32_t fresh_asn() { return next_asn++; }
 };
+
+/// Stage 0: resolve the vantage set + per-country site plan (legacy or
+/// scaled) and register synthetic countries with the CountryDb.
+void prepare_scale(Builder& b);
 
 /// Stage 1: countries' routers and links, ISPs, cloud providers, Atlas fleet.
 void build_infrastructure(Builder& b);

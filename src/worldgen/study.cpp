@@ -1,5 +1,6 @@
 #include "worldgen/study.h"
 
+#include <filesystem>
 #include <optional>
 #include <stdexcept>
 
@@ -8,6 +9,7 @@
 #include "net/ip.h"
 #include "geoloc/pipeline.h"
 #include "probe/traceroute.h"
+#include "store/shard.h"
 #include "store/writer.h"
 #include "trackers/identify.h"
 #include "util/io.h"
@@ -32,6 +34,18 @@ struct CountryOutcome {
   bool resumed = false;        // restored from the checkpoint journal
 };
 
+/// What one country's task leaves behind in shard mode: a pointer to the
+/// published artifact, never the data. The dataset and analysis are
+/// destroyed inside the stage — that is the streaming memory bound.
+struct ShardOutcome {
+  std::string path;
+  uint32_t crc = 0;
+  size_t atlas_repaired = 0;
+  bool degraded = false;
+  std::string country;
+  bool reused = false;  // intact shard adopted from a previous run's journal
+};
+
 /// Installs `faults` as the process-global io injector for a scope,
 /// restoring whatever was there before (nesting-safe).
 class ScopedIoFaults {
@@ -54,8 +68,13 @@ StudyResult run_study(World& world, const StudyOptions& options) {
   StudyResult result;
   result.targets_before_optout = world.targets_before_optout;
 
-  std::vector<std::string> countries =
-      options.countries.empty() ? world::source_countries() : options.countries;
+  std::vector<std::string> countries = options.countries;
+  if (countries.empty()) {
+    // The world's vantage set: the paper's 23 in the legacy world, the
+    // synthetic "V.." countries in scale mode.
+    countries = world.vantage_countries.empty() ? world::source_countries()
+                                                : world.vantage_countries;
+  }
 
   core::GammaEnv env = world.env();
   core::GammaConfig config = core::GammaConfig::study_defaults();
@@ -115,33 +134,11 @@ StudyResult run_study(World& world, const StudyOptions& options) {
   // per-country analysis. Every random draw comes from a (seed, country)
   // substream, so any interleaving reproduces the serial run exactly.
   core::ParallelStudyRunner runner(options.jobs);
-  auto stage = [&](size_t, const std::string& code, int attempt) {
-    static util::Counter& done =
-        util::MetricsRegistry::instance().counter("study.countries");
-    static util::Counter& resumed =
-        util::MetricsRegistry::instance().counter("study.resumed_countries");
-    static util::Histogram& wall =
-        util::MetricsRegistry::instance().histogram("study.country_wall_ms");
-    util::ScopedTimer timer(wall);
-    done.inc();
-    CountryOutcome out;
 
-    if (journal) {
-      if (auto it = journal->completed().find(code); it != journal->completed().end()) {
-        util::trace::ScopedSpan span("resume", "study");
-        span.arg("country", code);
-        out.dataset = it->second.dataset;
-        out.atlas_repaired = it->second.atlas_repaired;
-        out.degraded = it->second.degraded;
-        out.degraded_reason = it->second.degraded_reason;
-        out.resumed = true;
-        resumed.inc();
-        analyze_outcome(code, out);
-        util::log_info("study", "resumed " + code + " from checkpoint");
-        return out;
-      }
-    }
-
+  // One country's full measurement chain. Shared verbatim by the legacy and
+  // shard stages, so both draw identical substreams — the root of the
+  // merged-store byte-identity contract.
+  auto measure = [&](const std::string& code, int attempt, CountryOutcome& out) {
     // Whole-run abort, keyed per attempt so the breaker's retry can clear a
     // transient fault; a rate of 1.0 reliably opens the breaker.
     if (env.faults &&
@@ -179,23 +176,12 @@ StudyResult run_study(World& world, const StudyOptions& options) {
       span.arg("repaired", out.atlas_repaired);
     }
     util::log_info("study", "collected " + code);
-
-    analyze_outcome(code, out);
-    util::log_info("study", "analyzed " + code);
-    if (journal) {
-      util::Status js = journal->append({code, out.dataset, out.atlas_repaired, false, ""});
-      if (!js.ok()) {
-        util::log_info("study", "checkpoint not durable for " + code + ": " +
-                                    js.to_string());
-      }
-    }
-    return out;
   };
 
-  // Circuit-breaker fallback: the country's crawl kept failing, so ship a
-  // metadata-only dataset (zero sites, zero traces) through the same
+  // Circuit-breaker degraded outcome: the country's crawl kept failing, so
+  // ship a metadata-only dataset (zero sites, zero traces) through the same
   // analysis path — partial coverage, deterministic, never a wedged worker.
-  auto fallback = [&](size_t, const std::string& code, const std::string& error) {
+  auto degraded_outcome = [&](const std::string& code, const std::string& error) {
     util::trace::ScopedSpan span("degraded", "study");
     span.arg("country", code);
     span.arg("reason", error);
@@ -221,8 +207,47 @@ StudyResult run_study(World& world, const StudyOptions& options) {
       out.analysis.country = code;
     }
     util::log_info("study", "degraded " + code + ": " + error);
+    return out;
+  };
+
+  auto stage = [&](size_t, const std::string& code, int attempt) {
+    static util::Counter& done =
+        util::MetricsRegistry::instance().counter("study.countries");
+    static util::Counter& resumed =
+        util::MetricsRegistry::instance().counter("study.resumed_countries");
+    static util::Histogram& wall =
+        util::MetricsRegistry::instance().histogram("study.country_wall_ms");
+    util::ScopedTimer timer(wall);
+    done.inc();
+    CountryOutcome out;
+
     if (journal) {
-      util::Status js = journal->append({code, out.dataset, 0, true, error});
+      auto it = journal->completed().find(code);
+      // Shard records carry no dataset — a legacy run cannot reuse them.
+      if (it != journal->completed().end() && !it->second.is_shard()) {
+        util::trace::ScopedSpan span("resume", "study");
+        span.arg("country", code);
+        out.dataset = it->second.dataset;
+        out.atlas_repaired = it->second.atlas_repaired;
+        out.degraded = it->second.degraded;
+        out.degraded_reason = it->second.degraded_reason;
+        out.resumed = true;
+        resumed.inc();
+        analyze_outcome(code, out);
+        util::log_info("study", "resumed " + code + " from checkpoint");
+        return out;
+      }
+    }
+
+    measure(code, attempt, out);
+    analyze_outcome(code, out);
+    util::log_info("study", "analyzed " + code);
+    if (journal) {
+      CheckpointRecord rec;
+      rec.country = code;
+      rec.dataset = out.dataset;
+      rec.atlas_repaired = out.atlas_repaired;
+      util::Status js = journal->append(rec);
       if (!js.ok()) {
         util::log_info("study", "checkpoint not durable for " + code + ": " +
                                     js.to_string());
@@ -230,6 +255,157 @@ StudyResult run_study(World& world, const StudyOptions& options) {
     }
     return out;
   };
+
+  auto fallback = [&](size_t, const std::string& code, const std::string& error) {
+    CountryOutcome out = degraded_outcome(code, error);
+    if (journal) {
+      CheckpointRecord rec;
+      rec.country = code;
+      rec.dataset = out.dataset;
+      rec.degraded = true;
+      rec.degraded_reason = error;
+      util::Status js = journal->append(rec);
+      if (!js.ok()) {
+        util::log_info("study", "checkpoint not durable for " + code + ": " +
+                                    js.to_string());
+      }
+    }
+    return out;
+  };
+
+  // ---- GammaShard streaming mode. ----
+  // Countries stream through the ShardWriter as they finish and are dropped
+  // from memory; only light ShardOutcome stubs (path + CRC) accumulate.
+  if (!options.shard_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.shard_dir, ec);
+    store::ShardWriter shard_writer(
+        options.shard_dir,
+        {options.seed, countries.size(), world.targets_before_optout});
+    shard_writer.set_faults(env.faults);
+
+    auto journal_shard = [&](const std::string& code, const ShardOutcome& so,
+                             const std::string& degraded_reason) {
+      if (!journal) return;
+      CheckpointRecord rec;
+      rec.country = code;
+      rec.atlas_repaired = so.atlas_repaired;
+      rec.degraded = so.degraded;
+      rec.degraded_reason = degraded_reason;
+      rec.shard_path = so.path;
+      rec.shard_crc = so.crc;
+      rec.shard_index = 0;
+      for (size_t i = 0; i < countries.size(); ++i) {
+        if (countries[i] == code) rec.shard_index = i;
+      }
+      util::Status js = journal->append(rec);
+      if (!js.ok()) {
+        util::log_info("study", "checkpoint not durable for " + code + ": " +
+                                    js.to_string());
+      }
+    };
+
+    auto shard_stage = [&](size_t i, const std::string& code, int attempt) {
+      static util::Counter& done =
+          util::MetricsRegistry::instance().counter("study.countries");
+      static util::Counter& reused =
+          util::MetricsRegistry::instance().counter("study.shards_reused");
+      static util::Histogram& wall =
+          util::MetricsRegistry::instance().histogram("study.country_wall_ms");
+      util::ScopedTimer timer(wall);
+      done.inc();
+      ShardOutcome so;
+      so.country = code;
+
+      if (journal) {
+        auto it = journal->completed().find(code);
+        if (it != journal->completed().end() && it->second.is_shard()) {
+          const CheckpointRecord& rec = it->second;
+          // Reuse only an intact shard: the file's CRC must still match the
+          // journal. A deleted or torn shard is silently re-measured.
+          if (auto crc = store::file_crc32(rec.shard_path);
+              crc && *crc == rec.shard_crc) {
+            util::trace::ScopedSpan span("resume_shard", "study");
+            span.arg("country", code);
+            so.path = rec.shard_path;
+            so.crc = rec.shard_crc;
+            so.atlas_repaired = rec.atlas_repaired;
+            so.degraded = rec.degraded;
+            so.reused = true;
+            reused.inc();
+            util::log_info("study", "reused shard for " + code + ": " + so.path);
+            return so;
+          }
+        }
+      }
+
+      CountryOutcome out;
+      measure(code, attempt, out);
+      analyze_outcome(code, out);
+      // Publish before returning: a write failure throws, so the breaker
+      // retries the whole (idempotent) chain — the crash-atomic rename means
+      // a half-published shard is impossible.
+      store::ShardWriteResult sw =
+          shard_writer.write(i, out.analysis, out.atlas_repaired, false);
+      if (!sw.ok()) {
+        throw std::runtime_error("shard write failed for " + code + ": " +
+                                 sw.error.to_string());
+      }
+      so.path = sw.path;
+      so.crc = sw.crc;
+      so.atlas_repaired = out.atlas_repaired;
+      util::log_info("study", "published shard for " + code + ": " + so.path);
+      journal_shard(code, so, "");
+      return so;
+      // `out` — this country's entire dataset and analysis — dies here.
+    };
+
+    auto shard_fallback = [&](size_t i, const std::string& code,
+                              const std::string& error) {
+      CountryOutcome out = degraded_outcome(code, error);
+      ShardOutcome so;
+      so.country = code;
+      so.degraded = true;
+      store::ShardWriteResult sw = shard_writer.write(i, out.analysis, 0, true);
+      if (sw.ok()) {
+        so.path = sw.path;
+        so.crc = sw.crc;
+        journal_shard(code, so, error);
+      } else {
+        // No shard for this country: surfaced later as a merge coverage
+        // failure rather than silently shipping a hole.
+        util::log_info("study", "degraded shard write failed for " + code + ": " +
+                                    sw.error.to_string());
+      }
+      return so;
+    };
+
+    std::vector<ShardOutcome> outcomes(countries.size());
+    runner.for_each_with_breaker(
+        countries, shard_stage, shard_fallback,
+        [&outcomes](size_t i, const std::string&, ShardOutcome&& so) {
+          outcomes[i] = std::move(so);
+        });
+
+    for (const ShardOutcome& so : outcomes) {
+      result.atlas_repaired_traces += so.atlas_repaired;
+      if (so.degraded) result.degraded_countries.push_back(so.country);
+      if (so.reused) ++result.shards_reused;
+      if (!so.path.empty()) result.shard_paths.push_back(so.path);
+    }
+
+    if (!options.store_out.empty()) {
+      store::MergeResult merged =
+          store::merge_shards(options.store_out, result.shard_paths, env.faults);
+      if (!merged.ok()) {
+        throw std::runtime_error("shard merge failed: " + merged.error.to_string());
+      }
+      util::log_info("study", "merged " + std::to_string(merged.shards) +
+                                  " shards into " + options.store_out + " (" +
+                                  std::to_string(merged.bytes_written) + " bytes)");
+    }
+    return result;
+  }
 
   std::vector<CountryOutcome> outcomes =
       runner.map_with_breaker(countries, stage, fallback);

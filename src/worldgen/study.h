@@ -30,6 +30,13 @@ struct StudyResult {
   std::vector<std::string> degraded_countries;
   /// Countries restored from the checkpoint journal instead of re-measured.
   size_t resumed_countries = 0;
+
+  // GammaShard (shard_dir set): the published per-country shard files in
+  // study (index) order, and how many were reused intact from a previous
+  // killed run's journal instead of re-measured. In shard mode `datasets`
+  // and `analyses` stay empty — that is the point: results live on disk.
+  std::vector<std::string> shard_paths;
+  size_t shards_reused = 0;
 };
 
 struct StudyOptions {
@@ -60,6 +67,16 @@ struct StudyOptions {
   /// its bytes are identical for any `jobs` value; a write failure throws
   /// std::runtime_error — the caller asked for a store and did not get one.
   std::string store_out;
+  /// GammaShard streaming mode ("" = off): publish each country's analysis
+  /// as `<shard_dir>/shard-<index>-<code>.gmst` the moment it completes and
+  /// drop it from memory. Peak RSS is bounded per jobs slot by ONE country's
+  /// working set (dataset + traceroutes + analysis, ~O(sites_per_country))
+  /// — total ~jobs × that, independent of how many countries the study
+  /// spans. With `checkpoint_dir`, the journal records each shard's path +
+  /// CRC, and `resume` reuses intact shards without recomputing anything.
+  /// With `store_out` also set, the shards are merged into that single
+  /// store at the end (byte-identical to a non-sharded run's store).
+  std::string shard_dir;
 };
 
 StudyResult run_study(World& world, const StudyOptions& options = {});

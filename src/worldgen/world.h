@@ -31,6 +31,15 @@ struct WorldConfig {
   uint64_t seed = 42;
   size_t reg_sites = 50;  // T_reg size per country (§3.2)
   size_t gov_sites = 50;  // T_gov size per country (subject to availability)
+
+  // GammaShard scale mode (`--countries` / `--sites`). scale_countries > 0
+  // replaces the paper's 23 vantage countries with that many synthetic ones
+  // ("V00"...), with Zipf-ranked Tranco-style toplists sized so the whole
+  // study covers ~scale_sites regional sites (0 = 100 per country). Both
+  // knobs are deterministic in the seed; 0/0 is the legacy paper world,
+  // byte-identical to before these knobs existed.
+  size_t scale_countries = 0;
+  size_t scale_sites = 0;
 };
 
 struct World {
@@ -56,6 +65,9 @@ struct World {
   core::TargetSelectionInputs selection;              // universe ptr set
   std::map<std::string, core::TargetList> targets;    // per-country T_web
   size_t targets_before_optout = 0;                   // §5's 2005
+  // Measurement countries in study order: the paper's 23 in the legacy
+  // world, the synthetic "V.." set in scale mode.
+  std::vector<std::string> vantage_countries;
 
   core::GammaEnv env() const {
     core::GammaEnv e;

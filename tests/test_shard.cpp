@@ -1,0 +1,524 @@
+// GammaShard acceptance tests (ISSUE 9): shard publish crash-atomicity,
+// merge determinism + rejection, and the streaming sharded study.
+//
+// The contracts under proof:
+//  - Publish safety: a SIGKILL at any armed io crash point during a shard
+//    publish leaves the old shard bytes or the new ones — never a hybrid,
+//    never an unreadable file (fork-based sweep, like test_io's).
+//  - Merge determinism: merged bytes are a pure function of the input *set*
+//    — any argv order, and byte-identical to the legacy in-memory Writer
+//    over the same analyses.
+//  - Merge safety: torn, foreign, duplicate, missing, or inconsistent
+//    shards are structured store::Errors naming the offending file.
+//  - Streaming study: sharded + merged output is byte-identical to the
+//    legacy path for any --jobs; a killed run's journal + published shards
+//    are reused on --resume (study.shards_reused) with identical bytes.
+//
+// Fork safety: every fork-based test is declared (and therefore registered
+// and run) before the first test that runs a study — studies spawn
+// ParallelStudyRunner threads, and forking a threaded process is undefined
+// enough that TSan rejects it. Keep new fork tests above the ShardStudy
+// suites.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "store/reader.h"
+#include "store/shard.h"
+#include "store/writer.h"
+#include "util/fault.h"
+#include "util/io.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "worldgen/checkpoint.h"
+#include "worldgen/study.h"
+#include "worldgen/world.h"
+
+namespace gam {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// A hand-built one-country analysis exercising every serialized column;
+/// `tag` varies the bytes so old/new shard versions are distinguishable.
+analysis::CountryAnalysis make_analysis(const std::string& country,
+                                        const std::string& tag) {
+  analysis::CountryAnalysis a;
+  a.country = country;
+  a.unique_domains = 11;
+  a.unique_ips = 7;
+  a.traceroutes = 5;
+  a.funnel.total = 40;
+  a.funnel.unknown_ip = 2;
+  a.funnel.local = 20;
+  a.funnel.nonlocal_candidates = 18;
+  a.funnel.after_sol_constraints = 12;
+  a.funnel.after_rdns = 9;
+  a.funnel.dest_traceroutes = 6;
+  a.dest_probe_countries = {"US", "DE"};
+
+  analysis::SiteAnalysis reg;
+  reg.site_domain = tag + "-news." + country;
+  reg.country = country;
+  reg.kind = web::SiteKind::Regional;
+  reg.loaded = true;
+  reg.total_domains = 6;
+  reg.nonlocal_domains = 2;
+  analysis::TrackerHit hit;
+  hit.domain = "collect." + tag + ".net";
+  hit.reg_domain = tag + ".net";
+  hit.dest_country = "US";
+  hit.dest_city = "Ashburn";
+  hit.org = "Org-" + tag;
+  hit.method = trackers::IdMethod::EasyList;
+  hit.first_party = false;
+  reg.trackers.push_back(hit);
+  hit.domain = "own." + country;
+  hit.reg_domain = "own." + country;
+  hit.dest_country = "DE";
+  hit.method = trackers::IdMethod::Manual;
+  hit.first_party = true;
+  reg.trackers.push_back(hit);
+  a.sites.push_back(reg);
+
+  analysis::SiteAnalysis gov;
+  gov.site_domain = "ministry.gov." + country;
+  gov.country = country;
+  gov.kind = web::SiteKind::Government;
+  gov.loaded = false;
+  gov.total_domains = 0;
+  gov.nonlocal_domains = 0;
+  a.sites.push_back(gov);
+  return a;
+}
+
+constexpr uint64_t kSeed = 5;
+
+store::ShardStudyMeta study_meta(size_t total) {
+  store::ShardStudyMeta meta;
+  meta.seed = kSeed;
+  meta.total_shards = total;
+  meta.targets_before_optout = 10;
+  return meta;
+}
+
+/// Fresh shard directory under gtest's temp root.
+std::string shard_dir(const std::string& name) {
+  std::string dir = tmp_path(name);
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Fork-based crash-point sweep over the shard publish path. MUST run before
+// any study test (see the fork-safety note up top).
+
+constexpr int kChildReturnedFromWrite = 42;
+
+void arm(util::FaultPlan* plan, const std::string& point) {
+  if (point == util::io::kCrashBeforeRename) plan->io_crash_before_rename = 1.0;
+  if (point == util::io::kCrashAfterRename) plan->io_crash_after_rename = 1.0;
+  if (point == util::io::kCrashBeforeDirSync) plan->io_crash_before_dir_sync = 1.0;
+}
+
+template <typename Fn>
+void expect_sigkill(Fn child) {
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    child();
+    _exit(kChildReturnedFromWrite);  // the armed crash point did not fire
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "child exited instead of crashing (exit code "
+      << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1) << ")";
+  EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+}
+
+void run_shard_crash_sweep(const std::string& point, bool expect_new) {
+  std::string dir = shard_dir("sweep_" + point);
+  store::ShardWriter writer(dir, study_meta(1));
+  ASSERT_TRUE(writer.write(0, make_analysis("US", "old"), 0, false).ok());
+  std::string path = store::shard_path(dir, 0, "US");
+  std::string old_bytes = read_bytes(path);
+
+  // Clean "new" bytes from an uninterrupted publish elsewhere: shard bytes
+  // are a pure function of (meta, analysis), so this is exactly what the
+  // crashed publish would have renamed into place.
+  std::string clean_dir = shard_dir("sweep_clean_" + point);
+  store::ShardWriter clean(clean_dir, study_meta(1));
+  ASSERT_TRUE(clean.write(0, make_analysis("US", "new"), 0, false).ok());
+  std::string new_bytes = read_bytes(store::shard_path(clean_dir, 0, "US"));
+  ASSERT_NE(old_bytes, new_bytes);
+
+  expect_sigkill([&] {
+    util::FaultPlan plan;
+    arm(&plan, point);
+    util::FaultInjector inj(plan, 7);
+    store::ShardWriter crashing(dir, study_meta(1));
+    crashing.set_faults(&inj);
+    (void)crashing.write(0, make_analysis("US", "new"), 0, false);
+  });
+
+  std::string after = read_bytes(path);
+  if (expect_new) {
+    EXPECT_EQ(after, new_bytes) << point << ": shard is not the complete new file";
+  } else {
+    EXPECT_EQ(after, old_bytes) << point << ": shard is not the untouched old file";
+  }
+  // Whichever version survived must be a fully valid, individually
+  // queryable store (every reader CRC check applies).
+  store::Error err;
+  EXPECT_NE(store::Reader::open(path, &err), nullptr)
+      << point << ": surviving shard failed to open: " << err.to_string();
+}
+
+TEST(ShardCrashSweep, CrashBeforeRenameLeavesOldShard) {
+  run_shard_crash_sweep(util::io::kCrashBeforeRename, /*expect_new=*/false);
+}
+
+TEST(ShardCrashSweep, CrashAfterRenameLeavesNewShard) {
+  run_shard_crash_sweep(util::io::kCrashAfterRename, /*expect_new=*/true);
+}
+
+TEST(ShardCrashSweep, CrashBeforeDirSyncLeavesNewShard) {
+  run_shard_crash_sweep(util::io::kCrashBeforeDirSync, /*expect_new=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Merge determinism and rejection (thread-free; still above the study suites).
+
+/// Publish a full `total`-shard set into `dir` and return the paths.
+std::vector<std::string> publish_set(const std::string& dir,
+                                     const std::vector<std::string>& countries) {
+  store::ShardWriter writer(dir, study_meta(countries.size()));
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < countries.size(); ++i) {
+    store::ShardWriteResult sw =
+        writer.write(i, make_analysis(countries[i], "v1"), i, false);
+    EXPECT_TRUE(sw.ok()) << sw.error.to_string();
+    paths.push_back(sw.path);
+  }
+  return paths;
+}
+
+TEST(ShardMerge, OrderInsensitiveAndIdempotent) {
+  std::string dir = shard_dir("merge_order");
+  std::vector<std::string> paths = publish_set(dir, {"US", "DE", "JP"});
+
+  std::string out_fwd = tmp_path("merge_fwd.gmst");
+  std::string out_rev = tmp_path("merge_rev.gmst");
+  store::MergeResult fwd = store::merge_shards(out_fwd, paths);
+  ASSERT_TRUE(fwd.ok()) << fwd.error.to_string();
+  EXPECT_EQ(fwd.shards, 3u);
+  std::vector<std::string> reversed(paths.rbegin(), paths.rend());
+  store::MergeResult rev = store::merge_shards(out_rev, reversed);
+  ASSERT_TRUE(rev.ok()) << rev.error.to_string();
+  EXPECT_EQ(read_bytes(out_fwd), read_bytes(out_rev));
+
+  // Re-merging over the existing output reproduces it byte-for-byte.
+  store::MergeResult again = store::merge_shards(out_fwd, paths);
+  ASSERT_TRUE(again.ok()) << again.error.to_string();
+  EXPECT_EQ(read_bytes(out_fwd), read_bytes(out_rev));
+}
+
+TEST(ShardMerge, MergedBytesEqualLegacyWriter) {
+  std::string dir = shard_dir("merge_legacy");
+  std::vector<std::string> countries = {"US", "DE", "JP"};
+  std::vector<std::string> paths = publish_set(dir, countries);
+
+  std::string merged_path = tmp_path("merge_legacy.gmst");
+  store::MergeResult merged = store::merge_shards(merged_path, paths);
+  ASSERT_TRUE(merged.ok()) << merged.error.to_string();
+
+  // The legacy in-memory path over the same analyses: per-shard
+  // atlas_repaired (i above) sums to 0+1+2, resumed is always 0.
+  store::StudyMeta meta;
+  meta.seed = kSeed;
+  meta.targets_before_optout = 10;
+  meta.atlas_repaired_traces = 3;
+  std::vector<analysis::CountryAnalysis> analyses;
+  for (const auto& c : countries) analyses.push_back(make_analysis(c, "v1"));
+  std::string legacy_path = tmp_path("merge_legacy_ref.gmst");
+  ASSERT_TRUE(store::Writer(meta).write(legacy_path, analyses).ok());
+
+  EXPECT_EQ(read_bytes(merged_path), read_bytes(legacy_path));
+}
+
+TEST(ShardMerge, RejectsForeignWholeStudyStore) {
+  // A valid GMST store that is not a shard (no shard meta) must be refused.
+  std::string path = tmp_path("foreign.gmst");
+  ASSERT_TRUE(store::Writer().write(path, {make_analysis("US", "v1")}).ok());
+  store::MergeResult merged = store::merge_shards(tmp_path("foreign_out.gmst"), {path});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.error.to_string().find("shard"), std::string::npos)
+      << merged.error.to_string();
+  EXPECT_NE(merged.error.to_string().find(path), std::string::npos)
+      << "error must name the offending file: " << merged.error.to_string();
+}
+
+TEST(ShardMerge, RejectsTornShardWithPathInError) {
+  std::string dir = shard_dir("merge_torn");
+  std::vector<std::string> paths = publish_set(dir, {"US", "DE"});
+  std::string bytes = read_bytes(paths[0]);
+  bytes[bytes.size() / 2] ^= 0x5a;  // flip a byte mid-file: CRC must catch it
+  write_bytes(paths[0], bytes);
+
+  store::MergeResult merged = store::merge_shards(tmp_path("torn_out.gmst"), paths);
+  ASSERT_FALSE(merged.ok());
+  // The reader prepends the file path to every corruption detail, so the
+  // merge error pinpoints which input is torn.
+  EXPECT_NE(merged.error.to_string().find(paths[0]), std::string::npos)
+      << merged.error.to_string();
+}
+
+TEST(ShardMerge, RejectsDuplicateMissingAndInconsistentShards) {
+  std::string dir = shard_dir("merge_bad_sets");
+  std::vector<std::string> paths = publish_set(dir, {"US", "DE"});
+
+  // Incomplete coverage: one of two shards.
+  EXPECT_FALSE(store::merge_shards(tmp_path("bad1.gmst"), {paths[0]}).ok());
+
+  // Duplicate index: the same shard twice under two names.
+  std::string dup = dir + "/shard-0-XX.gmst";
+  write_bytes(dup, read_bytes(paths[0]));
+  EXPECT_FALSE(store::merge_shards(tmp_path("bad2.gmst"), {paths[0], dup}).ok());
+
+  // Inconsistent study seed across shards.
+  store::ShardStudyMeta other = study_meta(2);
+  other.seed = kSeed + 1;
+  store::ShardWriter writer(dir, other);
+  store::ShardWriteResult sw = writer.write(1, make_analysis("DE", "v1"), 0, false);
+  ASSERT_TRUE(sw.ok());
+  EXPECT_FALSE(store::merge_shards(tmp_path("bad3.gmst"), {paths[0], sw.path}).ok());
+
+  // Empty input set.
+  EXPECT_FALSE(store::merge_shards(tmp_path("bad4.gmst"), {}).ok());
+}
+
+TEST(ShardReader, CorruptionErrorsNameTheFile) {
+  std::string dir = shard_dir("reader_path");
+  std::vector<std::string> paths = publish_set(dir, {"US"});
+  std::string bytes = read_bytes(paths[0]);
+  bytes[bytes.size() - 5] ^= 0xff;  // clobber the trailer
+  write_bytes(paths[0], bytes);
+  store::Error error;
+  ASSERT_EQ(store::Reader::open(paths[0], &error), nullptr);
+  EXPECT_NE(error.to_string().find(paths[0]), std::string::npos)
+      << "reader error must be prefixed with the path: " << error.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sharded study. Everything below spawns threads — no fork tests
+// past this point.
+
+const worldgen::World& shared_world() {
+  static const std::unique_ptr<worldgen::World> world = worldgen::generate_world({});
+  return *world;
+}
+
+worldgen::StudyResult run(worldgen::StudyOptions options) {
+  return worldgen::run_study(const_cast<worldgen::World&>(shared_world()), options);
+}
+
+const std::vector<std::string>& study_subset() {
+  // Egypt (traceroute opt-out) and Australia (blocked -> Atlas repair)
+  // exercise the repair path through the shard plane; JP/CA are plain.
+  static const std::vector<std::string> kSubset = {"EG", "AU", "JP", "CA"};
+  return kSubset;
+}
+
+worldgen::StudyOptions sharded_options(const std::string& dir_name) {
+  worldgen::StudyOptions options;
+  options.seed = 21;
+  options.countries = study_subset();
+  options.shard_dir = shard_dir(dir_name);
+  return options;
+}
+
+TEST(ShardStudy, MergedStoreByteIdenticalToLegacyForAnyJobs) {
+  worldgen::StudyOptions legacy;
+  legacy.seed = 21;
+  legacy.countries = study_subset();
+  legacy.store_out = tmp_path("study_legacy.gmst");
+  run(legacy);
+  std::string legacy_bytes = read_bytes(legacy.store_out);
+  ASSERT_FALSE(legacy_bytes.empty());
+
+  for (size_t jobs : {size_t{1}, size_t{3}}) {
+    worldgen::StudyOptions options =
+        sharded_options("study_jobs" + std::to_string(jobs));
+    options.jobs = jobs;
+    options.store_out = tmp_path("study_jobs" + std::to_string(jobs) + ".gmst");
+    worldgen::StudyResult study = run(options);
+    EXPECT_EQ(study.shard_paths.size(), study_subset().size());
+    EXPECT_TRUE(study.datasets.empty()) << "shard mode must not accumulate datasets";
+    EXPECT_TRUE(study.analyses.empty()) << "shard mode must not accumulate analyses";
+    EXPECT_EQ(read_bytes(options.store_out), legacy_bytes) << "jobs=" << jobs;
+    // Each published shard is individually openable and self-describing.
+    store::Error err;
+    auto reader = store::Reader::open(study.shard_paths[0], &err);
+    ASSERT_NE(reader, nullptr) << err.to_string();
+    const util::Json* shard = reader->meta().find("shard");
+    ASSERT_NE(shard, nullptr);
+    EXPECT_EQ(shard->get_string("country"), study_subset()[0]);
+    EXPECT_EQ(static_cast<size_t>(shard->get_number("total", 0)),
+              study_subset().size());
+  }
+}
+
+/// Truncate a study journal to its header plus the first `keep` records —
+/// exactly the durable prefix a SIGKILL mid-run leaves behind.
+void truncate_journal(const std::string& path, size_t keep) {
+  std::ifstream in(path);
+  std::string line, prefix;
+  size_t kept = 0;
+  for (size_t i = 0; std::getline(in, line); ++i) {
+    if (i > keep) break;
+    prefix += line + "\n";
+    kept = i;
+  }
+  ASSERT_EQ(kept, keep) << "journal shorter than expected: " << path;
+  in.close();
+  write_bytes(path, prefix);
+}
+
+TEST(ShardStudy, KilledRunResumeReusesPublishedShards) {
+  // Reference: one uninterrupted sharded run.
+  worldgen::StudyOptions ref = sharded_options("kill_ref");
+  ref.store_out = tmp_path("kill_ref.gmst");
+  run(ref);
+  std::string ref_bytes = read_bytes(ref.store_out);
+
+  // "Killed" run: complete the study, then reconstruct the exact post-kill
+  // state — a journal whose durable prefix covers the first two countries
+  // and only their shards published.
+  worldgen::StudyOptions killed = sharded_options("kill_victim");
+  killed.jobs = 1;  // completion order == input order -> a known journal prefix
+  killed.checkpoint_dir = tmp_path("kill_ckpt");
+  killed.store_out = tmp_path("kill_victim1.gmst");
+  run(killed);
+  std::string journal =
+      worldgen::StudyJournal::path_for(killed.checkpoint_dir, killed.seed);
+  truncate_journal(journal, 2);  // header + EG + AU survive the "kill"
+  if (::testing::Test::HasFatalFailure()) return;
+  for (size_t i = 2; i < study_subset().size(); ++i) {
+    std::string unpublished =
+        store::shard_path(killed.shard_dir, i, study_subset()[i]);
+    ASSERT_EQ(::unlink(unpublished.c_str()), 0) << unpublished;
+  }
+
+  // Resume: the two journaled shards are reused (CRC-verified, nothing
+  // recomputed), the rest re-measured; merged bytes match the reference.
+  worldgen::StudyOptions resumed = killed;
+  resumed.resume = true;
+  resumed.jobs = 2;
+  resumed.store_out = tmp_path("kill_victim2.gmst");
+  uint64_t reused_before =
+      util::MetricsRegistry::instance().counter("study.shards_reused").value();
+  worldgen::StudyResult study = run(resumed);
+  EXPECT_EQ(study.shards_reused, 2u);
+  EXPECT_EQ(
+      util::MetricsRegistry::instance().counter("study.shards_reused").value(),
+      reused_before + 2);
+  EXPECT_EQ(read_bytes(resumed.store_out), ref_bytes);
+}
+
+TEST(ShardStudy, TornJournaledShardIsRemeasuredOnResume) {
+  worldgen::StudyOptions ref = sharded_options("torn_ref");
+  ref.store_out = tmp_path("torn_ref.gmst");
+  run(ref);
+  std::string ref_bytes = read_bytes(ref.store_out);
+
+  worldgen::StudyOptions killed = sharded_options("torn_victim");
+  killed.jobs = 1;
+  killed.checkpoint_dir = tmp_path("torn_ckpt");
+  killed.store_out = tmp_path("torn_victim1.gmst");
+  run(killed);
+  truncate_journal(
+      worldgen::StudyJournal::path_for(killed.checkpoint_dir, killed.seed), 2);
+  if (::testing::Test::HasFatalFailure()) return;
+  for (size_t i = 2; i < study_subset().size(); ++i) {
+    ASSERT_EQ(
+        ::unlink(store::shard_path(killed.shard_dir, i, study_subset()[i]).c_str()),
+        0);
+  }
+  // Tear one journaled shard: its CRC no longer matches the journal, so
+  // resume must silently re-measure it instead of merging garbage.
+  std::string torn = store::shard_path(killed.shard_dir, 0, study_subset()[0]);
+  std::string bytes = read_bytes(torn);
+  bytes[bytes.size() / 3] ^= 0x11;
+  write_bytes(torn, bytes);
+
+  worldgen::StudyOptions resumed = killed;
+  resumed.resume = true;
+  resumed.store_out = tmp_path("torn_victim2.gmst");
+  worldgen::StudyResult study = run(resumed);
+  EXPECT_EQ(study.shards_reused, 1u);  // AU only; EG was torn
+  EXPECT_EQ(read_bytes(resumed.store_out), ref_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Scale knobs: synthetic worlds are deterministic functions of the seed.
+
+TEST(ShardScale, SyntheticWorldDeterministicAcrossJobs) {
+  worldgen::WorldConfig cfg;
+  cfg.scale_countries = 4;
+  cfg.scale_sites = 40;
+  auto world = worldgen::generate_world(cfg);
+  ASSERT_EQ(world->vantage_countries.size(), 4u);
+  EXPECT_EQ(world->vantage_countries[0], "V00");
+  EXPECT_EQ(world->vantage_countries[3], "V03");
+
+  worldgen::StudyOptions options;
+  options.seed = 3;
+  options.shard_dir = shard_dir("scale_j1");
+  options.store_out = tmp_path("scale_j1.gmst");
+  worldgen::StudyResult first = worldgen::run_study(*world, options);
+  EXPECT_EQ(first.shard_paths.size(), 4u);
+
+  options.jobs = 2;
+  options.shard_dir = shard_dir("scale_j2");
+  options.store_out = tmp_path("scale_j2.gmst");
+  worldgen::run_study(*world, options);
+  EXPECT_EQ(read_bytes(tmp_path("scale_j1.gmst")),
+            read_bytes(tmp_path("scale_j2.gmst")));
+
+  // A second world from the same config reproduces the same universe: the
+  // study over it yields the same merged bytes.
+  auto world2 = worldgen::generate_world(cfg);
+  options.shard_dir = shard_dir("scale_w2");
+  options.store_out = tmp_path("scale_w2.gmst");
+  worldgen::run_study(*world2, options);
+  EXPECT_EQ(read_bytes(tmp_path("scale_j1.gmst")),
+            read_bytes(tmp_path("scale_w2.gmst")));
+}
+
+}  // namespace
+}  // namespace gam

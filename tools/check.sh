@@ -18,6 +18,10 @@
 #           a dead-port window and then under concurrent retry-armed client
 #           load; every `gamma client query --retry` must succeed with bytes
 #           identical to `gamma store query`
+#   shard   sharded study SIGKILLed mid-run, --resume reuses the published
+#           shards, shards re-merged standalone in reverse order, and every
+#           `gamma store query` report over the merged store byte-diffed
+#           against the unsharded build
 #
 # Sanitizers:
 #   tsan  -> shared-state suites (thread pool, parallel study runner,
@@ -289,6 +293,47 @@ arm_chaos() {
   trap - EXIT
 }
 
+arm_shard() {
+  mkdir -p "$SMOKE/shard"
+  # Unsharded reference: the bytes every later diff must reproduce.
+  "$GAMMA" study --seed 61 --jobs 2 \
+    --store-out "$SMOKE/shard/legacy.gmst" >/dev/null
+  # Sharded run, SIGKILLed mid-study: the journal and any published shards
+  # are the only thing the resume below may build on. (The window is a
+  # fraction of the ~1.5s uninterrupted runtime; if a faster machine
+  # finishes anyway, the arm still exercises resume with every shard
+  # reused, just without the interruption.)
+  timeout -s KILL 1 "$GAMMA" study --seed 61 --jobs 1 \
+    --shard-dir "$SMOKE/shard/shards" --checkpoint "$SMOKE/shard/ckpt" \
+    >/dev/null || true
+  local published=0
+  published="$(ls "$SMOKE/shard/shards" 2>/dev/null | wc -l)"
+  echo "   killed after ~1s; $published shards published"
+  # Resume: reuse intact shards (the CLI prints how many), re-measure the
+  # rest, merge — byte-identical to the unsharded store.
+  "$GAMMA" study --seed 61 --jobs 4 \
+    --shard-dir "$SMOKE/shard/shards" --checkpoint "$SMOKE/shard/ckpt" --resume \
+    --store-out "$SMOKE/shard/merged.gmst" | sed 's/^/   /'
+  cmp "$SMOKE/shard/legacy.gmst" "$SMOKE/shard/merged.gmst"
+  echo "   resumed + merged store byte-identical to the unsharded build"
+  # Standalone re-merge in reverse argv order: same bytes (order-insensitive).
+  # shellcheck disable=SC2046
+  "$GAMMA" store merge "$SMOKE/shard/remerged.gmst" \
+    $(ls -r "$SMOKE/shard/shards"/shard-*.gmst) | sed 's/^/   /'
+  cmp "$SMOKE/shard/legacy.gmst" "$SMOKE/shard/remerged.gmst"
+  echo "   reverse-order re-merge byte-identical"
+  # Every paper report over the merged store must match the unsharded path.
+  local report
+  for report in summary prevalence policy per-site flows coverage funnel; do
+    "$GAMMA" store query "$SMOKE/shard/legacy.gmst" --report "$report" \
+      --out "$SMOKE/shard/legacy-$report.json" >/dev/null
+    "$GAMMA" store query "$SMOKE/shard/merged.gmst" --report "$report" \
+      --out "$SMOKE/shard/merged-$report.json" >/dev/null
+    diff "$SMOKE/shard/legacy-$report.json" "$SMOKE/shard/merged-$report.json"
+  done
+  echo "   all 7 query reports byte-identical: sharded == unsharded"
+}
+
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
@@ -301,6 +346,7 @@ run_arm "store smoke: build a .gmst, query it, corrupt a copy" arm_store
 run_arm "trace smoke: record, report, byte-identical across --jobs" arm_trace
 run_arm "serve smoke: daemon up, client query, SIGTERM drain" arm_serve
 run_arm "chaos smoke: SIGKILL + restart under retry-armed client load" arm_chaos
+run_arm "shard smoke: kill mid-run, resume, merge, byte-diff all reports" arm_shard
 
 finish() {
   if [[ ${#FAILURES[@]} -gt 0 ]]; then
@@ -316,7 +362,7 @@ if [[ "$SKIP_SAN" == "1" ]]; then
   finish
 fi
 
-TSAN_SUITES=(test_thread_pool test_parallel_study test_metrics test_trace test_serve test_io)
+TSAN_SUITES=(test_thread_pool test_parallel_study test_metrics test_trace test_serve test_io test_shard)
 tsan_arm() {
   cmake -B build-tsan -S . -DGAMMA_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" --target "${TSAN_SUITES[@]}"
@@ -326,7 +372,7 @@ tsan_arm() {
 }
 run_arm "tsan: build + run concurrency suites" tsan_arm
 
-RESILIENCE_SUITES=(test_fault test_formats test_resilience test_store test_serve test_io)
+RESILIENCE_SUITES=(test_fault test_formats test_resilience test_store test_serve test_io test_shard)
 san_arm() {
   local san="$1" tree="$2"
   cmake -B "$tree" -S . -DGAMMA_SANITIZE="$san" >/dev/null

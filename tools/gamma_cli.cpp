@@ -40,6 +40,7 @@
 #include "serve/server.h"
 #include "store/query.h"
 #include "store/reader.h"
+#include "store/shard.h"
 #include "store/reports.h"
 #include "util/fault.h"
 #include "util/io.h"
@@ -68,13 +69,18 @@ struct Args {
   bool resume = false;
   uint64_t seed = 7;
   size_t jobs = 1;
+  // GammaShard scale + streaming knobs
+  size_t scale_countries = 0;  // --countries N: synthetic vantage countries
+  size_t scale_sites = 0;      // --sites N: total study site budget
+  std::string shard_dir;       // --shard-dir DIR: stream per-country shards
   // tracing / structured logs
   std::string trace_out;    // Chrome trace-event JSON (Perfetto-loadable)
   std::string trace_jsonl;  // deterministic simulated-time span JSONL
   std::string log_json;     // structured JSONL log sink
   std::string trace_file;   // positional FILE for `gamma trace`
-  // store query
-  std::string store_file;   // positional FILE.gmst
+  // store query / merge
+  std::string store_file;   // first positional FILE.gmst
+  std::vector<std::string> store_files;  // all positionals (merge: OUT SHARD...)
   std::string table = "hits";
   std::vector<std::string> wheres;  // "col=value" predicates, ANDed
   std::string group_by;
@@ -106,9 +112,16 @@ void usage() {
                "  run    --country CC [--out DIR] [--seed N]   one volunteer session\n"
                "  study  [--country CC ...] [--out DIR] [--seed N] [--jobs N]\n"
                "         [--fault-plan FILE] [--checkpoint DIR] [--resume]\n"
-               "         [--store-out FILE.gmst]                    the full study\n"
+               "         [--store-out FILE.gmst]\n"
+               "         [--countries N] [--sites N] [--shard-dir DIR]  the full study\n"
                "  store  build --out FILE.gmst [--country CC ...] [--seed N] [--jobs N]\n"
+               "             [--countries N] [--sites N] [--shard-dir DIR]\n"
+               "             [--checkpoint DIR] [--resume]\n"
                "             run the study once, serialize its analysis substrate\n"
+               "  store  merge OUT.gmst SHARD.gmst...\n"
+               "             recombine a complete shard set into one store;\n"
+               "             deterministic and argv-order-insensitive, every input\n"
+               "             CRC re-verified, byte-identical to an unsharded build\n"
                "  store  query FILE.gmst [--report R] [--table T] [--where col=val ...]\n"
                "             [--group-by col] [--flows] [--limit N] [--out FILE]\n"
                "             sub-millisecond scans over the mapped store; reports:\n"
@@ -147,6 +160,17 @@ void usage() {
                "                       (open in Perfetto / chrome://tracing)\n"
                "  --trace-jsonl FILE   write the deterministic simulated-time span\n"
                "                       stream (byte-identical for any --jobs)\n"
+               "study scale options (GammaShard):\n"
+               "  --countries N        replace the 23 source countries with N synthetic\n"
+               "                       vantage countries (V00, V01, ...), generated\n"
+               "                       deterministically from the seed (1..1296)\n"
+               "  --sites N            total study site budget, split evenly across the\n"
+               "                       countries (requires --countries; 1..5000000)\n"
+               "  --shard-dir DIR      stream each finished country's analysis to\n"
+               "                       DIR/shard-<index>-<code>.gmst and drop it from\n"
+               "                       memory; peak RSS is bounded by --jobs in-flight\n"
+               "                       countries, not the world size. With --store-out\n"
+               "                       the shards are merged into that single store\n"
                "study resilience options:\n"
                "  --fault-plan FILE    arm the deterministic fault plane with the JSON\n"
                "                       plan in FILE (see DESIGN.md); the study degrades\n"
@@ -161,6 +185,29 @@ void usage() {
                "                       JSON to FILE and Prometheus text to FILE.prom\n"
                "  --log-json FILE      mirror Info+ log records to FILE as JSONL\n"
                "                       (each record links to the active trace span)\n");
+}
+
+// GammaShard scale caps. Synthetic country codes are "V" + two base-36
+// digits, so the code space holds exactly 36*36 vantage countries; the site
+// budget cap keeps one country's working set addressable (sites are split
+// evenly, so the per-slot memory bound scales as sites/countries).
+constexpr size_t kMaxScaleCountries = 1296;
+constexpr size_t kMaxScaleSites = 5'000'000;
+
+// Strict count parsing for --sites/--countries: ASCII digits only, no sign,
+// no suffix, value inside [min, max]. Anything else — "0", "-3", "1e5",
+// "99999999999999999999" — is a usage error, never a silent clamp.
+std::optional<size_t> parse_count(const char* text, size_t min, size_t max) {
+  if (!text || !*text) return std::nullopt;
+  for (const char* p = text; *p; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return std::nullopt;
+  if (v < min || v > max) return std::nullopt;
+  return static_cast<size_t>(v);
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -211,6 +258,28 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.store_out = v;
+    } else if (flag == "--countries") {
+      const char* v = next();
+      auto n = parse_count(v, 1, kMaxScaleCountries);
+      if (!n) {
+        std::fprintf(stderr, "--countries expects an integer in [1, %zu], got '%s'\n",
+                     kMaxScaleCountries, v ? v : "");
+        return false;
+      }
+      args.scale_countries = *n;
+    } else if (flag == "--sites") {
+      const char* v = next();
+      auto n = parse_count(v, 1, kMaxScaleSites);
+      if (!n) {
+        std::fprintf(stderr, "--sites expects an integer in [1, %zu], got '%s'\n",
+                     kMaxScaleSites, v ? v : "");
+        return false;
+      }
+      args.scale_sites = *n;
+    } else if (flag == "--shard-dir") {
+      const char* v = next();
+      if (!v) return false;
+      args.shard_dir = v;
     } else if (flag == "--trace-out") {
       const char* v = next();
       if (!v) return false;
@@ -307,9 +376,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.retry_deadline_ms = std::strtod(v, nullptr);
-    } else if (!flag.empty() && flag[0] != '-' && args.command == "store" &&
-               args.store_file.empty()) {
-      args.store_file = flag;  // positional FILE.gmst for `store query`
+    } else if (!flag.empty() && flag[0] != '-' && args.command == "store") {
+      // Positional FILE.gmst args: `store query FILE`, `store merge OUT SHARD...`.
+      if (args.store_file.empty()) args.store_file = flag;
+      args.store_files.push_back(flag);
     } else if (!flag.empty() && flag[0] != '-' && args.command == "trace" &&
                args.trace_file.empty()) {
       args.trace_file = flag;  // positional FILE for `gamma trace`
@@ -423,11 +493,24 @@ int export_traces(const Args& args) {
 }
 
 int cmd_study(const Args& args) {
-  auto world = worldgen::generate_world({});
+  if (args.scale_countries > 0 && !args.countries.empty()) {
+    std::fprintf(stderr, "study: --countries N (synthetic world) and --country CC "
+                         "(source-country selection) are mutually exclusive\n");
+    return 1;
+  }
+  if (args.scale_sites > 0 && args.scale_countries == 0) {
+    std::fprintf(stderr, "study: --sites requires --countries N\n");
+    return 1;
+  }
+  worldgen::WorldConfig wcfg;
+  wcfg.scale_countries = args.scale_countries;
+  wcfg.scale_sites = args.scale_sites;
+  auto world = worldgen::generate_world(wcfg);
   worldgen::StudyOptions options;
   options.countries = args.countries;
   options.seed = args.seed;
   options.jobs = args.jobs;
+  options.shard_dir = args.shard_dir;
   if (!args.fault_plan.empty()) {
     auto plan = util::FaultPlan::load_file(args.fault_plan);
     if (!plan) {
@@ -454,6 +537,28 @@ int cmd_study(const Args& args) {
   if (tracing) {
     util::trace::set_enabled(false);
     trace_rc = export_traces(args);
+  }
+
+  if (!options.shard_dir.empty()) {
+    // GammaShard mode: per-country results live on disk, not in memory, so
+    // the in-memory report path (and --out datasets) does not apply.
+    std::printf("%zu shards published to %s\n", study.shard_paths.size(),
+                args.shard_dir.c_str());
+    if (study.shards_reused > 0) {
+      std::printf("reused %zu intact shards from checkpoint\n", study.shards_reused);
+    }
+    if (!study.degraded_countries.empty()) {
+      std::string list;
+      for (const auto& c : study.degraded_countries) {
+        if (!list.empty()) list += " ";
+        list += c;
+      }
+      std::printf("degraded (partial coverage): %s\n", list.c_str());
+    }
+    if (!args.store_out.empty()) {
+      std::printf("merged store: %s\n", args.store_out.c_str());
+    }
+    return trace_rc;
   }
 
   analysis::PrevalenceReport prev = analysis::compute_prevalence(study.analyses);
@@ -541,18 +646,50 @@ int cmd_store(const Args& args) {
       std::fprintf(stderr, "store build: need --out FILE.gmst\n");
       return 1;
     }
-    auto world = worldgen::generate_world({});
+    if (args.scale_sites > 0 && args.scale_countries == 0) {
+      std::fprintf(stderr, "store build: --sites requires --countries N\n");
+      return 1;
+    }
+    worldgen::WorldConfig wcfg;
+    wcfg.scale_countries = args.scale_countries;
+    wcfg.scale_sites = args.scale_sites;
+    auto world = worldgen::generate_world(wcfg);
     worldgen::StudyOptions options;
     options.countries = args.countries;
     options.seed = args.seed;
     options.jobs = args.jobs;
     options.store_out = args.out;
+    options.shard_dir = args.shard_dir;
+    options.checkpoint_dir = args.checkpoint;
+    options.resume = args.resume;
     worldgen::StudyResult study = worldgen::run_study(*world, options);
-    std::printf("wrote %s (%zu countries)\n", args.out.c_str(), study.analyses.size());
+    size_t countries = options.shard_dir.empty() ? study.analyses.size()
+                                                 : study.shard_paths.size();
+    std::printf("wrote %s (%zu countries)\n", args.out.c_str(), countries);
+    return 0;
+  }
+  if (args.subcommand == "merge") {
+    // `gamma store merge OUT.gmst SHARD...` — deterministic, order-insensitive
+    // merge; every input CRC is re-verified and a torn or foreign file is a
+    // structured error, never a corrupt output.
+    if (args.store_files.size() < 2) {
+      std::fprintf(stderr, "store merge: need OUT.gmst and at least one SHARD.gmst\n");
+      return 1;
+    }
+    std::vector<std::string> shards(args.store_files.begin() + 1,
+                                    args.store_files.end());
+    store::MergeResult merged = store::merge_shards(args.store_files[0], shards);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "store merge: %s\n", merged.error.to_string().c_str());
+      return 1;
+    }
+    std::printf("merged %zu shards into %s (%zu bytes)\n", merged.shards,
+                args.store_files[0].c_str(),
+                static_cast<size_t>(merged.bytes_written));
     return 0;
   }
   if (args.subcommand != "query") {
-    std::fprintf(stderr, "store: unknown subcommand '%s' (build|query)\n",
+    std::fprintf(stderr, "store: unknown subcommand '%s' (build|query|merge)\n",
                  args.subcommand.c_str());
     return 1;
   }
