@@ -37,6 +37,7 @@
 #include "analysis/report_json.h"
 #include "serve/client.h"
 #include "util/io.h"
+#include "util/metrics.h"
 #include "serve/server.h"
 #include "store/reader.h"
 #include "store/reports.h"
@@ -307,11 +308,165 @@ int main() {
     slow["health_state"] = health_state;
   }
 
+  // Instrumentation-overhead arm (GammaPulse acceptance): the full
+  // per-request pipeline — RED metrics recording plus a slow-log armed at a
+  // threshold that never fires — must cost at most 5% qps against the same
+  // daemon with the metrics plane disabled and no slow-log. Best-of-3 per
+  // configuration to shave scheduler noise off both sides.
+  util::Json overhead = util::Json::array();
+  {
+    const std::string armed_log = "bench_serve_armed.slow.jsonl";
+    serve::ServerOptions popts;
+    popts.port = 0;
+    popts.workers = 4;
+    popts.max_queue = 2048;
+    popts.service.store_path = store_path;
+    popts.slow_ms = 1e9;  // armed but never firing: the always-on cost only
+    popts.slow_log = armed_log;
+    auto armed = serve::Server::start(std::move(popts));
+    if (!armed.ok()) {
+      std::fprintf(stderr, "armed server start failed: %s\n",
+                   armed.status().to_string().c_str());
+      return 1;
+    }
+    run_load(**armed, 2, 25);  // same warm-up the baseline daemon got
+
+    auto& registry = util::MetricsRegistry::instance();
+    std::printf("\ninstrumentation-overhead arm (metrics off vs RED + armed slow-log):\n");
+    std::printf("  %-8s %14s %14s %8s\n", "clients", "baseline qps",
+                "instrumented", "ratio");
+    for (size_t clients : {size_t{1}, size_t{64}}) {
+      size_t per_client = std::max<size_t>(32, 2048 / clients);
+      // Pair the daemons once un-measured so both sides enter the trials
+      // with hot caches at this concurrency.
+      run_load(**server, clients, std::max<size_t>(8, per_client / 4));
+      run_load(**armed, clients, std::max<size_t>(8, per_client / 4));
+      double base_qps = 0.0;
+      double inst_qps = 0.0;
+      // Best-of-5: the single-digit-percent signal under test is smaller
+      // than per-trial scheduler noise, so take each side's best.
+      for (int trial = 0; trial < 5; ++trial) {
+        registry.set_enabled(false);
+        LoadResult b = run_load(**server, clients, per_client);
+        registry.set_enabled(true);
+        LoadResult i = run_load(**armed, clients, per_client);
+        if (b.errors != 0 || i.errors != 0) {
+          std::fprintf(stderr, "  C=%zu trial %d: errors (base %zu, inst %zu)\n",
+                       clients, trial, b.errors, i.errors);
+          failed = true;
+        }
+        base_qps = std::max(
+            base_qps, 1000.0 * static_cast<double>(b.latencies_ms.size()) / b.wall_ms);
+        inst_qps = std::max(
+            inst_qps, 1000.0 * static_cast<double>(i.latencies_ms.size()) / i.wall_ms);
+      }
+      double ratio = base_qps > 0.0 ? inst_qps / base_qps : 0.0;
+      std::printf("  %-8zu %14.0f %14.0f %8.3f%s\n", clients, base_qps, inst_qps,
+                  ratio, ratio < 0.95 ? "  FAIL (> 5% overhead)" : "");
+      if (ratio < 0.95) failed = true;
+      util::Json row = util::Json::object();
+      row["clients"] = clients;
+      row["baseline_qps"] = base_qps;
+      row["instrumented_qps"] = inst_qps;
+      row["ratio"] = ratio;
+      overhead.push_back(std::move(row));
+    }
+    registry.set_enabled(true);
+    std::remove(armed_log.c_str());
+  }
+
+  // Slow-log accounting arm (GammaPulse acceptance): at --slow-ms 0 every
+  // request is a slow-log candidate, and the three accounting buckets must
+  // cover all of them — emitted + capped == requests served (write_failures
+  // is the third bucket; on a healthy disk it must stay 0). Registry deltas
+  // are read in-process after the server destructor returns, which joins
+  // every worker and reactor, so the numbers are exact — no polling.
+  util::Json accounting = util::Json::object();
+  {
+    const std::string zero_log = "bench_serve_zero.slow.jsonl";
+    auto tally = [](uint64_t* requests, uint64_t* emitted, uint64_t* capped,
+                    uint64_t* write_failures) {
+      util::MetricsSnapshot snap = util::MetricsRegistry::instance().snapshot();
+      *requests = 0;
+      for (const auto& [name, value] : snap.counters) {
+        if (name.rfind("serve.rpc.", 0) == 0 && name.size() > 9 &&
+            name.compare(name.size() - 9, 9, ".requests") == 0) {
+          *requests += value;
+        }
+      }
+      auto get = [&snap](const std::string& n) -> uint64_t {
+        auto it = snap.counters.find(n);
+        return it == snap.counters.end() ? 0 : it->second;
+      };
+      *emitted = get("serve.slowlog.emitted");
+      *capped = get("serve.slowlog.capped");
+      *write_failures = get("serve.slowlog.write_failures");
+    };
+    uint64_t req0 = 0, emit0 = 0, cap0 = 0, wf0 = 0;
+    tally(&req0, &emit0, &cap0, &wf0);
+    uint64_t before_requests = 0;
+    size_t load_errors = 0;
+    {
+      serve::ServerOptions zopts;
+      zopts.port = 0;
+      zopts.workers = 4;
+      zopts.max_queue = 2048;
+      zopts.service.store_path = store_path;
+      zopts.slow_ms = 0.0;  // log everything: accounting must cover 100%
+      zopts.slow_log = zero_log;
+      auto zserver = serve::Server::start(std::move(zopts));
+      if (!zserver.ok()) {
+        std::fprintf(stderr, "slow-ms-0 server start failed: %s\n",
+                     zserver.status().to_string().c_str());
+        return 1;
+      }
+      uint64_t e, c, w;
+      tally(&before_requests, &e, &c, &w);
+      LoadResult r = run_load(**zserver, 8, 64);  // 512 logged candidates
+      load_errors = r.errors;
+    }  // server dtor: every flush observed, every append durable
+    uint64_t req1 = 0, emit1 = 0, cap1 = 0, wf1 = 0;
+    tally(&req1, &emit1, &cap1, &wf1);
+    uint64_t requests = req1 - before_requests;
+    uint64_t emitted = emit1 - emit0;
+    uint64_t capped = cap1 - cap0;
+    uint64_t write_failures = wf1 - wf0;
+    size_t log_lines = 0;
+    {
+      std::ifstream in(zero_log);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (!line.empty()) ++log_lines;
+      }
+    }
+    std::printf("\nslow-log accounting arm (--slow-ms 0): %llu requests -> "
+                "%llu emitted + %llu capped (%llu write failures, %zu lines)\n",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(emitted),
+                static_cast<unsigned long long>(capped),
+                static_cast<unsigned long long>(write_failures), log_lines);
+    if (load_errors != 0 || emitted + capped != requests || write_failures != 0 ||
+        log_lines != emitted) {
+      std::fprintf(stderr,
+                   "ACCOUNTING VIOLATION: emitted+capped must equal requests "
+                   "and the log must hold exactly `emitted` lines\n");
+      failed = true;
+    }
+    accounting["requests"] = requests;
+    accounting["emitted"] = emitted;
+    accounting["capped"] = capped;
+    accounting["write_failures"] = write_failures;
+    accounting["log_lines"] = log_lines;
+    std::remove(zero_log.c_str());
+  }
+
   util::Json doc = util::Json::object();
   doc["bench"] = "serve";
   doc["fd_limit"] = fd_limit;
   doc["arms"] = std::move(arms);
   doc["slow_reader"] = std::move(slow);
+  doc["instrumentation_overhead"] = std::move(overhead);
+  doc["slowlog_accounting"] = std::move(accounting);
   if (util::Status s = util::io::atomic_write_file("BENCH_serve.json", doc.dump(2) + "\n");
       !s.ok()) {
     std::fprintf(stderr, "cannot write BENCH_serve.json: %s\n", s.message().c_str());

@@ -106,8 +106,11 @@ void Client::set_retry(const util::RetryPolicy& policy) {
 }
 
 bool Client::idempotent_kind(std::string_view kind) {
+  // The read set: safe to re-send across a reconnect. study_status is a
+  // pure progress read — exactly what an operator polls across a daemon
+  // restart.
   return kind == "ping" || kind == "health" || kind == "stats" ||
-         kind == "open" || kind == "query";
+         kind == "open" || kind == "query" || kind == "study_status";
 }
 
 util::Status Client::send_bytes(const std::string& bytes) {

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <utility>
 
+#include "serve/pulse.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -88,7 +89,12 @@ constexpr int kDrainFlushTimeoutMs = 5000;
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       service_(options_.service),
-      dispatcher_(options_.workers, options_.max_queue) {}
+      dispatcher_(options_.workers, options_.max_queue),
+      started_(std::chrono::steady_clock::now()) {
+  if (!options_.slow_log.empty()) {
+    slow_log_ = std::make_unique<SlowLog>(options_.slow_log, options_.slow_ms);
+  }
+}
 
 util::StatusOr<std::unique_ptr<Server>> Server::start(ServerOptions options) {
   if (options.reactors == 0) options.reactors = 1;
@@ -315,8 +321,11 @@ void Server::reactor_loop(Reactor& r) {
         continue;
       }
       if (ev.events & EPOLLOUT) {
-        std::lock_guard<std::mutex> lock(session->out_mu);
-        flush_locked(*session);
+        {
+          std::lock_guard<std::mutex> lock(session->out_mu);
+          flush_locked(*session);
+        }
+        publish_flushed(*session);
       }
       if (session->dead.load(std::memory_order_acquire)) {
         teardown(r, session);
@@ -362,7 +371,9 @@ void Server::teardown(Reactor& r, const std::shared_ptr<Session>& session) {
   {
     std::lock_guard<std::mutex> lock(session->out_mu);
     session->dead.store(true, std::memory_order_release);
+    abandon_pending_locked(*session);
   }
+  publish_flushed(*session);
   ::shutdown(session->fd, SHUT_RDWR);
   session_closed(session->id);
   // The fd itself closes when the last Session reference (possibly a queued
@@ -406,6 +417,7 @@ void Server::handle_readable(const std::shared_ptr<Session>& session) {
           }
           enqueue_bytes(*session,
                         encode_frame(error_reply(0, "oversized_frame", detail)));
+          publish_flushed(*session);
           return;
         }
         if (res == FrameDecoder::Result::BadJson) {
@@ -448,7 +460,9 @@ void Server::handle_readable(const std::shared_ptr<Session>& session) {
       std::lock_guard<std::mutex> lock(session->out_mu);
       if (session->out_off < session->outbuf.size()) send_failures().inc();
       session->dead.store(true, std::memory_order_release);
+      abandon_pending_locked(*session);
     }
+    publish_flushed(*session);
     return;
   }
 }
@@ -468,43 +482,98 @@ void Server::handle_frame(const std::shared_ptr<Session>& session, util::Json fr
     return;
   }
 
+  // GammaPulse: stamp decode and count the request under its (normalized)
+  // kind before any gate can shed it — RED rate is what arrived, not what
+  // survived.
+  RequestClock clock;
+  clock.kind = normalize_kind(kind);
+  clock.id = id;
+  clock.session_id = session->id;
+  clock.decode = PulseClock::now();
+  kind_metrics(clock.kind).requests->inc();
+  if (slow_log_) clock.spec = normalize_spec(clock.kind, frame);
+  // A shed reply skips execute(): zero its stage stamps so the slow-log
+  // breakdown reads queue_wait 0 / handle 0 / flush real.
+  auto shed = [&clock] {
+    clock.ok = false;
+    clock.enqueue = clock.dequeue = clock.handle_start = clock.handle_end =
+        clock.decode;
+  };
+
   // Control plane: answered on the reactor thread, never queued — health
   // and shutdown must work precisely when the data plane is saturated, and
   // they are exempt from the rate limit for the same reason.
   if (Service::is_inline_kind(kind)) {
-    execute(session, id, kind, frame);
+    clock.inline_kind = true;
+    clock.enqueue = clock.dequeue = clock.decode;
+    execute(session, std::move(clock), kind, frame);
     return;
   }
 
   if (draining_.load(std::memory_order_acquire)) {
-    write_reply(*session, error_reply(id, "unavailable", "server is draining"));
+    shed();
+    clock.error_code = "unavailable";
+    count_kind_error(clock.kind, "draining");
+    write_reply(*session, error_reply(id, "unavailable", "server is draining"),
+                &clock);
     return;
   }
   if (options_.rate_limit > 0.0 && !take_token(*session)) {
     static util::Counter& rate_limited =
         util::MetricsRegistry::instance().counter("serve.rate_limited");
     rate_limited.inc();
+    shed();
+    clock.error_code = "rate_limited";
+    clock.rate_limited = true;
+    count_kind_error(clock.kind, "rate_limited");
     write_reply(*session,
-                error_reply(id, "rate_limited", "per-client rate limit exceeded"));
+                error_reply(id, "rate_limited", "per-client rate limit exceeded"),
+                &clock);
     return;
   }
+  clock.enqueue = PulseClock::now();
+  // Survive the move below: the queue-full shed path still needs these
+  // (clock and frame both live inside the destroyed lambda by then).
+  std::string spec = clock.spec;
+  PulseClock::time_point decoded_at = clock.decode;
   session->inflight.fetch_add(1, std::memory_order_acq_rel);
   Dispatcher::Submit submitted = dispatcher_.submit(
-      [this, session, id, kind, frame = std::move(frame)] {
-        execute(session, id, kind, frame);
+      [this, session, id, kind, clock = std::move(clock),
+       frame = std::move(frame)]() mutable {
+        clock.dequeue = PulseClock::now();
+        execute(session, std::move(clock), kind, frame);
         session->inflight.fetch_sub(1, std::memory_order_acq_rel);
         maybe_finish_half_closed(session);
       });
   if (submitted == Dispatcher::Submit::Accepted) return;
   session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+  // The lambda was never run, but submit() copied it in and destroyed it —
+  // rebuild the shed clock from scratch (the moved-from one is gone).
+  RequestClock shed_clock;
+  shed_clock.kind = normalize_kind(kind);
+  shed_clock.id = id;
+  shed_clock.session_id = session->id;
+  shed_clock.decode = shed_clock.enqueue = shed_clock.dequeue =
+      shed_clock.handle_start = shed_clock.handle_end = decoded_at;
+  shed_clock.ok = false;
+  shed_clock.backpressure = true;
+  shed_clock.spec = std::move(spec);
   if (submitted == Dispatcher::Submit::QueueFull) {
     static util::Counter& rejected =
         util::MetricsRegistry::instance().counter("serve.rejected");
     rejected.inc();
+    // The fix the shed-load satellite demands: a queue-full rejection is an
+    // attributable per-kind error, not just a global tally.
+    count_kind_error(shed_clock.kind, "queue_full");
+    shed_clock.error_code = "resource_exhausted";
     write_reply(*session,
-                error_reply(id, "resource_exhausted", "request queue full"));
+                error_reply(id, "resource_exhausted", "request queue full"),
+                &shed_clock);
   } else {
-    write_reply(*session, error_reply(id, "unavailable", "server is draining"));
+    count_kind_error(shed_clock.kind, "draining");
+    shed_clock.error_code = "unavailable";
+    write_reply(*session, error_reply(id, "unavailable", "server is draining"),
+                &shed_clock);
   }
 }
 
@@ -526,7 +595,7 @@ bool Server::take_token(Session& session) {
   return true;
 }
 
-void Server::execute(const std::shared_ptr<Session>& session, double id,
+void Server::execute(const std::shared_ptr<Session>& session, RequestClock clock,
                      const std::string& kind, const util::Json& frame) {
   static util::Histogram& request_ms =
       util::MetricsRegistry::instance().histogram("serve.request_ms");
@@ -534,28 +603,38 @@ void Server::execute(const std::shared_ptr<Session>& session, double id,
   util::trace::ScopedSpan span("serve.request", "serve");
   span.arg("kind", kind);
   span.arg("session", static_cast<uint64_t>(session->id));
+  clock.handle_start = PulseClock::now();
   util::StatusOr<util::Json> result = service_.handle(*session, kind, frame);
+  clock.handle_end = PulseClock::now();
+  const KindMetrics& km = kind_metrics(clock.kind);
+  km.queue_wait_ms->observe(clock.queue_wait_ms());
+  km.handle_ms->observe(clock.handle_ms());
+  double id = clock.id;
   if (result.ok()) {
-    write_reply(*session, ok_reply(id, std::move(*result)));
+    write_reply(*session, ok_reply(id, std::move(*result)), &clock);
     // Shutdown triggers only after its reply is buffered — drain flushes
     // every outbound buffer before closing sessions, so the requesting
     // client always reads the acknowledgement.
     if (kind == "shutdown") request_shutdown();
   } else {
     span.arg("error", result.status().code_name());
-    write_reply(*session, error_reply(id, result.status()));
+    km.errors->inc();
+    clock.ok = false;
+    clock.error_code = result.status().code_name();
+    write_reply(*session, error_reply(id, result.status()), &clock);
   }
 }
 
-void Server::write_reply(Session& session, const util::Json& reply) {
+void Server::write_reply(Session& session, const util::Json& reply,
+                         RequestClock* clock) {
   // Serialize the envelope once — the overwhelmingly common small-reply
   // path pays exactly what the phase-1 plane paid. Only an envelope already
   // past the chunk threshold is re-serialized as a chunk sequence.
   std::string wire = encode_frame(reply);
+  size_t chunks = 1;
   if (wire.size() > options_.chunk_bytes) {
     const util::Json* result = reply.find("result");
     if (result != nullptr && reply.get_bool("ok")) {
-      size_t chunks = 1;
       wire = encode_reply_frames(reply.get_number("id", 0.0), *result,
                                  options_.chunk_bytes, &chunks);
       if (chunks > 1) {
@@ -565,15 +644,25 @@ void Server::write_reply(Session& session, const util::Json& reply) {
       }
     }
   }
-  enqueue_bytes(session, std::move(wire));
+  if (clock != nullptr) {
+    clock->reply_bytes = wire.size();
+    clock->chunks = chunks;
+  }
+  enqueue_bytes(session, std::move(wire), clock);
+  publish_flushed(session);
 }
 
-bool Server::enqueue_bytes(Session& session, std::string bytes) {
+bool Server::enqueue_bytes(Session& session, std::string bytes,
+                           RequestClock* clock) {
   std::lock_guard<std::mutex> lock(session.out_mu);
   if (session.dead.load(std::memory_order_acquire)) {
     // The peer died (or was cut loose) before this reply: surfaced, counted,
     // dropped — never silently swallowed into a broken socket.
     send_failures().inc();
+    if (clock != nullptr) {
+      session.flushed_replies.push_back(
+          {std::move(*clock), PulseClock::now(), /*delivered=*/false});
+    }
     return false;
   }
   size_t buffered = session.outbuf.size() - session.out_off;
@@ -584,14 +673,29 @@ bool Server::enqueue_bytes(Session& session, std::string bytes) {
     // means the peer has stopped reading. Disconnect it instead of wedging
     // a worker or buffering without bound.
     slow_reader_disconnects().inc();
+    if (clock != nullptr) {
+      // The shed-load fix: the disconnect is charged to the request's kind
+      // (the reply it cost), not just the global slow-reader counter.
+      count_kind_error(clock->kind, "slow_reader");
+      clock->backpressure = true;
+      session.flushed_replies.push_back(
+          {std::move(*clock), PulseClock::now(), /*delivered=*/false});
+    }
     mark_dead_locked(session);
     return false;
   }
+  size_t nbytes = bytes.size();
   if (buffered == 0) {
     session.outbuf = std::move(bytes);
     session.out_off = 0;
   } else {
     session.outbuf += bytes;
+  }
+  session.enqueued_total += nbytes;
+  if (clock != nullptr) {
+    // Park before flushing: an immediately-draining flush completes the
+    // entry in the same flush_locked call below.
+    session.pending_replies.push_back({session.enqueued_total, std::move(*clock)});
   }
   flush_locked(session);
   return !session.dead.load(std::memory_order_acquire);
@@ -604,6 +708,7 @@ void Server::flush_locked(Session& session) {
                        MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n > 0) {
       session.out_off += static_cast<size_t>(n);
+      session.flushed_total += static_cast<uint64_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -612,6 +717,20 @@ void Server::flush_locked(Session& session) {
     send_failures().inc();
     mark_dead_locked(session);
     return;
+  }
+  // Replies whose last byte the kernel just accepted get their flushed
+  // stamp here; the recording (histogram + slow-log fsync) happens in
+  // publish_flushed, outside out_mu.
+  if (!session.pending_replies.empty()) {
+    PulseClock::time_point now = PulseClock::now();
+    while (!session.pending_replies.empty() &&
+           session.pending_replies.front().flushed_at_bytes <=
+               session.flushed_total) {
+      session.flushed_replies.push_back(
+          {std::move(session.pending_replies.front().clock), now,
+           /*delivered=*/true});
+      session.pending_replies.pop_front();
+    }
   }
   if (session.out_off == session.outbuf.size()) {
     session.outbuf.clear();
@@ -635,10 +754,35 @@ void Server::flush_locked(Session& session) {
 
 void Server::mark_dead_locked(Session& session) {
   if (session.dead.exchange(true, std::memory_order_acq_rel)) return;
+  abandon_pending_locked(session);
   // Wake the peer's pending reads, then hand the epoll/bookkeeping removal
   // to the owning reactor — the only thread allowed to do it.
   ::shutdown(session.fd, SHUT_RDWR);
   request_teardown(session);
+}
+
+void Server::abandon_pending_locked(Session& session) {
+  if (session.pending_replies.empty()) return;
+  PulseClock::time_point now = PulseClock::now();
+  for (auto& pending : session.pending_replies) {
+    session.flushed_replies.push_back(
+        {std::move(pending.clock), now, /*delivered=*/false});
+  }
+  session.pending_replies.clear();
+}
+
+void Server::publish_flushed(Session& session) {
+  std::vector<Session::FlushedReply> done;
+  {
+    std::lock_guard<std::mutex> lock(session.out_mu);
+    if (session.flushed_replies.empty()) return;
+    done.swap(session.flushed_replies);
+  }
+  for (const Session::FlushedReply& reply : done) {
+    kind_metrics(reply.clock.kind)
+        .flush_ms->observe(reply.clock.flush_ms(reply.flushed));
+    if (slow_log_) slow_log_->observe(reply.clock, reply.flushed, reply.delivered);
+  }
 }
 
 void Server::set_interest_locked(Session& session, bool want_write) {
@@ -673,22 +817,35 @@ size_t Server::active_sessions() const {
 }
 
 util::Json Server::health_json() {
+  // Everything `gamma top` and check.sh need for liveness triage in one
+  // inline RPC — no stats scrape required: drain state, queue, in-flight
+  // work, session census, and uptime.
   util::Json doc = util::Json::object();
   doc["state"] = draining_.load(std::memory_order_acquire) ? "draining" : "serving";
   doc["queue_depth"] = dispatcher_.depth();
+  doc["max_queue"] = options_.max_queue;
   doc["workers"] = dispatcher_.workers();
   doc["reactors"] = reactors_.size();
   size_t sessions;
   uint64_t session_requests = 0;
+  int in_flight = 0;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions = sessions_.size();
     for (const auto& [id, s] : sessions_) {
       session_requests += s->requests.load(std::memory_order_relaxed);
+      in_flight += s->inflight.load(std::memory_order_relaxed);
     }
   }
   doc["sessions"] = sessions;
+  doc["active_sessions"] = sessions;
+  doc["in_flight"] = static_cast<size_t>(in_flight < 0 ? 0 : in_flight);
   doc["session_requests"] = static_cast<size_t>(session_requests);
+  doc["uptime_s"] = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                  started_)
+                        .count();
+  doc["slow_ms"] = options_.slow_ms;
+  doc["slow_log_armed"] = slow_log_ != nullptr;
   return doc;
 }
 

@@ -96,6 +96,13 @@ struct ServerOptions {
   /// SO_SNDBUF for accepted sockets (0 = kernel default). Tests and benches
   /// shrink it so the slow-reader path triggers without megabytes of replies.
   int sndbuf_bytes = 0;
+  /// GammaPulse slow-query threshold: a request whose decode→last-byte-
+  /// flushed total is >= this many milliseconds emits one slow-log record
+  /// (0 = log every request). Only consulted when slow_log is set.
+  double slow_ms = 50.0;
+  /// Slow-query JSONL sink path ("" = slow log disarmed). Records are
+  /// durable_append'ed with a per-second emission cap (SlowLog::kMaxPerSecond).
+  std::string slow_log;
   ServiceOptions service;
 };
 
@@ -149,7 +156,7 @@ class Server {
   static void request_teardown(Session& session);
 
   void handle_frame(const std::shared_ptr<Session>& session, util::Json frame);
-  void execute(const std::shared_ptr<Session>& session, double id,
+  void execute(const std::shared_ptr<Session>& session, RequestClock clock,
                const std::string& kind, const util::Json& frame);
   /// True when the session's token bucket admits one more data-plane
   /// request. Reactor-thread only.
@@ -158,10 +165,22 @@ class Server {
   // Write plane. enqueue_bytes appends + opportunistically flushes;
   // flush_locked drains with MSG_DONTWAIT and manages EPOLLOUT arming. All
   // require session.out_mu (the *_locked suffix) and never block.
-  void write_reply(Session& session, const util::Json& reply);
-  bool enqueue_bytes(Session& session, std::string bytes);
+  // `clock` (nullable) parks the request on the session's pending-flush
+  // queue so the last-byte-flushed stamp lands when the kernel accepts it.
+  void write_reply(Session& session, const util::Json& reply,
+                   RequestClock* clock = nullptr);
+  bool enqueue_bytes(Session& session, std::string bytes,
+                     RequestClock* clock = nullptr);
   void flush_locked(Session& session);
   void mark_dead_locked(Session& session);
+  /// Move every still-pending reply to the flushed list as undelivered —
+  /// the session is dying and their last byte will never drain. Requires
+  /// out_mu.
+  void abandon_pending_locked(Session& session);
+  /// Record flush_ms + slow-log for replies whose last byte drained (or
+  /// whose session died). Takes out_mu briefly; the recording itself —
+  /// including the slow-log fsync — runs outside it.
+  void publish_flushed(Session& session);
   void set_interest_locked(Session& session, bool want_write);
   /// Reap a half-closed session once its last reply has flushed.
   void maybe_finish_half_closed(const std::shared_ptr<Session>& session);
@@ -172,6 +191,11 @@ class Server {
   ServerOptions options_;
   Service service_;
   Dispatcher dispatcher_;
+  /// Armed when options_.slow_log is set; shared by every session's
+  /// publish_flushed path (internally locked).
+  std::unique_ptr<SlowLog> slow_log_;
+  /// Server start time, for health's uptime_s.
+  std::chrono::steady_clock::time_point started_{};
 
   int listen_fd_ = -1;
   /// We bound options_.unix_path ourselves. Guards the unlink at drain: a

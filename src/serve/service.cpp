@@ -28,6 +28,10 @@ namespace {
 /// past any reasonable drain timeout.
 constexpr double kMaxSleepMs = 5000.0;
 
+/// How many submitted studies keep a queryable StudyProgress. Old jobs age
+/// out oldest-first; the latest is always queryable.
+constexpr size_t kMaxTrackedJobs = 8;
+
 util::Counter& kind_counter(const std::string& kind) {
   return util::MetricsRegistry::instance().counter("serve.requests." + kind);
 }
@@ -77,8 +81,11 @@ util::Status Service::init() {
 bool Service::is_inline_kind(const std::string& kind) {
   // The control plane bypasses the bounded queue: health/stats must answer
   // while the data plane is saturated, and shutdown must be deliverable
-  // under exactly that condition.
-  return kind == "ping" || kind == "health" || kind == "stats" || kind == "shutdown";
+  // under exactly that condition. study_status joins them because a running
+  // study holds a worker under study_mu_ — progress must be readable from
+  // the reactor precisely then.
+  return kind == "ping" || kind == "health" || kind == "stats" ||
+         kind == "shutdown" || kind == "study_status";
 }
 
 util::StatusOr<util::Json> Service::handle(Session& session, const std::string& kind,
@@ -127,6 +134,10 @@ util::StatusOr<util::Json> Service::handle(Session& session, const std::string& 
   if (kind == "submit_study") {
     kind_counter("submit_study").inc();
     return handle_submit_study(params);
+  }
+  if (kind == "study_status") {
+    kind_counter("study_status").inc();
+    return handle_study_status(params);
   }
   if (kind == "sleep") {
     kind_counter("sleep").inc();
@@ -245,10 +256,24 @@ util::StatusOr<util::Json> Service::handle_submit_study(const util::Json& params
     }
   }
   options.store_out = params.get_string("store_out");
+  options.shard_dir = params.get_string("shard_dir");
   options.checkpoint_dir = options_.checkpoint_dir;
+  options.fault_plan = options_.fault_plan;
   // Resume unconditionally when journaled: that is the daemon restart
   // contract — a killed study's countries are reused, byte-identically.
   options.resume = !options_.checkpoint_dir.empty();
+
+  // GammaPulse job tracking: register the progress handle BEFORE taking
+  // study_mu_, so study_status can see a job that is still waiting its turn
+  // behind another study.
+  options.progress = std::make_shared<worldgen::StudyProgress>();
+  uint64_t job_id;
+  {
+    std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
+    job_id = ++next_job_id_;
+    jobs_[job_id] = options.progress;
+    while (jobs_.size() > kMaxTrackedJobs) jobs_.erase(jobs_.begin());
+  }
 
   std::lock_guard<std::mutex> study_lock(study_mu_);
   {
@@ -263,6 +288,7 @@ util::StatusOr<util::Json> Service::handle_submit_study(const util::Json& params
   try {
     study = worldgen::run_study(*options_.world, options);
   } catch (const std::exception& e) {
+    options.progress->finish(false);
     std::string what = e.what();
     // run_study throws exactly two structured failures: a journal held by a
     // concurrent study (retryable) and a failed store write (not).
@@ -271,12 +297,18 @@ util::StatusOr<util::Json> Service::handle_submit_study(const util::Json& params
     }
     return util::Status::internal(what);
   }
+  options.progress->finish(true);
 
   analysis::PrevalenceReport prev = analysis::compute_prevalence(study.analyses);
   analysis::FlowsReport flows = analysis::compute_flows(study.analyses);
   util::Json result = util::Json::object();
+  result["job"] = static_cast<size_t>(job_id);
   result["countries"] = study.analyses.size();
   result["resumed_countries"] = study.resumed_countries;
+  if (!options.shard_dir.empty()) {
+    result["shards"] = study.shard_paths.size();
+    result["shards_reused"] = study.shards_reused;
+  }
   util::Json degraded = util::Json::array();
   for (const std::string& c : study.degraded_countries) degraded.push_back(c);
   result["degraded"] = std::move(degraded);
@@ -285,6 +317,47 @@ util::StatusOr<util::Json> Service::handle_submit_study(const util::Json& params
   util::log_info("serve", "study done: " + std::to_string(study.analyses.size()) +
                               " countries, " +
                               std::to_string(study.resumed_countries) + " resumed");
+  return result;
+}
+
+util::StatusOr<util::Json> Service::handle_study_status(const util::Json& params) {
+  // Inline-plane: runs on a reactor thread while a study may be holding a
+  // worker under study_mu_. Only jobs_mu_ (never held across anything slow)
+  // and the progress snapshot's own mutex are touched.
+  uint64_t job_id = 0;
+  std::shared_ptr<worldgen::StudyProgress> progress;
+  double requested = params.get_number("job", 0.0);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (requested > 0.0) {
+      auto it = jobs_.find(static_cast<uint64_t>(requested));
+      if (it == jobs_.end()) {
+        return util::Status::not_found(
+            "study_status: unknown job " +
+            std::to_string(static_cast<uint64_t>(requested)) +
+            " (tracked: most recent " + std::to_string(kMaxTrackedJobs) + ")");
+      }
+      job_id = it->first;
+      progress = it->second;
+    } else if (!jobs_.empty()) {
+      job_id = jobs_.rbegin()->first;
+      progress = jobs_.rbegin()->second;
+    }
+  }
+  if (!progress) {
+    // No study submitted yet — a structured "nothing to report", not an
+    // error, so `gamma top` can poll unconditionally.
+    util::Json result = util::Json::object();
+    result["state"] = "none";
+    result["jobs"] = static_cast<size_t>(0);
+    return result;
+  }
+  util::Json result = progress->status_json();
+  result["job"] = static_cast<size_t>(job_id);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    result["jobs"] = jobs_.size();
+  }
   return result;
 }
 

@@ -13,7 +13,12 @@
 //                 result bytes identical to `gamma store query` (test-asserted)
 //   submit_study  {"seed"?, "countries"?, "jobs"?, "store_out"?} -> run a
 //                 study; journaled to the daemon's checkpoint dir, so a
-//                 killed daemon resumes per-country on restart
+//                 killed daemon resumes per-country on restart. The reply
+//                 carries the tracked "job" id for study_status.
+//   study_status  {"job"?: N}                 -> GammaPulse progress for the
+//                 given (default: latest) submitted study — per-country
+//                 states, counts, elapsed, ETA. Inline: answers while a
+//                 study holds a worker, which is the whole point.
 //   sleep         {"ms": N (<= 5000)}         -> hold a worker; the load
 //                 generator for the backpressure/drain tests and benches
 //   shutdown      {}                          -> begin graceful drain
@@ -24,7 +29,9 @@
 // loser anyway). Queries run fully parallel.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -45,6 +52,11 @@ struct ServiceOptions {
   /// Simulated world studies run against; generated lazily on the first
   /// submit_study when null (generation is expensive — tests share one).
   std::shared_ptr<worldgen::World> world;
+  /// Fault plan applied to every submitted study (`gamma serve
+  /// --fault-plan`), same deterministic contract as `gamma study
+  /// --fault-plan`: for a fixed seed the study output — and therefore the
+  /// slow-log's non-timing bytes — is identical at every jobs width.
+  std::optional<util::FaultPlan> fault_plan;
 };
 
 class Service {
@@ -77,6 +89,7 @@ class Service {
   util::StatusOr<util::Json> handle_open(Session& session, const util::Json& params);
   util::StatusOr<util::Json> handle_query(Session& session, const util::Json& params);
   util::StatusOr<util::Json> handle_submit_study(const util::Json& params);
+  util::StatusOr<util::Json> handle_study_status(const util::Json& params);
   util::StatusOr<util::Json> handle_sleep(const util::Json& params);
   util::StatusOr<util::Json> handle_stats();
   util::StatusOr<std::shared_ptr<store::Reader>> resolve_store(Session& session,
@@ -88,6 +101,14 @@ class Service {
   std::function<util::Json()> health_provider_;
   std::mutex world_mu_;  // guards lazy world generation
   std::mutex study_mu_;  // serializes submitted studies
+
+  /// GammaPulse job tracker: every submit_study gets an id and a shared
+  /// StudyProgress the inline study_status handler reads WITHOUT touching
+  /// study_mu_ — status answers while a study holds a worker. Bounded to
+  /// the most recent jobs (kMaxTrackedJobs).
+  std::mutex jobs_mu_;
+  uint64_t next_job_id_ = 0;
+  std::map<uint64_t, std::shared_ptr<worldgen::StudyProgress>> jobs_;
 };
 
 }  // namespace gam::serve

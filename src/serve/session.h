@@ -15,12 +15,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "serve/protocol.h"
+#include "serve/pulse.h"
 #include "store/reader.h"
 #include "util/status.h"
 
@@ -77,6 +80,30 @@ struct Session {
   /// Flush whatever is buffered, then tear the session down (the
   /// BadLength goodbye: diagnose, flush, hang up).
   bool close_after_flush = false;
+
+  // --- GammaPulse flush tracking: guarded by out_mu -----------------------
+  /// Monotonic byte counters (ever enqueued / ever accepted by the kernel).
+  /// Absolute watermarks sidestep the outbuf compaction bookkeeping: a
+  /// pending reply is flushed exactly when flushed_total reaches the
+  /// enqueued_total captured at its enqueue.
+  uint64_t enqueued_total = 0;
+  uint64_t flushed_total = 0;
+  /// A reply whose last byte has not left the outbuf yet. Completed entries
+  /// migrate to `flushed_replies` (inside flush_locked / mark_dead_locked)
+  /// and are published — flush_ms histogram + slow-log — by
+  /// Server::publish_flushed OUTSIDE out_mu, so no fsync ever runs under a
+  /// session lock.
+  struct PendingReply {
+    uint64_t flushed_at_bytes = 0;
+    RequestClock clock;
+  };
+  struct FlushedReply {
+    RequestClock clock;
+    PulseClock::time_point flushed{};
+    bool delivered = true;  // false: session died before the reply drained
+  };
+  std::deque<PendingReply> pending_replies;
+  std::vector<FlushedReply> flushed_replies;
 
   /// Owning reactor. Set once at accept, before the session is published;
   /// valid for the server's lifetime (reactors are joined only at drain,

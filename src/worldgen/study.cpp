@@ -64,6 +64,117 @@ class ScopedIoFaults {
 
 }  // namespace
 
+const char* StudyProgress::state_name(CountryState s) {
+  switch (s) {
+    case CountryState::kPending:
+      return "pending";
+    case CountryState::kRunning:
+      return "running";
+    case CountryState::kDone:
+      return "done";
+    case CountryState::kDegraded:
+      return "degraded";
+    case CountryState::kShardPublished:
+      return "shard_published";
+  }
+  return "pending";
+}
+
+void StudyProgress::begin(const std::vector<std::string>& countries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  countries_ = countries;
+  states_.assign(countries.size(), CountryState::kPending);
+  started_ = true;
+  finished_ = false;
+  ok_ = true;
+  start_ = std::chrono::steady_clock::now();
+}
+
+void StudyProgress::mark(size_t index, CountryState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= states_.size()) return;
+  CountryState& cur = states_[index];
+  // Terminal states never regress: a breaker retry re-enters the stage and
+  // marks running again, which must not un-complete the country — observed
+  // completed-counts stay monotonic.
+  if (state == CountryState::kRunning && cur != CountryState::kPending) return;
+  if (state == CountryState::kPending) return;
+  cur = state;
+}
+
+void StudyProgress::finish(bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_ = true;
+  ok_ = ok;
+  end_ = std::chrono::steady_clock::now();
+}
+
+bool StudyProgress::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+size_t StudyProgress::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (CountryState s : states_) {
+    if (s == CountryState::kDone || s == CountryState::kDegraded ||
+        s == CountryState::kShardPublished) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+util::Json StudyProgress::status_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Json doc = util::Json::object();
+  size_t pending = 0, running = 0, done = 0, degraded = 0, shard_published = 0;
+  util::Json per_country = util::Json::object();
+  for (size_t i = 0; i < states_.size(); ++i) {
+    switch (states_[i]) {
+      case CountryState::kPending: ++pending; break;
+      case CountryState::kRunning: ++running; break;
+      case CountryState::kDone: ++done; break;
+      case CountryState::kDegraded: ++degraded; break;
+      case CountryState::kShardPublished: ++shard_published; break;
+    }
+    per_country[countries_[i]] = state_name(states_[i]);
+  }
+  size_t completed = done + degraded + shard_published;
+  if (!started_) {
+    doc["state"] = "pending";
+  } else if (finished_) {
+    doc["state"] = ok_ ? "done" : "failed";
+  } else {
+    doc["state"] = "running";
+  }
+  doc["total"] = states_.size();
+  doc["completed"] = completed;
+  util::Json counts = util::Json::object();
+  counts["pending"] = pending;
+  counts["running"] = running;
+  counts["done"] = done;
+  counts["degraded"] = degraded;
+  counts["shard_published"] = shard_published;
+  doc["counts"] = std::move(counts);
+  doc["countries"] = std::move(per_country);
+  if (started_) {
+    auto end = finished_ ? end_ : std::chrono::steady_clock::now();
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(end - start_).count();
+    doc["elapsed_ms"] = elapsed_ms;
+    if (completed > 0 && completed < states_.size()) {
+      // Completed-country-rate ETA: remaining countries at the observed pace.
+      doc["eta_ms"] = elapsed_ms / static_cast<double>(completed) *
+                      static_cast<double>(states_.size() - completed);
+    } else if (completed == states_.size() || finished_) {
+      doc["eta_ms"] = 0.0;
+    }
+  }
+  return doc;
+}
+
 StudyResult run_study(World& world, const StudyOptions& options) {
   StudyResult result;
   result.targets_before_optout = world.targets_before_optout;
@@ -75,6 +186,10 @@ StudyResult run_study(World& world, const StudyOptions& options) {
     countries = world.vantage_countries.empty() ? world::source_countries()
                                                 : world.vantage_countries;
   }
+
+  // Arm the progress observer on the *resolved* list, so study_status shows
+  // real country codes even when the caller asked for "all".
+  if (options.progress) options.progress->begin(countries);
 
   core::GammaEnv env = world.env();
   core::GammaConfig config = core::GammaConfig::study_defaults();
@@ -210,7 +325,7 @@ StudyResult run_study(World& world, const StudyOptions& options) {
     return out;
   };
 
-  auto stage = [&](size_t, const std::string& code, int attempt) {
+  auto stage = [&](size_t i, const std::string& code, int attempt) {
     static util::Counter& done =
         util::MetricsRegistry::instance().counter("study.countries");
     static util::Counter& resumed =
@@ -219,6 +334,9 @@ StudyResult run_study(World& world, const StudyOptions& options) {
         util::MetricsRegistry::instance().histogram("study.country_wall_ms");
     util::ScopedTimer timer(wall);
     done.inc();
+    if (options.progress) {
+      options.progress->mark(i, StudyProgress::CountryState::kRunning);
+    }
     CountryOutcome out;
 
     if (journal) {
@@ -235,6 +353,9 @@ StudyResult run_study(World& world, const StudyOptions& options) {
         resumed.inc();
         analyze_outcome(code, out);
         util::log_info("study", "resumed " + code + " from checkpoint");
+        if (options.progress) {
+          options.progress->mark(i, StudyProgress::CountryState::kDone);
+        }
         return out;
       }
     }
@@ -253,11 +374,17 @@ StudyResult run_study(World& world, const StudyOptions& options) {
                                     js.to_string());
       }
     }
+    if (options.progress) {
+      options.progress->mark(i, StudyProgress::CountryState::kDone);
+    }
     return out;
   };
 
-  auto fallback = [&](size_t, const std::string& code, const std::string& error) {
+  auto fallback = [&](size_t i, const std::string& code, const std::string& error) {
     CountryOutcome out = degraded_outcome(code, error);
+    if (options.progress) {
+      options.progress->mark(i, StudyProgress::CountryState::kDegraded);
+    }
     if (journal) {
       CheckpointRecord rec;
       rec.country = code;
@@ -314,6 +441,9 @@ StudyResult run_study(World& world, const StudyOptions& options) {
           util::MetricsRegistry::instance().histogram("study.country_wall_ms");
       util::ScopedTimer timer(wall);
       done.inc();
+      if (options.progress) {
+        options.progress->mark(i, StudyProgress::CountryState::kRunning);
+      }
       ShardOutcome so;
       so.country = code;
 
@@ -334,6 +464,11 @@ StudyResult run_study(World& world, const StudyOptions& options) {
             so.reused = true;
             reused.inc();
             util::log_info("study", "reused shard for " + code + ": " + so.path);
+            if (options.progress) {
+              options.progress->mark(
+                  i, so.degraded ? StudyProgress::CountryState::kDegraded
+                                 : StudyProgress::CountryState::kShardPublished);
+            }
             return so;
           }
         }
@@ -356,6 +491,9 @@ StudyResult run_study(World& world, const StudyOptions& options) {
       so.atlas_repaired = out.atlas_repaired;
       util::log_info("study", "published shard for " + code + ": " + so.path);
       journal_shard(code, so, "");
+      if (options.progress) {
+        options.progress->mark(i, StudyProgress::CountryState::kShardPublished);
+      }
       return so;
       // `out` — this country's entire dataset and analysis — dies here.
     };
@@ -363,6 +501,9 @@ StudyResult run_study(World& world, const StudyOptions& options) {
     auto shard_fallback = [&](size_t i, const std::string& code,
                               const std::string& error) {
       CountryOutcome out = degraded_outcome(code, error);
+      if (options.progress) {
+        options.progress->mark(i, StudyProgress::CountryState::kDegraded);
+      }
       ShardOutcome so;
       so.country = code;
       so.degraded = true;

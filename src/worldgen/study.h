@@ -8,16 +8,66 @@
 // analyses every figure/table is computed from.
 #pragma once
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/dataset.h"
 #include "util/fault.h"
+#include "util/json.h"
 #include "worldgen/world.h"
 
 namespace gam::worldgen {
+
+/// GammaPulse study progress: thread-safe per-country states shared between
+/// a running study and its observers (the serve `study_status` RPC, the
+/// `gamma study --progress` stderr line). run_study drives it from the
+/// ParallelStudyRunner's stage/fallback callbacks; observers snapshot it
+/// at any time from any thread.
+///
+/// Country state machine (DESIGN §14):
+///   pending -> running -> done             (legacy stage, incl. journal resume)
+///   pending -> running -> shard_published  (shard stage, incl. shard reuse)
+///   pending -> running -> degraded         (circuit breaker fallback)
+/// Terminal states never regress (a breaker retry re-marks running only
+/// from pending), so observed completed-counts are monotonically
+/// non-decreasing — the kill+resume status test's invariant.
+class StudyProgress {
+ public:
+  enum class CountryState { kPending, kRunning, kDone, kDegraded, kShardPublished };
+
+  static const char* state_name(CountryState s);
+
+  /// (Re)arm for a study over `countries`; starts the wall clock.
+  void begin(const std::vector<std::string>& countries);
+  /// Advance one country. Downgrades (terminal -> running/pending) are
+  /// ignored; upgrades always land.
+  void mark(size_t index, CountryState state);
+  /// The study returned (ok) or threw (!ok); freezes the elapsed clock.
+  void finish(bool ok);
+
+  bool finished() const;
+  /// Countries in a terminal state (done/degraded/shard_published).
+  size_t completed() const;
+
+  /// The study_status payload: overall state (pending|running|done|failed),
+  /// total, per-state counts, per-country states, completed, elapsed_ms,
+  /// and a completed-country-rate eta_ms (absent until one country lands).
+  util::Json status_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> countries_;
+  std::vector<CountryState> states_;
+  bool started_ = false;
+  bool finished_ = false;
+  bool ok_ = true;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point end_{};
+};
 
 struct StudyResult {
   std::vector<core::VolunteerDataset> datasets;   // scrubbed + repaired
@@ -77,6 +127,11 @@ struct StudyOptions {
   /// With `store_out` also set, the shards are merged into that single
   /// store at the end (byte-identical to a non-sharded run's store).
   std::string shard_dir;
+  /// Progress observer (null = none). run_study calls begin() once the
+  /// country list is resolved and mark() from worker threads as countries
+  /// change state; the caller owns finish(). Purely observational — engaging
+  /// it cannot change any study output byte.
+  std::shared_ptr<StudyProgress> progress;
 };
 
 StudyResult run_study(World& world, const StudyOptions& options = {});

@@ -36,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -249,6 +250,9 @@ TEST(Service, ControlPlaneKindsAreInline) {
   EXPECT_TRUE(serve::Service::is_inline_kind("health"));
   EXPECT_TRUE(serve::Service::is_inline_kind("stats"));
   EXPECT_TRUE(serve::Service::is_inline_kind("shutdown"));
+  // study_status must answer while a submitted study holds every worker —
+  // that is the whole point of the progress RPC.
+  EXPECT_TRUE(serve::Service::is_inline_kind("study_status"));
   EXPECT_FALSE(serve::Service::is_inline_kind("query"));
   EXPECT_FALSE(serve::Service::is_inline_kind("submit_study"));
   EXPECT_FALSE(serve::Service::is_inline_kind("sleep"));
@@ -311,6 +315,16 @@ TEST(Serve, PingHealthStats) {
   util::Json health = must_result(client->call("health"));
   EXPECT_EQ(health.get_string("state"), "serving");
   EXPECT_EQ(health.get_number("sessions"), 1);
+  // GammaPulse liveness fields: everything `gamma top` needs in one RPC.
+  EXPECT_EQ(health.get_number("active_sessions"), 1);
+  EXPECT_EQ(health.get_number("queue_depth"), 0);
+  EXPECT_GT(health.get_number("max_queue"), 0);
+  EXPECT_GT(health.get_number("workers"), 0);
+  EXPECT_GT(health.get_number("reactors"), 0);
+  EXPECT_GE(health.get_number("in_flight"), 0);
+  EXPECT_GT(health.get_number("uptime_s"), 0.0);
+  ASSERT_TRUE(health.find("slow_ms") != nullptr);
+  EXPECT_FALSE(health.get_bool("slow_log_armed", true));
 
   util::Json stats = must_result(client->call("stats"));
   ASSERT_TRUE(stats.find("json") != nullptr);
@@ -563,6 +577,13 @@ TEST(Serve, BackpressureRejectsWithResourceExhausted) {
   options.max_queue = 2;
   auto server = start_server(std::move(options));
   auto client = connect(*server);
+  auto probe = connect(*server);
+  auto queue_full_errors = [&] {
+    util::Json stats = must_result(probe->call("stats"));
+    const util::Json* counters = stats.find("json")->find("counters");
+    return counters->get_number("serve.rpc.sleep.errors.queue_full", 0.0);
+  };
+  double shed_before = queue_full_errors();
 
   // Occupy the single worker, then flood the 2-deep queue without reading.
   constexpr int kFlood = 10;
@@ -600,6 +621,10 @@ TEST(Serve, BackpressureRejectsWithResourceExhausted) {
 
   // The control plane answers inline even while the data plane is saturated.
   EXPECT_TRUE(must_result(client->call("ping")).get_bool("pong"));
+
+  // GammaPulse RED accounting: every queue-full rejection is charged to the
+  // shed kind with a reason, not lost in a global bucket.
+  EXPECT_EQ(queue_full_errors() - shed_before, rejected);
 }
 
 // ---------------------------------------------------------------------------
@@ -818,6 +843,8 @@ TEST(ServeReactor, SlowReaderIsDisconnectedAtBufferCap) {
   auto server = start_server(std::move(options));
   auto probe = connect(*server);
   double before = counter_value(*probe, "serve.slow_reader_disconnects");
+  double reason_before =
+      counter_value(*probe, "serve.rpc.query.errors.slow_reader");
 
   auto stalled = connect(*server);
   pipeline_unread_queries(*stalled, 50);
@@ -831,6 +858,10 @@ TEST(ServeReactor, SlowReaderIsDisconnectedAtBufferCap) {
     if (!disconnected) std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_TRUE(disconnected);
+  // The disconnect is also charged to the kind whose reply hit the cap,
+  // with the slow_reader reason (GammaPulse RED accounting).
+  EXPECT_GT(counter_value(*probe, "serve.rpc.query.errors.slow_reader"),
+            reason_before);
   for (int i = 0; i < 200 && server->active_sessions() > 1; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
@@ -1068,6 +1099,7 @@ TEST(ServeHeal, IdempotentKindsAreExactlyTheReadSet) {
   EXPECT_TRUE(Client::idempotent_kind("stats"));
   EXPECT_TRUE(Client::idempotent_kind("open"));
   EXPECT_TRUE(Client::idempotent_kind("query"));
+  EXPECT_TRUE(Client::idempotent_kind("study_status"));
   EXPECT_FALSE(Client::idempotent_kind("submit_study"));
   EXPECT_FALSE(Client::idempotent_kind("shutdown"));
   EXPECT_FALSE(Client::idempotent_kind(""));
@@ -1198,6 +1230,342 @@ TEST(ServeChaos, RestartUnderConcurrentLoadIsInvisibleWithRetryArmed) {
   EXPECT_EQ(mismatches.load(), 0) << "healed replies diverged from direct bytes";
   EXPECT_GT(reconnects.load(), 0u) << "no client actually exercised a reconnect";
   EXPECT_GT(replies.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// GammaPulse (ISSUE 10): per-request RED metrics, the slow-query log, and
+// the study progress RPC.
+
+/// Read one histogram's observation count through a live stats RPC.
+double histogram_count(Client& probe, const std::string& name) {
+  util::Json stats = must_result(probe.call("stats"));
+  const util::Json* hist = stats.find("json")->find("histograms")->find(name);
+  return hist ? hist->get_number("count", 0.0) : 0.0;
+}
+
+TEST(ServePulse, RedMetricsCoverEveryStageByKind) {
+  ServerOptions options;
+  options.service.store_path = shared_store();
+  auto server = start_server(std::move(options));
+  auto client = connect(*server);
+  auto probe = connect(*server);
+
+  double ping_before = counter_value(*probe, "serve.rpc.ping.requests");
+  double query_before = counter_value(*probe, "serve.rpc.query.requests");
+  double ping_handle_before = histogram_count(*probe, "serve.rpc.ping.handle_ms");
+  double query_wait_before = histogram_count(*probe, "serve.rpc.query.queue_wait_ms");
+  double query_flush_before = histogram_count(*probe, "serve.rpc.query.flush_ms");
+  double query_errors_before = counter_value(*probe, "serve.rpc.query.errors");
+
+  EXPECT_TRUE(must_result(client->call("ping")).get_bool("pong"));
+  util::Json params = util::Json::object();
+  params["report"] = "summary";
+  must_result(client->call("query", std::move(params)));
+  util::Json bad = util::Json::object();
+  bad["report"] = "nope";
+  EXPECT_EQ(must_error_code(client->call("query", std::move(bad))),
+            "invalid_argument");
+
+  // requests/errors move with the calls...
+  EXPECT_EQ(counter_value(*probe, "serve.rpc.ping.requests") - ping_before, 1.0);
+  EXPECT_EQ(counter_value(*probe, "serve.rpc.query.requests") - query_before, 2.0);
+  EXPECT_EQ(counter_value(*probe, "serve.rpc.query.errors") - query_errors_before,
+            1.0);
+  // ...and every lifecycle stage got a histogram observation. flush_ms is
+  // published after the reply hits the wire, so the client seeing the reply
+  // does not guarantee the observation landed yet — poll the delta.
+  EXPECT_GE(histogram_count(*probe, "serve.rpc.ping.handle_ms") -
+                ping_handle_before,
+            1.0);
+  EXPECT_GE(histogram_count(*probe, "serve.rpc.query.queue_wait_ms") -
+                query_wait_before,
+            2.0);
+  bool flushed = false;
+  for (int i = 0; i < 2500 && !flushed; ++i) {
+    flushed = histogram_count(*probe, "serve.rpc.query.flush_ms") -
+                  query_flush_before >=
+              2.0;
+    if (!flushed) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(flushed);
+}
+
+/// Parse a slow-log file into records, failing the test on any line that is
+/// not a JSON object carrying the full DESIGN §14 schema.
+std::vector<util::Json> read_slowlog(const std::string& path) {
+  static constexpr const char* kSchema[] = {
+      "kind",      "id",       "session",      "spec",
+      "ok",        "error",    "inline",       "queue_wait_ms",
+      "handle_ms", "flush_ms", "total_ms",     "reply_bytes",
+      "chunks",    "rate_limited", "backpressure", "delivered"};
+  std::vector<util::Json> records;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto rec = util::Json::parse(line);
+    EXPECT_TRUE(rec.has_value() && rec->is_object())
+        << path << ":" << lineno << ": " << line;
+    if (!rec || !rec->is_object()) continue;
+    for (const char* key : kSchema) {
+      EXPECT_TRUE(rec->has(key)) << path << ":" << lineno << " missing " << key;
+    }
+    records.push_back(std::move(*rec));
+  }
+  return records;
+}
+
+TEST(ServePulse, SlowLogAtThresholdZeroCapturesEveryRequest) {
+  std::string log = temp_path("pulse_slowlog_all.jsonl");
+  ::unlink(log.c_str());
+  {
+    ServerOptions options;
+    options.service.store_path = shared_store();
+    options.slow_ms = 0.0;  // log everything
+    options.slow_log = log;
+    auto server = start_server(std::move(options));
+    auto client = connect(*server);
+    EXPECT_TRUE(must_result(client->call("ping")).get_bool("pong"));
+    util::Json params = util::Json::object();
+    params["report"] = "summary";
+    must_result(client->call("query", std::move(params)));
+    EXPECT_EQ(must_error_code(client->call("no_such_kind")), "invalid_argument");
+    // Server teardown joins every worker and reactor, so all records are
+    // durably appended by the time the dtor returns.
+  }
+  std::vector<util::Json> records = read_slowlog(log);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].get_string("kind"), "ping");
+  EXPECT_TRUE(records[0].get_bool("ok"));
+  EXPECT_TRUE(records[0].get_bool("inline"));
+  EXPECT_TRUE(records[0].get_bool("delivered"));
+  EXPECT_EQ(records[1].get_string("kind"), "query");
+  EXPECT_FALSE(records[1].get_bool("inline"));
+  EXPECT_EQ(records[1].get_string("spec"), "{\"report\":\"summary\"}");
+  EXPECT_GT(records[1].get_number("reply_bytes"), 0.0);
+  // Hostile kinds normalize to the cardinality sink and carry the error.
+  EXPECT_EQ(records[2].get_string("kind"), "unknown");
+  EXPECT_FALSE(records[2].get_bool("ok"));
+  EXPECT_EQ(records[2].get_string("error"), "invalid_argument");
+}
+
+/// One fixed request sequence against a fresh daemon; returns the slow-log
+/// records with every timing field stripped — the bytes that must be
+/// identical whatever the thread counts were.
+std::vector<std::string> slowlog_sequence_stripped(
+    const std::string& tag, size_t workers, double jobs, const std::string& ckpt,
+    std::optional<util::FaultPlan> faults = std::nullopt) {
+  std::string log = temp_path("pulse_det_" + tag + ".jsonl");
+  ::unlink(log.c_str());
+  {
+    ServerOptions options;
+    options.service.store_path = shared_store();
+    options.service.checkpoint_dir = ckpt;
+    options.service.fault_plan = std::move(faults);
+    options.workers = workers;
+    options.slow_ms = 0.0;
+    options.slow_log = log;
+    auto server = start_server(std::move(options));
+    auto client = connect(*server);
+    EXPECT_TRUE(must_result(client->call("ping")).get_bool("pong"));
+    util::Json query = util::Json::object();
+    query["report"] = "summary";
+    must_result(client->call("query", std::move(query)));
+    util::Json submit = util::Json::object();
+    submit["seed"] = 61;
+    util::Json countries = util::Json::array();
+    countries.push_back("US");
+    submit["countries"] = std::move(countries);
+    submit["jobs"] = jobs;
+    must_result(client->call("submit_study", std::move(submit)));
+    // No study_status here: its *reply* serializes elapsed wall-clock
+    // numbers, so that record's reply_bytes is legitimately run-dependent.
+  }
+  std::vector<std::string> stripped;
+  for (const util::Json& rec : read_slowlog(log)) {
+    util::Json keep = util::Json::object();
+    for (const auto& [key, value] : rec.fields()) {
+      if (key.size() > 3 && key.compare(key.size() - 3, 3, "_ms") == 0) continue;
+      keep[key] = value;
+    }
+    stripped.push_back(keep.dump());
+  }
+  return stripped;
+}
+
+TEST(ServePulse, SlowLogNonTimingBytesAreDeterministic) {
+  // The same sequence through 1 worker / --jobs 1, through 4 workers /
+  // --jobs 4, through 4 workers / --jobs 8, and through a daemon resuming
+  // the study from a journal must log byte-identical records once timing is
+  // stripped: the spec digest excludes scheduling knobs and the record
+  // order is the request order.
+  std::vector<std::string> serial =
+      slowlog_sequence_stripped("serial", 1, 1.0, "");
+  std::vector<std::string> parallel =
+      slowlog_sequence_stripped("parallel", 4, 4.0, "");
+  std::vector<std::string> wide = slowlog_sequence_stripped("wide", 4, 8.0, "");
+  ASSERT_EQ(serial.size(), 3u);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, wide);
+
+  // With the fault plane armed (`gamma serve --fault-plan`) the submitted
+  // study exercises its degraded paths — which changes the submit reply
+  // (degraded list), hence reply_bytes — but faults are deterministic in
+  // (seed, component, key), so the faulted records must still agree at
+  // every jobs width.
+  util::FaultPlan plan;
+  plan.dns_timeout = 0.10;
+  plan.trace_timeout = 0.20;
+  plan.trace_hop_loss = 0.10;
+  plan.browser_slow = 0.10;
+  plan.atlas_unavailable = 0.20;
+  std::vector<std::string> faulted_serial =
+      slowlog_sequence_stripped("faulted_serial", 1, 1.0, "", plan);
+  std::vector<std::string> faulted_wide =
+      slowlog_sequence_stripped("faulted_wide", 4, 8.0, "", plan);
+  ASSERT_EQ(faulted_serial.size(), 3u);
+  EXPECT_EQ(faulted_serial, faulted_wide);
+
+  // Kill+resume: a journal holding the whole study (a "killed" run that got
+  // everything done) changes resumed_countries in the reply but must not
+  // change one non-timing slow-log byte.
+  std::string ckpt = temp_path("pulse_det_ckpt");
+  {
+    worldgen::StudyOptions options;
+    options.seed = 61;
+    options.countries = {"US"};
+    options.checkpoint_dir = ckpt;
+    worldgen::run_study(*shared_world(), options);
+  }
+  std::vector<std::string> resumed =
+      slowlog_sequence_stripped("resumed", 2, 1.0, ckpt);
+  EXPECT_EQ(serial, resumed);
+}
+
+TEST(ServePulse, StudyStatusReportsNoneThenTracksJobs) {
+  auto server = start_server();
+  auto client = connect(*server);
+
+  // Before any submit: a structured "none", not an error.
+  util::Json none = must_result(client->call("study_status"));
+  EXPECT_EQ(none.get_string("state"), "none");
+  EXPECT_EQ(none.get_number("jobs"), 0);
+
+  // An unknown job id is not_found, not the latest job's status.
+  util::Json bogus = util::Json::object();
+  bogus["job"] = 999;
+  EXPECT_EQ(must_error_code(client->call("study_status", std::move(bogus))),
+            "not_found");
+
+  util::Json submit = util::Json::object();
+  submit["seed"] = 67;
+  util::Json countries = util::Json::array();
+  countries.push_back("US");
+  submit["countries"] = std::move(countries);
+  util::Json result = must_result(client->call("submit_study", std::move(submit)));
+  double job = result.get_number("job");
+  EXPECT_GT(job, 0.0);
+
+  // By id and as the latest: the finished study reads done, 1/1 countries.
+  util::Json by_id = util::Json::object();
+  by_id["job"] = job;
+  util::Json status = must_result(client->call("study_status", std::move(by_id)));
+  EXPECT_EQ(status.get_string("state"), "done");
+  EXPECT_EQ(status.get_number("total"), 1);
+  EXPECT_EQ(status.get_number("completed"), 1);
+  EXPECT_EQ(status.get_number("job"), job);
+  EXPECT_EQ(status.find("countries")->get_string("US"), "done");
+  EXPECT_GT(status.get_number("elapsed_ms"), 0.0);
+}
+
+// The acceptance bar: study_status for a killed-and-resumed *sharded* study
+// reports monotonically non-decreasing completed counts while running, and
+// its final per-country states are identical to an uninterrupted run's.
+// (The SIGKILL variant — a real child process — runs in tools/check.sh; the
+// journal is populated in-process here so the suite stays fork-free for
+// TSan, exactly like SubmitStudyResumesFromJournalByteIdentically.)
+TEST(ServePulse, StudyStatusAcrossKillAndResumeIsMonotoneAndConverges) {
+  const uint64_t seed = 71;
+  std::string shard_ref = temp_path("pulse_status_shards_ref");
+  std::string shard_dir = temp_path("pulse_status_shards");
+  std::string ckpt = temp_path("pulse_status_ckpt");
+
+  auto submit_params = [&](const std::string& dir) {
+    util::Json params = util::Json::object();
+    params["seed"] = seed;
+    util::Json countries = util::Json::array();
+    countries.push_back("US");
+    countries.push_back("GB");
+    params["countries"] = std::move(countries);
+    params["shard_dir"] = dir;
+    return params;
+  };
+
+  // Uninterrupted reference: final per-country states through the daemon.
+  std::string reference_states;
+  {
+    auto server = start_server();
+    auto client = connect(*server);
+    must_result(client->call("submit_study", submit_params(shard_ref)));
+    util::Json status = must_result(client->call("study_status"));
+    EXPECT_EQ(status.get_string("state"), "done");
+    reference_states = status.find("countries")->dump();
+  }
+  ASSERT_FALSE(reference_states.empty());
+
+  // A "killed" earlier run: only US reached the journal (shard published).
+  {
+    worldgen::StudyOptions options;
+    options.seed = seed;
+    options.countries = {"US"};
+    options.checkpoint_dir = ckpt;
+    options.shard_dir = shard_dir;
+    worldgen::run_study(*shared_world(), options);
+  }
+
+  // Restarted daemon resumes; a second connection polls study_status while
+  // the study runs. Completed counts must never go backwards.
+  ServerOptions options;
+  options.service.checkpoint_dir = ckpt;
+  auto server = start_server(std::move(options));
+  auto watcher = connect(*server);
+
+  std::atomic<bool> submitted_ok{false};
+  std::thread submitter([&] {
+    auto client = connect(*server);
+    util::Json result =
+        must_result(client->call("submit_study", submit_params(shard_dir)));
+    submitted_ok.store(result.get_number("shards") == 2.0);
+  });
+
+  double last_completed = 0.0;
+  int regressions = 0;
+  std::string final_states;
+  for (int i = 0; i < 12000; ++i) {
+    util::Json status = must_result(watcher->call("study_status"));
+    if (status.get_string("state") == "none") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;  // submit not registered yet
+    }
+    double completed = status.get_number("completed");
+    if (completed < last_completed) ++regressions;
+    last_completed = completed;
+    if (status.get_string("state") == "done") {
+      final_states = status.find("countries")->dump();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  submitter.join();
+  EXPECT_TRUE(submitted_ok.load());
+  EXPECT_EQ(regressions, 0) << "completed count went backwards";
+  EXPECT_EQ(last_completed, 2.0);
+  // The resumed run converges to the same per-country states as the
+  // uninterrupted run — the reused shard is still shard_published.
+  EXPECT_EQ(final_states, reference_states);
 }
 
 }  // namespace

@@ -22,6 +22,10 @@
 #           shards, shards re-merged standalone in reverse order, and every
 #           `gamma store query` report over the merged store byte-diffed
 #           against the unsharded build
+#   pulse   daemon at --slow-ms 0 with --slow-log armed: every request must
+#           land in the JSONL sink with the full 16-field schema, a
+#           submitted study's study_status RPC must reach "done", and
+#           `gamma top --once --json` must emit a parseable sample
 #
 # Sanitizers:
 #   tsan  -> shared-state suites (thread pool, parallel study runner,
@@ -334,6 +338,82 @@ arm_shard() {
   echo "   all 7 query reports byte-identical: sharded == unsharded"
 }
 
+arm_pulse() {
+  mkdir -p "$SMOKE/pulse"
+  "$GAMMA" study --seed 59 --jobs 2 --country US --country GB \
+    --store-out "$SMOKE/pulse/study.gmst" >/dev/null
+  # --slow-ms 0 makes every request a slow-log candidate, so the sink read
+  # back below must account for the whole session, not a lucky outlier.
+  "$GAMMA" serve --port 0 --port-file "$SMOKE/pulse/port" \
+    --store "$SMOKE/pulse/study.gmst" --checkpoint "$SMOKE/pulse/ckpt" \
+    --slow-ms 0 --slow-log "$SMOKE/pulse/slow.jsonl" \
+    > "$SMOKE/pulse/daemon.log" 2>&1 &
+  local daemon=$!
+  trap 'kill -9 '"$daemon"' 2>/dev/null || true' EXIT
+  local tries=0
+  until [[ -s "$SMOKE/pulse/port" ]]; do
+    if ! kill -0 "$daemon" 2>/dev/null; then
+      echo "   ERROR: daemon died before binding:" >&2
+      sed 's/^/   | /' "$SMOKE/pulse/daemon.log" >&2
+      return 1
+    fi
+    tries=$((tries + 1))
+    [[ $tries -gt 100 ]] && { echo "   ERROR: no port file after 10s" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "   daemon up on port $(cat "$SMOKE/pulse/port") (--slow-ms 0, slow-log armed)"
+  "$GAMMA" client ping --port-file "$SMOKE/pulse/port" >/dev/null
+  "$GAMMA" client query --port-file "$SMOKE/pulse/port" --report summary >/dev/null
+  # Submit a study, then poll the progress RPC until the job lands.
+  "$GAMMA" client submit --port-file "$SMOKE/pulse/port" --seed 59 \
+    --country US > "$SMOKE/pulse/submit.json"
+  tries=0
+  local state=""
+  while [[ "$state" != "done" ]]; do
+    tries=$((tries + 1))
+    [[ $tries -gt 300 ]] && { echo "   ERROR: study_status never reached done" >&2; return 1; }
+    state="$("$GAMMA" client study_status --port-file "$SMOKE/pulse/port" \
+      | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+    sleep 0.1
+  done
+  echo "   study_status reached done after $tries polls"
+  # One machine-readable dashboard sample must round-trip through a real
+  # JSON parser with every section present.
+  "$GAMMA" top --once --json --port-file "$SMOKE/pulse/port" > "$SMOKE/pulse/top.json"
+  python3 - "$SMOKE/pulse/top.json" <<'EOF'
+import json, sys
+sample = json.load(open(sys.argv[1]))
+for key in ("health", "rpc", "requests", "slowlog", "study"):
+    assert key in sample, f"top sample missing {key!r}"
+assert sample["health"]["state"] == "serving", sample["health"]
+assert sample["study"]["state"] == "done", sample["study"]
+EOF
+  echo "   gamma top --once --json round-trips (serving, study done)"
+  # SIGTERM joins every worker/reactor, so the slow log is complete after.
+  kill -TERM "$daemon"
+  local rc=0
+  wait "$daemon" || rc=$?
+  trap - EXIT
+  [[ $rc -ne 0 ]] && { echo "   ERROR: daemon exited $rc on SIGTERM" >&2; return 1; }
+  # The repo's own validator exits nonzero on any malformed line, and an
+  # independent parser must agree on the 16-field schema.
+  "$GAMMA" slowlog "$SMOKE/pulse/slow.jsonl" | sed 's/^/   /'
+  python3 - "$SMOKE/pulse/slow.jsonl" <<'EOF'
+import json, sys
+fields = {"kind", "id", "session", "spec", "ok", "error", "inline",
+          "queue_wait_ms", "handle_ms", "flush_ms", "total_ms",
+          "reply_bytes", "chunks", "rate_limited", "backpressure", "delivered"}
+n = 0
+for line in open(sys.argv[1]):
+    record = json.loads(line)
+    missing = fields - record.keys()
+    assert not missing, f"line {n + 1} missing {sorted(missing)}"
+    n += 1
+assert n >= 5, f"expected every request logged at --slow-ms 0, saw {n}"
+print(f"   {n} slow-log records, all 16 schema fields present")
+EOF
+}
+
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
@@ -347,6 +427,7 @@ run_arm "trace smoke: record, report, byte-identical across --jobs" arm_trace
 run_arm "serve smoke: daemon up, client query, SIGTERM drain" arm_serve
 run_arm "chaos smoke: SIGKILL + restart under retry-armed client load" arm_chaos
 run_arm "shard smoke: kill mid-run, resume, merge, byte-diff all reports" arm_shard
+run_arm "pulse smoke: slow-log at --slow-ms 0, study_status to done, gamma top" arm_pulse
 
 finish() {
   if [[ ${#FAILURES[@]} -gt 0 ]]; then

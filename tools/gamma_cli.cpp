@@ -16,6 +16,7 @@
 //       Print the geolocation pipeline's verdict for every injected IPmap
 //       error visible from each volunteer (regulator-style evidence trail).
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -104,6 +105,15 @@ struct Args {
   double retry_base_ms = 50.0;       // first backoff
   double retry_max_ms = 2000.0;      // per-backoff cap
   double retry_deadline_ms = 30000.0;  // total backoff budget per call
+  // GammaPulse observability
+  double slow_ms = 50.0;        // serve: slow-query threshold, ms (0 = log all)
+  std::string slow_log;         // serve: slow-query JSONL sink ("" = disarmed)
+  uint64_t job = 0;             // study_status / top: job id (0 = latest)
+  bool progress = false;        // study: live progress line on stderr
+  bool once = false;            // top: one sample, then exit
+  bool json_out = false;        // top/slowlog: machine-readable JSON output
+  double interval_ms = 1000.0;  // top: refresh period
+  std::string slowlog_file;     // positional FILE for `gamma slowlog`
 };
 
 void usage() {
@@ -112,8 +122,10 @@ void usage() {
                "  run    --country CC [--out DIR] [--seed N]   one volunteer session\n"
                "  study  [--country CC ...] [--out DIR] [--seed N] [--jobs N]\n"
                "         [--fault-plan FILE] [--checkpoint DIR] [--resume]\n"
-               "         [--store-out FILE.gmst]\n"
+               "         [--store-out FILE.gmst] [--progress]\n"
                "         [--countries N] [--sites N] [--shard-dir DIR]  the full study\n"
+               "         --progress redraws a live per-country progress line on\n"
+               "         stderr (done/running/degraded, elapsed, ETA)\n"
                "  store  build --out FILE.gmst [--country CC ...] [--seed N] [--jobs N]\n"
                "             [--countries N] [--sites N] [--shard-dir DIR]\n"
                "             [--checkpoint DIR] [--resume]\n"
@@ -129,13 +141,17 @@ void usage() {
                "  serve  [--store FILE.gmst] [--checkpoint DIR] [--host H] [--port P]\n"
                "             [--socket PATH] [--workers N] [--queue N] [--reactors N]\n"
                "             [--rate R] [--burst B] [--chunk-bytes N]\n"
-               "             [--port-file FILE]\n"
+               "             [--port-file FILE] [--slow-ms MS] [--slow-log FILE]\n"
+               "             [--fault-plan FILE]\n"
                "             long-lived daemon: studies + store queries over a\n"
                "             length-prefixed JSON socket protocol; --port 0 (or\n"
                "             GAMMA_SERVE_PORT=0) binds an ephemeral port; SIGTERM\n"
                "             drains gracefully (in-flight studies checkpoint);\n"
                "             --rate R throttles each client to R data requests/sec\n"
-               "             (burst B), large results stream as chunked frames\n"
+               "             (burst B), large results stream as chunked frames;\n"
+               "             --slow-log FILE arms the GammaPulse slow-query log:\n"
+               "             requests slower end-to-end than --slow-ms (default 50,\n"
+               "             0 = log every request) append one JSONL record to FILE\n"
                "  client <kind> [--host H] [--port P | --port-file FILE | --socket PATH]\n"
                "             [--retry N [--retry-base-ms MS] [--retry-max-ms MS]\n"
                "              [--retry-deadline-ms MS]]\n"
@@ -145,10 +161,22 @@ void usage() {
                "             query) are re-sent transparently, submit is never\n"
                "             re-sent (a lost in-flight submit exits with `aborted`)\n"
                "             kinds: ping | health | stats | shutdown | submit |\n"
+               "             study_status [--job N] |\n"
                "             query [--report R | --table T --where col=val ...\n"
                "                    --group-by col --flows --limit N] [--store NAME]\n"
                "             submit: [--country CC ...] [--seed N] [--jobs N]\n"
-               "                     [--store-out FILE.gmst]\n"
+               "                     [--store-out FILE.gmst] [--shard-dir DIR]\n"
+               "  top    [--host H] [--port P | --port-file FILE | --socket PATH]\n"
+               "             [--interval-ms MS] [--once] [--json] [--job N]\n"
+               "             live dashboard over a running daemon: qps, per-kind RED\n"
+               "             p50/p99, queue depth, in-flight, slow-log counters, and\n"
+               "             submitted-study progress, refreshed every --interval-ms\n"
+               "             (default 1000); --once prints one sample and exits,\n"
+               "             --json makes the sample machine-readable\n"
+               "  slowlog FILE [--json]\n"
+               "             validate + summarize a --slow-log file: every line must\n"
+               "             parse as JSON and carry the full DESIGN §14 record\n"
+               "             schema; any malformed line exits non-zero\n"
                "  har    --site DOMAIN --country CC [--out FILE]     HAR export\n"
                "  audit                                              IPmap error audit\n"
                "  trace  FILE [--limit N] [--out FILE]\n"
@@ -376,6 +404,31 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.retry_deadline_ms = std::strtod(v, nullptr);
+    } else if (flag == "--slow-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args.slow_ms = std::strtod(v, nullptr);
+    } else if (flag == "--slow-log") {
+      const char* v = next();
+      if (!v) return false;
+      args.slow_log = v;
+    } else if (flag == "--job") {
+      const char* v = next();
+      if (!v) return false;
+      args.job = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--progress") {
+      args.progress = true;
+    } else if (flag == "--once") {
+      args.once = true;
+    } else if (flag == "--json") {
+      args.json_out = true;
+    } else if (flag == "--interval-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args.interval_ms = std::strtod(v, nullptr);
+    } else if (!flag.empty() && flag[0] != '-' && args.command == "slowlog" &&
+               args.slowlog_file.empty()) {
+      args.slowlog_file = flag;  // positional FILE for `gamma slowlog`
     } else if (!flag.empty() && flag[0] != '-' && args.command == "store") {
       // Positional FILE.gmst args: `store query FILE`, `store merge OUT SHARD...`.
       if (args.store_file.empty()) args.store_file = flag;
@@ -492,6 +545,36 @@ int export_traces(const Args& args) {
   return rc;
 }
 
+// One redrawn stderr line from a StudyProgress snapshot. stderr keeps the
+// --out/stdout contract intact; \r + erase-to-EOL redraws in place on a TTY
+// and degrades to one line per poll in a captured log.
+void print_progress_line(const worldgen::StudyProgress& progress, bool final_line) {
+  util::Json s = progress.status_json();
+  const util::Json* counts = s.find("counts");
+  double done = counts ? counts->get_number("done") +
+                             counts->get_number("shard_published")
+                       : 0.0;
+  double degraded = counts ? counts->get_number("degraded") : 0.0;
+  double running = counts ? counts->get_number("running") : 0.0;
+  std::string line = "study [" + s.get_string("state", "pending") + "] " +
+                     std::to_string(static_cast<size_t>(s.get_number("completed"))) +
+                     "/" + std::to_string(static_cast<size_t>(s.get_number("total"))) +
+                     " countries";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " (done %zu, degraded %zu, running %zu)",
+                static_cast<size_t>(done), static_cast<size_t>(degraded),
+                static_cast<size_t>(running));
+  line += buf;
+  std::snprintf(buf, sizeof(buf), "  %.1fs elapsed", s.get_number("elapsed_ms") / 1000.0);
+  line += buf;
+  if (const util::Json* eta = s.find("eta_ms")) {
+    std::snprintf(buf, sizeof(buf), ", eta %.1fs", eta->as_number() / 1000.0);
+    line += buf;
+  }
+  std::fprintf(stderr, "\r\033[K%s%s", line.c_str(), final_line ? "\n" : "");
+  std::fflush(stderr);
+}
+
 int cmd_study(const Args& args) {
   if (args.scale_countries > 0 && !args.countries.empty()) {
     std::fprintf(stderr, "study: --countries N (synthetic world) and --country CC "
@@ -532,7 +615,37 @@ int cmd_study(const Args& args) {
   // run so a later failure in the report path cannot lose them.
   bool tracing = !args.trace_out.empty() || !args.trace_jsonl.empty();
   if (tracing) util::trace::set_enabled(true);
-  worldgen::StudyResult study = worldgen::run_study(*world, options);
+  // --progress: GammaPulse observer + a poll thread that redraws one stderr
+  // line. Purely observational — the study's outputs are byte-identical
+  // with or without it (the StudyOptions::progress contract).
+  std::shared_ptr<worldgen::StudyProgress> progress;
+  std::atomic<bool> progress_stop{false};
+  std::thread progress_thread;
+  if (args.progress) {
+    progress = std::make_shared<worldgen::StudyProgress>();
+    options.progress = progress;
+    progress_thread = std::thread([&] {
+      while (!progress_stop.load(std::memory_order_acquire)) {
+        print_progress_line(*progress, /*final_line=*/false);
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+    });
+  }
+  auto finish_progress = [&](bool ok) {
+    if (!progress) return;
+    progress->finish(ok);
+    progress_stop.store(true, std::memory_order_release);
+    progress_thread.join();
+    print_progress_line(*progress, /*final_line=*/true);
+  };
+  worldgen::StudyResult study;
+  try {
+    study = worldgen::run_study(*world, options);
+  } catch (...) {
+    finish_progress(false);
+    throw;
+  }
+  finish_progress(true);
   int trace_rc = 0;
   if (tracing) {
     util::trace::set_enabled(false);
@@ -785,8 +898,20 @@ int cmd_serve(const Args& args) {
   if (args.chunk_bytes > 0) options.chunk_bytes = args.chunk_bytes;
   options.rate_limit = args.rate;
   options.rate_burst = args.burst;
+  options.slow_ms = args.slow_ms;
+  options.slow_log = args.slow_log;
   options.service.store_path = args.serve_store;
   options.service.checkpoint_dir = args.checkpoint;
+  if (!args.fault_plan.empty()) {
+    auto plan = util::FaultPlan::load_file(args.fault_plan);
+    if (!plan) {
+      std::fprintf(stderr,
+                   "serve: cannot load fault plan '%s' (missing, bad JSON, "
+                   "or probability outside [0,1])\n", args.fault_plan.c_str());
+      return 1;
+    }
+    options.service.fault_plan = *plan;
+  }
   if (args.port >= 0) {
     options.port = args.port;
   } else if (const char* env = std::getenv("GAMMA_SERVE_PORT")) {
@@ -825,7 +950,13 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
-int cmd_client(const Args& args) {
+// Dial the daemon with the endpoint + self-healing settings shared by
+// `gamma client` and `gamma top`. Endpoint resolution order: --socket, else
+// --port, else --port-file, else GAMMA_SERVE_PORT. The self-healing layer
+// covers calls on an established client; the very first dial can race a
+// daemon restart too, so it gets the same bounded backoff when --retry is
+// armed. Returns nullptr after printing the failure.
+std::unique_ptr<serve::Client> dial_client(const Args& args) {
   util::RetryPolicy retry_policy;
   retry_policy.max_attempts = args.retry;
   retry_policy.base_delay_ms = args.retry_base_ms;
@@ -833,9 +964,6 @@ int cmd_client(const Args& args) {
   retry_policy.deadline_ms = args.retry_deadline_ms;
   const bool healing = args.retry > 1;
 
-  // The self-healing layer covers calls on an established client; the very
-  // first dial can race a daemon restart too, so give it the same bounded
-  // backoff when --retry is armed.
   auto dial = [&](auto&& connect) -> std::unique_ptr<serve::Client> {
     util::Rng rng;
     for (int attempt = 1;; ++attempt) {
@@ -851,12 +979,10 @@ int cmd_client(const Args& args) {
     }
   };
 
-  // Resolve the endpoint: --socket, else --port, else --port-file, else
-  // GAMMA_SERVE_PORT.
   std::unique_ptr<serve::Client> client;
   if (!args.socket_path.empty()) {
     client = dial([&] { return serve::Client::connect_unix(args.socket_path); });
-    if (!client) return 1;
+    if (!client) return nullptr;
   } else {
     int port = args.port;
     if (port < 0 && !args.port_file.empty()) {
@@ -864,7 +990,7 @@ int cmd_client(const Args& args) {
       if (!(in >> port)) {
         std::fprintf(stderr, "client: cannot read a port from %s\n",
                      args.port_file.c_str());
-        return 1;
+        return nullptr;
       }
     }
     if (port < 0) {
@@ -874,17 +1000,23 @@ int cmd_client(const Args& args) {
       std::fprintf(stderr,
                    "client: need a daemon port (--port, --port-file, or "
                    "GAMMA_SERVE_PORT)\n");
-      return 1;
+      return nullptr;
     }
     client = dial([&] {
       return serve::Client::connect_tcp(args.host, static_cast<uint16_t>(port));
     });
-    if (!client) return 1;
+    if (!client) return nullptr;
   }
   // Studies take seconds, not minutes; anything past this is a hung daemon
   // and the structured deadline_exceeded beats a wedged script.
   client->set_recv_timeout_ms(120000);
   if (healing) client->set_retry(retry_policy);
+  return client;
+}
+
+int cmd_client(const Args& args) {
+  std::unique_ptr<serve::Client> client = dial_client(args);
+  if (!client) return 1;
 
   std::string kind = args.subcommand;
   util::Json params = util::Json::object();
@@ -924,11 +1056,14 @@ int cmd_client(const Args& args) {
       params["countries"] = std::move(countries);
     }
     if (!args.store_out.empty()) params["store_out"] = args.store_out;
+    if (!args.shard_dir.empty()) params["shard_dir"] = args.shard_dir;
+  } else if (kind == "study_status") {
+    if (args.job > 0) params["job"] = static_cast<double>(args.job);
   } else if (kind != "ping" && kind != "health" && kind != "stats" &&
              kind != "shutdown") {
     std::fprintf(stderr,
                  "client: unknown kind '%s' "
-                 "(ping|health|stats|shutdown|query|submit)\n",
+                 "(ping|health|stats|shutdown|query|submit|study_status)\n",
                  kind.c_str());
     return 1;
   }
@@ -956,6 +1091,285 @@ int cmd_client(const Args& args) {
     std::printf("%s\n", json.c_str());
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `gamma top` — live RED dashboard over a running daemon. One sample is
+// three *inline* RPCs (stats, health, study_status), so the dashboard keeps
+// answering while the data-plane queue is full, rate-limited, or draining —
+// exactly the moments an operator reaches for it.
+
+// The serve-plane RPC vocabulary (mirrors serve/pulse.cpp kKinds; kinds with
+// zero requests are omitted from the dashboard rather than rendered empty).
+constexpr const char* kTopKinds[] = {"ping",         "health",       "stats",
+                                     "shutdown",     "open",         "query",
+                                     "submit_study", "study_status", "sleep",
+                                     "unknown"};
+
+// Upper-bound percentile estimate from a util::metrics histogram snapshot
+// ({"bounds": [...], "counts": [...len bounds+1], "count": N}): the bound of
+// the first bucket whose cumulative count reaches q*N. The overflow bucket
+// reports the last finite bound — an understatement, but a stable one.
+double histogram_quantile(const util::Json* hist, double q) {
+  if (!hist) return 0.0;
+  const util::Json* bounds = hist->find("bounds");
+  const util::Json* counts = hist->find("counts");
+  double total = hist->get_number("count", 0.0);
+  if (!bounds || !counts || bounds->size() == 0 || total <= 0.0) return 0.0;
+  double rank = q * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < counts->size(); ++i) {
+    cum += counts->at(i).as_number();
+    if (cum >= rank) {
+      size_t bound = i < bounds->size() ? i : bounds->size() - 1;
+      return bounds->at(bound).as_number();
+    }
+  }
+  return bounds->at(bounds->size() - 1).as_number();
+}
+
+// Assemble one machine-readable dashboard sample from the three RPC results.
+// This is the `--once --json` output contract check.sh round-trips.
+util::Json top_sample(const util::Json& metrics, const util::Json& health,
+                      const util::Json& study, uint64_t reconnects) {
+  const util::Json* counters = metrics.find("counters");
+  const util::Json* hists = metrics.find("histograms");
+  auto counter = [&](const std::string& name) {
+    return counters ? counters->get_number(name, 0.0) : 0.0;
+  };
+  util::Json rpc = util::Json::object();
+  double requests = 0.0;
+  for (const char* kind : kTopKinds) {
+    std::string base = std::string("serve.rpc.") + kind;
+    double n = counter(base + ".requests");
+    if (n <= 0.0) continue;
+    requests += n;
+    util::Json row = util::Json::object();
+    row["requests"] = n;
+    row["errors"] = counter(base + ".errors");
+    const util::Json* handle = hists ? hists->find(base + ".handle_ms") : nullptr;
+    row["p50_ms"] = histogram_quantile(handle, 0.50);
+    row["p99_ms"] = histogram_quantile(handle, 0.99);
+    const util::Json* queued = hists ? hists->find(base + ".queue_wait_ms") : nullptr;
+    row["queue_p99_ms"] = histogram_quantile(queued, 0.99);
+    rpc[kind] = std::move(row);
+  }
+  util::Json slowlog = util::Json::object();
+  slowlog["emitted"] = counter("serve.slowlog.emitted");
+  slowlog["capped"] = counter("serve.slowlog.capped");
+  slowlog["write_failures"] = counter("serve.slowlog.write_failures");
+  util::Json doc = util::Json::object();
+  doc["health"] = health;
+  doc["rpc"] = std::move(rpc);
+  doc["requests"] = requests;
+  doc["slowlog"] = std::move(slowlog);
+  doc["study"] = study;
+  doc["client_reconnects"] = static_cast<size_t>(reconnects);
+  return doc;
+}
+
+void render_top(const util::Json& s, bool clear_screen) {
+  if (clear_screen) std::printf("\033[H\033[2J");
+  const util::Json* health = s.find("health");
+  std::printf("gamma top — %s  qps %.1f  queue %zu/%zu  in-flight %zu  "
+              "sessions %zu  up %.0fs\n",
+              health ? health->get_string("state", "?").c_str() : "?",
+              s.get_number("qps"),
+              static_cast<size_t>(health ? health->get_number("queue_depth") : 0),
+              static_cast<size_t>(health ? health->get_number("max_queue") : 0),
+              static_cast<size_t>(health ? health->get_number("in_flight") : 0),
+              static_cast<size_t>(health ? health->get_number("sessions") : 0),
+              health ? health->get_number("uptime_s") : 0.0);
+  const util::Json* slowlog = s.find("slowlog");
+  std::printf("slow-log: emitted %.0f  capped %.0f  write-failures %.0f    "
+              "reconnects %.0f\n",
+              slowlog ? slowlog->get_number("emitted") : 0.0,
+              slowlog ? slowlog->get_number("capped") : 0.0,
+              slowlog ? slowlog->get_number("write_failures") : 0.0,
+              s.get_number("client_reconnects"));
+  std::printf("%-14s %10s %8s %10s %10s %10s\n", "kind", "requests", "errors",
+              "p50 ms", "p99 ms", "queue p99");
+  const util::Json* rpc = s.find("rpc");
+  if (rpc) {
+    for (const auto& [kind, row] : rpc->fields()) {
+      std::printf("%-14s %10.0f %8.0f %10.2f %10.2f %10.2f\n", kind.c_str(),
+                  row.get_number("requests"), row.get_number("errors"),
+                  row.get_number("p50_ms"), row.get_number("p99_ms"),
+                  row.get_number("queue_p99_ms"));
+    }
+  }
+  const util::Json* study = s.find("study");
+  if (study && study->get_string("state", "none") != "none") {
+    std::printf("study [%s] job %zu: %zu/%zu countries",
+                study->get_string("state").c_str(),
+                static_cast<size_t>(study->get_number("job")),
+                static_cast<size_t>(study->get_number("completed")),
+                static_cast<size_t>(study->get_number("total")));
+    if (const util::Json* eta = study->find("eta_ms")) {
+      std::printf("  eta %.1fs", eta->as_number() / 1000.0);
+    }
+    std::printf("\n");
+  }
+}
+
+int cmd_top(const Args& args) {
+  std::unique_ptr<serve::Client> client = dial_client(args);
+  if (!client) return 1;
+
+  // One failed control RPC fails the sample; the caller decides whether to
+  // re-dial (loop mode keeps trying via the client's own retry layer).
+  auto fetch = [&](const char* kind, util::Json params,
+                   util::Json* out) -> bool {
+    auto reply = client->call(kind, std::move(params));
+    if (!reply.ok()) {
+      std::fprintf(stderr, "top: %s: %s\n", kind,
+                   reply.status().to_string().c_str());
+      return false;
+    }
+    if (!reply->get_bool("ok")) {
+      const util::Json* error = reply->find("error");
+      std::fprintf(stderr, "top: %s: %s\n", kind,
+                   error ? error->get_string("message").c_str()
+                         : "malformed reply");
+      return false;
+    }
+    const util::Json* result = reply->find("result");
+    *out = result ? *result : util::Json::object();
+    return true;
+  };
+
+  double prev_requests = -1.0;
+  auto prev_time = std::chrono::steady_clock::now();
+  for (;;) {
+    util::Json stats, health, study;
+    util::Json status_params = util::Json::object();
+    if (args.job > 0) status_params["job"] = static_cast<double>(args.job);
+    if (!fetch("stats", util::Json::object(), &stats) ||
+        !fetch("health", util::Json::object(), &health) ||
+        !fetch("study_status", std::move(status_params), &study)) {
+      return 1;
+    }
+    const util::Json* metrics = stats.find("json");
+    util::Json sample = top_sample(metrics ? *metrics : util::Json::object(),
+                                   health, study, client->reconnects());
+    // qps: delta over the refresh interval once we have two samples; the
+    // first sample (and --once) reports the lifetime average instead.
+    auto now = std::chrono::steady_clock::now();
+    double requests = sample.get_number("requests");
+    double qps = 0.0;
+    if (prev_requests >= 0.0) {
+      double dt = std::chrono::duration<double>(now - prev_time).count();
+      if (dt > 0.0) qps = (requests - prev_requests) / dt;
+    } else {
+      double uptime = health.get_number("uptime_s");
+      if (uptime > 0.0) qps = requests / uptime;
+    }
+    sample["qps"] = qps;
+    prev_requests = requests;
+    prev_time = now;
+
+    if (args.json_out) {
+      std::printf("%s\n", sample.dump(args.once ? 2 : -1).c_str());
+    } else {
+      render_top(sample, /*clear_screen=*/!args.once);
+    }
+    std::fflush(stdout);
+    if (args.once) return 0;
+    double interval = std::max(args.interval_ms, 100.0);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<long long>(interval * 1000.0)));
+  }
+}
+
+// `gamma slowlog FILE` — validate and summarize a --slow-log file. Every
+// non-empty line must parse as a JSON object carrying the full DESIGN §14
+// record schema; any malformed line is reported and exits non-zero. This is
+// the assertion tool behind check.sh's observability arm.
+int cmd_slowlog(const Args& args) {
+  if (args.slowlog_file.empty()) {
+    std::fprintf(stderr, "slowlog: need a --slow-log FILE argument\n");
+    return 1;
+  }
+  errno = 0;
+  std::ifstream in(args.slowlog_file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "slowlog: cannot read %s: %s\n", args.slowlog_file.c_str(),
+                 errno != 0 ? std::strerror(errno) : "stream open failed");
+    return 1;
+  }
+  // The normative record schema (DESIGN §14). A field may be legitimately
+  // zero/false/empty but never absent.
+  static constexpr const char* kSchema[] = {
+      "kind",      "id",       "session",      "spec",
+      "ok",        "error",    "inline",       "queue_wait_ms",
+      "handle_ms", "flush_ms", "total_ms",     "reply_bytes",
+      "chunks",    "rate_limited", "backpressure", "delivered"};
+  std::string line;
+  size_t lineno = 0, records = 0, malformed = 0, undelivered = 0;
+  std::map<std::string, size_t> by_kind;
+  double max_total_ms = 0.0;
+  util::Json slowest;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto rec = util::Json::parse(line);
+    if (!rec || !rec->is_object()) {
+      std::fprintf(stderr, "slowlog: line %zu is not a JSON object\n", lineno);
+      ++malformed;
+      continue;
+    }
+    bool missing = false;
+    for (const char* key : kSchema) {
+      if (!rec->has(key)) {
+        std::fprintf(stderr, "slowlog: line %zu missing field '%s'\n", lineno, key);
+        missing = true;
+      }
+    }
+    if (missing) {
+      ++malformed;
+      continue;
+    }
+    ++records;
+    ++by_kind[rec->get_string("kind", "?")];
+    if (!rec->get_bool("delivered", true)) ++undelivered;
+    double total = rec->get_number("total_ms");
+    if (records == 1 || total > max_total_ms) {
+      max_total_ms = total;
+      slowest = *rec;
+    }
+  }
+  util::Json summary = util::Json::object();
+  summary["records"] = records;
+  summary["malformed"] = malformed;
+  summary["undelivered"] = undelivered;
+  util::Json kinds = util::Json::object();
+  for (const auto& [kind, n] : by_kind) kinds[kind] = n;
+  summary["by_kind"] = std::move(kinds);
+  summary["max_total_ms"] = max_total_ms;
+  if (records > 0) {
+    util::Json top = util::Json::object();
+    top["kind"] = slowest.get_string("kind");
+    top["spec"] = slowest.get_string("spec");
+    top["total_ms"] = slowest.get_number("total_ms");
+    top["session"] = slowest.get_number("session");
+    top["id"] = slowest.get_number("id");
+    summary["slowest"] = std::move(top);
+  }
+  if (args.json_out) {
+    std::printf("%s\n", summary.dump(2).c_str());
+  } else {
+    std::printf("%zu records, %zu malformed, %zu undelivered\n", records,
+                malformed, undelivered);
+    for (const auto& [kind, n] : by_kind) {
+      std::printf("  %-14s %zu\n", kind.c_str(), n);
+    }
+    if (records > 0) {
+      std::printf("slowest: %s %.2f ms  spec %s\n",
+                  slowest.get_string("kind").c_str(), max_total_ms,
+                  slowest.get_string("spec").c_str());
+    }
+  }
+  return malformed > 0 ? 1 : 0;
 }
 
 int cmd_har(const Args& args) {
@@ -1068,6 +1482,8 @@ int main(int argc, char** argv) {
   else if (args.command == "store") rc = cmd_store(args);
   else if (args.command == "serve") rc = cmd_serve(args);
   else if (args.command == "client") rc = cmd_client(args);
+  else if (args.command == "top") rc = cmd_top(args);
+  else if (args.command == "slowlog") rc = cmd_slowlog(args);
   else if (args.command == "har") rc = cmd_har(args);
   else if (args.command == "audit") rc = cmd_audit(args);
   else if (args.command == "trace") rc = cmd_trace(args);
